@@ -1,0 +1,48 @@
+//! Ablation **A5**: page size / fanout sweep.
+//!
+//! The paper fixes 4 KB pages with internal `M = 20`. This sweep varies the
+//! page size (which scales the data-file page count, the leaf fanout, and —
+//! holding `M` at the 4 KB-page maximum ratio — the directory fanout) and
+//! reports the sequential / tree page-access trade-off.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin ablation_page`
+
+use tsss_bench::{Harness, Method};
+use tsss_core::EngineConfig;
+use tsss_index::Node;
+
+fn main() {
+    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let (companies, queries) = if quick { (200, 10) } else { (500, 50) };
+
+    println!(
+        "{:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "page B", "M", "leafM", "seq pages", "tree pages", "idx height", "tree µs"
+    );
+    for page_size in [1024usize, 2048, 4096, 8192, 16384] {
+        let mut cfg = EngineConfig::paper();
+        cfg.page_size = page_size;
+        // Scale the directory fanout with the page, keeping the paper's
+        // 20-per-4KB density and 40 %/30 % ratios.
+        let dim = cfg.feature_dim();
+        let max_m = Node::max_internal_fanout(page_size, dim);
+        cfg.max_entries = (20 * page_size / 4096).clamp(4, max_m);
+        cfg.min_entries = (cfg.max_entries * 2 / 5).max(2);
+        cfg.reinsert_count = cfg.max_entries * 3 / 10;
+        let mut h = Harness::build(companies, 650, queries, cfg, 0x7555_1999);
+        let eps = 0.001 * h.median_fluctuation;
+        let seq = h.run_method(Method::Sequential, eps);
+        let tree = h.run_method(Method::TreeEnteringExiting, eps);
+        println!(
+            "{:>10} {:>6} {:>8} {:>12.1} {:>12.1} {:>12} {:>10.1}",
+            page_size,
+            h.engine.config().max_entries,
+            h.engine.config().tree_config().leaf_max_entries,
+            seq.pages,
+            tree.pages,
+            h.engine.index_height(),
+            tree.cpu_us
+        );
+    }
+    println!("\n(eps = 0.001·median fluctuation; set 2 checks)");
+}

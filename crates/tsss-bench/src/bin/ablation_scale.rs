@@ -1,0 +1,44 @@
+//! Ablation **A4**: data-set size scaling.
+//!
+//! Grows the market from 100 to 1000 companies (0.065 M → 0.65 M values)
+//! and tracks how both methods' page accesses and CPU scale. The sequential
+//! scan is linear in the data by construction; the tree's exact-match cost
+//! grows sublinearly, so the gap widens with scale — the regime where the
+//! paper's Figure 5 lives.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin ablation_scale`
+
+use tsss_bench::{Harness, Method};
+use tsss_core::EngineConfig;
+
+fn main() {
+    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let sizes: &[usize] = if quick {
+        &[50, 100, 200]
+    } else {
+        &[100, 200, 400, 700, 1000]
+    };
+    let queries = if quick { 10 } else { 50 };
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "companies", "windows", "seq pages", "tree pages", "ratio", "seq µs", "tree µs"
+    );
+    for &companies in sizes {
+        let mut h = Harness::build(companies, 650, queries, EngineConfig::paper(), 0x7555_1999);
+        let eps = 0.001 * h.median_fluctuation;
+        let seq = h.run_method(Method::Sequential, eps);
+        let tree = h.run_method(Method::TreeEnteringExiting, eps);
+        println!(
+            "{:>10} {:>10} {:>12.1} {:>12.1} {:>12.2} {:>12.1} {:>12.1}",
+            companies,
+            h.engine.num_windows(),
+            seq.pages,
+            tree.pages,
+            seq.pages / tree.pages,
+            seq.cpu_us,
+            tree.cpu_us
+        );
+    }
+    println!("\n(eps = 0.001·median fluctuation; set 2 checks)");
+}

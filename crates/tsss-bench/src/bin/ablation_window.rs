@@ -1,0 +1,39 @@
+//! Ablation **A3**: window length sweep.
+//!
+//! The window length `n` sets the dimension of the SE-Plane (n−1, §5.1) —
+//! the paper's motivation for DFT reduction — and trades specificity
+//! (longer windows are more selective) against the number of indexed
+//! windows. This sweep holds `f_c = 3` and varies `n`.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin ablation_window`
+
+use tsss_bench::{Harness, Method};
+use tsss_core::EngineConfig;
+
+fn main() {
+    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let (companies, days, queries) = if quick { (200, 650, 20) } else { (1000, 650, 100) };
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "n", "windows", "matches", "candidates", "idx pages", "data pg", "cpu µs"
+    );
+    for n in [32usize, 64, 128, 256] {
+        let mut cfg = EngineConfig::paper();
+        cfg.window_len = n;
+        let mut h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
+        let eps = 0.002 * h.median_fluctuation;
+        let cell = h.run_method(Method::TreeEnteringExiting, eps);
+        println!(
+            "{:>6} {:>10} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>10.1}",
+            n,
+            h.engine.num_windows(),
+            cell.matches,
+            cell.candidates,
+            cell.index_pages,
+            cell.data_pages,
+            cell.cpu_us
+        );
+    }
+    println!("\n(eps = 0.002·median fluctuation at each n; set 2 checks)");
+}

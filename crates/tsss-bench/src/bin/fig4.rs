@@ -1,0 +1,73 @@
+//! Figure 4 reproduction: average CPU time per query vs error bound ε for
+//! the paper's three experiment sets.
+//!
+//! Expected shape (paper §7): set 1 (sequential) is flat in ε; sets 2–3
+//! (tree) are far below it at small ε and grow with ε; set 3 (spheres) is
+//! *slower* than set 2 despite being the "optimised" variant.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin fig4`
+//! (set `TSSS_QUICK=1` for a fast reduced-scale run)
+
+use tsss_bench::{print_table, write_csv, Harness, Method};
+
+fn main() {
+    let mut h = Harness::from_env();
+    println!(
+        "data: {} series, {} values, {} windows indexed; median fluctuation {:.3}",
+        h.data.len(),
+        h.data.iter().map(|s| s.len()).sum::<usize>(),
+        h.engine.num_windows(),
+        h.median_fluctuation
+    );
+
+    let grid = h.epsilon_grid();
+    let mut rows = Vec::new();
+    for method in Method::ALL {
+        for &eps in &grid {
+            let cell = h.run_method(method, eps);
+            eprintln!(
+                "[fig4] {method} eps={eps:.4}: cpu {:.1} µs, {:.1} matches",
+                cell.cpu_us, cell.matches
+            );
+            rows.push((method, cell));
+        }
+    }
+
+    print_table(
+        "Figure 4 — CPU time vs error bound",
+        "average CPU µs per query",
+        &rows,
+        |c| c.cpu_us,
+    );
+    print_table(
+        "supporting — matches vs error bound",
+        "average verified matches per query",
+        &rows,
+        |c| c.matches,
+    );
+    write_csv(std::path::Path::new("results/fig4.csv"), &rows);
+
+    // Shape checks (the paper's qualitative findings).
+    let cpu = |m: Method, i: usize| rows.iter().filter(|(mm, _)| *mm == m).nth(i).unwrap().1.cpu_us;
+    let last = grid.len() - 1;
+    let seq_flat = cpu(Method::Sequential, last) / cpu(Method::Sequential, 0);
+    println!("\nshape checks:");
+    println!(
+        "  sequential flatness (cpu@max_eps / cpu@0): {seq_flat:.2} (paper: ~1, constant)"
+    );
+    println!(
+        "  tree speedup at eps=0 (set1/set2): {:.0}x (paper: tree ≪ sequential)",
+        cpu(Method::Sequential, 0) / cpu(Method::TreeEnteringExiting, 0)
+    );
+    println!(
+        "  tree growth with eps (set2: cpu@max/cpu@0): {:.1}x (paper: increasing)",
+        cpu(Method::TreeEnteringExiting, last) / cpu(Method::TreeEnteringExiting, 0)
+    );
+    let sphere_overhead: f64 = (0..grid.len())
+        .map(|i| cpu(Method::TreeBoundingSpheres, i) / cpu(Method::TreeEnteringExiting, i))
+        .sum::<f64>()
+        / grid.len() as f64;
+    println!(
+        "  sphere overhead (mean set3/set2 cpu): {sphere_overhead:.2}x (paper: > 1, spheres lose)"
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 5 reproduction: average page accesses per query vs error bound ε
+//! for the paper's three experiment sets, plus the two headline numeric
+//! claims:
+//!
+//! * **C1** — the sequential scan reads a constant
+//!   `0.65 M values × 8 B / 4 KB ≈ 1300` pages per query;
+//! * **C2** — at ε = 0 the tree methods access ~1000× fewer pages.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin fig5`
+//! (set `TSSS_QUICK=1` for a fast reduced-scale run)
+
+use tsss_bench::{print_table, write_csv, Harness, Method};
+
+fn main() {
+    let mut h = Harness::from_env();
+    let data_pages = h.engine.data_page_count();
+    println!(
+        "data: {} values in {} pages of 4 KB",
+        h.data.iter().map(|s| s.len()).sum::<usize>(),
+        data_pages
+    );
+
+    let grid = h.epsilon_grid();
+    let mut rows = Vec::new();
+    for method in Method::ALL {
+        for &eps in &grid {
+            let cell = h.run_method(method, eps);
+            eprintln!(
+                "[fig5] {method} eps={eps:.4}: {:.1} pages ({:.1} index + {:.1} data)",
+                cell.pages, cell.index_pages, cell.data_pages
+            );
+            rows.push((method, cell));
+        }
+    }
+
+    print_table(
+        "Figure 5 — page accesses vs error bound",
+        "average page accesses per query",
+        &rows,
+        |c| c.pages,
+    );
+    write_csv(std::path::Path::new("results/fig5.csv"), &rows);
+
+    let pages = |m: Method, i: usize| {
+        rows.iter().filter(|(mm, _)| *mm == m).nth(i).unwrap().1.pages
+    };
+    let last = grid.len() - 1;
+    println!("\nclaim checks:");
+    println!(
+        "  C1: sequential pages/query = {:.0} (paper: ≈ 1300 at 0.65 M values; \
+         file is exactly {} pages)",
+        pages(Method::Sequential, 0),
+        data_pages
+    );
+    println!(
+        "  C2: pages ratio at eps=0 (set1/set2) = {:.0}x (paper: ~1000x)",
+        pages(Method::Sequential, 0) / pages(Method::TreeEnteringExiting, 0)
+    );
+    let tree_below = (0..=last)
+        .all(|i| pages(Method::TreeEnteringExiting, i) < pages(Method::Sequential, i));
+    println!(
+        "  tree below sequential over the whole range: {} (paper: yes)",
+        if tree_below { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,245 @@
+//! Engine configuration, search options, and transformation-cost limits.
+
+use tsss_geometry::penetration::PenetrationMethod;
+use tsss_index::{SplitPolicy, TreeConfig};
+use tsss_storage::DEFAULT_PAGE_SIZE;
+
+/// Static configuration of a [`crate::SearchEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Window length `n` — also the length of plain queries.
+    pub window_len: usize,
+    /// Sliding-window stride (paper: 1).
+    pub stride: usize,
+    /// Number of DFT coefficients kept, `Some(f_c)`; `None` indexes the full
+    /// SE-transformed window (only sensible for small `n` — the paper's §7
+    /// motivation for dimension reduction is that R-trees degrade past ~10
+    /// dimensions).
+    pub fc: Option<usize>,
+    /// Page size for both the index and the data file (paper: 4 KB).
+    pub page_size: usize,
+    /// Maximum R-tree node entries `M` (paper: 20).
+    pub max_entries: usize,
+    /// Minimum R-tree node entries `m` (paper: 40 % of M = 8).
+    pub min_entries: usize,
+    /// Forced-reinsert count `p` (paper: 30 % of M = 6).
+    pub reinsert_count: usize,
+    /// Split policy (paper: R*-tree).
+    pub split: SplitPolicy,
+    /// Buffer-pool frames for the index file (0 = unbuffered, the paper's
+    /// measurement regime).
+    pub index_buffer_frames: usize,
+    /// Buffer-pool frames for the raw-data file.
+    pub data_buffer_frames: usize,
+    /// How the index is constructed (query results are identical for all
+    /// choices).
+    pub build: BuildMethod,
+}
+
+/// Index-construction strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildMethod {
+    /// Sort-Tile-Recursive bulk loading over the raw feature coordinates —
+    /// fast and dense; what the benchmark harness uses.
+    #[default]
+    BulkStr,
+    /// STR bulk loading over polar keys (unit direction, then norm): boxes
+    /// become angular sectors, which lines through the origin — this
+    /// engine's only query shape — rarely cross. An extension beyond the
+    /// paper; see `bulk_load_polar`.
+    BulkPolar,
+    /// One-by-one R*-tree insertion — the paper's §6 pre-processing step.
+    Insert,
+}
+
+impl EngineConfig {
+    /// The paper's experimental configuration (§7): window 128, `f_c = 3`
+    /// (6-d index), 4 KB pages, `M = 20`, `m = 8`, `p = 6`, R*-tree,
+    /// unbuffered.
+    ///
+    /// The paper does not state its window length; 128 is the conventional
+    /// choice in the F-index line of work it builds on (and a power of two,
+    /// so the FFT fast path applies).
+    pub fn paper() -> Self {
+        Self {
+            window_len: 128,
+            stride: 1,
+            fc: Some(3),
+            page_size: DEFAULT_PAGE_SIZE,
+            max_entries: 20,
+            min_entries: 8,
+            reinsert_count: 6,
+            split: SplitPolicy::RStar,
+            index_buffer_frames: 0,
+            data_buffer_frames: 0,
+            build: BuildMethod::BulkStr,
+        }
+    }
+
+    /// A small configuration for tests and examples: window `n`, `f_c = 2`.
+    pub fn small(window_len: usize) -> Self {
+        Self {
+            window_len,
+            stride: 1,
+            fc: Some(2),
+            page_size: DEFAULT_PAGE_SIZE,
+            max_entries: 8,
+            min_entries: 3,
+            reinsert_count: 2,
+            split: SplitPolicy::RStar,
+            index_buffer_frames: 0,
+            data_buffer_frames: 0,
+            build: BuildMethod::BulkStr,
+        }
+    }
+
+    /// Dimension of the indexed feature points.
+    pub fn feature_dim(&self) -> usize {
+        match self.fc {
+            Some(fc) => 2 * fc,
+            None => self.window_len,
+        }
+    }
+
+    /// The derived R-tree configuration. `max_entries`/`min_entries`/
+    /// `reinsert_count` govern internal nodes (the paper's `M`, `m`, `p`);
+    /// leaves pack to page capacity with the same 40 %/30 % ratios, exactly
+    /// as §7 describes ("each page stores one internal node only" with
+    /// `M = 20` — the leaf capacity is the page's).
+    pub fn tree_config(&self) -> TreeConfig {
+        let dim = self.feature_dim();
+        let leaf_max = tsss_index::Node::max_leaf_fanout(self.page_size, dim)
+            .min(u16::MAX as usize);
+        TreeConfig {
+            dim,
+            page_size: self.page_size,
+            max_entries: self.max_entries,
+            min_entries: self.min_entries,
+            reinsert_count: self.reinsert_count,
+            leaf_max_entries: leaf_max,
+            leaf_min_entries: (leaf_max * 2) / 5,
+            leaf_reinsert_count: (leaf_max * 3) / 10,
+            split: self.split,
+            buffer_frames: self.index_buffer_frames,
+        }
+    }
+
+    /// Validates the configuration (delegating tree checks to
+    /// [`TreeConfig::validate`]).
+    ///
+    /// # Panics
+    /// Panics on invalid settings with a descriptive message.
+    pub fn validate(&self) {
+        assert!(self.window_len >= 2, "window length must be at least 2");
+        assert!(self.stride >= 1, "stride must be at least 1");
+        if let Some(fc) = self.fc {
+            assert!(
+                fc >= 1 && 2 * fc < self.window_len,
+                "fc = {fc} invalid for window length {} (need 1 <= fc, 2·fc + 1 <= n)",
+                self.window_len
+            );
+        }
+        self.tree_config().validate();
+    }
+}
+
+/// Limits on the transformation cost, applied in post-processing (paper §3:
+/// "the ranges of a and b can be regarded as the cost of the scaling and
+/// shifting transformations and the maximum cost allowed can be specified by
+/// the user").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostLimit {
+    /// Accepted range for the scaling factor `a` (inclusive).
+    pub a_range: Option<(f64, f64)>,
+    /// Accepted range for the shifting offset `b` (inclusive).
+    pub b_range: Option<(f64, f64)>,
+}
+
+impl CostLimit {
+    /// No limits: every `(a, b)` is acceptable.
+    pub const UNLIMITED: CostLimit = CostLimit {
+        a_range: None,
+        b_range: None,
+    };
+
+    /// True when the transformation satisfies the limits.
+    pub fn accepts(&self, a: f64, b: f64) -> bool {
+        if let Some((lo, hi)) = self.a_range {
+            if a < lo || a > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.b_range {
+            if b < lo || b > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-query options.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchOptions {
+    /// Penetration-checking strategy (paper experiment set 2 vs set 3).
+    pub method: PenetrationMethod,
+    /// Transformation-cost limits.
+    pub cost: CostLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_six_dimensional() {
+        let c = EngineConfig::paper();
+        c.validate();
+        assert_eq!(c.feature_dim(), 6);
+        assert_eq!(c.tree_config().max_entries, 20);
+    }
+
+    #[test]
+    fn full_dim_config_for_small_windows() {
+        let mut c = EngineConfig::small(8);
+        c.fc = None;
+        c.validate();
+        assert_eq!(c.feature_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fc = 4 invalid")]
+    fn oversized_fc_rejected() {
+        let mut c = EngineConfig::small(8);
+        c.fc = Some(4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let mut c = EngineConfig::small(8);
+        c.stride = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn cost_limit_logic() {
+        let unlimited = CostLimit::UNLIMITED;
+        assert!(unlimited.accepts(1e9, -1e9));
+        let limited = CostLimit {
+            a_range: Some((0.5, 2.0)),
+            b_range: Some((-10.0, 10.0)),
+        };
+        assert!(limited.accepts(1.0, 0.0));
+        assert!(limited.accepts(0.5, 10.0)); // boundaries inclusive
+        assert!(!limited.accepts(0.49, 0.0));
+        assert!(!limited.accepts(1.0, 10.01));
+        let a_only = CostLimit {
+            a_range: Some((0.0, 1.0)),
+            b_range: None,
+        };
+        assert!(a_only.accepts(0.5, 1e12));
+        assert!(!a_only.accepts(1.5, 0.0));
+    }
+}

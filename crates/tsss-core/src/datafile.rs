@@ -1,0 +1,487 @@
+//! The paged raw-series data file.
+//!
+//! The paper's Figure 5 charges the sequential scan
+//! `0.65 M values × 8 B / 4 KB ≈ 1300` page reads — i.e. the raw values live
+//! densely packed in pages, in arrival order, regardless of series
+//! boundaries. [`PagedSeriesStore`] reproduces that layout exactly: an
+//! append-only log of `f64`s, 512 per 4 KB page, with per-series **extent**
+//! lists mapping `(series, offset)` ranges onto global positions (so series
+//! can keep growing after others were added — the paper's "data are
+//! collected regularly" requirement — without disturbing the dense packing).
+//!
+//! All reads go through the buffer pool, so the post-processing
+//! (verification) I/O of the tree search and the full-file I/O of the
+//! sequential scan are both measured in real page accesses.
+
+use tsss_storage::{BufferPool, Page, PageFile, PageId};
+
+use crate::error::EngineError;
+
+/// One contiguous run of a series' values in the global log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Extent {
+    /// Offset of the run's first value within its series.
+    series_offset: usize,
+    /// Global position of the run's first value.
+    global_start: usize,
+    /// Number of values in the run.
+    len: usize,
+}
+
+/// Append-only paged store of time-series values.
+#[derive(Debug)]
+pub struct PagedSeriesStore {
+    pool: BufferPool,
+    pages: Vec<PageId>,
+    values_per_page: usize,
+    total: usize,
+    names: Vec<String>,
+    extents: Vec<Vec<Extent>>,
+    lengths: Vec<usize>,
+}
+
+impl PagedSeriesStore {
+    /// Creates an empty store with the given page size and buffer capacity.
+    ///
+    /// # Panics
+    /// Panics when a page cannot hold at least one value.
+    pub fn new(page_size: usize, buffer_frames: usize) -> Self {
+        assert!(
+            page_size >= 8 && page_size.is_multiple_of(8),
+            "page size must be a positive multiple of 8 bytes"
+        );
+        let file = PageFile::new(page_size);
+        Self {
+            pool: BufferPool::new(file, buffer_frames),
+            pages: Vec::new(),
+            values_per_page: page_size / 8,
+            total: 0,
+            names: Vec::new(),
+            extents: Vec::new(),
+            lengths: Vec::new(),
+        }
+    }
+
+    /// Number of series.
+    pub fn num_series(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Length (in values) of series `s`.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for an out-of-range index.
+    pub fn series_len(&self, s: usize) -> Result<usize, EngineError> {
+        self.lengths
+            .get(s)
+            .copied()
+            .ok_or(EngineError::UnknownSeries(s))
+    }
+
+    /// Name of series `s`.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for an out-of-range index.
+    pub fn series_name(&self, s: usize) -> Result<&str, EngineError> {
+        self.names
+            .get(s)
+            .map(String::as_str)
+            .ok_or(EngineError::UnknownSeries(s))
+    }
+
+    /// Total stored values across all series.
+    pub fn total_values(&self) -> usize {
+        self.total
+    }
+
+    /// Number of data pages — what a sequential scan must read
+    /// (`⌈total · 8 / page_size⌉`, the paper's ≈ 1300).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Shared page-access counters of the data file.
+    pub fn stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+        self.pool.stats()
+    }
+
+    /// Drops buffered frames so the next access pattern starts cold.
+    pub fn clear_cache(&mut self) {
+        self.pool.clear_cache();
+    }
+
+    /// Registers a new, empty series and returns its index.
+    pub fn add_series(&mut self, name: impl Into<String>) -> usize {
+        self.names.push(name.into());
+        self.extents.push(Vec::new());
+        self.lengths.push(0);
+        self.names.len() - 1
+    }
+
+    /// Appends values to an existing series (the paper's "data sequences are
+    /// collected regularly").
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for an out-of-range index.
+    pub fn append(&mut self, series: usize, values: &[f64]) -> Result<(), EngineError> {
+        if series >= self.names.len() {
+            return Err(EngineError::UnknownSeries(series));
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        let global_start = self.append_globally(values);
+        let series_offset = self.lengths[series];
+        // Merge with the previous extent when the run is contiguous both in
+        // the series and in the log (the common build-time case).
+        let extents = &mut self.extents[series];
+        if let Some(last) = extents.last_mut() {
+            if last.series_offset + last.len == series_offset
+                && last.global_start + last.len == global_start
+            {
+                last.len += values.len();
+                self.lengths[series] += values.len();
+                return Ok(());
+            }
+        }
+        extents.push(Extent {
+            series_offset,
+            global_start,
+            len: values.len(),
+        });
+        self.lengths[series] += values.len();
+        Ok(())
+    }
+
+    /// Convenience: add a named series with initial contents.
+    pub fn add_series_with_values(&mut self, name: impl Into<String>, values: &[f64]) -> usize {
+        let s = self.add_series(name);
+        self.append(s, values).expect("fresh series exists");
+        s
+    }
+
+    fn append_globally(&mut self, values: &[f64]) -> usize {
+        let start = self.total;
+        let vpp = self.values_per_page;
+        let mut pos = start;
+        let mut remaining = values;
+        while !remaining.is_empty() {
+            let page_idx = pos / vpp;
+            let slot = pos % vpp;
+            if page_idx == self.pages.len() {
+                self.pages.push(self.pool.allocate());
+            }
+            let page_id = self.pages[page_idx];
+            let take = (vpp - slot).min(remaining.len());
+            // Read-modify-write of the tail page (a fresh page is zeroed, so
+            // reading it is still well-defined).
+            let mut page = if slot == 0 {
+                Page::zeroed(vpp * 8)
+            } else {
+                self.pool.read(page_id)
+            };
+            page.put_f64_slice(slot * 8, &remaining[..take]);
+            self.pool.write(page_id, page);
+            pos += take;
+            remaining = &remaining[take..];
+        }
+        self.total = pos;
+        start
+    }
+
+    /// Fetches the window `series[offset .. offset + len]`, charging one read
+    /// per distinct page touched.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad series index.
+    ///
+    /// # Panics
+    /// Panics when the window runs past the end of a known series — the
+    /// engine only requests windows it indexed, so that is a bug, not a data
+    /// condition.
+    pub fn fetch_window(
+        &mut self,
+        series: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<f64>, EngineError> {
+        if series >= self.names.len() {
+            return Err(EngineError::UnknownSeries(series));
+        }
+        assert!(
+            offset + len <= self.lengths[series],
+            "window [{offset}, {}) exceeds series {series} of length {}",
+            offset + len,
+            self.lengths[series]
+        );
+        let mut out = Vec::with_capacity(len);
+        let extents = &self.extents[series];
+        // Locate the first extent containing `offset`.
+        let mut idx = match extents.binary_search_by(|e| e.series_offset.cmp(&offset)) {
+            Ok(i) => i,
+            Err(i) => i - 1, // the extent starting before `offset`
+        };
+        let mut want = offset;
+        let end = offset + len;
+        let mut last_page: Option<usize> = None;
+        let mut cached_page: Option<Page> = None;
+        while want < end {
+            let e = &extents[idx];
+            debug_assert!(e.series_offset <= want && want < e.series_offset + e.len);
+            let within = want - e.series_offset;
+            let run = (e.len - within).min(end - want);
+            let gstart = e.global_start + within;
+            for g in gstart..gstart + run {
+                let page_idx = g / self.values_per_page;
+                if last_page != Some(page_idx) {
+                    cached_page = Some(self.pool.read(self.pages[page_idx]));
+                    last_page = Some(page_idx);
+                }
+                let page = cached_page.as_ref().expect("just cached");
+                out.push(page.get_f64((g % self.values_per_page) * 8));
+            }
+            want += run;
+            idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// Serialises the store (catalogue + page file) to a writer.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_to<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<()> {
+        use tsss_storage::codec::*;
+        put_magic(w, b"TSSSDF01")?;
+        put_usize(w, self.values_per_page)?;
+        put_usize(w, self.total)?;
+        put_usize(w, self.names.len())?;
+        for i in 0..self.names.len() {
+            put_string(w, &self.names[i])?;
+            put_usize(w, self.lengths[i])?;
+            put_usize(w, self.extents[i].len())?;
+            for e in &self.extents[i] {
+                put_usize(w, e.series_offset)?;
+                put_usize(w, e.global_start)?;
+                put_usize(w, e.len)?;
+            }
+        }
+        self.pool.flush();
+        put_usize(w, self.pages.len())?;
+        for p in &self.pages {
+            put_u32(w, p.0)?;
+        }
+        self.pool.file().write_to(w)
+    }
+
+    /// Reads a store previously written by [`PagedSeriesStore::write_to`].
+    ///
+    /// # Errors
+    /// `InvalidData` on malformed input; propagates I/O errors.
+    pub fn read_from<R: std::io::Read>(
+        r: &mut R,
+        buffer_frames: usize,
+    ) -> std::io::Result<Self> {
+        use tsss_storage::codec::*;
+        expect_magic(r, b"TSSSDF01")?;
+        let values_per_page = get_usize(r)?;
+        let total = get_usize(r)?;
+        let n_series = get_usize(r)?;
+        let mut names = Vec::with_capacity(n_series);
+        let mut lengths = Vec::with_capacity(n_series);
+        let mut extents = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            names.push(get_string(r)?);
+            lengths.push(get_usize(r)?);
+            let n_ext = get_usize(r)?;
+            let mut es = Vec::with_capacity(n_ext);
+            for _ in 0..n_ext {
+                es.push(Extent {
+                    series_offset: get_usize(r)?,
+                    global_start: get_usize(r)?,
+                    len: get_usize(r)?,
+                });
+            }
+            extents.push(es);
+        }
+        let n_pages = get_usize(r)?;
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(PageId(get_u32(r)?));
+        }
+        let file = PageFile::read_from(r)?;
+        if file.page_size() / 8 != values_per_page {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "page size disagrees with values-per-page",
+            ));
+        }
+        if total.div_ceil(values_per_page.max(1)) != pages.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "page count disagrees with value count",
+            ));
+        }
+        Ok(Self {
+            pool: BufferPool::new(file, buffer_frames),
+            pages,
+            values_per_page,
+            total,
+            names,
+            extents,
+            lengths,
+        })
+    }
+
+    /// Reads the whole file page by page — exactly once per page — and
+    /// reassembles every series. This is the I/O pattern of the sequential
+    /// scan baseline (paper experiment set 1).
+    pub fn read_everything(&mut self) -> Vec<Vec<f64>> {
+        // One pass over the global log.
+        let mut global = Vec::with_capacity(self.total);
+        for (i, &pid) in self.pages.iter().enumerate() {
+            let page = self.pool.read(pid);
+            let in_page = (self.total - i * self.values_per_page).min(self.values_per_page);
+            for slot in 0..in_page {
+                global.push(page.get_f64(slot * 8));
+            }
+        }
+        // Reassemble per series from extents.
+        self.extents
+            .iter()
+            .zip(&self.lengths)
+            .map(|(extents, &len)| {
+                let mut v = Vec::with_capacity(len);
+                for e in extents {
+                    v.extend_from_slice(&global[e.global_start..e.global_start + e.len]);
+                }
+                debug_assert_eq!(v.len(), len);
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PagedSeriesStore {
+        PagedSeriesStore::new(64, 0) // 8 values per page — forces spanning
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = store();
+        assert_eq!(s.num_series(), 0);
+        assert_eq!(s.total_values(), 0);
+        assert_eq!(s.page_count(), 0);
+    }
+
+    #[test]
+    fn add_and_fetch_within_one_page() {
+        let mut s = store();
+        let a = s.add_series_with_values("a", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.fetch_window(a, 1, 2).unwrap(), vec![2.0, 3.0]);
+        assert_eq!(s.series_len(a).unwrap(), 4);
+        assert_eq!(s.series_name(a).unwrap(), "a");
+    }
+
+    #[test]
+    fn windows_spanning_pages() {
+        let mut s = store();
+        let vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let a = s.add_series_with_values("a", &vals);
+        assert_eq!(s.page_count(), 4); // 30 values / 8 per page
+        for off in 0..=20 {
+            assert_eq!(s.fetch_window(a, off, 10).unwrap(), vals[off..off + 10]);
+        }
+    }
+
+    #[test]
+    fn interleaved_appends_create_extents() {
+        let mut s = store();
+        let a = s.add_series("a");
+        let b = s.add_series("b");
+        s.append(a, &[1.0, 2.0, 3.0]).unwrap();
+        s.append(b, &[10.0, 20.0]).unwrap();
+        s.append(a, &[4.0, 5.0, 6.0]).unwrap(); // non-contiguous in the log
+        s.append(b, &[30.0]).unwrap();
+        assert_eq!(
+            s.fetch_window(a, 0, 6).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
+        assert_eq!(s.fetch_window(a, 2, 3).unwrap(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(s.fetch_window(b, 0, 3).unwrap(), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn contiguous_appends_merge_extents() {
+        let mut s = store();
+        let a = s.add_series("a");
+        s.append(a, &[1.0, 2.0]).unwrap();
+        s.append(a, &[3.0, 4.0]).unwrap(); // still contiguous in the log
+        assert_eq!(s.extents[a].len(), 1, "extents should merge");
+        assert_eq!(s.fetch_window(a, 0, 4).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn read_everything_reassembles_and_charges_each_page_once() {
+        let mut s = store();
+        let a = s.add_series("a");
+        let b = s.add_series("b");
+        s.append(a, &(0..13).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        s.append(b, &(100..120).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        s.append(a, &(13..20).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        s.stats().reset();
+        let all = s.read_everything();
+        assert_eq!(s.stats().reads(), s.page_count() as u64);
+        assert_eq!(all[a], (0..20).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(all[b], (100..120).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fetch_window_charges_distinct_pages() {
+        let mut s = store();
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let a = s.add_series_with_values("a", &vals);
+        s.stats().reset();
+        // Window of 10 values starting at 6 spans pages 0 and 1 (8 values per page).
+        let _ = s.fetch_window(a, 6, 10).unwrap();
+        assert_eq!(s.stats().reads(), 2);
+    }
+
+    #[test]
+    fn unknown_series_is_an_error() {
+        let mut s = store();
+        assert_eq!(
+            s.fetch_window(0, 0, 1).unwrap_err(),
+            EngineError::UnknownSeries(0)
+        );
+        assert_eq!(s.series_len(3).unwrap_err(), EngineError::UnknownSeries(3));
+        assert_eq!(s.append(1, &[1.0]).unwrap_err(), EngineError::UnknownSeries(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series")]
+    fn overlong_window_panics() {
+        let mut s = store();
+        let a = s.add_series_with_values("a", &[1.0, 2.0]);
+        let _ = s.fetch_window(a, 1, 5);
+    }
+
+    #[test]
+    fn paper_page_arithmetic() {
+        // 4 KB pages hold 512 values; 650 000 values need 1270 pages —
+        // the paper rounds to "≈ 1300".
+        let mut s = PagedSeriesStore::new(4096, 0);
+        let a = s.add_series("big");
+        let chunk = vec![1.5; 10_000];
+        for _ in 0..65 {
+            s.append(a, &chunk).unwrap();
+        }
+        assert_eq!(s.total_values(), 650_000);
+        assert_eq!(s.page_count(), 650_000usize.div_ceil(512));
+        assert_eq!(s.page_count(), 1270);
+    }
+}

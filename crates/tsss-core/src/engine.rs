@@ -1,0 +1,717 @@
+//! The indexed search engine — the paper's §6 algorithm end to end.
+
+use std::time::Instant;
+
+use tsss_data::Series;
+use tsss_dft::FeatureExtractor;
+use tsss_geometry::line::Line;
+use tsss_geometry::scale_shift::optimal_scale_shift;
+use tsss_geometry::se::se_transform_into;
+use tsss_index::bulk::{bulk_load, bulk_load_polar};
+use tsss_index::{DataEntry, RTree};
+
+use crate::config::{EngineConfig, SearchOptions};
+use crate::datafile::PagedSeriesStore;
+use crate::error::EngineError;
+use crate::id::SubseqId;
+use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+use crate::window::window_offsets;
+
+/// The scale-shift similarity search engine.
+///
+/// Owns two paged files — the R*-tree index and the raw-series data file —
+/// so every page the algorithm touches is accounted (Figure 5's metric),
+/// plus the SE + DFT feature pipeline (Theorems 2–3 machinery).
+///
+/// ```
+/// use tsss_core::{EngineConfig, SearchEngine, SearchOptions};
+/// use tsss_data::Series;
+///
+/// let wave: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin() * 5.0 + 20.0).collect();
+/// let data = vec![Series::new("wave", wave.clone())];
+/// let mut engine = SearchEngine::build(&data, EngineConfig::small(16));
+///
+/// // A scaled + shifted copy of days 10..26 finds its source.
+/// let query: Vec<f64> = wave[10..26].iter().map(|v| 3.0 * v - 7.0).collect();
+/// let hits = engine.search(&query, 1e-6, SearchOptions::default()).unwrap();
+/// assert_eq!(hits.matches[0].id.offset, 10);
+/// ```
+#[derive(Debug)]
+pub struct SearchEngine {
+    cfg: EngineConfig,
+    extractor: Option<FeatureExtractor>,
+    tree: RTree,
+    store: PagedSeriesStore,
+    /// Upper bound on the SE-norm of any window ever indexed (monotone:
+    /// deletions do not lower it). Used by the z-normalised search to derive
+    /// a sound absolute ε; see `normalized`.
+    max_se_norm: f64,
+}
+
+impl SearchEngine {
+    /// Builds an engine over `data` (the paper's pre-processing step):
+    /// slide, SE-transform, extract features, index.
+    ///
+    /// Series shorter than one window are stored (they may grow later via
+    /// [`SearchEngine::append_values`]) but contribute no windows yet.
+    pub fn build(data: &[Series], cfg: EngineConfig) -> Self {
+        cfg.validate();
+        let extractor = cfg.fc.map(|fc| FeatureExtractor::new(cfg.window_len, fc));
+        let mut store = PagedSeriesStore::new(cfg.page_size, cfg.data_buffer_frames);
+
+        let mut entries: Vec<DataEntry> = Vec::new();
+        let mut se_buf = vec![0.0; cfg.window_len];
+        let mut max_se_norm = 0.0f64;
+        for (si, s) in data.iter().enumerate() {
+            store.add_series_with_values(s.name.clone(), &s.values);
+            for off in window_offsets(s.values.len(), cfg.window_len, cfg.stride) {
+                let window = &s.values[off..off + cfg.window_len];
+                max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
+                let feat = feature_of(&extractor, window, &mut se_buf);
+                let id = SubseqId {
+                    series: u32::try_from(si).expect("series count fits u32"),
+                    offset: u32::try_from(off).expect("offset fits u32"),
+                };
+                entries.push(DataEntry::new(feat, id.pack()));
+            }
+        }
+
+        let tree = match cfg.build {
+            crate::config::BuildMethod::BulkStr => bulk_load(cfg.tree_config(), entries),
+            crate::config::BuildMethod::BulkPolar => {
+                bulk_load_polar(cfg.tree_config(), entries)
+            }
+            crate::config::BuildMethod::Insert => {
+                let mut t = RTree::new(cfg.tree_config());
+                for e in entries {
+                    t.insert(e.point.into_vec(), e.id);
+                }
+                t
+            }
+        };
+
+        Self {
+            cfg,
+            extractor,
+            tree,
+            store,
+            max_se_norm,
+        }
+    }
+
+    /// Reassembles an engine from persisted parts (see `persist`).
+    pub(crate) fn from_parts(
+        cfg: EngineConfig,
+        tree: RTree,
+        store: PagedSeriesStore,
+        max_se_norm: f64,
+    ) -> Self {
+        let extractor = cfg.fc.map(|fc| FeatureExtractor::new(cfg.window_len, fc));
+        Self {
+            cfg,
+            extractor,
+            tree,
+            store,
+            max_se_norm,
+        }
+    }
+
+    /// Upper bound on the SE-norm (fluctuation energy) of any window ever
+    /// indexed.
+    pub fn max_se_norm(&self) -> f64 {
+        self.max_se_norm
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of series stored.
+    pub fn num_series(&self) -> usize {
+        self.store.num_series()
+    }
+
+    /// Number of indexed windows.
+    pub fn num_windows(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of data-file pages (what a sequential scan reads).
+    pub fn data_page_count(&self) -> usize {
+        self.store.page_count()
+    }
+
+    /// Height of the index tree.
+    pub fn index_height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Index-file access counters.
+    pub fn index_stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+        self.tree.stats()
+    }
+
+    /// Data-file access counters.
+    pub fn data_stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+        self.store.stats()
+    }
+
+    /// Resets both files' access counters (between benchmark queries).
+    pub fn reset_counters(&self) {
+        self.tree.stats().reset();
+        self.store.stats().reset();
+    }
+
+    /// Drops both buffer pools' cached frames.
+    pub fn clear_caches(&mut self) {
+        self.tree.clear_cache();
+        self.store.clear_cache();
+    }
+
+    /// Mutable access to the underlying tree (white-box tests, benches).
+    pub fn tree_mut(&mut self) -> &mut RTree {
+        &mut self.tree
+    }
+
+    /// Mutable access to the underlying data file (baselines).
+    pub(crate) fn store_mut(&mut self) -> &mut PagedSeriesStore {
+        &mut self.store
+    }
+
+    /// Computes the feature-space query line (the SE-line of the query after
+    /// dimension reduction).
+    pub(crate) fn query_line(&self, query: &[f64]) -> Line {
+        let mut se_buf = vec![0.0; self.cfg.window_len];
+        let feat = feature_of(&self.extractor, query, &mut se_buf);
+        Line::scaling(&feat)
+    }
+
+    /// Fetches a raw window for verification, charging data pages.
+    pub(crate) fn fetch_raw(
+        &mut self,
+        id: SubseqId,
+        len: usize,
+    ) -> Result<Vec<f64>, EngineError> {
+        self.store
+            .fetch_window(id.series as usize, id.offset as usize, len)
+    }
+
+    /// The length of the series with index `s`.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad index.
+    pub fn series_len(&self, s: usize) -> Result<usize, EngineError> {
+        self.store.series_len(s)
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic maintenance (paper §3, requirement 2)
+    // ------------------------------------------------------------------
+
+    /// Adds a brand-new series, indexing all of its windows. Returns the
+    /// series index.
+    pub fn append_series(&mut self, series: &Series) -> usize {
+        let si = self.store.add_series(series.name.clone());
+        if !series.values.is_empty() {
+            self.append_values(si, &series.values)
+                .expect("series was just created");
+        }
+        si
+    }
+
+    /// Appends freshly-collected values to an existing series and indexes
+    /// every newly-completed window (including the ones spanning the old
+    /// tail).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad index.
+    pub fn append_values(&mut self, series: usize, values: &[f64]) -> Result<(), EngineError> {
+        let old_len = self.store.series_len(series)?;
+        self.store.append(series, values)?;
+        let new_len = old_len + values.len();
+        let n = self.cfg.window_len;
+        if new_len < n {
+            return Ok(());
+        }
+        // Offsets of windows that end in the appended region, respecting the
+        // stride grid.
+        let first_unseen = old_len.saturating_sub(n - 1);
+        let first_on_grid = first_unseen.div_ceil(self.cfg.stride) * self.cfg.stride;
+        let mut se_buf = vec![0.0; n];
+        let mut off = first_on_grid;
+        while off + n <= new_len {
+            // Skip windows that were already indexed before this append.
+            if off + n > old_len {
+                let window = self.store.fetch_window(series, off, n)?;
+                self.max_se_norm = self.max_se_norm.max(tsss_geometry::se::se_norm(&window));
+                let feat = feature_of(&self.extractor, &window, &mut se_buf);
+                let id = SubseqId {
+                    series: u32::try_from(series).expect("series index fits u32"),
+                    offset: u32::try_from(off).expect("offset fits u32"),
+                };
+                self.tree.insert(feat, id.pack());
+            }
+            off += self.cfg.stride;
+        }
+        Ok(())
+    }
+
+    /// Unindexes every window of a series (e.g. a delisted stock). The raw
+    /// values stay in the append-only data file (it has no reclamation), but
+    /// no query will return the series again. Returns the number of windows
+    /// removed.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad series index.
+    pub fn remove_series_windows(&mut self, series: usize) -> Result<usize, EngineError> {
+        let len = self.store.series_len(series)?;
+        let n = self.cfg.window_len;
+        if len < n {
+            return Ok(0);
+        }
+        let mut removed = 0;
+        let mut off = 0;
+        while off + n <= len {
+            let id = SubseqId {
+                series: u32::try_from(series).expect("series fits u32"),
+                offset: u32::try_from(off).expect("offset fits u32"),
+            };
+            if self.remove_window(id)? {
+                removed += 1;
+            }
+            off += self.cfg.stride;
+        }
+        Ok(removed)
+    }
+
+    /// Removes a window from the index (e.g. when old data expires).
+    /// Returns `true` when the window was indexed.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad series index.
+    pub fn remove_window(&mut self, id: SubseqId) -> Result<bool, EngineError> {
+        let n = self.cfg.window_len;
+        let window = self
+            .store
+            .fetch_window(id.series as usize, id.offset as usize, n)?;
+        let mut se_buf = vec![0.0; n];
+        let feat = feature_of(&self.extractor, &window, &mut se_buf);
+        Ok(self.tree.delete(&feat, id.pack()))
+    }
+
+    // ------------------------------------------------------------------
+    // Search (the paper's §6 searching + post-processing steps)
+    // ------------------------------------------------------------------
+
+    /// Finds every indexed subsequence `S'` with `Q ~ε S'`, reporting the
+    /// optimal `(a, b)` and exact distance per match, sorted by ascending
+    /// distance.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] or [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    pub fn search(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        if query.len() != self.cfg.window_len {
+            return Err(EngineError::QueryLength {
+                expected: self.cfg.window_len,
+                got: query.len(),
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::InvalidEpsilon(epsilon));
+        }
+        let t0 = Instant::now();
+        let index_reads0 = self.tree.stats().total_accesses();
+        let data_reads0 = self.store.stats().total_accesses();
+
+        // Searching step: feature-space SE-line vs the tree.
+        let line = self.query_line(query);
+        let outcome = self.tree.line_query(&line, epsilon, opts.method);
+
+        // Post-processing step: verify candidates on the raw data, compute
+        // (a, b), apply cost limits.
+        let mut stats = SearchStats {
+            candidates: outcome.matches.len() as u64,
+            index: outcome.stats,
+            ..Default::default()
+        };
+        let mut matches = Vec::new();
+        for cand in outcome.matches {
+            let id = SubseqId::unpack(cand.id);
+            let raw = self.fetch_raw(id, self.cfg.window_len)?;
+            let fit = optimal_scale_shift(query, &raw).expect("window length matches query");
+            if fit.distance > epsilon {
+                stats.false_alarms += 1;
+                continue;
+            }
+            if !opts.cost.accepts(fit.transform.a, fit.transform.b) {
+                stats.cost_rejected += 1;
+                continue;
+            }
+            stats.verified += 1;
+            matches.push(SubsequenceMatch {
+                id,
+                transform: fit.transform,
+                distance: fit.distance,
+            });
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        stats.index_pages = self.tree.stats().total_accesses() - index_reads0;
+        stats.data_pages = self.store.stats().total_accesses() - data_reads0;
+        stats.elapsed = t0.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+/// SE-transform + optional DFT feature extraction of one window.
+fn feature_of(
+    extractor: &Option<FeatureExtractor>,
+    window: &[f64],
+    se_buf: &mut [f64],
+) -> Vec<f64> {
+    se_transform_into(window, se_buf);
+    match extractor {
+        Some(fx) => fx.extract(se_buf),
+        None => se_buf.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsss_data::{MarketConfig, MarketSimulator};
+    use tsss_geometry::scale_shift::{min_scale_shift_distance, ScaleShift};
+
+    fn market(companies: usize, days: usize) -> Vec<Series> {
+        MarketSimulator::new(MarketConfig::small(companies, days, 123)).generate()
+    }
+
+    fn engine() -> (SearchEngine, Vec<Series>) {
+        let data = market(6, 80);
+        let cfg = EngineConfig::small(16);
+        (SearchEngine::build(&data, cfg), data)
+    }
+
+    #[test]
+    fn build_indexes_every_window() {
+        let (e, data) = engine();
+        let expect: usize = data.iter().map(|s| s.len() - 16 + 1).sum();
+        assert_eq!(e.num_windows(), expect);
+        assert_eq!(e.num_series(), 6);
+    }
+
+    #[test]
+    fn exact_window_is_found_at_epsilon_zero_with_identity_transform() {
+        let (mut e, data) = engine();
+        let q = data[2].window(10, 16).unwrap().to_vec();
+        let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
+        let hit = res
+            .matches
+            .iter()
+            .find(|m| m.id.series == 2 && m.id.offset == 10)
+            .expect("the source window must match");
+        assert!((hit.transform.a - 1.0).abs() < 1e-6);
+        assert!(hit.transform.b.abs() < 1e-4);
+        assert!(hit.distance < 1e-7);
+    }
+
+    #[test]
+    fn scaled_and_shifted_query_finds_its_source() {
+        let (mut e, data) = engine();
+        let src = data[4].window(30, 16).unwrap();
+        let f = ScaleShift { a: 2.5, b: -40.0 };
+        // query = F⁻¹ disguise: we want F'(q) = src with some F'.
+        let q = f.apply(src);
+        let res = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
+        let hit = res
+            .matches
+            .iter()
+            .find(|m| m.id.series == 4 && m.id.offset == 30)
+            .expect("source window must be recovered despite the disguise");
+        // F'(q) = src ⇒ a' = 1/2.5, b' = 40/2.5 = 16.
+        assert!((hit.transform.a - 0.4).abs() < 1e-6);
+        assert!((hit.transform.b - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matches_are_sorted_and_within_epsilon() {
+        let (mut e, data) = engine();
+        let q = data[0].window(5, 16).unwrap().to_vec();
+        let res = e.search(&q, 5.0, SearchOptions::default()).unwrap();
+        assert!(!res.matches.is_empty());
+        for w in res.matches.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        for m in &res.matches {
+            assert!(m.distance <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reported_transform_achieves_reported_distance() {
+        let (mut e, data) = engine();
+        let q = data[1].window(20, 16).unwrap().to_vec();
+        let res = e.search(&q, 10.0, SearchOptions::default()).unwrap();
+        for m in res.matches.iter().take(20) {
+            let raw = data[m.id.series as usize]
+                .window(m.id.offset as usize, 16)
+                .unwrap();
+            let transformed = m.transform.apply(&q);
+            let d = tsss_geometry::vector::dist(&transformed, raw);
+            assert!((d - m.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_false_dismissals_against_brute_force() {
+        let (mut e, data) = engine();
+        let q = data[3].window(12, 16).unwrap().to_vec();
+        for eps in [0.5, 2.0, 8.0] {
+            let got = e.search(&q, eps, SearchOptions::default()).unwrap();
+            let got_ids = got.id_set();
+            for (si, s) in data.iter().enumerate() {
+                for off in 0..=s.len() - 16 {
+                    let d =
+                        min_scale_shift_distance(&q, s.window(off, 16).unwrap()).unwrap();
+                    let id = SubseqId {
+                        series: si as u32,
+                        offset: off as u32,
+                    };
+                    assert_eq!(
+                        d <= eps,
+                        got_ids.contains(&id),
+                        "eps {eps}, window {id}, distance {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_limits_filter_transforms() {
+        let (mut e, data) = engine();
+        let src = data[0].window(8, 16).unwrap();
+        let q = ScaleShift { a: 0.5, b: 3.0 }.apply(src); // recovery needs a = 2
+        let permissive = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
+        assert!(!permissive.matches.is_empty());
+        let strict = e
+            .search(
+                &q,
+                1e-6,
+                SearchOptions {
+                    cost: crate::config::CostLimit {
+                        a_range: Some((0.9, 1.1)),
+                        b_range: None,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            strict.matches.len() < permissive.matches.len(),
+            "cost limit should reject the a = 2 recovery"
+        );
+        assert!(strict.stats.cost_rejected > 0);
+    }
+
+    #[test]
+    fn both_penetration_methods_agree() {
+        let (mut e, data) = engine();
+        let q = data[5].window(40, 16).unwrap().to_vec();
+        for eps in [0.1, 1.0, 6.0] {
+            let a = e
+                .search(&q, eps, SearchOptions::default())
+                .unwrap()
+                .id_set();
+            let b = e
+                .search(
+                    &q,
+                    eps,
+                    SearchOptions {
+                        method:
+                            tsss_geometry::penetration::PenetrationMethod::BoundingSpheres,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .id_set();
+            assert_eq!(a, b, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn wrong_query_length_is_an_error() {
+        let (mut e, _) = engine();
+        assert_eq!(
+            e.search(&[1.0; 8], 1.0, SearchOptions::default())
+                .unwrap_err(),
+            EngineError::QueryLength {
+                expected: 16,
+                got: 8
+            }
+        );
+    }
+
+    #[test]
+    fn bad_epsilon_is_an_error() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        for eps in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                e.search(&q, eps, SearchOptions::default()),
+                Err(EngineError::InvalidEpsilon(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn page_accounting_is_populated() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        let res = e.search(&q, 2.0, SearchOptions::default()).unwrap();
+        assert!(res.stats.index_pages > 0, "index traversal reads pages");
+        if res.stats.candidates > 0 {
+            assert!(res.stats.data_pages > 0, "verification reads data pages");
+        }
+        assert_eq!(
+            res.stats.verified + res.stats.false_alarms + res.stats.cost_rejected,
+            res.stats.candidates
+        );
+    }
+
+    #[test]
+    fn all_build_methods_answer_identically() {
+        let data = market(4, 60);
+        let q = data[1].window(7, 16).unwrap().to_vec();
+        let mut engines: Vec<SearchEngine> = [
+            crate::config::BuildMethod::BulkStr,
+            crate::config::BuildMethod::BulkPolar,
+            crate::config::BuildMethod::Insert,
+        ]
+        .into_iter()
+        .map(|build| {
+            let mut cfg = EngineConfig::small(16);
+            cfg.build = build;
+            let mut e = SearchEngine::build(&data, cfg);
+            e.tree_mut().check_invariants();
+            e
+        })
+        .collect();
+        for eps in [0.5, 3.0] {
+            let reference = engines[0]
+                .search(&q, eps, SearchOptions::default())
+                .unwrap()
+                .id_set();
+            for e in engines.iter_mut().skip(1) {
+                assert_eq!(
+                    e.search(&q, eps, SearchOptions::default()).unwrap().id_set(),
+                    reference,
+                    "eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_series_makes_new_windows_searchable() {
+        let (mut e, data) = engine();
+        let novel = Series::new("NEW", data[0].values.iter().map(|v| v * 3.0 + 7.0).collect());
+        let si = e.append_series(&novel);
+        let q = novel.window(10, 16).unwrap().to_vec();
+        let res = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
+        assert!(res
+            .matches
+            .iter()
+            .any(|m| m.id.series as usize == si && m.id.offset == 10));
+    }
+
+    #[test]
+    fn append_values_indexes_boundary_windows() {
+        let data = vec![Series::new("grow", (0..20).map(|i| (i as f64).sin()).collect())];
+        let cfg = EngineConfig::small(16);
+        let mut e = SearchEngine::build(&data, cfg);
+        assert_eq!(e.num_windows(), 5); // 20 − 16 + 1
+        let fresh: Vec<f64> = (20..30).map(|i| (i as f64).sin()).collect();
+        e.append_values(0, &fresh).unwrap();
+        assert_eq!(e.num_windows(), 15); // 30 − 16 + 1
+        // A window spanning the boundary must be searchable.
+        let full: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let q = full[12..28].to_vec();
+        let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
+        assert!(res.matches.iter().any(|m| m.id.offset == 12));
+        e.tree_mut().check_invariants();
+    }
+
+    #[test]
+    fn remove_series_windows_unindexes_the_whole_series() {
+        let (mut e, data) = engine();
+        let before = e.num_windows();
+        let per_series = data[1].len() - 16 + 1;
+        let removed = e.remove_series_windows(1).unwrap();
+        assert_eq!(removed, per_series);
+        assert_eq!(e.num_windows(), before - per_series);
+        // No query returns series 1 any more.
+        let q = data[1].window(5, 16).unwrap().to_vec();
+        let res = e.search(&q, 10.0, SearchOptions::default()).unwrap();
+        assert!(res.matches.iter().all(|m| m.id.series != 1));
+        // Removing again is a no-op; other series still searchable.
+        assert_eq!(e.remove_series_windows(1).unwrap(), 0);
+        assert!(e.remove_series_windows(99).is_err());
+        e.tree_mut().check_invariants();
+    }
+
+    #[test]
+    fn remove_window_unindexes_it() {
+        let (mut e, data) = engine();
+        let q = data[2].window(10, 16).unwrap().to_vec();
+        let id = SubseqId {
+            series: 2,
+            offset: 10,
+        };
+        assert!(e.remove_window(id).unwrap());
+        assert!(!e.remove_window(id).unwrap(), "already removed");
+        let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
+        assert!(!res.id_set().contains(&id));
+    }
+
+    #[test]
+    fn full_dimension_mode_works_without_dft() {
+        let data = market(3, 50);
+        let mut cfg = EngineConfig::small(8);
+        cfg.fc = None; // index the 8-d SE windows directly
+        let mut e = SearchEngine::build(&data, cfg);
+        let q = data[0].window(4, 8).unwrap().to_vec();
+        let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
+        assert!(res
+            .matches
+            .iter()
+            .any(|m| m.id.series == 0 && m.id.offset == 4));
+    }
+
+    #[test]
+    fn constant_query_matches_flat_windows_only() {
+        let mut data = market(2, 40);
+        data.push(Series::new("flat", vec![7.0; 40]));
+        let cfg = EngineConfig::small(16);
+        let mut e = SearchEngine::build(&data, cfg);
+        let q = vec![100.0; 16]; // constant query, any level
+        let res = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
+        assert!(!res.matches.is_empty(), "flat windows exist");
+        assert!(
+            res.matches.iter().all(|m| m.id.series == 2),
+            "only the flat series can match a constant query at eps ~ 0"
+        );
+    }
+}

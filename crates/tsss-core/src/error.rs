@@ -1,0 +1,89 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the public engine API.
+///
+/// Internal invariants still panic (they indicate bugs, not conditions);
+/// these variants cover what *callers* can get wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query's length does not match the engine's window length.
+    QueryLength {
+        /// Window length the engine was built with.
+        expected: usize,
+        /// Length of the offending query.
+        got: usize,
+    },
+    /// A long query must be at least one full window.
+    QueryTooShort {
+        /// Minimum accepted length (the window length).
+        min: usize,
+        /// Length of the offending query.
+        got: usize,
+    },
+    /// The error bound must be non-negative and finite.
+    InvalidEpsilon(f64),
+    /// No series in the data set is at least one window long.
+    DatasetTooSmall {
+        /// The engine's window length.
+        window_len: usize,
+    },
+    /// Referenced a series index that does not exist.
+    UnknownSeries(usize),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::QueryLength { expected, got } => write!(
+                f,
+                "query length {got} does not match the engine window length {expected}"
+            ),
+            EngineError::QueryTooShort { min, got } => {
+                write!(f, "long query must be at least {min} values, got {got}")
+            }
+            EngineError::InvalidEpsilon(e) => {
+                write!(f, "error bound must be finite and non-negative, got {e}")
+            }
+            EngineError::DatasetTooSmall { window_len } => write!(
+                f,
+                "no series is at least one window ({window_len} values) long"
+            ),
+            EngineError::UnknownSeries(i) => write!(f, "series index {i} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (
+                EngineError::QueryLength {
+                    expected: 128,
+                    got: 64,
+                },
+                "query length 64",
+            ),
+            (
+                EngineError::QueryTooShort { min: 128, got: 10 },
+                "at least 128",
+            ),
+            (EngineError::InvalidEpsilon(-1.0), "-1"),
+            (EngineError::DatasetTooSmall { window_len: 9 }, "9"),
+            (EngineError::UnknownSeries(3), "index 3"),
+        ];
+        for (err, frag) in cases {
+            assert!(
+                err.to_string().contains(frag),
+                "{err} missing fragment {frag:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The scale-shift similarity search engine of *Fast Time-Series Searching
+//! with Scaling and Shifting* (Chu & Wong, PODS '99).
+//!
+//! Given a database of time series and a query sequence `Q`, the engine
+//! finds every data subsequence `S'` for which some transformation
+//! `F_{a,b}(Q) = a·Q + b·N` lands within ε of `S'` (Definition 1), and
+//! reports the optimal `(a, b)` per match. The pipeline is the paper's §6
+//! algorithm end to end:
+//!
+//! 1. **Pre-processing** ([`engine::SearchEngine::build`]): slide a length-n
+//!    window over every series, SE-transform each window (mean removal,
+//!    §5.1), reduce to `2·f_c` DFT features (§7, \[1, 2\]), and index the
+//!    feature points in a page-based R*-tree. Raw series live in a paged
+//!    data file ([`datafile`]) so verification I/O is accounted exactly.
+//! 2. **Searching** ([`engine::SearchEngine::search`]): map the query onto
+//!    its SE-line, traverse the tree pruning by ε-MBR penetration
+//!    (Theorem 3), and collect candidate subsequences.
+//! 3. **Post-processing**: fetch each candidate's raw window, compute the
+//!    optimal `(a, b)` and exact distance (§5.2), drop false alarms, and
+//!    apply the user's transformation-cost limits.
+//!
+//! Baselines and extensions:
+//! * [`seqscan`] — the paper's experiment set 1: sequential scan computing
+//!   `LLD` for every window,
+//! * [`nn`] — exact k-nearest-subsequence search (Corollary 1, which the
+//!   paper defers),
+//! * [`longquery`] — queries longer than the indexed window, via the
+//!   sub-query decomposition of \[2\] (§7, first remark),
+//! * [`normalized`] — a z-normalisation comparator relating the paper's
+//!   model to the later-standard normalised Euclidean distance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod datafile;
+pub mod engine;
+pub mod error;
+pub mod id;
+pub mod longquery;
+pub mod nn;
+pub mod normalized;
+pub mod persist;
+pub mod result;
+pub mod seqscan;
+pub mod window;
+
+pub use config::{BuildMethod, CostLimit, EngineConfig, SearchOptions};
+pub use engine::SearchEngine;
+pub use error::EngineError;
+pub use id::SubseqId;
+pub use result::{SearchResult, SearchStats, SubsequenceMatch};

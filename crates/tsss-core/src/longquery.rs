@@ -1,0 +1,276 @@
+//! Queries longer than the indexed window (paper §7, first remark).
+//!
+//! The paper adopts the ST-index method \[2\]: partition the long query into
+//! length-`n` sub-queries, search each independently, and combine. For
+//! scale-shift similarity the combination is sound because squared distance
+//! decomposes over disjoint index ranges: if `‖F_{a,b}(Q) − S'‖ ≤ ε` then
+//! every aligned piece satisfies `‖F_{a,b}(Q_i) − S'_i‖ ≤ ε`, and each
+//! piece's *optimal* per-piece transform does at least as well as the global
+//! `(a, b)`. Hence searching each piece with the full ε and intersecting the
+//! (alignment-shifted) candidate sets never drops a true match — Theorem 1's
+//! no-false-dismissal guarantee survives the decomposition. False alarms are
+//! removed by verifying the full-length window.
+//!
+//! Requires stride 1 (every offset indexed), which is the paper's setting.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use tsss_geometry::scale_shift::optimal_scale_shift;
+
+use crate::config::SearchOptions;
+use crate::engine::SearchEngine;
+use crate::error::EngineError;
+use crate::id::SubseqId;
+use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+
+impl SearchEngine {
+    /// Finds every data subsequence of length `query.len()` similar to the
+    /// (long) query within ε. The query must be at least one window long;
+    /// the engine must have been built with stride 1.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryTooShort`] / [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    ///
+    /// # Panics
+    /// Panics when the engine's stride is not 1 (the decomposition needs
+    /// every piece offset indexed).
+    pub fn search_long(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        let n = self.config().window_len;
+        assert_eq!(
+            self.config().stride,
+            1,
+            "long-query search requires stride 1"
+        );
+        if query.len() < n {
+            return Err(EngineError::QueryTooShort {
+                min: n,
+                got: query.len(),
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::InvalidEpsilon(epsilon));
+        }
+        let t0 = Instant::now();
+        let index_reads0 = self.index_stats().total_accesses();
+        let data_reads0 = self.data_stats().total_accesses();
+        let total_len = query.len();
+        let piece_offsets: Vec<usize> = (0..=total_len - n).step_by(n).collect();
+
+        // Piece 0 establishes the candidate starts; later pieces prune them.
+        let mut stats = SearchStats::default();
+        let mut candidates: Option<BTreeSet<SubseqId>> = None;
+        for (pi, &poff) in piece_offsets.iter().enumerate() {
+            let piece = &query[poff..poff + n];
+            let line = self.query_line(piece);
+            let outcome = self.tree_mut().line_query(&line, epsilon, opts.method);
+            stats.index.internal_visited += outcome.stats.internal_visited;
+            stats.index.leaves_visited += outcome.stats.leaves_visited;
+            stats.index.candidates_checked += outcome.stats.candidates_checked;
+            stats.index.penetration_tests += outcome.stats.penetration_tests;
+            stats.index.sphere.merge(&outcome.stats.sphere);
+
+            let mut starts = BTreeSet::new();
+            for m in outcome.matches {
+                let hit = SubseqId::unpack(m.id);
+                // The whole match would start `poff` values earlier.
+                if (hit.offset as usize) < poff {
+                    continue;
+                }
+                starts.insert(SubseqId {
+                    series: hit.series,
+                    offset: hit.offset - poff as u32,
+                });
+            }
+            candidates = Some(match candidates {
+                None => starts,
+                Some(prev) => {
+                    debug_assert!(pi > 0);
+                    prev.intersection(&starts).copied().collect()
+                }
+            });
+            if candidates.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
+                break;
+            }
+        }
+
+        // Verification on the full-length raw windows.
+        let mut matches = Vec::new();
+        for id in candidates.unwrap_or_default() {
+            let series_len = self.series_len(id.series as usize)?;
+            if id.offset as usize + total_len > series_len {
+                continue; // the long window runs off the series
+            }
+            stats.candidates += 1;
+            let raw = self.fetch_raw(id, total_len)?;
+            let fit = optimal_scale_shift(query, &raw).expect("lengths match");
+            if fit.distance > epsilon {
+                stats.false_alarms += 1;
+                continue;
+            }
+            if !opts.cost.accepts(fit.transform.a, fit.transform.b) {
+                stats.cost_rejected += 1;
+                continue;
+            }
+            stats.verified += 1;
+            matches.push(SubsequenceMatch {
+                id,
+                transform: fit.transform,
+                distance: fit.distance,
+            });
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        stats.index_pages = self.index_stats().total_accesses() - index_reads0;
+        stats.data_pages = self.data_stats().total_accesses() - data_reads0;
+        stats.elapsed = t0.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+
+    /// Brute-force oracle for long queries (test/verification facility):
+    /// scans every possible start position.
+    ///
+    /// # Errors
+    /// Same validation as [`SearchEngine::search_long`].
+    pub fn sequential_search_long(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<SearchResult, EngineError> {
+        let n = self.config().window_len;
+        if query.len() < n {
+            return Err(EngineError::QueryTooShort {
+                min: n,
+                got: query.len(),
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::InvalidEpsilon(epsilon));
+        }
+        let t0 = Instant::now();
+        let total_len = query.len();
+        let all = self.store_mut().read_everything();
+        let mut stats = SearchStats::default();
+        let mut matches = Vec::new();
+        for (si, values) in all.iter().enumerate() {
+            if values.len() < total_len {
+                continue;
+            }
+            for off in 0..=values.len() - total_len {
+                stats.candidates += 1;
+                let fit =
+                    optimal_scale_shift(query, &values[off..off + total_len]).expect("lengths");
+                if fit.distance <= epsilon {
+                    stats.verified += 1;
+                    matches.push(SubsequenceMatch {
+                        id: SubseqId {
+                            series: si as u32,
+                            offset: off as u32,
+                        },
+                        transform: fit.transform,
+                        distance: fit.distance,
+                    });
+                } else {
+                    stats.false_alarms += 1;
+                }
+            }
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        stats.elapsed = t0.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use tsss_data::{MarketConfig, MarketSimulator, Series};
+    use tsss_geometry::scale_shift::ScaleShift;
+
+    fn engine() -> (SearchEngine, Vec<Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(4, 90, 2024)).generate();
+        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+    }
+
+    #[test]
+    fn long_query_finds_its_exact_source() {
+        let (mut e, data) = engine();
+        let q = data[1].window(10, 40).unwrap().to_vec(); // 2.5 windows
+        let res = e.search_long(&q, 1e-6, SearchOptions::default()).unwrap();
+        assert!(res
+            .matches
+            .iter()
+            .any(|m| m.id.series == 1 && m.id.offset == 10));
+    }
+
+    #[test]
+    fn long_query_sees_through_disguises() {
+        let (mut e, data) = engine();
+        let src = data[3].window(0, 48).unwrap();
+        let q = ScaleShift { a: 3.0, b: -12.0 }.apply(src);
+        let res = e.search_long(&q, 1e-5, SearchOptions::default()).unwrap();
+        let hit = res
+            .matches
+            .iter()
+            .find(|m| m.id.series == 3 && m.id.offset == 0)
+            .expect("disguised long query must recover its source");
+        assert!((hit.transform.a - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_search_matches_brute_force_exactly() {
+        let (mut e, data) = engine();
+        let q = data[0].window(20, 35).unwrap().to_vec(); // non-multiple length
+        for eps in [0.1, 2.0, 10.0] {
+            let fast = e.search_long(&q, eps, SearchOptions::default()).unwrap();
+            let brute = e.sequential_search_long(&q, eps).unwrap();
+            assert_eq!(fast.id_set(), brute.id_set(), "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn exact_window_length_degenerates_to_plain_search() {
+        let (mut e, data) = engine();
+        let q = data[2].window(7, 16).unwrap().to_vec();
+        let long = e.search_long(&q, 3.0, SearchOptions::default()).unwrap();
+        let plain = e.search(&q, 3.0, SearchOptions::default()).unwrap();
+        assert_eq!(long.id_set(), plain.id_set());
+    }
+
+    #[test]
+    fn too_short_long_query_is_an_error() {
+        let (mut e, _) = engine();
+        assert!(matches!(
+            e.search_long(&[0.0; 10], 1.0, SearchOptions::default()),
+            Err(EngineError::QueryTooShort { min: 16, got: 10 })
+        ));
+    }
+
+    #[test]
+    fn candidate_set_shrinks_with_more_pieces() {
+        // A long query at high eps still verifies; the piece intersection
+        // must only ever reduce false alarms, never lose matches (checked
+        // against brute force in long_search_matches_brute_force_exactly).
+        let (mut e, data) = engine();
+        let q = data[1].window(0, 64).unwrap().to_vec(); // 4 pieces
+        let res = e.search_long(&q, 5.0, SearchOptions::default()).unwrap();
+        let brute = e.sequential_search_long(&q, 5.0).unwrap();
+        assert_eq!(res.id_set(), brute.id_set());
+    }
+}

@@ -1,0 +1,255 @@
+//! Exact k-nearest-subsequence search under scale-shift dissimilarity.
+//!
+//! Corollary 1 of the paper: the nearest neighbour of `Q` is the
+//! subsequence whose shifting line lies closest to `Q`'s scaling line — the
+//! paper leaves the algorithm as future work ("because of the limited space,
+//! we will not discuss nearest neighbor search in this paper"). We implement
+//! it with the standard **filter-and-refine multi-step kNN**: feature-space
+//! distances lower-bound exact distances (the DFT contraction + Theorem 2),
+//! so candidates retrieved in ascending feature distance can be verified
+//! until the k-th exact distance drops below the feature distance of the
+//! last unverified candidate — at which point no unseen candidate can
+//! improve the answer.
+
+use tsss_geometry::scale_shift::optimal_scale_shift;
+
+use crate::engine::SearchEngine;
+use crate::error::EngineError;
+use crate::id::SubseqId;
+use crate::result::SubsequenceMatch;
+
+impl SearchEngine {
+    /// The `k` indexed subsequences nearest to `query` under the paper's
+    /// dissimilarity (minimum scale-shift distance), ascending. Returns
+    /// fewer when the index holds fewer windows.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] on a malformed query.
+    pub fn nearest(
+        &mut self,
+        query: &[f64],
+        k: usize,
+    ) -> Result<Vec<SubsequenceMatch>, EngineError> {
+        self.nearest_with_cost(query, k, crate::config::CostLimit::UNLIMITED)
+    }
+
+    /// Like [`SearchEngine::nearest`], but only counting neighbours whose
+    /// optimal transformation satisfies `cost` (paper §3's transformation
+    /// budget applied to ranking queries).
+    ///
+    /// Under the paper's asymmetric distance, unconstrained nearest
+    /// neighbours are dominated by low-fluctuation windows (any query maps
+    /// near them with `a ≈ 0`); a lower bound on `a` recovers the intuitive
+    /// "same trend" ranking.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] on a malformed query.
+    pub fn nearest_with_cost(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        cost: crate::config::CostLimit,
+    ) -> Result<Vec<SubsequenceMatch>, EngineError> {
+        let n = self.config().window_len;
+        if query.len() != n {
+            return Err(EngineError::QueryLength {
+                expected: n,
+                got: query.len(),
+            });
+        }
+        if k == 0 || self.num_windows() == 0 {
+            return Ok(Vec::new());
+        }
+        let k = k.min(self.num_windows());
+        let line = self.query_line(query);
+
+        let mut fetch = (2 * k).max(8);
+        loop {
+            let candidates = self.tree_mut().nearest_to_line(&line, fetch);
+            // Exhausted: we have already pulled every window — exact answers
+            // are final regardless of bounds.
+            let exhausted = candidates.len() < fetch || fetch >= self.num_windows();
+            let max_feature_dist = candidates
+                .last()
+                .map(|c| c.distance)
+                .unwrap_or(f64::INFINITY);
+
+            // Refine: exact distances for this candidate batch.
+            let mut exact: Vec<SubsequenceMatch> = Vec::with_capacity(candidates.len());
+            for c in &candidates {
+                let id = SubseqId::unpack(c.id);
+                let raw = self.fetch_raw(id, n)?;
+                let fit = optimal_scale_shift(query, &raw).expect("lengths match");
+                if !cost.accepts(fit.transform.a, fit.transform.b) {
+                    continue;
+                }
+                exact.push(SubsequenceMatch {
+                    id,
+                    transform: fit.transform,
+                    distance: fit.distance,
+                });
+            }
+            exact.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            exact.truncate(k);
+
+            // Termination: every unseen candidate has feature distance
+            // ≥ max_feature_dist, and exact ≥ feature, so once our k-th
+            // exact distance is within that bound the answer is final.
+            let kth = exact.last().map(|m| m.distance).unwrap_or(f64::INFINITY);
+            if exhausted || (exact.len() == k && kth <= max_feature_dist) {
+                return Ok(exact);
+            }
+            fetch = (fetch * 2).min(self.num_windows());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use tsss_data::{MarketConfig, MarketSimulator, Series};
+    use tsss_geometry::scale_shift::{min_scale_shift_distance, ScaleShift};
+
+    fn engine() -> (SearchEngine, Vec<Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(5, 60, 99)).generate();
+        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+    }
+
+    fn brute_force_nn(data: &[Series], q: &[f64], k: usize) -> Vec<(SubseqId, f64)> {
+        let mut all = Vec::new();
+        for (si, s) in data.iter().enumerate() {
+            for off in 0..=s.len() - 16 {
+                let d = min_scale_shift_distance(q, s.window(off, 16).unwrap()).unwrap();
+                all.push((
+                    SubseqId {
+                        series: si as u32,
+                        offset: off as u32,
+                    },
+                    d,
+                ));
+            }
+        }
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn nn_of_an_indexed_window_is_itself() {
+        let (mut e, data) = engine();
+        let q = data[3].window(25, 16).unwrap().to_vec();
+        let got = e.nearest(&q, 1).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].distance < 1e-6);
+        assert_eq!(got[0].id.series, 3);
+        assert_eq!(got[0].id.offset, 25);
+    }
+
+    #[test]
+    fn nn_sees_through_disguises() {
+        let (mut e, data) = engine();
+        let src = data[1].window(5, 16).unwrap();
+        let q = ScaleShift { a: 0.2, b: 55.0 }.apply(src);
+        let got = e.nearest(&q, 1).unwrap();
+        assert!(got[0].distance < 1e-6);
+        assert_eq!((got[0].id.series, got[0].id.offset), (1, 5));
+    }
+
+    #[test]
+    fn knn_distances_match_brute_force() {
+        let (mut e, data) = engine();
+        let q = data[0].window(30, 16).unwrap().to_vec();
+        for k in [1, 3, 10] {
+            let got = e.nearest(&q, k).unwrap();
+            let want = brute_force_nn(&data, &q, k);
+            assert_eq!(got.len(), k);
+            for (g, (_, wd)) in got.iter().zip(&want) {
+                assert!(
+                    (g.distance - wd).abs() < 1e-7,
+                    "k = {k}: {} vs {}",
+                    g.distance,
+                    wd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_ascending() {
+        let (mut e, data) = engine();
+        let q = data[2].window(11, 16).unwrap().to_vec();
+        let got = e.nearest(&q, 15).unwrap();
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        assert!(e.nearest(&q, 0).unwrap().is_empty());
+        let all = e.nearest(&q, usize::MAX).unwrap();
+        assert_eq!(all.len(), e.num_windows());
+    }
+
+    #[test]
+    fn cost_constrained_nn_only_returns_accepted_transforms() {
+        let (mut e, data) = engine();
+        let q = data[0].window(30, 16).unwrap().to_vec();
+        let cost = crate::config::CostLimit {
+            a_range: Some((0.5, 2.0)),
+            b_range: None,
+        };
+        let got = e.nearest_with_cost(&q, 10, cost).unwrap();
+        assert!(!got.is_empty());
+        for m in &got {
+            assert!(m.transform.a >= 0.5 && m.transform.a <= 2.0);
+        }
+        // Matches brute force restricted to the same cost set.
+        let mut brute = Vec::new();
+        for (si, s) in data.iter().enumerate() {
+            for off in 0..=s.len() - 16 {
+                let fit = tsss_geometry::scale_shift::optimal_scale_shift(
+                    &q,
+                    s.window(off, 16).unwrap(),
+                )
+                .unwrap();
+                if fit.transform.a >= 0.5 && fit.transform.a <= 2.0 {
+                    brute.push(((si, off), fit.distance));
+                }
+            }
+        }
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (g, (_, wd)) in got.iter().zip(&brute) {
+            assert!((g.distance - wd).abs() < 1e-7, "{} vs {}", g.distance, wd);
+        }
+    }
+
+    #[test]
+    fn cost_constrained_nn_may_return_fewer_than_k() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        // Impossible cost window: nothing qualifies.
+        let cost = crate::config::CostLimit {
+            a_range: Some((1e9, 2e9)),
+            b_range: None,
+        };
+        assert!(e.nearest_with_cost(&q, 5, cost).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_query_is_an_error() {
+        let (mut e, _) = engine();
+        assert!(matches!(
+            e.nearest(&[1.0; 5], 3),
+            Err(EngineError::QueryLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Engine persistence: save a built [`SearchEngine`] — configuration, raw
+//! data file, series catalogue and R*-tree index — to a single file, and
+//! load it back ready to query.
+//!
+//! Pre-processing (§6) is the expensive step at scale (slide, SE-transform,
+//! FFT, index 523 000 windows); persisting the result lets a deployment
+//! build once and serve many sessions, and it is what any adopter of the
+//! library would expect.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use tsss_index::RTree;
+use tsss_storage::codec::*;
+
+use crate::config::{BuildMethod, EngineConfig};
+use crate::datafile::PagedSeriesStore;
+use crate::engine::SearchEngine;
+
+const MAGIC: &[u8; 8] = b"TSSSEN01";
+
+fn build_tag(b: BuildMethod) -> u8 {
+    match b {
+        BuildMethod::BulkStr => 0,
+        BuildMethod::BulkPolar => 1,
+        BuildMethod::Insert => 2,
+    }
+}
+
+fn build_from_tag(t: u8) -> io::Result<BuildMethod> {
+    Ok(match t {
+        0 => BuildMethod::BulkStr,
+        1 => BuildMethod::BulkPolar,
+        2 => BuildMethod::Insert,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown build method tag {other}"),
+            ))
+        }
+    })
+}
+
+fn split_tag(s: tsss_index::SplitPolicy) -> u8 {
+    match s {
+        tsss_index::SplitPolicy::RStar => 0,
+        tsss_index::SplitPolicy::GuttmanQuadratic => 1,
+        tsss_index::SplitPolicy::GuttmanLinear => 2,
+    }
+}
+
+fn split_from_tag(t: u8) -> io::Result<tsss_index::SplitPolicy> {
+    Ok(match t {
+        0 => tsss_index::SplitPolicy::RStar,
+        1 => tsss_index::SplitPolicy::GuttmanQuadratic,
+        2 => tsss_index::SplitPolicy::GuttmanLinear,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown split policy tag {other}"),
+            ))
+        }
+    })
+}
+
+fn write_engine_config<W: Write>(w: &mut W, cfg: &EngineConfig) -> io::Result<()> {
+    put_usize(w, cfg.window_len)?;
+    put_usize(w, cfg.stride)?;
+    match cfg.fc {
+        Some(fc) => {
+            put_u8(w, 1)?;
+            put_usize(w, fc)?;
+        }
+        None => put_u8(w, 0)?,
+    }
+    put_usize(w, cfg.page_size)?;
+    put_usize(w, cfg.max_entries)?;
+    put_usize(w, cfg.min_entries)?;
+    put_usize(w, cfg.reinsert_count)?;
+    put_u8(w, split_tag(cfg.split))?;
+    put_usize(w, cfg.index_buffer_frames)?;
+    put_usize(w, cfg.data_buffer_frames)?;
+    put_u8(w, build_tag(cfg.build))
+}
+
+fn read_engine_config<R: Read>(r: &mut R) -> io::Result<EngineConfig> {
+    let window_len = get_usize(r)?;
+    let stride = get_usize(r)?;
+    let fc = if get_u8(r)? == 1 {
+        Some(get_usize(r)?)
+    } else {
+        None
+    };
+    Ok(EngineConfig {
+        window_len,
+        stride,
+        fc,
+        page_size: get_usize(r)?,
+        max_entries: get_usize(r)?,
+        min_entries: get_usize(r)?,
+        reinsert_count: get_usize(r)?,
+        split: split_from_tag(get_u8(r)?)?,
+        index_buffer_frames: get_usize(r)?,
+        data_buffer_frames: get_usize(r)?,
+        build: build_from_tag(get_u8(r)?)?,
+    })
+}
+
+impl SearchEngine {
+    /// Serialises the engine to a writer.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        put_magic(w, MAGIC)?;
+        write_engine_config(w, &self.config().clone())?;
+        put_f64(w, self.max_se_norm())?;
+        self.store_mut().write_to(w)?;
+        self.tree_mut().save_to(w)
+    }
+
+    /// Loads an engine previously written by [`SearchEngine::save_to`].
+    ///
+    /// # Errors
+    /// `InvalidData` on malformed input; propagates I/O errors.
+    pub fn load_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        expect_magic(r, MAGIC)?;
+        let cfg = read_engine_config(r)?;
+        let max_se_norm = get_f64(r)?;
+        let store = PagedSeriesStore::read_from(r, cfg.data_buffer_frames)?;
+        let tree = RTree::load_from(r)?;
+        if tree.config().dim != cfg.feature_dim() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "index dimension disagrees with engine configuration",
+            ));
+        }
+        Ok(SearchEngine::from_parts(cfg, tree, store, max_se_norm))
+    }
+
+    /// Saves the engine to a filesystem path (buffered).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_to_path(&mut self, path: &Path) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_to(&mut w)?;
+        use io::Write as _;
+        w.flush()
+    }
+
+    /// Loads an engine from a filesystem path (buffered).
+    ///
+    /// # Errors
+    /// Propagates I/O and format errors.
+    pub fn load_from_path(path: &Path) -> io::Result<Self> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        Self::load_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchOptions;
+    use tsss_data::{MarketConfig, MarketSimulator, Series};
+
+    fn build_engine() -> (SearchEngine, Vec<Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(6, 70, 88)).generate();
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)),
+            data,
+        )
+    }
+
+    fn roundtrip(e: &mut SearchEngine) -> SearchEngine {
+        let mut buf = Vec::new();
+        e.save_to(&mut buf).unwrap();
+        SearchEngine::load_from(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_metadata() {
+        let (mut e, _) = build_engine();
+        let mut l = roundtrip(&mut e);
+        assert_eq!(l.num_series(), e.num_series());
+        assert_eq!(l.num_windows(), e.num_windows());
+        assert_eq!(l.data_page_count(), e.data_page_count());
+        assert_eq!(l.config(), e.config());
+        l.tree_mut().check_invariants();
+    }
+
+    #[test]
+    fn loaded_engine_answers_queries_identically() {
+        let (mut e, data) = build_engine();
+        let mut l = roundtrip(&mut e);
+        for (series, offset) in [(0usize, 3usize), (3, 20), (5, 40)] {
+            let q = data[series].window(offset, 16).unwrap().to_vec();
+            for eps in [0.0, 1.0, 6.0] {
+                let a = e.search(&q, eps, SearchOptions::default()).unwrap();
+                let b = l.search(&q, eps, SearchOptions::default()).unwrap();
+                assert_eq!(a.id_set(), b.id_set(), "eps {eps}");
+                assert_eq!(a.matches, b.matches);
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_engine_supports_dynamic_updates() {
+        let (mut e, data) = build_engine();
+        let mut l = roundtrip(&mut e);
+        let novel = Series::new("NEW", data[0].values.iter().map(|v| v * 2.0).collect());
+        let si = l.append_series(&novel);
+        let q = novel.window(10, 16).unwrap().to_vec();
+        let res = l.search(&q, 1e-6, SearchOptions::default()).unwrap();
+        assert!(res
+            .matches
+            .iter()
+            .any(|m| m.id.series as usize == si && m.id.offset == 10));
+        l.tree_mut().check_invariants();
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let (mut e, data) = build_engine();
+        let dir = std::env::temp_dir().join("tsss-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.tsss");
+        e.save_to_path(&path).unwrap();
+        let mut l = SearchEngine::load_from_path(&path).unwrap();
+        let q = data[2].window(5, 16).unwrap().to_vec();
+        assert_eq!(
+            e.search(&q, 2.0, SearchOptions::default()).unwrap().id_set(),
+            l.search(&q, 2.0, SearchOptions::default()).unwrap().id_set()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        let (mut e, _) = build_engine();
+        let mut buf = Vec::new();
+        e.save_to(&mut buf).unwrap();
+        buf[5] ^= 0xFF;
+        assert!(SearchEngine::load_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let (mut e, _) = build_engine();
+        let mut buf = Vec::new();
+        e.save_to(&mut buf).unwrap();
+        for cut in [3usize, 20, 100, buf.len() / 2, buf.len() - 1] {
+            let mut trunc = buf.clone();
+            trunc.truncate(cut);
+            assert!(
+                SearchEngine::load_from(&mut std::io::Cursor::new(trunc)).is_err(),
+                "cut at {cut} should error"
+            );
+        }
+    }
+}

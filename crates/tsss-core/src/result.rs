@@ -1,0 +1,108 @@
+//! Search results and per-query statistics.
+
+use tsss_geometry::scale_shift::ScaleShift;
+use tsss_index::LineQueryStats;
+
+use crate::id::SubseqId;
+
+/// One qualifying data subsequence (the paper's reported triple: the
+/// subsequence plus its scaling factor and shifting offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsequenceMatch {
+    /// Which window matched.
+    pub id: SubseqId,
+    /// The optimal transformation carrying the query onto the subsequence.
+    pub transform: ScaleShift,
+    /// The exact distance `‖F_{a,b}(Q) − S'‖₂ ≤ ε`.
+    pub distance: f64,
+}
+
+/// Per-query cost accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Index traversal statistics (nodes visited, penetration tests, …).
+    pub index: LineQueryStats,
+    /// Candidates produced by the index (before verification).
+    pub candidates: u64,
+    /// Candidates that verified as true matches.
+    pub verified: u64,
+    /// Candidates rejected on exact distance (false alarms of the
+    /// feature-space filter — never the reverse; false dismissals are
+    /// impossible by Theorems 2–3 and the DFT contraction).
+    pub false_alarms: u64,
+    /// Matches dropped by the user's transformation-cost limits.
+    pub cost_rejected: u64,
+    /// Index-file page accesses.
+    pub index_pages: u64,
+    /// Data-file page accesses (candidate verification, or the full scan for
+    /// the sequential baseline).
+    pub data_pages: u64,
+    /// Wall-clock search time.
+    pub elapsed: std::time::Duration,
+}
+
+impl SearchStats {
+    /// Total page accesses — the paper's Figure 5 metric.
+    pub fn total_pages(&self) -> u64 {
+        self.index_pages + self.data_pages
+    }
+}
+
+/// The outcome of one similarity query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchResult {
+    /// Qualifying subsequences with their transformations, sorted by
+    /// ascending distance.
+    pub matches: Vec<SubsequenceMatch>,
+    /// Cost accounting for this query.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Convenience: the match ids as a set, for recall comparisons.
+    pub fn id_set(&self) -> std::collections::BTreeSet<SubseqId> {
+        self.matches.iter().map(|m| m.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_pages_sums_both_files() {
+        let stats = SearchStats {
+            index_pages: 7,
+            data_pages: 5,
+            ..Default::default()
+        };
+        assert_eq!(stats.total_pages(), 12);
+    }
+
+    #[test]
+    fn id_set_deduplicates_and_orders() {
+        let m = |series, offset| SubsequenceMatch {
+            id: SubseqId { series, offset },
+            transform: ScaleShift::IDENTITY,
+            distance: 0.0,
+        };
+        let r = SearchResult {
+            matches: vec![m(1, 5), m(0, 2), m(1, 5)],
+            stats: SearchStats::default(),
+        };
+        let ids: Vec<SubseqId> = r.id_set().into_iter().collect();
+        assert_eq!(
+            ids,
+            vec![
+                SubseqId {
+                    series: 0,
+                    offset: 2
+                },
+                SubseqId {
+                    series: 1,
+                    offset: 5
+                }
+            ]
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The sequential-scan baseline (paper experiment set 1).
+//!
+//! Reads the whole data file once per query (≈ 1300 pages at paper scale)
+//! and computes the minimum scale-shift distance of every window via the
+//! closed form of §5.2 (equivalently Lemma 2's `LLD` — Theorem 1 says they
+//! agree, and the property tests verify it). CPU cost is therefore constant
+//! in ε — exactly the flat curve of Figure 4.
+
+use std::time::Instant;
+
+use tsss_geometry::scale_shift::optimal_scale_shift;
+
+use crate::config::CostLimit;
+use crate::engine::SearchEngine;
+use crate::error::EngineError;
+use crate::id::SubseqId;
+use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+use crate::window::window_offsets;
+
+impl SearchEngine {
+    /// Answers the query by scanning every window of every series — no
+    /// index, no pruning. Produces exactly the same match set as
+    /// [`SearchEngine::search`] (the recall oracle of the test suite).
+    ///
+    /// # Errors
+    /// Same input validation as [`SearchEngine::search`].
+    pub fn sequential_search(
+        &mut self,
+        query: &[f64],
+        epsilon: f64,
+        cost: CostLimit,
+    ) -> Result<SearchResult, EngineError> {
+        let n = self.config().window_len;
+        if query.len() != n {
+            return Err(EngineError::QueryLength {
+                expected: n,
+                got: query.len(),
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::InvalidEpsilon(epsilon));
+        }
+        let stride = self.config().stride;
+        let t0 = Instant::now();
+        let data_reads0 = self.data_stats().total_accesses();
+
+        // One sequential pass over the raw pages.
+        let all = self.store_mut().read_everything();
+
+        let mut stats = SearchStats::default();
+        let mut matches = Vec::new();
+        for (si, values) in all.iter().enumerate() {
+            for off in window_offsets(values.len(), n, stride) {
+                stats.candidates += 1;
+                let window = &values[off..off + n];
+                let fit = optimal_scale_shift(query, window).expect("lengths match");
+                if fit.distance > epsilon {
+                    stats.false_alarms += 1;
+                    continue;
+                }
+                if !cost.accepts(fit.transform.a, fit.transform.b) {
+                    stats.cost_rejected += 1;
+                    continue;
+                }
+                stats.verified += 1;
+                matches.push(SubsequenceMatch {
+                    id: SubseqId {
+                        series: u32::try_from(si).expect("series fits u32"),
+                        offset: u32::try_from(off).expect("offset fits u32"),
+                    },
+                    transform: fit.transform,
+                    distance: fit.distance,
+                });
+            }
+        }
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        stats.data_pages = self.data_stats().total_accesses() - data_reads0;
+        stats.elapsed = t0.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, SearchOptions};
+    use tsss_data::{MarketConfig, MarketSimulator, Series};
+
+    fn engine() -> (SearchEngine, Vec<Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(5, 70, 321)).generate();
+        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+    }
+
+    #[test]
+    fn sequential_scan_equals_indexed_search() {
+        let (mut e, data) = engine();
+        for (series, offset, eps) in [(0, 3, 0.5), (2, 20, 2.0), (4, 40, 8.0)] {
+            let q = data[series].window(offset, 16).unwrap().to_vec();
+            let seq = e
+                .sequential_search(&q, eps, CostLimit::UNLIMITED)
+                .unwrap();
+            let idx = e.search(&q, eps, SearchOptions::default()).unwrap();
+            assert_eq!(seq.id_set(), idx.id_set(), "eps {eps}");
+            // And the reported distances agree pairwise.
+            for (a, b) in seq.matches.iter().zip(&idx.matches) {
+                assert_eq!(a.id, b.id);
+                assert!((a.distance - b.distance).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn page_cost_is_the_whole_file_independent_of_epsilon() {
+        let (mut e, data) = engine();
+        let q = data[1].window(10, 16).unwrap().to_vec();
+        let total_pages = e.data_page_count() as u64;
+        for eps in [0.0, 1.0, 100.0] {
+            e.reset_counters();
+            let res = e.sequential_search(&q, eps, CostLimit::UNLIMITED).unwrap();
+            assert_eq!(res.stats.data_pages, total_pages, "eps {eps}");
+            assert_eq!(res.stats.index_pages, 0, "no index involved");
+        }
+    }
+
+    #[test]
+    fn candidate_count_is_the_window_count() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        let res = e
+            .sequential_search(&q, 1.0, CostLimit::UNLIMITED)
+            .unwrap();
+        assert_eq!(res.stats.candidates as usize, e.num_windows());
+    }
+
+    #[test]
+    fn cost_limits_apply_to_the_scan_too() {
+        let (mut e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        let all = e
+            .sequential_search(&q, 5.0, CostLimit::UNLIMITED)
+            .unwrap();
+        let restricted = e
+            .sequential_search(
+                &q,
+                5.0,
+                CostLimit {
+                    a_range: Some((0.99, 1.01)),
+                    b_range: Some((-0.5, 0.5)),
+                },
+            )
+            .unwrap();
+        assert!(restricted.matches.len() <= all.matches.len());
+        for m in &restricted.matches {
+            assert!(m.transform.a >= 0.99 && m.transform.a <= 1.01);
+            assert!(m.transform.b.abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn input_validation_matches_indexed_search() {
+        let (mut e, _) = engine();
+        assert!(matches!(
+            e.sequential_search(&[0.0; 4], 1.0, CostLimit::UNLIMITED),
+            Err(EngineError::QueryLength { .. })
+        ));
+        assert!(matches!(
+            e.sequential_search(&[0.0; 16], -2.0, CostLimit::UNLIMITED),
+            Err(EngineError::InvalidEpsilon(_))
+        ));
+    }
+}

@@ -1,0 +1,144 @@
+//! Sliding-window extraction (the paper's pre-processing step, following
+//! the ST-index \[2\]).
+//!
+//! A window of length `n` slides over each data sequence with a configurable
+//! stride (the paper uses stride 1, extracting every subsequence). Each
+//! window is identified by its [`SubseqId`].
+
+use crate::id::SubseqId;
+
+/// Iterator over the window offsets of a series of length `series_len`.
+///
+/// Yields `offset` values such that `offset + window_len <= series_len`,
+/// stepping by `stride`.
+pub fn window_offsets(
+    series_len: usize,
+    window_len: usize,
+    stride: usize,
+) -> impl Iterator<Item = usize> {
+    assert!(stride >= 1, "stride must be at least 1");
+    let last = series_len.checked_sub(window_len);
+    WindowOffsets {
+        next: 0,
+        last,
+        stride,
+    }
+}
+
+struct WindowOffsets {
+    next: usize,
+    last: Option<usize>,
+    stride: usize,
+}
+
+impl Iterator for WindowOffsets {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        let last = self.last?;
+        if self.next > last {
+            return None;
+        }
+        let cur = self.next;
+        self.next += self.stride;
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.last {
+            None => (0, Some(0)),
+            Some(last) => {
+                if self.next > last {
+                    (0, Some(0))
+                } else {
+                    let n = (last - self.next) / self.stride + 1;
+                    (n, Some(n))
+                }
+            }
+        }
+    }
+}
+
+/// Number of windows a series of `series_len` values yields.
+pub fn window_count(series_len: usize, window_len: usize, stride: usize) -> usize {
+    window_offsets(series_len, window_len, stride).count()
+}
+
+/// Enumerates the [`SubseqId`]s of every window over a set of series
+/// lengths.
+pub fn all_window_ids<'a>(
+    series_lens: impl IntoIterator<Item = usize> + 'a,
+    window_len: usize,
+    stride: usize,
+) -> impl Iterator<Item = SubseqId> + 'a {
+    series_lens
+        .into_iter()
+        .enumerate()
+        .flat_map(move |(series, len)| {
+            window_offsets(len, window_len, stride).map(move |offset| SubseqId {
+                series: u32::try_from(series).expect("series count fits u32"),
+                offset: u32::try_from(offset).expect("offset fits u32"),
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_one_covers_every_offset() {
+        let offs: Vec<usize> = window_offsets(10, 4, 1).collect();
+        assert_eq!(offs, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(window_count(10, 4, 1), 7);
+    }
+
+    #[test]
+    fn larger_strides_skip() {
+        let offs: Vec<usize> = window_offsets(10, 4, 3).collect();
+        assert_eq!(offs, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn exact_fit_yields_one_window() {
+        assert_eq!(window_offsets(4, 4, 1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn too_short_series_yields_nothing() {
+        assert_eq!(window_count(3, 4, 1), 0);
+        assert_eq!(window_count(0, 1, 1), 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let it = window_offsets(100, 10, 7);
+        let (lo, hi) = it.size_hint();
+        let n = it.count();
+        assert_eq!(lo, n);
+        assert_eq!(hi, Some(n));
+    }
+
+    #[test]
+    fn all_window_ids_enumerates_per_series() {
+        let ids: Vec<SubseqId> = all_window_ids(vec![5usize, 2, 4], 3, 1).collect();
+        assert_eq!(
+            ids,
+            vec![
+                SubseqId { series: 0, offset: 0 },
+                SubseqId { series: 0, offset: 1 },
+                SubseqId { series: 0, offset: 2 },
+                // series 1 is too short
+                SubseqId { series: 2, offset: 0 },
+                SubseqId { series: 2, offset: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_scale_window_count() {
+        // 1000 series × 650 values, window 128, stride 1:
+        // 650 − 128 + 1 = 523 windows per series.
+        let total: usize = (0..1000).map(|_| window_count(650, 128, 1)).sum();
+        assert_eq!(total, 523_000);
+    }
+}

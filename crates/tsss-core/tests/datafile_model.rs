@@ -1,0 +1,91 @@
+//! Model-based property test for the paged series store: under arbitrary
+//! interleavings of series creation and appends, every window fetch must
+//! agree with a plain `Vec<Vec<f64>>` model, and the page arithmetic must
+//! hold exactly.
+
+use proptest::prelude::*;
+use tsss_core::datafile::PagedSeriesStore;
+
+#[derive(Debug, Clone)]
+enum Op {
+    NewSeries,
+    Append { series: usize, values: Vec<f64> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::NewSeries),
+        4 => (
+            0usize..8,
+            prop::collection::vec(-1e6f64..1e6, 1..40),
+        )
+            .prop_map(|(series, values)| Op::Append { series, values }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn store_matches_vec_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        page_size in prop::sample::select(vec![16usize, 64, 256, 4096]),
+        fetch_seed in any::<u64>(),
+    ) {
+        let mut store = PagedSeriesStore::new(page_size, 0);
+        let mut model: Vec<Vec<f64>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::NewSeries => {
+                    let idx = store.add_series(format!("s{}", model.len()));
+                    prop_assert_eq!(idx, model.len());
+                    model.push(Vec::new());
+                }
+                Op::Append { series, values } => {
+                    if model.is_empty() {
+                        prop_assert!(store.append(series, &values).is_err());
+                        continue;
+                    }
+                    let s = series % model.len();
+                    store.append(s, &values).unwrap();
+                    model[s].extend_from_slice(&values);
+                }
+            }
+        }
+
+        // Shape agreement.
+        prop_assert_eq!(store.num_series(), model.len());
+        let total: usize = model.iter().map(Vec::len).sum();
+        prop_assert_eq!(store.total_values(), total);
+        prop_assert_eq!(store.page_count(), total.div_ceil(page_size / 8));
+        for (i, m) in model.iter().enumerate() {
+            prop_assert_eq!(store.series_len(i).unwrap(), m.len());
+        }
+
+        // read_everything reproduces the model, one page read each.
+        store.stats().reset();
+        let all = store.read_everything();
+        prop_assert_eq!(store.stats().reads(), store.page_count() as u64);
+        prop_assert_eq!(&all, &model);
+
+        // Pseudo-random window fetches agree with the model.
+        let mut x = fetch_seed | 1;
+        let mut next = move |m: usize| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as usize % m
+        };
+        for _ in 0..20 {
+            if model.is_empty() {
+                break;
+            }
+            let s = next(model.len());
+            if model[s].is_empty() {
+                continue;
+            }
+            let off = next(model[s].len());
+            let len = 1 + next(model[s].len() - off);
+            let got = store.fetch_window(s, off, len).unwrap();
+            prop_assert_eq!(&got[..], &model[s][off..off + len]);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text persistence for series sets.
+//!
+//! Format: one header line `name,values...` is deliberately avoided — each
+//! line is `series_name,index,value` ("long" format), which round-trips
+//! arbitrary series lengths, survives `grep`/`awk`, and imports into any
+//! stats tool. Values are written with `{:.17e}` so the round-trip is
+//! bit-exact for finite `f64`s.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::series::Series;
+
+/// Serialises a series set to the long CSV format.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::new();
+    for s in series {
+        for (i, v) in s.values.iter().enumerate() {
+            // {:e} prints the shortest representation that round-trips f64.
+            writeln!(out, "{},{},{:e}", s.name, i, v).expect("string write cannot fail");
+        }
+    }
+    out
+}
+
+/// Parses the long CSV format produced by [`to_csv`].
+///
+/// Lines must arrive grouped by series and ordered by index within each
+/// series (which [`to_csv`] guarantees); blank lines are ignored.
+///
+/// # Errors
+/// Returns a descriptive `io::Error` on malformed lines, out-of-order
+/// indices, or unparsable numbers.
+pub fn from_csv(text: &str) -> io::Result<Vec<Series>> {
+    let mut out: Vec<Series> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}: {line:?}", lineno + 1),
+            )
+        };
+        let mut parts = line.splitn(3, ',');
+        let name = parts.next().ok_or_else(|| bad("missing name"))?;
+        let idx: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing index"))?
+            .parse()
+            .map_err(|_| bad("bad index"))?;
+        let value: f64 = parts
+            .next()
+            .ok_or_else(|| bad("missing value"))?
+            .parse()
+            .map_err(|_| bad("bad value"))?;
+
+        let start_new = out.last().map(|s: &Series| s.name != name).unwrap_or(true);
+        if start_new {
+            if idx != 0 {
+                return Err(bad("series must start at index 0"));
+            }
+            out.push(Series::new(name, vec![value]));
+        } else {
+            let cur = out.last_mut().expect("non-empty after start_new check");
+            if idx != cur.values.len() {
+                return Err(bad("non-contiguous index"));
+            }
+            cur.values.push(value);
+        }
+    }
+    Ok(out)
+}
+
+/// Writes a series set to a file.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save(series: &[Series], path: &Path) -> io::Result<()> {
+    fs::write(path, to_csv(series))
+}
+
+/// Reads a series set from a file.
+///
+/// # Errors
+/// Propagates filesystem and parse errors.
+pub fn load(path: &Path) -> io::Result<Vec<Series>> {
+    from_csv(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Vec<Series> {
+        vec![
+            Series::new("AAA", vec![1.0, 2.5, -3.75]),
+            Series::new("BBB", vec![0.123_456_789_012_345_68, 1e-300, 1e300]),
+            Series::new("CCC", vec![42.0]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let original = fixture();
+        let parsed = from_csv(&to_csv(&original)).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(&original) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "value drifted in csv");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(from_csv("").unwrap().is_empty());
+        assert_eq!(to_csv(&[]), "");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "A,0,1.0\n\nA,1,2.0\n";
+        let parsed = from_csv(text).unwrap();
+        assert_eq!(parsed, vec![Series::new("A", vec![1.0, 2.0])]);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        for bad in [
+            "A,0",            // missing value
+            "A,x,1.0",        // bad index
+            "A,0,notanumber", // bad value
+            "A,1,1.0",        // series starting at 1
+            "A,0,1.0\nA,2,2.0", // gap
+        ] {
+            let err = from_csv(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("tsss-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("market.csv");
+        let original = fixture();
+        save(&original, &path).unwrap();
+        let parsed = load(&path).unwrap();
+        assert_eq!(parsed, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_market_roundtrips() {
+        let series =
+            crate::gbm::MarketSimulator::new(crate::gbm::MarketConfig::small(4, 25, 9)).generate();
+        let parsed = from_csv(&to_csv(&series)).unwrap();
+        assert_eq!(parsed, series);
+    }
+}

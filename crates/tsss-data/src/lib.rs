@@ -1,0 +1,28 @@
+//! Data substrate for the PODS '99 reproduction.
+//!
+//! The paper's experiments run on the closing prices of 1000 Hong Kong
+//! companies collected July 1995 – October 1996 (> 650 000 values). That
+//! data set is proprietary, so this crate builds the closest synthetic
+//! equivalent (documented in `DESIGN.md` §3):
+//!
+//! * [`gbm`] — a geometric-Brownian-motion market simulator with a shared
+//!   market factor, producing price series with log-normal daily steps,
+//!   realistic trends, and cross-series correlation (the property that
+//!   drives R*-tree MBR overlap, and hence search cost),
+//! * [`csv`] — plain-text persistence so experiments are reproducible and
+//!   users can substitute real data,
+//! * [`workload`] — query generation: sample subsequences of the data,
+//!   disguise them with random scale/shift/noise, exactly the regime the
+//!   paper's similarity model is meant to see through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod gbm;
+pub mod series;
+pub mod workload;
+
+pub use gbm::{MarketConfig, MarketSimulator};
+pub use series::Series;
+pub use workload::{QueryWorkload, WorkloadConfig};

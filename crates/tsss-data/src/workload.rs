@@ -1,0 +1,236 @@
+//! Query workload generation.
+//!
+//! The paper runs 100 queries per experiment (§7) but does not describe how
+//! they were drawn. We use the standard protocol for similarity-search
+//! evaluations, which also matches the problem the similarity model is
+//! designed for: take a real window of the data, then *disguise* it with a
+//! random scaling, a random vertical shift, and optional Gaussian noise.
+//! A correct engine must see through the scale/shift (Theorem 1) and the
+//! error bound ε must absorb the noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tsss_geometry::scale_shift::ScaleShift;
+
+use crate::series::Series;
+
+/// How queries are synthesised from the data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of queries (paper: 100 per experiment).
+    pub queries: usize,
+    /// Query length = the engine's window length `n`.
+    pub window_len: usize,
+    /// Scaling factors are drawn log-uniformly from `[1/scale_range, scale_range]`.
+    pub scale_range: f64,
+    /// Shifts are drawn uniformly from `[-shift_range, shift_range]`.
+    pub shift_range: f64,
+    /// Standard deviation of additive Gaussian noise, as a fraction of the
+    /// window's SE-norm (0 = exact transforms of real windows).
+    pub noise_level: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            queries: 100,
+            window_len: 128,
+            scale_range: 3.0,
+            shift_range: 20.0,
+            noise_level: 0.05,
+            seed: 1999,
+        }
+    }
+}
+
+/// One generated query and its provenance (for recall checking).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The query sequence of length `window_len`.
+    pub values: Vec<f64>,
+    /// Index of the source series in the data set.
+    pub source_series: usize,
+    /// Offset of the source window within that series.
+    pub source_offset: usize,
+    /// The disguise applied to the source window.
+    pub applied: ScaleShift,
+}
+
+/// A batch of queries over a fixed data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkload {
+    /// The generated queries.
+    pub queries: Vec<Query>,
+    /// The configuration that produced them.
+    pub config: WorkloadConfig,
+}
+
+impl QueryWorkload {
+    /// Generates a workload from `data` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics when no series is long enough to supply a window, or when the
+    /// configuration is degenerate (`queries == 0`, `window_len < 2`,
+    /// `scale_range < 1`).
+    pub fn generate(data: &[Series], cfg: WorkloadConfig) -> Self {
+        assert!(cfg.queries > 0, "need at least one query");
+        assert!(cfg.window_len >= 2, "window length must be at least 2");
+        assert!(cfg.scale_range >= 1.0, "scale range must be >= 1");
+        assert!(cfg.noise_level >= 0.0, "noise level must be non-negative");
+        let eligible: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len() >= cfg.window_len)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !eligible.is_empty(),
+            "no series long enough for window length {}",
+            cfg.window_len
+        );
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut queries = Vec::with_capacity(cfg.queries);
+        for _ in 0..cfg.queries {
+            let series_idx = eligible[rng.gen_range(0..eligible.len())];
+            let series = &data[series_idx];
+            let offset = rng.gen_range(0..=series.len() - cfg.window_len);
+            let window = series.window(offset, cfg.window_len).expect("validated");
+
+            // Log-uniform scaling, with a random sign-free disguise (prices
+            // are positive; negative scalings would be unnatural here).
+            let log_s = rng.gen_range(-cfg.scale_range.ln()..=cfg.scale_range.ln());
+            let a = log_s.exp();
+            let b = rng.gen_range(-cfg.shift_range..=cfg.shift_range);
+            let applied = ScaleShift { a, b };
+            let mut values = applied.apply(window);
+
+            if cfg.noise_level > 0.0 {
+                let se = tsss_geometry::se::se_norm(&values);
+                let sigma = cfg.noise_level * se / (cfg.window_len as f64).sqrt();
+                for v in &mut values {
+                    *v += sigma * gaussian(&mut rng);
+                }
+            }
+
+            queries.push(Query {
+                values,
+                source_series: series_idx,
+                source_offset: offset,
+                applied,
+            });
+        }
+        Self {
+            queries,
+            config: cfg,
+        }
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbm::{MarketConfig, MarketSimulator};
+    use tsss_geometry::scale_shift::min_scale_shift_distance;
+
+    fn market() -> Vec<Series> {
+        MarketSimulator::new(MarketConfig::small(10, 200, 77)).generate()
+    }
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            queries: 25,
+            window_len: 32,
+            scale_range: 3.0,
+            shift_range: 10.0,
+            noise_level: 0.0,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let data = market();
+        let a = QueryWorkload::generate(&data, cfg());
+        let b = QueryWorkload::generate(&data, cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queries_have_the_configured_length() {
+        let data = market();
+        let w = QueryWorkload::generate(&data, cfg());
+        assert_eq!(w.queries.len(), 25);
+        assert!(w.queries.iter().all(|q| q.values.len() == 32));
+    }
+
+    #[test]
+    fn noiseless_queries_are_exact_transforms_of_their_source() {
+        let data = market();
+        let w = QueryWorkload::generate(&data, cfg());
+        for q in &w.queries {
+            let src = data[q.source_series]
+                .window(q.source_offset, 32)
+                .unwrap();
+            // The query equals F(src) exactly, so min distance src→query is 0.
+            let d = min_scale_shift_distance(src, &q.values).unwrap();
+            assert!(d < 1e-6, "distance {d} should be ~0 without noise");
+            // And the recorded transform reproduces it.
+            let rebuilt = q.applied.apply(src);
+            for (x, y) in rebuilt.iter().zip(&q.values) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_queries_stay_near_their_source() {
+        let data = market();
+        let mut c = cfg();
+        c.noise_level = 0.05;
+        let w = QueryWorkload::generate(&data, c);
+        for q in &w.queries {
+            let src = data[q.source_series]
+                .window(q.source_offset, 32)
+                .unwrap();
+            let d = min_scale_shift_distance(src, &q.values).unwrap();
+            // Noise is 5 % of the window's SE-norm; allow generous slack.
+            let scale = tsss_geometry::se::se_norm(&q.values).max(1e-9);
+            assert!(d / scale < 0.25, "noise blew up: {}", d / scale);
+            assert!(d > 0.0, "noise should not vanish entirely");
+        }
+    }
+
+    #[test]
+    fn scaling_factors_cover_both_directions() {
+        let data = market();
+        let mut c = cfg();
+        c.queries = 200;
+        let w = QueryWorkload::generate(&data, c);
+        let ups = w.queries.iter().filter(|q| q.applied.a > 1.0).count();
+        let downs = w.queries.iter().filter(|q| q.applied.a < 1.0).count();
+        assert!(ups > 40 && downs > 40, "lopsided scaling: {ups} up, {downs} down");
+        assert!(w
+            .queries
+            .iter()
+            .all(|q| q.applied.a >= 1.0 / 3.0 - 1e-9 && q.applied.a <= 3.0 + 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series long enough")]
+    fn too_long_windows_are_rejected() {
+        let data = market();
+        let mut c = cfg();
+        c.window_len = 10_000;
+        let _ = QueryWorkload::generate(&data, c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal complex arithmetic for the DFT.
+//!
+//! Implemented here rather than pulled in as a dependency: the transform
+//! needs exactly the operations below and nothing else, and keeping the type
+//! local lets the FFT stay `Copy`-friendly and allocation-free.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Complex zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Constructs `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i·sin θ`.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Complex::ZERO, Complex::new(0.0, 0.0));
+        assert_eq!(Complex::ONE, Complex::new(1.0, 0.0));
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn arithmetic_hand_cases() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert!(close(a * b, Complex::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = Complex::new(1.5, -0.5);
+        let b = Complex::new(-2.0, 4.0);
+        let mut c = a;
+        c += b;
+        assert!(close(c, a + b));
+        let mut c = a;
+        c -= b;
+        assert!(close(c, a - b));
+        let mut c = a;
+        c *= b;
+        assert!(close(c, a * b));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        // z·z̄ = |z|²
+        assert!(close(a * a.conj(), Complex::real(25.0)));
+    }
+
+    #[test]
+    fn cis_is_on_the_unit_circle() {
+        for k in 0..8 {
+            let z = Complex::cis(std::f64::consts::PI * k as f64 / 4.0);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(Complex::cis(0.0), Complex::ONE));
+        assert!(close(Complex::cis(std::f64::consts::FRAC_PI_2), Complex::I));
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let a = Complex::new(2.0, -6.0);
+        assert!(close(a.scale(0.5), Complex::new(1.0, -3.0)));
+        assert!(close(-a, Complex::new(-2.0, 6.0)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Forward and inverse discrete Fourier transforms.
+//!
+//! Convention (matching the F-index papers): the **forward** transform of
+//! `x₀..x_{n−1}` is
+//!
+//! ```text
+//! X_k = (1/√n) · Σ_j x_j · e^{−2πi·jk/n}
+//! ```
+//!
+//! The `1/√n` factor makes the transform **unitary** (Parseval:
+//! `Σ|X_k|² = Σ|x_j|²`), which is exactly what the no-false-dismissal
+//! argument of the indexing scheme needs.
+//!
+//! Two implementations are provided and cross-validated:
+//! * [`fft_real`] / [`fft_complex_in_place`] — iterative radix-2
+//!   Cooley–Tukey, O(n log n), for power-of-two lengths, falling back to the
+//!   naive transform otherwise,
+//! * [`dft_naive`] — the O(n²) definition, valid for any length.
+
+use crate::complex::Complex;
+
+/// True when `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// O(n²) forward DFT straight from the definition (unitary scaling).
+/// Reference implementation for arbitrary lengths.
+pub fn dft_naive(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let w = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                acc += Complex::cis(w * (j as f64) * (k as f64)).scale(xj);
+            }
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+/// O(n²) inverse DFT (unitary scaling): recovers the real signal from its
+/// full spectrum. The imaginary residue of the reconstruction is discarded
+/// (it is ~machine-epsilon for spectra of real signals).
+pub fn inverse_dft_naive(spectrum: &[Complex]) -> Vec<f64> {
+    let n = spectrum.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let w = 2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|j| {
+            let mut acc = Complex::ZERO;
+            for (k, &xk) in spectrum.iter().enumerate() {
+                acc += Complex::cis(w * (j as f64) * (k as f64)) * xk;
+            }
+            acc.re * scale
+        })
+        .collect()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT (unitary scaling applied at
+/// the end).
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two.
+pub fn fft_complex_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires a power-of-two length");
+    if n == 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2] * w;
+                buf[start + k] = a + b;
+                buf[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    for z in buf {
+        *z = z.scale(scale);
+    }
+}
+
+/// Forward DFT of a real signal: radix-2 FFT for power-of-two lengths,
+/// otherwise the naive reference transform. Always returns the full
+/// `n`-coefficient (unitary) spectrum.
+pub fn fft_real(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if !is_power_of_two(n) {
+        return dft_naive(x);
+    }
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    fft_complex_in_place(&mut buf);
+    buf
+}
+
+/// Inverse of [`fft_real`]: reconstructs the real signal from its full
+/// unitary spectrum (radix-2 path for powers of two, naive otherwise).
+pub fn ifft(spectrum: &[Complex]) -> Vec<f64> {
+    let n = spectrum.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if !is_power_of_two(n) {
+        return inverse_dft_naive(spectrum);
+    }
+    // IFFT via conjugation: ifft(X) = conj(fft(conj(X))) with unitary
+    // scaling already handled by the forward routine.
+    let mut buf: Vec<Complex> = spectrum.iter().map(|z| z.conj()).collect();
+    fft_complex_in_place(&mut buf);
+    buf.into_iter().map(|z| z.conj().re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectra_close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol)
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(6));
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        // δ₀ of length 4: X_k = 1/√4 = 0.5 for all k.
+        let x = [1.0, 0.0, 0.0, 0.0];
+        for z in dft_naive(&x) {
+            assert!((z.re - 0.5).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_dc_only() {
+        let x = [2.0; 8];
+        let s = dft_naive(&x);
+        // DC = (1/√8)·16 = 4√2.
+        assert!((s[0].re - 16.0 / 8f64.sqrt()).abs() < 1e-12);
+        for z in &s[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_cosine_concentrates_at_one_bin() {
+        let n = 16;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64).cos())
+            .collect();
+        let s = dft_naive(&x);
+        // Energy splits between bins 3 and n−3.
+        assert!(s[3].abs() > 1.0);
+        assert!(s[n - 3].abs() > 1.0);
+        for (k, z) in s.iter().enumerate() {
+            if k != 3 && k != n - 3 {
+                assert!(z.abs() < 1e-10, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_on_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 64, 128] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+            let fast = fft_real(&x);
+            let slow = dft_naive(&x);
+            assert!(spectra_close(&fast, &slow, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fft_real_falls_back_for_non_powers() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let a = fft_real(&x);
+        let b = dft_naive(&x);
+        assert!(spectra_close(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() * 10.0).collect();
+        let back = ifft(&fft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        let x: Vec<f64> = (0..13).map(|i| (i as f64).powi(2) - 20.0).collect();
+        let back = ifft(&fft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7919) % 101) as f64 / 10.0 - 5.0).collect();
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let freq: f64 = fft_real(&x).iter().map(|z| z.norm_sq()).sum();
+        assert!((time - freq).abs() < 1e-8 * time.max(1.0));
+    }
+
+    #[test]
+    fn linearity_of_the_transform() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 1.1).cos()).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let lhs = fft_real(&combo);
+        let fx = fft_real(&x);
+        let fy = fft_real(&y);
+        let rhs: Vec<Complex> = fx
+            .iter()
+            .zip(&fy)
+            .map(|(a, b)| a.scale(2.0) - b.scale(3.0))
+            .collect();
+        assert!(spectra_close(&lhs, &rhs, 1e-10));
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_signals() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 13) % 7) as f64).collect();
+        let s = fft_real(&x);
+        for k in 1..x.len() {
+            let a = s[k];
+            let b = s[x.len() - k].conj();
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(fft_real(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn in_place_fft_rejects_non_power_lengths() {
+        let mut buf = vec![Complex::ZERO; 6];
+        fft_complex_in_place(&mut buf);
+    }
+}

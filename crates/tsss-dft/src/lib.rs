@@ -1,0 +1,35 @@
+//! Discrete Fourier transform and feature extraction for the PODS '99
+//! reproduction.
+//!
+//! The paper reduces the dimension of SE-transformed subsequences before
+//! indexing (§7): following the F-index / ST-index line of work
+//! (Agrawal–Faloutsos–Swami '93, Faloutsos et al. '94), each window is
+//! transformed with an n-point DFT and only the first `f_c` complex
+//! coefficients are kept — the paper uses `f_c = 3`, i.e. a 6-dimensional
+//! R*-tree.
+//!
+//! Correctness hinges on the **contraction property**: with the orthonormal
+//! DFT (unitary `U`), truncating to a coordinate subset can only shrink
+//! Euclidean distances, so a range search in feature space with the same ε
+//! can produce false alarms but never false dismissals. Because the feature
+//! map is *linear*, the query's SE-line maps to a line through the origin of
+//! feature space, and Theorem 2's point-to-line test carries over verbatim.
+//! Both facts are enforced by property tests.
+//!
+//! Contents:
+//! * [`complex::Complex`] — minimal complex arithmetic,
+//! * [`fft`] — an iterative radix-2 FFT for power-of-two lengths with an
+//!   O(n²) reference DFT for arbitrary lengths (and for cross-validation),
+//! * [`features`] — the `f_c`-coefficient feature extractor used by the
+//!   engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod features;
+pub mod fft;
+
+pub use complex::Complex;
+pub use features::FeatureExtractor;
+pub use fft::{dft_naive, fft_real, ifft, inverse_dft_naive};

@@ -1,0 +1,353 @@
+//! The scale-shift transformation `F_{a,b}` and the closed-form optimal fit
+//! of paper §3 and §5.2.
+//!
+//! Definition 1 of the paper: `u ~ε v` iff there exist `a, b ∈ ℝ` with
+//! `‖F_{a,b}(u) − v‖₂ ≤ ε`, where `F_{a,b}(u) = a·u + b·N`. The minimum of
+//! `‖a·u + b·N − v‖` over all `(a, b)` is a tiny least-squares problem whose
+//! solution the paper derives geometrically (§5.2):
+//!
+//! ```text
+//! a = (T_se(u) · T_se(v)) / ‖T_se(u)‖²           (in the SE-Plane)
+//! b = ((v − a·u) · N) / ‖N‖²                      (back in ℝⁿ)
+//! ```
+//!
+//! [`optimal_scale_shift`] computes `(a, b)` and the attained distance in one
+//! pass (O(n), no allocation), and [`min_scale_shift_distance`] returns just
+//! the distance — it equals `LLD(Line_sa(u), Line_sh(v))` by Theorem 1, a
+//! fact the property tests exercise.
+
+use crate::vector::{dot, mean, norm_sq};
+use crate::DimensionMismatch;
+
+/// A concrete scale-shift transformation `F_{a,b}(x) = a·x + b·N`.
+///
+/// This is the object reported to the user for each match: *how* the query
+/// maps onto the matched subsequence (paper §6, post-processing step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleShift {
+    /// Scaling factor `a`.
+    pub a: f64,
+    /// Shifting offset `b`.
+    pub b: f64,
+}
+
+impl ScaleShift {
+    /// The identity transformation (`a = 1`, `b = 0`).
+    pub const IDENTITY: Self = Self { a: 1.0, b: 0.0 };
+
+    /// Applies `F_{a,b}` to `x`, returning `a·x + b·N`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|v| self.a * v + self.b).collect()
+    }
+
+    /// Applies `F_{a,b}` in place.
+    pub fn apply_in_place(&self, x: &mut [f64]) {
+        for v in x {
+            *v = self.a * *v + self.b;
+        }
+    }
+
+    /// The inverse transformation, if `a ≠ 0`: `F⁻¹(y) = (y − b·N)/a`.
+    ///
+    /// Returns `None` for the non-invertible `a = 0` case (which maps every
+    /// sequence to the constant `b·N`).
+    pub fn inverse(&self) -> Option<Self> {
+        if self.a == 0.0 {
+            None
+        } else {
+            Some(Self {
+                a: 1.0 / self.a,
+                b: -self.b / self.a,
+            })
+        }
+    }
+
+    /// Composition: `(self ∘ other)(x) = self.apply(other.apply(x))`.
+    ///
+    /// Scale-shift transformations form a monoid under composition (a group
+    /// when `a ≠ 0`); the Figure 1 example of the paper (B scaled by 0.5 then
+    /// shifted by 20 gives C) is a composition check in the tests.
+    pub fn compose(&self, other: &Self) -> Self {
+        Self {
+            a: self.a * other.a,
+            b: self.a * other.b + self.b,
+        }
+    }
+}
+
+/// Result of fitting the best scale-shift transformation of one sequence
+/// onto another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleShiftFit {
+    /// The optimal transformation.
+    pub transform: ScaleShift,
+    /// The attained distance `‖F_{a,b}(u) − v‖₂` — by Theorem 1 this equals
+    /// `LLD(Line_sa(u), Line_sh(v))`, the minimum possible dissimilarity.
+    pub distance: f64,
+}
+
+/// Computes the optimal `(a, b)` minimising `‖a·u + b·N − v‖₂` together with
+/// the attained distance, in a single O(n) pass (paper §5.2).
+///
+/// Derivation (all in terms of means and centred dot products): writing
+/// `ū = mean(u)`, `uc = u − ū·N` (the SE-transformation of `u`, see
+/// [`crate::se`]) and likewise for `v`,
+///
+/// ```text
+/// a = (uc · vc) / ‖uc‖²,    b = v̄ − a·ū,
+/// distance² = ‖vc‖² − a²·‖uc‖².
+/// ```
+///
+/// Degenerate case: when `u` is (numerically) constant, its SE-transformation
+/// vanishes and *any* `a` is optimal; we canonically return `a = 0`,
+/// `b = mean(v)`, with distance `‖vc‖`.
+///
+/// ```
+/// use tsss_geometry::scale_shift::optimal_scale_shift;
+/// // Sequences A and B of the paper's Figure 1: B = 2·A exactly.
+/// let a = [5.0, 10.0, 6.0, 12.0, 4.0];
+/// let b = [10.0, 20.0, 12.0, 24.0, 8.0];
+/// let fit = optimal_scale_shift(&a, &b).unwrap();
+/// assert!((fit.transform.a - 2.0).abs() < 1e-12);
+/// assert!(fit.transform.b.abs() < 1e-9);
+/// assert!(fit.distance < 1e-6);
+/// ```
+///
+/// # Errors
+/// Returns [`DimensionMismatch`] when the sequences differ in length.
+pub fn optimal_scale_shift(u: &[f64], v: &[f64]) -> Result<ScaleShiftFit, DimensionMismatch> {
+    if u.len() != v.len() {
+        return Err(DimensionMismatch {
+            left: u.len(),
+            right: v.len(),
+        });
+    }
+    let n = u.len() as f64;
+    if u.is_empty() {
+        return Ok(ScaleShiftFit {
+            transform: ScaleShift::IDENTITY,
+            distance: 0.0,
+        });
+    }
+    let mu = mean(u);
+    let mv = mean(v);
+    // Centred second moments, computed without materialising uc/vc.
+    // uc·vc = u·v − n·ū·v̄ ; ‖uc‖² = ‖u‖² − n·ū².
+    let uv = dot(u, v);
+    let uu = norm_sq(u);
+    let ucvc = uv - n * mu * mv;
+    let ucuc = (uu - n * mu * mu).max(0.0);
+
+    // Relative degeneracy test: a sequence whose variance is ~0 compared to
+    // its magnitude is "constant" for fitting purposes.
+    let scale_ref = uu.max(1e-300);
+    if ucuc <= 1e-24 * scale_ref {
+        let resid: f64 = v.iter().map(|y| (y - mv) * (y - mv)).sum();
+        return Ok(ScaleShiftFit {
+            transform: ScaleShift { a: 0.0, b: mv },
+            distance: resid.sqrt(),
+        });
+    }
+    let a = ucvc / ucuc;
+    let b = mv - a * mu;
+    // The algebraic identity distance² = ‖vc‖² − a²·‖uc‖² suffers
+    // catastrophic cancellation for near-exact matches (error ~ √(ε_mach) of
+    // the signal energy), so evaluate the residual explicitly instead — one
+    // extra O(n) pass, accurate to machine precision.
+    let dist_sq: f64 = u
+        .iter()
+        .zip(v)
+        .map(|(x, y)| {
+            let r = a * x + b - y;
+            r * r
+        })
+        .sum();
+    Ok(ScaleShiftFit {
+        transform: ScaleShift { a, b },
+        distance: dist_sq.sqrt(),
+    })
+}
+
+/// The minimum dissimilarity `min_{a,b} ‖a·u + b·N − v‖₂`.
+///
+/// By Theorem 1 / Corollary 1 this is *the* distance of the paper's
+/// similarity model: `u ~ε v` iff `min_scale_shift_distance(u, v) ≤ ε`.
+///
+/// # Errors
+/// Returns [`DimensionMismatch`] when the sequences differ in length.
+pub fn min_scale_shift_distance(u: &[f64], v: &[f64]) -> Result<f64, DimensionMismatch> {
+    optimal_scale_shift(u, v).map(|fit| fit.distance)
+}
+
+/// Convenience predicate for Definition 1: `u ~ε v`.
+///
+/// # Errors
+/// Returns [`DimensionMismatch`] when the sequences differ in length.
+pub fn similar(u: &[f64], v: &[f64], epsilon: f64) -> Result<bool, DimensionMismatch> {
+    Ok(min_scale_shift_distance(u, v)? <= epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::{lld, Line};
+    use crate::vector::dist;
+
+    const A: [f64; 5] = [5.0, 10.0, 6.0, 12.0, 4.0];
+    const B: [f64; 5] = [10.0, 20.0, 12.0, 24.0, 8.0];
+    const C: [f64; 5] = [25.0, 30.0, 26.0, 32.0, 24.0];
+
+    #[test]
+    fn apply_matches_definition() {
+        let f = ScaleShift { a: 2.0, b: 0.0 };
+        assert_eq!(f.apply(&A), B.to_vec());
+        let g = ScaleShift { a: 1.0, b: 20.0 };
+        assert_eq!(g.apply(&A), C.to_vec());
+    }
+
+    #[test]
+    fn paper_figure1_composition_b_to_c() {
+        // "if B is scaled down by 0.5 and then shifted up by 20 units, it
+        // becomes C" — shift ∘ scale.
+        let scale = ScaleShift { a: 0.5, b: 0.0 };
+        let shift = ScaleShift { a: 1.0, b: 20.0 };
+        let f = shift.compose(&scale);
+        assert_eq!(f.apply(&B), C.to_vec());
+    }
+
+    #[test]
+    fn apply_in_place_agrees_with_apply() {
+        let f = ScaleShift { a: -1.5, b: 3.0 };
+        let mut x = A.to_vec();
+        f.apply_in_place(&mut x);
+        assert_eq!(x, f.apply(&A));
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let f = ScaleShift { a: 2.5, b: -7.0 };
+        let inv = f.inverse().unwrap();
+        let x = A.to_vec();
+        let back = inv.apply(&f.apply(&x));
+        for (orig, b) in x.iter().zip(&back) {
+            assert!((orig - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_of_zero_scale_is_none() {
+        assert!(ScaleShift { a: 0.0, b: 1.0 }.inverse().is_none());
+    }
+
+    #[test]
+    fn compose_is_function_composition() {
+        let f = ScaleShift { a: 2.0, b: 1.0 };
+        let g = ScaleShift { a: -3.0, b: 4.0 };
+        let fg = f.compose(&g);
+        let x = [1.0, 5.0, -2.0];
+        assert_eq!(fg.apply(&x), f.apply(&g.apply(&x)));
+    }
+
+    #[test]
+    fn optimal_fit_recovers_exact_transformations() {
+        // A → B is exactly a = 2, b = 0.
+        let fit = optimal_scale_shift(&A, &B).unwrap();
+        assert!((fit.transform.a - 2.0).abs() < 1e-12);
+        assert!(fit.transform.b.abs() < 1e-10);
+        assert!(fit.distance < 1e-6);
+
+        // A → C is exactly a = 1, b = 20.
+        let fit = optimal_scale_shift(&A, &C).unwrap();
+        assert!((fit.transform.a - 1.0).abs() < 1e-12);
+        assert!((fit.transform.b - 20.0).abs() < 1e-10);
+        assert!(fit.distance < 1e-6);
+
+        // B → C is exactly a = 0.5, b = 20.
+        let fit = optimal_scale_shift(&B, &C).unwrap();
+        assert!((fit.transform.a - 0.5).abs() < 1e-12);
+        assert!((fit.transform.b - 20.0).abs() < 1e-10);
+        assert!(fit.distance < 1e-6);
+    }
+
+    #[test]
+    fn fit_distance_is_achieved_by_the_transform() {
+        let u = [1.0, -2.0, 3.5, 0.0, 7.0];
+        let v = [2.0, 2.0, -1.0, 4.0, 0.5];
+        let fit = optimal_scale_shift(&u, &v).unwrap();
+        let transformed = fit.transform.apply(&u);
+        assert!((dist(&transformed, &v) - fit.distance).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fit_distance_equals_lld_theorem1() {
+        let u = [1.0, -2.0, 3.5, 0.0, 7.0];
+        let v = [2.0, 2.0, -1.0, 4.0, 0.5];
+        let fit = optimal_scale_shift(&u, &v).unwrap();
+        let geometric = lld(&Line::scaling(&u), &Line::shifting(&v));
+        assert!((fit.distance - geometric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_is_at_least_as_good_as_random_transforms() {
+        let u = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let v = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        let fit = optimal_scale_shift(&u, &v).unwrap();
+        for &(a, b) in &[(0.0, 0.0), (1.0, 0.0), (0.5, 3.0), (-2.0, 10.0), (3.3, -4.4)] {
+            let d = dist(&ScaleShift { a, b }.apply(&u), &v);
+            assert!(fit.distance <= d + 1e-10, "({a},{b}) beat the optimum");
+        }
+    }
+
+    #[test]
+    fn constant_query_degenerates_to_mean_shift() {
+        let u = [4.0; 6];
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let fit = optimal_scale_shift(&u, &v).unwrap();
+        assert_eq!(fit.transform.a, 0.0);
+        assert!((fit.transform.b - 3.5).abs() < 1e-12);
+        // Distance = norm of centred v.
+        let expect = v.iter().map(|x| (x - 3.5) * (x - 3.5)).sum::<f64>().sqrt();
+        assert!((fit.distance - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_sequences_are_trivially_similar() {
+        let fit = optimal_scale_shift(&[], &[]).unwrap();
+        assert_eq!(fit.distance, 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(optimal_scale_shift(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(min_scale_shift_distance(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(similar(&[1.0], &[1.0, 2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn similar_predicate_thresholds_correctly() {
+        assert!(similar(&A, &B, 1e-9).unwrap());
+        let far = [0.0, 100.0, -30.0, 55.0, 2.0];
+        let d = min_scale_shift_distance(&A, &far).unwrap();
+        assert!(!similar(&A, &far, d - 1e-6).unwrap());
+        assert!(similar(&A, &far, d + 1e-6).unwrap());
+    }
+
+    #[test]
+    fn similarity_is_not_symmetric_in_general() {
+        // F maps u onto v; the reverse direction has its own optimum. The
+        // *distances* differ in general (the relation ~ε is directional).
+        let u = [0.0, 0.0, 0.0, 1.0];
+        let v = [5.0, 5.0, 5.0, 100.0];
+        let duv = min_scale_shift_distance(&u, &v).unwrap();
+        let dvu = min_scale_shift_distance(&v, &u).unwrap();
+        assert!(duv < 1e-9); // u scales up onto v exactly
+        assert!(dvu < 1e-9); // and v scales down onto u exactly (a = 1/95 ≠ 0)
+        // An asymmetric example: u constant, v not.
+        let u = [1.0, 1.0, 1.0];
+        let v = [0.0, 1.0, 2.0];
+        let duv = min_scale_shift_distance(&u, &v).unwrap();
+        let dvu = min_scale_shift_distance(&v, &u).unwrap();
+        assert!(duv > 1.0); // constant cannot reach a sloped sequence
+        assert!(dvu < 1e-9); // sloped flattens onto constant with a = 0
+    }
+}

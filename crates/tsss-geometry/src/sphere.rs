@@ -1,0 +1,149 @@
+//! Bounding spheres for the penetration-check heuristic of paper §7.
+//!
+//! The paper imports a ray-tracing trick: wrap each ε-MBR in two spheres,
+//!
+//! * the **inner sphere**, the largest sphere inscribed in the box (radius =
+//!   half the *shortest* side), and
+//! * the **outer sphere**, the smallest sphere circumscribing the box
+//!   (radius = half the *diagonal*),
+//!
+//! so that `line misses outer ⇒ line misses box` and `line hits inner ⇒ line
+//! hits box`. Only the undecided middle band needs the exact (more expensive)
+//! Entering/Exiting Points test. The paper's experiments find the heuristic
+//! counter-productive for R*-tree boxes — their long-diagonal/small-volume
+//! shape makes the middle band dominate — and our `ablation_spheres` bench
+//! reproduces that finding quantitatively.
+
+use crate::line::{pld_sq, Line};
+use crate::mbr::Mbr;
+
+/// A hypersphere `{ x : ‖x − center‖ ≤ radius }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sphere {
+    /// Centre of the sphere.
+    pub center: Vec<f64>,
+    /// Radius (≥ 0).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// The largest sphere inscribed in the box: centred at the box centre
+    /// with radius half the shortest side. `line hits inner ⇒ line hits box`.
+    pub fn inner(mbr: &Mbr) -> Self {
+        let radius = (0..mbr.dim())
+            .map(|i| mbr.extent(i))
+            .fold(f64::INFINITY, f64::min)
+            / 2.0;
+        Self {
+            center: mbr.center(),
+            radius: if radius.is_finite() { radius } else { 0.0 },
+        }
+    }
+
+    /// The smallest sphere circumscribing the box: centred at the box centre
+    /// with radius half the diagonal. `line misses outer ⇒ line misses box`.
+    pub fn outer(mbr: &Mbr) -> Self {
+        Self {
+            center: mbr.center(),
+            radius: mbr.diagonal() / 2.0,
+        }
+    }
+
+    /// True when the line passes through (or touches) the sphere, i.e.
+    /// `PLD(center, line) ≤ radius`.
+    pub fn penetrated_by(&self, line: &Line) -> bool {
+        pld_sq(&self.center, line) <= self.radius * self.radius
+    }
+
+    /// True when the point lies in the closed ball.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        crate::vector::dist_sq(&self.center, p) <= self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> Mbr {
+        Mbr::new(vec![0.0, 0.0, 0.0], vec![2.0, 2.0, 2.0]).unwrap()
+    }
+
+    fn slab_box() -> Mbr {
+        // Long diagonal, small volume — the problematic R*-tree shape.
+        Mbr::new(vec![0.0, 0.0, 0.0], vec![10.0, 0.2, 0.2]).unwrap()
+    }
+
+    #[test]
+    fn cube_spheres_have_expected_radii() {
+        let inner = Sphere::inner(&cube());
+        let outer = Sphere::outer(&cube());
+        assert_eq!(inner.center, vec![1.0, 1.0, 1.0]);
+        assert_eq!(inner.radius, 1.0);
+        assert!((outer.radius - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_box_spheres_are_badly_mismatched() {
+        let m = slab_box();
+        let inner = Sphere::inner(&m);
+        let outer = Sphere::outer(&m);
+        assert_eq!(inner.radius, 0.1);
+        assert!(outer.radius > 5.0);
+        // The gap ratio is what defeats the heuristic.
+        assert!(outer.radius / inner.radius > 50.0);
+    }
+
+    #[test]
+    fn inner_hit_implies_box_hit() {
+        let m = cube();
+        let inner = Sphere::inner(&m);
+        let l = Line::new(vec![1.0, 1.0, -5.0], vec![0.0, 0.0, 1.0]).unwrap();
+        assert!(inner.penetrated_by(&l));
+        assert!(crate::penetration::line_penetrates_mbr(&l, &m));
+    }
+
+    #[test]
+    fn outer_miss_implies_box_miss() {
+        let m = cube();
+        let outer = Sphere::outer(&m);
+        let l = Line::new(vec![10.0, 10.0, 0.0], vec![0.0, 0.0, 1.0]).unwrap();
+        assert!(!outer.penetrated_by(&l));
+        assert!(!crate::penetration::line_penetrates_mbr(&l, &m));
+    }
+
+    #[test]
+    fn tangent_line_counts_as_penetration() {
+        let s = Sphere {
+            center: vec![0.0, 0.0],
+            radius: 1.0,
+        };
+        // Line y = 1 is tangent.
+        let l = Line::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert!(s.penetrated_by(&l));
+        // Line y = 1.001 misses.
+        let l = Line::new(vec![0.0, 1.001], vec![1.0, 0.0]).unwrap();
+        assert!(!s.penetrated_by(&l));
+    }
+
+    #[test]
+    fn contains_point_boundary_inclusive() {
+        let s = Sphere {
+            center: vec![0.0, 0.0],
+            radius: 5.0,
+        };
+        assert!(s.contains_point(&[3.0, 4.0]));
+        assert!(!s.contains_point(&[3.0, 4.1]));
+    }
+
+    #[test]
+    fn degenerate_point_box_spheres() {
+        let m = Mbr::point(&[1.0, 2.0]);
+        let inner = Sphere::inner(&m);
+        let outer = Sphere::outer(&m);
+        assert_eq!(inner.radius, 0.0);
+        assert_eq!(outer.radius, 0.0);
+        let through = Line::new(vec![1.0, 0.0], vec![0.0, 1.0]).unwrap();
+        assert!(outer.penetrated_by(&through));
+    }
+}

@@ -1,0 +1,255 @@
+//! Dense-vector primitives on `&[f64]` slices.
+//!
+//! The paper (§3–§4) identifies time sequences, points and position vectors
+//! in ℝⁿ; every higher-level construct in this workspace reduces to the
+//! handful of kernels below. They are written over plain slices so the hot
+//! paths of the R*-tree search and the sequential-scan baseline never
+//! allocate.
+//!
+//! All binary kernels `debug_assert!` equal lengths; release builds rely on
+//! the callers (which validate once at the API boundary) so the inner loops
+//! stay branch-free.
+
+/// Dot product `u · v = Σ uᵢ·vᵢ` (paper §4, property 1).
+#[inline]
+pub fn dot(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    u.iter().zip(v).map(|(a, b)| a * b).sum()
+}
+
+/// Squared Euclidean norm `‖u‖² = u · u`.
+#[inline]
+pub fn norm_sq(u: &[f64]) -> f64 {
+    dot(u, u)
+}
+
+/// Euclidean norm `‖u‖` (paper §4, property 2).
+#[inline]
+pub fn norm(u: &[f64]) -> f64 {
+    norm_sq(u).sqrt()
+}
+
+/// Squared Euclidean distance `‖u − v‖²`.
+#[inline]
+pub fn dist_sq(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Euclidean distance `‖u − v‖` = the `D₂` metric of paper §1.
+#[inline]
+pub fn dist(u: &[f64], v: &[f64]) -> f64 {
+    dist_sq(u, v).sqrt()
+}
+
+/// The `L_p` distance `D_p(u, v) = (Σ |uᵢ−vᵢ|^p)^{1/p}` of paper §1.
+///
+/// The engine itself only uses `p = 2`, but the metric family is part of the
+/// paper's problem statement, so it is provided for completeness (and for
+/// users who want to post-filter matches under a different norm).
+///
+/// `p` must be ≥ 1 for this to be a metric; values in `(0, 1)` still compute
+/// the formal expression. `p = f64::INFINITY` yields the Chebyshev distance.
+pub fn lp_dist(u: &[f64], v: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    assert!(p > 0.0, "L_p distance requires p > 0, got {p}");
+    if p.is_infinite() {
+        return u
+            .iter()
+            .zip(v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+    }
+    if p == 2.0 {
+        return dist(u, v);
+    }
+    if p == 1.0 {
+        return u.iter().zip(v).map(|(a, b)| (a - b).abs()).sum();
+    }
+    u.iter()
+        .zip(v)
+        .map(|(a, b)| (a - b).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Arithmetic mean of the components, `(Σ uᵢ)/n`; `0.0` for the empty slice.
+///
+/// The mean is exactly the coordinate of `u` along the shifting vector `N`
+/// divided by `‖N‖²`·n — removing it is the SE-transformation (see
+/// [`crate::se`]).
+#[inline]
+pub fn mean(u: &[f64]) -> f64 {
+    if u.is_empty() {
+        0.0
+    } else {
+        u.iter().sum::<f64>() / u.len() as f64
+    }
+}
+
+/// `out ← a·x + y`, the classic AXPY kernel.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), out.len());
+    for ((o, xi), yi) in out.iter_mut().zip(x).zip(y) {
+        *o = a * xi + yi;
+    }
+}
+
+/// `out ← u − v`.
+#[inline]
+pub fn sub(u: &[f64], v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(u.len(), v.len());
+    debug_assert_eq!(u.len(), out.len());
+    for ((o, a), b) in out.iter_mut().zip(u).zip(v) {
+        *o = a - b;
+    }
+}
+
+/// `u ← c·u`, in place.
+#[inline]
+pub fn scale_in_place(u: &mut [f64], c: f64) {
+    for x in u {
+        *x *= c;
+    }
+}
+
+/// `u ← u + c` component-wise (a vertical shift by offset `c`, i.e. `u + c·N`).
+#[inline]
+pub fn shift_in_place(u: &mut [f64], c: f64) {
+    for x in u {
+        *x += c;
+    }
+}
+
+/// Returns `‖a·u − v‖²` without materialising `a·u`.
+///
+/// This is the inner kernel of the leaf-level check of Theorem 2: the
+/// distance between a point of the query's SE-line (`a·T_se(u)`) and a stored
+/// feature point (`T_se(v)`).
+#[inline]
+pub fn scaled_dist_sq(a: f64, u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    u.iter()
+        .zip(v)
+        .map(|(x, y)| {
+            let d = a * x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// True when every component of `u` differs from the matching component of
+/// `v` by at most `tol` (absolute).
+pub fn approx_eq(u: &[f64], v: &[f64], tol: f64) -> bool {
+    u.len() == v.len() && u.iter().zip(v).all(|(a, b)| (a - b).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_of_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm(&[1.0, 0.0, 0.0]), 1.0);
+        assert_eq!(norm(&[0.0, -3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_self() {
+        let u = [5.0, 10.0, 6.0, 12.0, 4.0];
+        let v = [10.0, 20.0, 12.0, 24.0, 8.0];
+        assert_eq!(dist(&u, &v), dist(&v, &u));
+        assert_eq!(dist(&u, &u), 0.0);
+    }
+
+    #[test]
+    fn lp_one_is_manhattan() {
+        assert_eq!(lp_dist(&[0.0, 0.0], &[3.0, -4.0], 1.0), 7.0);
+    }
+
+    #[test]
+    fn lp_two_matches_euclidean() {
+        let u = [1.0, 2.0, -1.0];
+        let v = [0.5, -2.0, 3.0];
+        assert!((lp_dist(&u, &v, 2.0) - dist(&u, &v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_infinity_is_chebyshev() {
+        assert_eq!(lp_dist(&[0.0, 0.0], &[3.0, -4.0], f64::INFINITY), 4.0);
+    }
+
+    #[test]
+    fn lp_three_hand_checked() {
+        // (|1|^3 + |2|^3)^(1/3) = 9^(1/3)
+        let d = lp_dist(&[0.0, 0.0], &[1.0, 2.0], 3.0);
+        assert!((d - 9f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p > 0")]
+    fn lp_rejects_nonpositive_p() {
+        lp_dist(&[1.0], &[2.0], 0.0);
+    }
+
+    #[test]
+    fn mean_of_paper_example_a() {
+        // Sequence A from paper Figure 1.
+        assert_eq!(mean(&[5.0, 10.0, 6.0, 12.0, 4.0]), 7.4);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_computes_a_x_plus_y() {
+        let mut out = [0.0; 3];
+        axpy(2.0, &[1.0, 2.0, 3.0], &[10.0, 10.0, 10.0], &mut out);
+        assert_eq!(out, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn sub_and_scale_and_shift() {
+        let mut out = [0.0; 2];
+        sub(&[5.0, 7.0], &[2.0, 3.0], &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        scale_in_place(&mut out, 2.0);
+        assert_eq!(out, [6.0, 8.0]);
+        shift_in_place(&mut out, -6.0);
+        assert_eq!(out, [0.0, 2.0]);
+    }
+
+    #[test]
+    fn scaled_dist_sq_matches_explicit() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [2.0, 2.0, 2.0];
+        let a = 1.5;
+        let explicit: f64 = u
+            .iter()
+            .zip(&v)
+            .map(|(x, y)| (a * x - y) * (a * x - y))
+            .sum();
+        assert!((scaled_dist_sq(a, &u, &v) - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_within_tol_only() {
+        assert!(approx_eq(&[1.0, 2.0], &[1.0 + 1e-9, 2.0 - 1e-9], 1e-8));
+        assert!(!approx_eq(&[1.0, 2.0], &[1.1, 2.0], 1e-8));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1.0));
+    }
+}

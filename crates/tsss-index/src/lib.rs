@@ -1,0 +1,36 @@
+//! From-scratch spatial indexes for the PODS '99 reproduction.
+//!
+//! The paper indexes SE-transformed (and DFT-reduced) subsequences in an
+//! R*-tree and answers scale-shift similarity queries by traversing only the
+//! subtrees whose **ε-enlarged MBRs are penetrated by the query's SE-line**
+//! (Theorem 3). This crate provides everything that requires, built on the
+//! paged storage of `tsss-storage`:
+//!
+//! * [`node`] — R-tree nodes with an explicit page serialisation (one node
+//!   per 4 KB page, exactly the paper's layout),
+//! * [`tree`] — a disk-resident R-tree supporting three split policies:
+//!   Guttman's linear and quadratic splits \[22\] and the R*-tree
+//!   (Beckmann–Kriegel–Schneider–Seeger) split with forced reinsertion
+//!   \[16\] (the paper's choice: `M = 20`, `m = 40 %·M`, `p = 30 %·M`),
+//! * [`bulk`] — Sort-Tile-Recursive bulk loading for fast index
+//!   construction in the benchmarks,
+//! * [`query`] — range / box / **line-penetration** search (the paper's
+//!   algorithm) with pluggable penetration strategies and exact node-access
+//!   accounting,
+//! * [`nn`] — best-first nearest-neighbour search under point-to-line
+//!   distance (the extension the paper sketches via Corollary 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod split;
+pub mod nn;
+pub mod node;
+pub mod persist;
+pub mod query;
+pub mod tree;
+
+pub use node::{ChildEntry, DataEntry, Node};
+pub use query::{LineQueryStats, QueryOutcome};
+pub use tree::{RTree, SplitPolicy, TreeConfig};

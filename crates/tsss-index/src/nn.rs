@@ -1,0 +1,313 @@
+//! Best-first nearest-neighbour search under point-to-line distance.
+//!
+//! Corollary 1 of the paper observes that the nearest neighbour of a query
+//! `u` under scale-shift dissimilarity is the stored sequence whose shifting
+//! line is closest to `u`'s scaling line — equivalently (Theorem 2), the
+//! indexed SE/feature point closest to the query's SE-line. The paper defers
+//! the algorithm for space reasons; we implement the standard
+//! Hjaltason–Samet best-first traversal with a priority queue keyed by a
+//! lower bound on the line-to-MBR distance.
+//!
+//! The lower bound `min_t dist(L(t), box)` is computed *exactly*:
+//! `f(t) = dist²(L(t), box)` is a convex piecewise-quadratic function of `t`
+//! whose breakpoints are the parameters where each coordinate of `L(t)`
+//! crosses its slab boundary. Between consecutive breakpoints `f` is a
+//! single quadratic; evaluating the minimum of each piece (clamped to the
+//! piece) and taking the best yields the global minimum analytically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tsss_geometry::line::{pld_sq, Line};
+use tsss_geometry::Mbr;
+
+use crate::node::Node;
+use crate::query::Match;
+use crate::tree::RTree;
+
+/// Exact `min_t dist(L(t), box)`: zero when the line penetrates the box,
+/// otherwise the global minimum of the convex piecewise-quadratic
+/// `f(t) = Σᵢ clamp-residualᵢ(t)²`.
+pub fn line_mbr_min_dist(line: &Line, mbr: &Mbr) -> f64 {
+    if tsss_geometry::penetration::line_penetrates_mbr(line, mbr) {
+        return 0.0;
+    }
+    let n = line.dim();
+    let f = |t: f64| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = line.point[i] + t * line.dir[i];
+            let e = if x < mbr.low()[i] {
+                mbr.low()[i] - x
+            } else if x > mbr.high()[i] {
+                x - mbr.high()[i]
+            } else {
+                0.0
+            };
+            acc += e * e;
+        }
+        acc
+    };
+
+    // Breakpoints: every t where some coordinate of L(t) crosses its slab
+    // boundary. Between consecutive breakpoints the active set is fixed and
+    // f is one quadratic A·t² + B·t + C.
+    let mut breaks: Vec<f64> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let d = line.dir[i];
+        if d != 0.0 {
+            breaks.push((mbr.low()[i] - line.point[i]) / d);
+            breaks.push((mbr.high()[i] - line.point[i]) / d);
+        }
+    }
+    if breaks.is_empty() {
+        // Fully degenerate line: a single point.
+        return f(0.0).sqrt();
+    }
+    breaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breaks.dedup();
+
+    let mut best = f64::INFINITY;
+    // Evaluate each piece: (-∞, b₀], [b₀, b₁], …, [b_last, ∞). On a piece,
+    // reconstruct the quadratic from the active residuals at its midpoint
+    // and minimise it clamped to the piece. Unbounded end pieces are convex
+    // and increasing away from the box, so their minima sit at the finite
+    // end (already covered); still evaluate the breakpoints themselves.
+    for &b in &breaks {
+        best = best.min(f(b));
+    }
+    for w in breaks.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo <= 0.0 {
+            continue;
+        }
+        let mid = 0.5 * (lo + hi);
+        // Quadratic coefficients from the residuals active at `mid`.
+        let (mut qa, mut qb) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            let x = line.point[i] + mid * line.dir[i];
+            let (p, d) = (line.point[i], line.dir[i]);
+            if x < mbr.low()[i] {
+                // residual = low − p − t·d
+                qa += d * d;
+                qb += -2.0 * d * (mbr.low()[i] - p);
+            } else if x > mbr.high()[i] {
+                // residual = p + t·d − high
+                qa += d * d;
+                qb += 2.0 * d * (p - mbr.high()[i]);
+            }
+        }
+        if qa > 0.0 {
+            let t_star = -qb / (2.0 * qa);
+            if t_star > lo && t_star < hi {
+                best = best.min(f(t_star));
+            }
+        }
+    }
+    best.max(0.0).sqrt()
+}
+
+#[derive(Debug)]
+enum HeapItem {
+    Node { page: tsss_storage::PageId, bound: f64 },
+    Point { entry: Match },
+}
+
+impl HeapItem {
+    fn key(&self) -> f64 {
+        match self {
+            HeapItem::Node { bound, .. } => *bound,
+            HeapItem::Point { entry } => entry.distance,
+        }
+    }
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for smallest-first.
+        other
+            .key()
+            .partial_cmp(&self.key())
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl RTree {
+    /// The `k` indexed points nearest to `line` (ascending distance).
+    ///
+    /// Ties at equal distance are broken arbitrarily. Returns fewer than `k`
+    /// matches when the tree holds fewer points.
+    pub fn nearest_to_line(&mut self, line: &Line, k: usize) -> Vec<Match> {
+        assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem::Node {
+            page: self.root_page(),
+            bound: 0.0,
+        });
+        while let Some(item) = heap.pop() {
+            match item {
+                HeapItem::Point { entry } => {
+                    out.push(entry);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node { page, .. } => match self.read_node(page) {
+                    Node::Leaf(entries) => {
+                        for e in entries {
+                            let d = pld_sq(&e.point, line).sqrt();
+                            heap.push(HeapItem::Point {
+                                entry: Match {
+                                    id: e.id,
+                                    point: e.point.into_vec(),
+                                    distance: d,
+                                },
+                            });
+                        }
+                    }
+                    Node::Internal(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem::Node {
+                                page: e.page,
+                                bound: line_mbr_min_dist(line, &e.mbr),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{SplitPolicy, TreeConfig};
+
+    fn cfg() -> TreeConfig {
+        TreeConfig::uniform(2, 1024, 8, 3, 2, SplitPolicy::RStar, 0)
+    }
+
+    fn build(n: usize) -> (RTree, Vec<Vec<f64>>) {
+        let mut t = RTree::new(cfg());
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn bound_is_zero_for_penetrated_boxes() {
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let m = Mbr::new(vec![1.0, 1.0], vec![2.0, 2.0]).unwrap();
+        assert_eq!(line_mbr_min_dist(&line, &m), 0.0);
+    }
+
+    #[test]
+    fn bound_matches_hand_computed_distance() {
+        // x-axis vs box [0,1]x[3,4]: distance 3.
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.0]).unwrap();
+        let m = Mbr::new(vec![0.0, 3.0], vec![1.0, 4.0]).unwrap();
+        let d = line_mbr_min_dist(&line, &m);
+        assert!((d - 3.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn bound_never_exceeds_distance_to_any_contained_point() {
+        let line = Line::new(vec![-3.0, 2.0], vec![2.0, 0.7]).unwrap();
+        let m = Mbr::new(vec![5.0, -8.0], vec![9.0, -4.0]).unwrap();
+        let bound = line_mbr_min_dist(&line, &m);
+        // Sample points of the box; all must be at least `bound` away.
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = [
+                    5.0 + 4.0 * i as f64 / 10.0,
+                    -8.0 + 4.0 * j as f64 / 10.0,
+                ];
+                assert!(pld_sq(&p, &line).sqrt() + 1e-9 >= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_one_matches_brute_force() {
+        let (mut t, pts) = build(300);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.85]).unwrap();
+        let got = t.nearest_to_line(&line, 1);
+        assert_eq!(got.len(), 1);
+        let best_brute = pts
+            .iter()
+            .map(|p| pld_sq(p, &line).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        assert!((got[0].distance - best_brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_k_is_sorted_and_matches_brute_force() {
+        let (mut t, pts) = build(250);
+        let line = Line::new(vec![10.0, -5.0], vec![0.3, 1.0]).unwrap();
+        let k = 10;
+        let got = t.nearest_to_line(&line, k);
+        assert_eq!(got.len(), k);
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        let mut brute: Vec<f64> = pts.iter().map(|p| pld_sq(p, &line).sqrt()).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, b) in got.iter().zip(&brute) {
+            assert!((g.distance - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let (mut t, pts) = build(20);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let got = t.nearest_to_line(&line, 100);
+        assert_eq!(got.len(), pts.len());
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let (mut t, _) = build(20);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(t.nearest_to_line(&line, 0).is_empty());
+        let mut empty = RTree::new(cfg());
+        assert!(empty.nearest_to_line(&line, 3).is_empty());
+    }
+
+    #[test]
+    fn best_first_visits_fewer_nodes_than_full_scan() {
+        let (mut t, _) = build(600);
+        t.stats().reset();
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let _ = t.nearest_to_line(&line, 1);
+        let nn_reads = t.stats().reads();
+        t.stats().reset();
+        let _ = t.dump();
+        let full_reads = t.stats().reads();
+        assert!(
+            nn_reads < full_reads,
+            "NN visited {nn_reads} nodes, full scan {full_reads}"
+        );
+    }
+}

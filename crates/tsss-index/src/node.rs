@@ -1,0 +1,325 @@
+//! R-tree nodes and their page serialisation.
+//!
+//! The paper stores one node per 4 KB page (§7). We honour that literally:
+//! a [`Node`] round-trips through a [`Page`] with the fixed layout below
+//! (little-endian, alignment-free):
+//!
+//! ```text
+//! offset 0   u8   kind (0 = leaf, 1 = internal)
+//! offset 1   u16  entry count
+//! offset 3   entries…
+//!
+//! internal entry (4 + 16·d bytes): u32 child page | d×f64 low | d×f64 high
+//! leaf entry     (8 +  8·d bytes): u64 record id  | d×f64 point
+//! ```
+//!
+//! The maximum fanout `M` a page can hold follows from these sizes; the
+//! tree's configuration validates against it.
+
+use tsss_geometry::Mbr;
+use tsss_storage::{Page, PageId};
+
+/// Byte size of the fixed node header.
+pub const NODE_HEADER_BYTES: usize = 3;
+
+/// An entry of an internal node: the MBR of a child and its page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildEntry {
+    /// Minimum bounding rectangle of the entire subtree under `page`.
+    pub mbr: Mbr,
+    /// Page id of the child node.
+    pub page: PageId,
+}
+
+/// An entry of a leaf node: an indexed feature point and the identifier of
+/// the record (data subsequence) it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataEntry {
+    /// The indexed point (e.g. the DFT features of an SE-transformed
+    /// window).
+    pub point: Box<[f64]>,
+    /// Caller-assigned record identifier (the paper's `ID_i`).
+    pub id: u64,
+}
+
+impl DataEntry {
+    /// Convenience constructor.
+    pub fn new(point: Vec<f64>, id: u64) -> Self {
+        Self {
+            point: point.into_boxed_slice(),
+            id,
+        }
+    }
+}
+
+/// A node of the R-tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An internal (directory) node.
+    Internal(Vec<ChildEntry>),
+    /// A leaf node holding data entries.
+    Leaf(Vec<DataEntry>),
+}
+
+impl Node {
+    /// Number of entries in the node.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Internal(v) => v.len(),
+            Node::Leaf(v) => v.len(),
+        }
+    }
+
+    /// True when the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// The MBR covering every entry of the node, or `None` when empty.
+    pub fn mbr(&self) -> Option<Mbr> {
+        match self {
+            Node::Internal(v) => {
+                let mut it = v.iter();
+                let mut acc = it.next()?.mbr.clone();
+                for e in it {
+                    acc.extend_mbr(&e.mbr);
+                }
+                Some(acc)
+            }
+            Node::Leaf(v) => Mbr::covering(v.iter().map(|e| &*e.point)),
+        }
+    }
+
+    /// Byte size of one internal entry at dimension `dim`.
+    pub fn internal_entry_bytes(dim: usize) -> usize {
+        4 + 16 * dim
+    }
+
+    /// Byte size of one leaf entry at dimension `dim`.
+    pub fn leaf_entry_bytes(dim: usize) -> usize {
+        8 + 8 * dim
+    }
+
+    /// Largest `M` such that a node with `M` entries of either kind fits a
+    /// page of `page_size` bytes at dimension `dim`.
+    pub fn max_fanout(page_size: usize, dim: usize) -> usize {
+        let worst = Self::internal_entry_bytes(dim).max(Self::leaf_entry_bytes(dim));
+        (page_size - NODE_HEADER_BYTES) / worst
+    }
+
+    /// Largest internal-node fanout fitting the page.
+    pub fn max_internal_fanout(page_size: usize, dim: usize) -> usize {
+        (page_size - NODE_HEADER_BYTES) / Self::internal_entry_bytes(dim)
+    }
+
+    /// Largest leaf-node fanout fitting the page.
+    pub fn max_leaf_fanout(page_size: usize, dim: usize) -> usize {
+        (page_size - NODE_HEADER_BYTES) / Self::leaf_entry_bytes(dim)
+    }
+
+    /// Serialises the node into `page`.
+    ///
+    /// # Panics
+    /// Panics when the node does not fit the page (the tree's config
+    /// guarantees it does) or when an entry's dimension differs from `dim`.
+    pub fn encode(&self, page: &mut Page, dim: usize) {
+        match self {
+            Node::Leaf(entries) => {
+                page.put_u8(0, 0);
+                page.put_u16(
+                    1,
+                    u16::try_from(entries.len()).expect("node entry count overflows u16"),
+                );
+                let mut off = NODE_HEADER_BYTES;
+                for e in entries {
+                    assert_eq!(e.point.len(), dim, "leaf entry dimension mismatch");
+                    page.put_u64(off, e.id);
+                    off = page.put_f64_slice(off + 8, &e.point);
+                }
+            }
+            Node::Internal(entries) => {
+                page.put_u8(0, 1);
+                page.put_u16(
+                    1,
+                    u16::try_from(entries.len()).expect("node entry count overflows u16"),
+                );
+                let mut off = NODE_HEADER_BYTES;
+                for e in entries {
+                    assert_eq!(e.mbr.dim(), dim, "internal entry dimension mismatch");
+                    page.put_u32(off, e.page.0);
+                    off = page.put_f64_slice(off + 4, e.mbr.low());
+                    off = page.put_f64_slice(off, e.mbr.high());
+                }
+            }
+        }
+    }
+
+    /// Deserialises a node of dimension `dim` from `page`.
+    ///
+    /// # Panics
+    /// Panics on a corrupt kind byte — pages holding nodes are only ever
+    /// written by [`Node::encode`], so corruption is a program error.
+    pub fn decode(page: &Page, dim: usize) -> Node {
+        let kind = page.get_u8(0);
+        let count = page.get_u16(1) as usize;
+        let mut off = NODE_HEADER_BYTES;
+        match kind {
+            0 => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = page.get_u64(off);
+                    let mut point = vec![0.0; dim];
+                    off = page.get_f64_slice(off + 8, &mut point);
+                    entries.push(DataEntry {
+                        point: point.into_boxed_slice(),
+                        id,
+                    });
+                }
+                Node::Leaf(entries)
+            }
+            1 => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = PageId(page.get_u32(off));
+                    let mut low = vec![0.0; dim];
+                    let mut high = vec![0.0; dim];
+                    off = page.get_f64_slice(off + 4, &mut low);
+                    off = page.get_f64_slice(off, &mut high);
+                    entries.push(ChildEntry {
+                        mbr: Mbr::new(low, high).expect("stored MBR is well-formed"),
+                        page: child,
+                    });
+                }
+                Node::Internal(entries)
+            }
+            k => panic!("corrupt node page: unknown kind byte {k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsss_storage::DEFAULT_PAGE_SIZE;
+
+    fn leaf_fixture(dim: usize, n: usize) -> Node {
+        Node::Leaf(
+            (0..n)
+                .map(|i| DataEntry::new((0..dim).map(|j| (i * dim + j) as f64 * 0.5).collect(), i as u64 + 1000))
+                .collect(),
+        )
+    }
+
+    fn internal_fixture(dim: usize, n: usize) -> Node {
+        Node::Internal(
+            (0..n)
+                .map(|i| {
+                    let low: Vec<f64> = (0..dim).map(|j| i as f64 + j as f64).collect();
+                    let high: Vec<f64> = low.iter().map(|v| v + 1.5).collect();
+                    ChildEntry {
+                        mbr: Mbr::new(low, high).unwrap(),
+                        page: PageId(i as u32 + 7),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = leaf_fixture(6, 20);
+        let mut page = Page::zeroed(DEFAULT_PAGE_SIZE);
+        node.encode(&mut page, 6);
+        assert_eq!(Node::decode(&page, 6), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = internal_fixture(6, 20);
+        let mut page = Page::zeroed(DEFAULT_PAGE_SIZE);
+        node.encode(&mut page, 6);
+        assert_eq!(Node::decode(&page, 6), node);
+    }
+
+    #[test]
+    fn empty_nodes_roundtrip() {
+        let mut page = Page::zeroed(64);
+        Node::Leaf(vec![]).encode(&mut page, 3);
+        assert_eq!(Node::decode(&page, 3), Node::Leaf(vec![]));
+        Node::Internal(vec![]).encode(&mut page, 3);
+        assert_eq!(Node::decode(&page, 3), Node::Internal(vec![]));
+    }
+
+    #[test]
+    fn paper_configuration_fits_a_4k_page() {
+        // d = 6, page 4 KB: internal entry = 100 B, leaf entry = 56 B.
+        assert_eq!(Node::internal_entry_bytes(6), 100);
+        assert_eq!(Node::leaf_entry_bytes(6), 56);
+        // The paper's M = 20 must fit: 3 + 20·100 = 2003 ≤ 4096.
+        assert!(Node::max_fanout(DEFAULT_PAGE_SIZE, 6) >= 20);
+        assert_eq!(Node::max_fanout(DEFAULT_PAGE_SIZE, 6), (4096 - 3) / 100);
+    }
+
+    #[test]
+    fn mbr_of_leaf_covers_all_points() {
+        let node = leaf_fixture(3, 5);
+        let mbr = node.mbr().unwrap();
+        if let Node::Leaf(entries) = &node {
+            for e in entries {
+                assert!(mbr.contains_point(&e.point));
+            }
+        }
+    }
+
+    #[test]
+    fn mbr_of_internal_covers_all_children() {
+        let node = internal_fixture(3, 4);
+        let mbr = node.mbr().unwrap();
+        if let Node::Internal(entries) = &node {
+            for e in entries {
+                assert!(mbr.contains_mbr(&e.mbr));
+            }
+        }
+    }
+
+    #[test]
+    fn mbr_of_empty_node_is_none() {
+        assert!(Node::Leaf(vec![]).mbr().is_none());
+        assert!(Node::Internal(vec![]).mbr().is_none());
+    }
+
+    #[test]
+    fn len_and_kind_accessors() {
+        let l = leaf_fixture(2, 3);
+        assert_eq!(l.len(), 3);
+        assert!(l.is_leaf());
+        assert!(!l.is_empty());
+        let i = internal_fixture(2, 4);
+        assert_eq!(i.len(), 4);
+        assert!(!i.is_leaf());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kind byte")]
+    fn corrupt_kind_byte_panics() {
+        let mut page = Page::zeroed(64);
+        page.put_u8(0, 9);
+        let _ = Node::decode(&page, 2);
+    }
+
+    #[test]
+    fn negative_and_extreme_coordinates_roundtrip() {
+        let node = Node::Leaf(vec![
+            DataEntry::new(vec![-1e300, 1e-300, -0.0], 0),
+            DataEntry::new(vec![f64::MAX, f64::MIN, 0.0], u64::MAX),
+        ]);
+        let mut page = Page::zeroed(256);
+        node.encode(&mut page, 3);
+        assert_eq!(Node::decode(&page, 3), node);
+    }
+}

@@ -1,0 +1,247 @@
+//! Index persistence: serialise a whole [`RTree`] — configuration, shape
+//! metadata and the underlying page file — to any `Write`, and load it back.
+//!
+//! Because nodes already live in pages, persistence is cheap: the node
+//! serialisation *is* the on-disk format, and this module only adds a small
+//! header. Buffer-pool state (cached frames) is flushed, not persisted.
+
+use std::io::{self, Read, Write};
+
+use tsss_storage::codec::*;
+use tsss_storage::{BufferPool, PageFile, PageId};
+
+use crate::tree::{RTree, SplitPolicy, TreeConfig};
+
+const MAGIC: &[u8; 8] = b"TSSSIX01";
+
+fn split_tag(s: SplitPolicy) -> u8 {
+    match s {
+        SplitPolicy::RStar => 0,
+        SplitPolicy::GuttmanQuadratic => 1,
+        SplitPolicy::GuttmanLinear => 2,
+    }
+}
+
+fn split_from_tag(t: u8) -> io::Result<SplitPolicy> {
+    Ok(match t {
+        0 => SplitPolicy::RStar,
+        1 => SplitPolicy::GuttmanQuadratic,
+        2 => SplitPolicy::GuttmanLinear,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown split policy tag {other}"),
+            ))
+        }
+    })
+}
+
+pub(crate) fn write_config<W: Write>(w: &mut W, cfg: &TreeConfig) -> io::Result<()> {
+    put_usize(w, cfg.dim)?;
+    put_usize(w, cfg.page_size)?;
+    put_usize(w, cfg.max_entries)?;
+    put_usize(w, cfg.min_entries)?;
+    put_usize(w, cfg.reinsert_count)?;
+    put_usize(w, cfg.leaf_max_entries)?;
+    put_usize(w, cfg.leaf_min_entries)?;
+    put_usize(w, cfg.leaf_reinsert_count)?;
+    put_u8(w, split_tag(cfg.split))?;
+    put_usize(w, cfg.buffer_frames)
+}
+
+pub(crate) fn read_config<R: Read>(r: &mut R) -> io::Result<TreeConfig> {
+    Ok(TreeConfig {
+        dim: get_usize(r)?,
+        page_size: get_usize(r)?,
+        max_entries: get_usize(r)?,
+        min_entries: get_usize(r)?,
+        reinsert_count: get_usize(r)?,
+        leaf_max_entries: get_usize(r)?,
+        leaf_min_entries: get_usize(r)?,
+        leaf_reinsert_count: get_usize(r)?,
+        split: split_from_tag(get_u8(r)?)?,
+        buffer_frames: get_usize(r)?,
+    })
+}
+
+impl RTree {
+    /// Serialises the tree (after flushing cached frames).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        put_magic(w, MAGIC)?;
+        write_config(w, &self.config().clone())?;
+        put_u32(w, self.root_page().0)?;
+        put_usize(w, self.height())?;
+        put_usize(w, self.len())?;
+        self.flush_and_file().write_to(w)
+    }
+
+    /// Loads a tree previously written by [`RTree::save_to`].
+    ///
+    /// # Errors
+    /// `InvalidData` on malformed input; propagates I/O errors.
+    pub fn load_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        expect_magic(r, MAGIC)?;
+        let cfg = read_config(r)?;
+        let root = PageId(get_u32(r)?);
+        let height = get_usize(r)?;
+        let len = get_usize(r)?;
+        let file = PageFile::read_from(r)?;
+        if file.page_size() != cfg.page_size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "page size disagrees between header and page file",
+            ));
+        }
+        if (root.0 as usize) >= file.extent() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "root page out of range",
+            ));
+        }
+        let buffer_frames = cfg.buffer_frames;
+        let pool = BufferPool::new(file, buffer_frames);
+        Ok(RTree::from_parts(cfg, pool, root, height, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsss_geometry::line::Line;
+    use tsss_geometry::penetration::PenetrationMethod;
+
+    fn build_tree(n: usize) -> RTree {
+        let mut t = RTree::new(TreeConfig::uniform(
+            3,
+            1024,
+            8,
+            3,
+            2,
+            SplitPolicy::RStar,
+            0,
+        ));
+        for i in 0..n as u64 {
+            t.insert(
+                vec![
+                    ((i * 37) % 101) as f64,
+                    ((i * 61) % 97) as f64,
+                    ((i * 13) % 89) as f64,
+                ],
+                i,
+            );
+        }
+        t
+    }
+
+    fn roundtrip(tree: &mut RTree) -> RTree {
+        let mut buf = Vec::new();
+        tree.save_to(&mut buf).unwrap();
+        RTree::load_from(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_contents_and_invariants() {
+        let mut t = build_tree(250);
+        let mut u = roundtrip(&mut t);
+        assert_eq!(u.len(), 250);
+        assert_eq!(u.height(), t.height());
+        u.check_invariants();
+        let mut a = t.dump();
+        let mut b = u.dump();
+        a.sort_by_key(|(_, id)| *id);
+        b.sort_by_key(|(_, id)| *id);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loaded_tree_answers_queries_identically() {
+        let mut t = build_tree(300);
+        let mut u = roundtrip(&mut t);
+        let line = Line::new(vec![0.0; 3], vec![1.0, 0.9, 1.2]).unwrap();
+        for eps in [0.0, 5.0, 25.0] {
+            let a: Vec<u64> = {
+                let mut v: Vec<u64> = t
+                    .line_query(&line, eps, PenetrationMethod::EnteringExiting)
+                    .matches
+                    .iter()
+                    .map(|m| m.id)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            let b: Vec<u64> = {
+                let mut v: Vec<u64> = u
+                    .line_query(&line, eps, PenetrationMethod::EnteringExiting)
+                    .matches
+                    .iter()
+                    .map(|m| m.id)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(a, b, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn loaded_tree_accepts_further_updates() {
+        let mut t = build_tree(100);
+        let mut u = roundtrip(&mut t);
+        u.insert(vec![500.0, 500.0, 500.0], 9999);
+        assert!(u.delete(&[500.0, 500.0, 500.0], 9999));
+        for i in 0..50u64 {
+            let p = vec![
+                ((i * 37) % 101) as f64,
+                ((i * 61) % 97) as f64,
+                ((i * 13) % 89) as f64,
+            ];
+            assert!(u.delete(&p, i), "missing id {i}");
+        }
+        u.check_invariants();
+        assert_eq!(u.len(), 50);
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let mut t = RTree::new(TreeConfig::uniform(
+            2,
+            512,
+            4,
+            2,
+            1,
+            SplitPolicy::GuttmanLinear,
+            0,
+        ));
+        let mut u = roundtrip(&mut t);
+        assert!(u.is_empty());
+        assert_eq!(u.config().split, SplitPolicy::GuttmanLinear);
+        u.check_invariants();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let mut t = build_tree(10);
+        let mut buf = Vec::new();
+        t.save_to(&mut buf).unwrap();
+        buf[3] = b'Z';
+        assert!(RTree::load_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn buffered_tree_flushes_before_saving() {
+        let mut cfg = TreeConfig::uniform(2, 512, 4, 2, 1, SplitPolicy::RStar, 16);
+        cfg.buffer_frames = 16;
+        let mut t = RTree::new(cfg);
+        for i in 0..60u64 {
+            t.insert(vec![i as f64, (i * 7 % 13) as f64], i);
+        }
+        let mut buf = Vec::new();
+        t.save_to(&mut buf).unwrap();
+        let mut u = RTree::load_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(u.len(), 60);
+        u.check_invariants();
+    }
+}

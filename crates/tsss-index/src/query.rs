@@ -1,0 +1,368 @@
+//! Search operations over the R-tree.
+//!
+//! The paper's searching step (§6) is the **line-penetration query**: given
+//! the query's SE-line and an error bound ε, traverse only the children
+//! whose ε-MBR is penetrated by the line (Theorem 3); at the leaves, keep
+//! every point within ε of the line (Theorem 2). [`RTree::line_query`]
+//! implements exactly that with a pluggable [`PenetrationMethod`] — the
+//! paper's experiment sets 2 and 3 differ only in that plug.
+//!
+//! Conventional box and radius queries are also provided: they are the
+//! ground-truth oracles in the tests and the building blocks of the
+//! baselines.
+
+use tsss_geometry::line::{pld_sq, Line};
+use tsss_geometry::penetration::{penetrates, PenetrationMethod, SphereStats};
+use tsss_geometry::Mbr;
+
+use crate::node::Node;
+use crate::tree::RTree;
+
+/// Per-query traversal statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LineQueryStats {
+    /// Internal nodes visited.
+    pub internal_visited: u64,
+    /// Leaf nodes visited.
+    pub leaves_visited: u64,
+    /// Leaf entries distance-checked.
+    pub candidates_checked: u64,
+    /// MBR penetration tests performed.
+    pub penetration_tests: u64,
+    /// How the bounding-sphere heuristic resolved (only populated under
+    /// [`PenetrationMethod::BoundingSpheres`]).
+    pub sphere: SphereStats,
+}
+
+/// A match returned by a query: the stored point, its record id and its
+/// distance to the query object (line or point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Record identifier supplied at insertion time.
+    pub id: u64,
+    /// The indexed point.
+    pub point: Vec<f64>,
+    /// Distance to the query object.
+    pub distance: f64,
+}
+
+/// Result of a query: matches plus traversal statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// All matching entries (unordered).
+    pub matches: Vec<Match>,
+    /// Traversal statistics.
+    pub stats: LineQueryStats,
+}
+
+impl RTree {
+    /// The paper's search (§6): every indexed point within `epsilon` of
+    /// `line`, pruned by ε-MBR penetration (Theorem 3).
+    ///
+    /// # Panics
+    /// Panics when the line's dimension differs from the tree's.
+    pub fn line_query(
+        &mut self,
+        line: &Line,
+        epsilon: f64,
+        method: PenetrationMethod,
+    ) -> QueryOutcome {
+        assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        let mut out = QueryOutcome::default();
+        let eps_sq = epsilon * epsilon;
+        let root = self.root_page();
+        self.line_query_node(root, line, epsilon, eps_sq, method, &mut out);
+        out
+    }
+
+    fn line_query_node(
+        &mut self,
+        page: tsss_storage::PageId,
+        line: &Line,
+        epsilon: f64,
+        eps_sq: f64,
+        method: PenetrationMethod,
+        out: &mut QueryOutcome,
+    ) {
+        match self.read_node(page) {
+            Node::Leaf(entries) => {
+                out.stats.leaves_visited += 1;
+                for e in entries {
+                    out.stats.candidates_checked += 1;
+                    let d_sq = pld_sq(&e.point, line);
+                    if d_sq <= eps_sq {
+                        out.matches.push(Match {
+                            id: e.id,
+                            point: e.point.into_vec(),
+                            distance: d_sq.sqrt(),
+                        });
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                out.stats.internal_visited += 1;
+                for e in entries {
+                    out.stats.penetration_tests += 1;
+                    let enlarged = e.mbr.enlarged(epsilon);
+                    if penetrates(line, &enlarged, method, &mut out.stats.sphere) {
+                        self.line_query_node(e.page, line, epsilon, eps_sq, method, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All points contained in `query_box` (a classic R-tree window query).
+    pub fn box_query(&mut self, query_box: &Mbr) -> QueryOutcome {
+        assert_eq!(query_box.dim(), self.config().dim, "box dimension mismatch");
+        let mut out = QueryOutcome::default();
+        let root = self.root_page();
+        self.box_query_node(root, query_box, &mut out);
+        out
+    }
+
+    fn box_query_node(
+        &mut self,
+        page: tsss_storage::PageId,
+        query_box: &Mbr,
+        out: &mut QueryOutcome,
+    ) {
+        match self.read_node(page) {
+            Node::Leaf(entries) => {
+                out.stats.leaves_visited += 1;
+                for e in entries {
+                    out.stats.candidates_checked += 1;
+                    if query_box.contains_point(&e.point) {
+                        out.matches.push(Match {
+                            id: e.id,
+                            point: e.point.into_vec(),
+                            distance: 0.0,
+                        });
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                out.stats.internal_visited += 1;
+                for e in entries {
+                    if e.mbr.intersects(query_box) {
+                        self.box_query_node(e.page, query_box, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All points within Euclidean distance `radius` of `center` — the
+    /// F-index style range query, used by baselines and tests.
+    pub fn radius_query(&mut self, center: &[f64], radius: f64) -> QueryOutcome {
+        assert_eq!(center.len(), self.config().dim, "center dimension mismatch");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = QueryOutcome::default();
+        let root = self.root_page();
+        self.radius_query_node(root, center, radius * radius, &mut out);
+        out
+    }
+
+    fn radius_query_node(
+        &mut self,
+        page: tsss_storage::PageId,
+        center: &[f64],
+        radius_sq: f64,
+        out: &mut QueryOutcome,
+    ) {
+        match self.read_node(page) {
+            Node::Leaf(entries) => {
+                out.stats.leaves_visited += 1;
+                for e in entries {
+                    out.stats.candidates_checked += 1;
+                    let d_sq = tsss_geometry::vector::dist_sq(&e.point, center);
+                    if d_sq <= radius_sq {
+                        out.matches.push(Match {
+                            id: e.id,
+                            point: e.point.into_vec(),
+                            distance: d_sq.sqrt(),
+                        });
+                    }
+                }
+            }
+            Node::Internal(entries) => {
+                out.stats.internal_visited += 1;
+                for e in entries {
+                    if e.mbr.min_dist_sq_to_point(center) <= radius_sq {
+                        self.radius_query_node(e.page, center, radius_sq, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{SplitPolicy, TreeConfig};
+
+    fn cfg() -> TreeConfig {
+        TreeConfig::uniform(2, 1024, 8, 3, 2, SplitPolicy::RStar, 0)
+    }
+
+    fn build(n: usize) -> (RTree, Vec<Vec<f64>>) {
+        let mut t = RTree::new(cfg());
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn box_query_matches_linear_filter() {
+        let (mut t, pts) = build(200);
+        let qb = Mbr::new(vec![20.0, 10.0], vec![60.0, 50.0]).unwrap();
+        let got: std::collections::BTreeSet<u64> =
+            t.box_query(&qb).matches.iter().map(|m| m.id).collect();
+        let want: std::collections::BTreeSet<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| qb.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(got, want);
+        assert!(!want.is_empty(), "fixture should have matches");
+    }
+
+    #[test]
+    fn radius_query_matches_linear_filter() {
+        let (mut t, pts) = build(200);
+        let center = [50.0, 50.0];
+        let r = 25.0;
+        let got: std::collections::BTreeSet<u64> = t
+            .radius_query(&center, r)
+            .matches
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        let want: std::collections::BTreeSet<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| tsss_geometry::vector::dist(p, &center) <= r)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn line_query_matches_linear_filter_for_both_methods() {
+        let (mut t, pts) = build(300);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.9]).unwrap();
+        for method in [
+            PenetrationMethod::EnteringExiting,
+            PenetrationMethod::BoundingSpheres,
+        ] {
+            for eps in [0.0, 1.0, 5.0, 20.0] {
+                let got: std::collections::BTreeSet<u64> = t
+                    .line_query(&line, eps, method)
+                    .matches
+                    .iter()
+                    .map(|m| m.id)
+                    .collect();
+                let want: std::collections::BTreeSet<u64> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| pld_sq(p, &line) <= eps * eps + 1e-12)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                assert_eq!(got, want, "method {method:?}, eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_query_reports_distances() {
+        let (mut t, _) = build(100);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let out = t.line_query(&line, 10.0, PenetrationMethod::EnteringExiting);
+        for m in &out.matches {
+            let expect = pld_sq(&m.point, &line).sqrt();
+            assert!((m.distance - expect).abs() < 1e-9);
+            assert!(m.distance <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_visits_fewer_leaves_than_full_scan() {
+        let (mut t, _) = build(500);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.0]).unwrap();
+        let out = t.line_query(&line, 1.0, PenetrationMethod::EnteringExiting);
+        // A thin strip query should not need every leaf.
+        let total_leaves = {
+            let full = t.box_query(&Mbr::new(vec![-1e9, -1e9], vec![1e9, 1e9]).unwrap());
+            full.stats.leaves_visited
+        };
+        assert!(
+            out.stats.leaves_visited < total_leaves,
+            "no pruning happened: {} vs {}",
+            out.stats.leaves_visited,
+            total_leaves
+        );
+    }
+
+    #[test]
+    fn sphere_stats_populated_only_for_sphere_method() {
+        let (mut t, _) = build(300);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap();
+        let plain = t.line_query(&line, 2.0, PenetrationMethod::EnteringExiting);
+        assert_eq!(plain.stats.sphere.total(), 0);
+        let sph = t.line_query(&line, 2.0, PenetrationMethod::BoundingSpheres);
+        assert_eq!(
+            sph.stats.sphere.total(),
+            sph.stats.penetration_tests,
+            "every test should be classified"
+        );
+    }
+
+    #[test]
+    fn empty_tree_queries_return_nothing() {
+        let mut t = RTree::new(cfg());
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(t
+            .line_query(&line, 100.0, PenetrationMethod::EnteringExiting)
+            .matches
+            .is_empty());
+        assert!(t
+            .radius_query(&[0.0, 0.0], 100.0)
+            .matches
+            .is_empty());
+    }
+
+    #[test]
+    fn zero_epsilon_line_query_finds_points_on_the_line() {
+        let mut t = RTree::new(cfg());
+        for i in 0..50 {
+            t.insert(vec![i as f64, i as f64], i); // on the diagonal
+            t.insert(vec![i as f64, i as f64 + 5.0], 100 + i); // off it
+        }
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let out = t.line_query(&line, 0.0, PenetrationMethod::EnteringExiting);
+        assert_eq!(out.matches.len(), 50);
+        assert!(out.matches.iter().all(|m| m.id < 100));
+    }
+
+    #[test]
+    fn page_reads_equal_nodes_visited() {
+        let (mut t, _) = build(400);
+        t.stats().reset();
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.3]).unwrap();
+        let out = t.line_query(&line, 3.0, PenetrationMethod::EnteringExiting);
+        assert_eq!(
+            t.stats().reads(),
+            out.stats.internal_visited + out.stats.leaves_visited,
+            "every visited node is exactly one page read"
+        );
+        assert_eq!(t.stats().writes(), 0, "queries never write");
+    }
+}

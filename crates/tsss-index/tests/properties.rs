@@ -1,0 +1,212 @@
+//! Model-based property tests: the R-tree (any split policy, incremental or
+//! bulk-loaded) must behave exactly like a flat vector of points under every
+//! query, across random interleavings of inserts and deletes.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tsss_geometry::line::{pld_sq, Line};
+use tsss_geometry::penetration::PenetrationMethod;
+use tsss_geometry::Mbr;
+use tsss_index::bulk::bulk_load;
+use tsss_index::{DataEntry, RTree, SplitPolicy, TreeConfig};
+
+fn cfg(split: SplitPolicy) -> TreeConfig {
+    TreeConfig::uniform(3, 1024, 8, 3, 2, split, 0)
+}
+
+fn point_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 3)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<f64>),
+    DeleteExisting(usize), // index into the live set (mod len)
+    DeleteMissing(Vec<f64>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => point_strategy().prop_map(Op::Insert),
+        2 => (0usize..1000).prop_map(Op::DeleteExisting),
+        1 => point_strategy().prop_map(Op::DeleteMissing),
+    ]
+}
+
+fn split_strategy() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![
+        Just(SplitPolicy::RStar),
+        Just(SplitPolicy::GuttmanQuadratic),
+        Just(SplitPolicy::GuttmanLinear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_model_under_churn(
+        split in split_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        line_dir in point_strategy(),
+        eps in 0.0f64..30.0,
+    ) {
+        let mut tree = RTree::new(cfg(split));
+        let mut model: Vec<(Vec<f64>, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert(p) => {
+                    tree.insert(p.clone(), next_id);
+                    model.push((p, next_id));
+                    next_id += 1;
+                }
+                Op::DeleteExisting(raw) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let i = raw % model.len();
+                    let (p, id) = model.swap_remove(i);
+                    prop_assert!(tree.delete(&p, id), "existing entry not deleted");
+                }
+                Op::DeleteMissing(p) => {
+                    prop_assert!(!tree.delete(&p, 999_999), "phantom delete succeeded");
+                }
+            }
+        }
+
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants();
+
+        // Full content equality.
+        let mut dumped: Vec<(Vec<f64>, u64)> = tree.dump();
+        dumped.sort_by_key(|(_, id)| *id);
+        let mut want = model.clone();
+        want.sort_by_key(|(_, id)| *id);
+        prop_assert_eq!(&dumped, &want);
+
+        // Line query equality for both penetration methods.
+        let line = Line::new(vec![0.0; 3], line_dir).unwrap();
+        for method in [PenetrationMethod::EnteringExiting, PenetrationMethod::BoundingSpheres] {
+            let got: BTreeSet<u64> = tree
+                .line_query(&line, eps, method)
+                .matches
+                .iter()
+                .map(|m| m.id)
+                .collect();
+            let expect: BTreeSet<u64> = model
+                .iter()
+                .filter(|(p, _)| pld_sq(p, &line) <= eps * eps)
+                .map(|(_, id)| *id)
+                .collect();
+            prop_assert_eq!(&got, &expect, "line query diverged ({:?})", method);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_build(
+        split in split_strategy(),
+        points in prop::collection::vec(point_strategy(), 0..150),
+        center in point_strategy(),
+        radius in 0.0f64..60.0,
+    ) {
+        let entries: Vec<DataEntry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DataEntry::new(p.clone(), i as u64))
+            .collect();
+        let mut bulk = bulk_load(cfg(split), entries.clone());
+        bulk.check_invariants();
+        let mut incr = RTree::new(cfg(split));
+        for e in &entries {
+            incr.insert(e.point.to_vec(), e.id);
+        }
+        let a: BTreeSet<u64> = bulk.radius_query(&center, radius).matches.iter().map(|m| m.id).collect();
+        let b: BTreeSet<u64> = incr.radius_query(&center, radius).matches.iter().map(|m| m.id).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn box_query_equals_linear_filter(
+        points in prop::collection::vec(point_strategy(), 1..150),
+        low in point_strategy(),
+        ext in prop::collection::vec(0.0f64..80.0, 3),
+    ) {
+        let mut tree = RTree::new(cfg(SplitPolicy::RStar));
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(p.clone(), i as u64);
+        }
+        let high: Vec<f64> = low.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let qb = Mbr::new(low, high).unwrap();
+        let got: BTreeSet<u64> = tree.box_query(&qb).matches.iter().map(|m| m.id).collect();
+        let want: BTreeSet<u64> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| qb.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nn_matches_brute_force(
+        points in prop::collection::vec(point_strategy(), 1..120),
+        dir in point_strategy(),
+        k in 1usize..8,
+    ) {
+        let mut tree = RTree::new(cfg(SplitPolicy::RStar));
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(p.clone(), i as u64);
+        }
+        let line = Line::new(vec![0.0; 3], dir).unwrap();
+        let got = tree.nearest_to_line(&line, k);
+        let mut brute: Vec<f64> = points.iter().map(|p| pld_sq(p, &line).sqrt()).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for (g, b) in got.iter().zip(&brute) {
+            prop_assert!((g.distance - b).abs() < 1e-7,
+                "k-NN distance {} vs brute {}", g.distance, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The exact line–MBR distance equals dense-sampled ground truth and is
+    /// admissible (never exceeds the distance to any box point).
+    #[test]
+    fn line_mbr_min_dist_is_exact(
+        p in prop::collection::vec(-30.0f64..30.0, 3),
+        d in prop::collection::vec(-5.0f64..5.0, 3),
+        lo in prop::collection::vec(-30.0f64..30.0, 3),
+        ext in prop::collection::vec(0.1f64..20.0, 3),
+    ) {
+        use tsss_index::nn::line_mbr_min_dist;
+        let line = Line::new(p, d).unwrap();
+        let high: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let mbr = Mbr::new(lo, high).unwrap();
+        let exact = line_mbr_min_dist(&line, &mbr);
+        // Dense sample of t; the sampled minimum can only be ≥ the true one.
+        let f = |t: f64| -> f64 {
+            (0..3)
+                .map(|i| {
+                    let x = line.point[i] + t * line.dir[i];
+                    let e = (mbr.low()[i] - x).max(0.0).max(x - mbr.high()[i]);
+                    e * e
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut sampled = f64::INFINITY;
+        for k in -4000..=4000 {
+            sampled = sampled.min(f(k as f64 * 0.05));
+        }
+        prop_assert!(exact <= sampled + 1e-9, "bound not admissible: {exact} > {sampled}");
+        // And within sampling resolution of the truth (f is 1-Lipschitz-ish
+        // in t scaled by ‖d‖, so a 0.05 grid pins it down to ~0.05·‖d‖).
+        let lip = 0.06 * line.dir.iter().map(|v| v * v).sum::<f64>().sqrt() + 1e-6;
+        prop_assert!(sampled - exact <= lip, "gap {} exceeds sampling slack {lip}", sampled - exact);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal little-endian binary codec for persistence.
+//!
+//! The workspace persists engines to single files (see `RTree::save_to` and
+//! `SearchEngine::save_to_path`). Rather than pulling in a serialisation
+//! framework, the handful of primitive shapes needed — fixed-width
+//! integers, floats, length-prefixed strings and byte runs — are encoded
+//! with these helpers. Everything is little-endian and explicitly sized, so
+//! files are portable across platforms.
+
+use std::io::{self, Read, Write};
+
+/// Writes a `u8`.
+pub fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Reads a `u8`.
+pub fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a `u32` (little-endian).
+pub fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u32`.
+pub fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes a `u64` (little-endian).
+pub fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u64`.
+pub fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a `usize` as `u64`.
+pub fn put_usize<W: Write>(w: &mut W, v: usize) -> io::Result<()> {
+    put_u64(w, v as u64)
+}
+
+/// Reads a `usize` (stored as `u64`).
+///
+/// # Errors
+/// `InvalidData` when the stored value does not fit this platform's
+/// `usize`.
+pub fn get_usize<R: Read>(r: &mut R) -> io::Result<usize> {
+    let v = get_u64(r)?;
+    usize::try_from(v)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "usize overflow in stream"))
+}
+
+/// Writes an `f64` (little-endian bit pattern).
+pub fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads an `f64`.
+pub fn get_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    put_usize(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string.
+///
+/// # Errors
+/// `InvalidData` on malformed UTF-8 or an absurd length prefix.
+pub fn get_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = get_usize(r)?;
+    if len > (1 << 32) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string length prefix too large",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8 in stream"))
+}
+
+/// Writes an 8-byte ASCII magic tag.
+pub fn put_magic<W: Write>(w: &mut W, magic: &[u8; 8]) -> io::Result<()> {
+    w.write_all(magic)
+}
+
+/// Reads and verifies an 8-byte magic tag.
+///
+/// # Errors
+/// `InvalidData` when the tag does not match.
+pub fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 8]) -> io::Result<()> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    if &b != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(magic),
+                String::from_utf8_lossy(&b)
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7).unwrap();
+        put_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        put_u64(&mut buf, u64::MAX - 3).unwrap();
+        put_usize(&mut buf, 123_456).unwrap();
+        put_f64(&mut buf, -0.0).unwrap();
+        put_f64(&mut buf, 1e300).unwrap();
+        put_string(&mut buf, "héllo").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(get_u8(&mut r).unwrap(), 7);
+        assert_eq!(get_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(get_usize(&mut r).unwrap(), 123_456);
+        assert_eq!(get_f64(&mut r).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(get_f64(&mut r).unwrap(), 1e300);
+        assert_eq!(get_string(&mut r).unwrap(), "héllo");
+    }
+
+    #[test]
+    fn magic_mismatch_is_invalid_data() {
+        let mut buf = Vec::new();
+        put_magic(&mut buf, b"TSSSPG01").unwrap();
+        let mut r = Cursor::new(buf);
+        let err = expect_magic(&mut r, b"TSSSIX01").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut r = Cursor::new(vec![1u8, 2]);
+        assert!(get_u64(&mut r).is_err());
+    }
+
+    #[test]
+    fn bad_utf8_is_invalid_data() {
+        let mut buf = Vec::new();
+        put_usize(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let err = get_string(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

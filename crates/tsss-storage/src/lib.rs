@@ -1,0 +1,36 @@
+//! Paged storage substrate for the PODS '99 reproduction.
+//!
+//! The paper's experiments (§7, Figure 5) measure the *average number of page
+//! accesses* per query with 4 KB pages, each page storing one R*-tree node,
+//! against a sequential scan that must read every data page
+//! (`0.65 M values × 8 B / 4 KB ≈ 1300` pages). To reproduce those numbers
+//! faithfully we model the storage layer explicitly instead of timing real
+//! I/O:
+//!
+//! * [`page::Page`] — a fixed-size byte page with typed big-endian
+//!   read/write helpers (the unit of transfer),
+//! * [`disk::PageFile`] — a simulated disk: an allocatable array of pages
+//!   with exact read/write accounting and a free list,
+//! * [`buffer::BufferPool`] — an LRU buffer pool in front of a `PageFile`
+//!   distinguishing *logical* accesses (what the paper counts — every page
+//!   the algorithm touches) from *physical* accesses (misses that would
+//!   really hit the disk),
+//! * [`stats::AccessStats`] — the counters the benchmark harness reports.
+//!
+//! The R-tree / R*-tree in `tsss-index` serialise their nodes into these
+//! pages, so page-access counts fall directly out of the traversal — there
+//! is no side-channel estimate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod page;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use disk::{PageFile, PageId};
+pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use stats::AccessStats;

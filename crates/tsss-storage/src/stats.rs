@@ -1,0 +1,128 @@
+//! Access counters reported by the benchmark harness.
+//!
+//! The paper's Figure 5 plots *average number of page accesses per query*.
+//! [`AccessStats`] accumulates exactly that: every page the algorithm reads
+//! or writes, plus the buffer pool's hit/miss split so the `ablation_buffer`
+//! bench can show how caching changes the picture (the paper's counts are
+//! unbuffered logical accesses; we default to the same).
+
+use std::cell::Cell;
+
+/// Monotonic page-access counters.
+///
+/// Interior-mutable (`Cell`) so read paths can stay `&self`; the storage
+/// layer is single-threaded by design, mirroring the paper's setup.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl AccessStats {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one logical page read.
+    pub fn record_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    /// Records one logical page write.
+    pub fn record_write(&self) {
+        self.writes.set(self.writes.get() + 1);
+    }
+
+    /// Records a buffer-pool hit (logical read served from memory).
+    pub fn record_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    /// Records a buffer-pool miss (logical read that went to the disk).
+    pub fn record_miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+
+    /// Logical page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Logical page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Buffer-pool hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Buffer-pool misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Total logical page accesses (reads + writes) — the Figure 5 metric.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Resets every counter to zero (called between benchmark queries).
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+
+    /// A point-in-time copy of the counters as plain numbers
+    /// `(reads, writes, hits, misses)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.reads.get(),
+            self.writes.get(),
+            self.hits.get(),
+            self.misses.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = AccessStats::new();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+        assert_eq!(s.total_accesses(), 0);
+    }
+
+    #[test]
+    fn record_and_total() {
+        let s = AccessStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_hit();
+        s.record_miss();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.total_accesses(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = AccessStats::new();
+        s.record_read();
+        s.record_miss();
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+}

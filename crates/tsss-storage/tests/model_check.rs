@@ -1,0 +1,84 @@
+//! Model-based property test: the buffer pool over a simulated disk must be
+//! observationally equivalent to a plain `HashMap<PageId, Vec<u8>>`,
+//! regardless of pool capacity, operation order, or eviction churn.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tsss_storage::{BufferPool, Page, PageFile, PageId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: usize, value: u64 },
+    Read { slot: usize },
+    Flush,
+    ClearCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..16, any::<u64>()).prop_map(|(slot, value)| Op::Write { slot, value }),
+        4 => (0usize..16).prop_map(|slot| Op::Read { slot }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::ClearCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pool_is_equivalent_to_a_hashmap(
+        capacity in 0usize..6,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut file = PageFile::new(32);
+        let ids: Vec<PageId> = (0..16).map(|_| file.allocate()).collect();
+        let mut pool = BufferPool::new(file, capacity);
+        let mut model: HashMap<usize, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { slot, value } => {
+                    let mut p = Page::zeroed(32);
+                    p.put_u64(0, value);
+                    pool.write(ids[slot], p);
+                    model.insert(slot, value);
+                }
+                Op::Read { slot } => {
+                    let got = pool.read(ids[slot]).get_u64(0);
+                    let want = model.get(&slot).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "slot {} diverged", slot);
+                }
+                Op::Flush => pool.flush(),
+                Op::ClearCache => pool.clear_cache(),
+            }
+            prop_assert!(pool.cached() <= capacity);
+        }
+
+        // After draining the pool, the file itself must agree with the model.
+        let file = pool.into_file();
+        for (slot, want) in model {
+            prop_assert_eq!(file.read_page_uncounted(ids[slot]).get_u64(0), want);
+        }
+    }
+
+    #[test]
+    fn logical_read_count_is_exact(
+        capacity in 0usize..6,
+        slots in prop::collection::vec(0usize..8, 1..100),
+    ) {
+        let mut file = PageFile::new(32);
+        let ids: Vec<PageId> = (0..8).map(|_| file.allocate()).collect();
+        file.stats().reset();
+        let mut pool = BufferPool::new(file, capacity);
+        for &s in &slots {
+            let _ = pool.read(ids[s]);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.reads(), slots.len() as u64);
+        prop_assert_eq!(stats.hits() + stats.misses(), slots.len() as u64);
+        if capacity == 0 {
+            prop_assert_eq!(stats.misses(), slots.len() as u64);
+        }
+    }
+}

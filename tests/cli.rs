@@ -1,0 +1,153 @@
+//! End-to-end tests of the `tsss` command-line binary: spawn the real
+//! executable and drive the generate → build → info → query → nn pipeline
+//! through temporary files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // Cargo puts the binary next to the test executable's parent dir.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/ or release/
+    p.push(format!("tsss{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsss-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn tsss binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_pipeline_generate_build_query_nn() {
+    let dir = workdir("pipeline");
+    let market = dir.join("market.csv").display().to_string();
+    let engine = dir.join("engine.tsss").display().to_string();
+    let query = dir.join("query.csv");
+
+    let (ok, out, err) = run(&[
+        "generate", "--companies", "12", "--days", "120", "--seed", "5", "--out", &market,
+    ]);
+    assert!(ok, "generate failed: {err}");
+    assert!(out.contains("12 series"), "unexpected: {out}");
+
+    let (ok, out, err) = run(&[
+        "build", "--data", &market, "--window", "24", "--fc", "3", "--out", &engine,
+    ]);
+    assert!(ok, "build failed: {err}");
+    assert!(out.contains("saved engine"), "unexpected: {out}");
+
+    let (ok, out, _) = run(&["info", "--engine", &engine]);
+    assert!(ok);
+    assert!(out.contains("window length: 24"));
+    assert!(out.contains("series:        12"));
+
+    // Build a disguised query from the generated CSV: series HK0004,
+    // offset 30, scaled ×2 shifted +5.
+    let text = std::fs::read_to_string(&market).unwrap();
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(3, ',');
+        let name = parts.next().unwrap();
+        let idx: usize = parts.next().unwrap().parse().unwrap();
+        if name == "HK0004" && (30..54).contains(&idx) {
+            let v: f64 = parts.next().unwrap().parse().unwrap();
+            rows.push(v * 2.0 + 5.0);
+        }
+    }
+    assert_eq!(rows.len(), 24);
+    let qtext: String = rows
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("Q,{i},{v:e}\n"))
+        .collect();
+    std::fs::write(&query, qtext).unwrap();
+    let qpath = query.display().to_string();
+
+    let (ok, out, err) = run(&[
+        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
+    ]);
+    assert!(ok, "query failed: {err}");
+    assert!(
+        out.contains("series 4 @ 30") && out.contains("a = 0.5000"),
+        "source not recovered: {out}"
+    );
+
+    let (ok, out, err) = run(&["nn", "--engine", &engine, "--query", &qpath, "--k", "2"]);
+    assert!(ok, "nn failed: {err}");
+    assert!(out.contains("series 4 @ 30"), "nn missed the source: {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_respects_scale_limits() {
+    let dir = workdir("limits");
+    let market = dir.join("m.csv").display().to_string();
+    let engine = dir.join("e.tsss").display().to_string();
+    run(&["generate", "--companies", "5", "--days", "80", "--out", &market]);
+    run(&["build", "--data", &market, "--window", "16", "--out", &engine]);
+
+    // Query = series HK0000 offset 0, scaled ×4 ⇒ recovery needs a = 0.25.
+    let text = std::fs::read_to_string(&market).unwrap();
+    let rows: Vec<f64> = text
+        .lines()
+        .filter(|l| l.starts_with("HK0000,"))
+        .take(16)
+        .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap() * 4.0)
+        .collect();
+    let q = dir.join("q.csv");
+    std::fs::write(
+        &q,
+        rows.iter()
+            .enumerate()
+            .map(|(i, v)| format!("Q,{i},{v:e}\n"))
+            .collect::<String>(),
+    )
+    .unwrap();
+    let qpath = q.display().to_string();
+
+    let (ok, out, _) = run(&[
+        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
+    ]);
+    assert!(ok);
+    assert!(out.contains("series 0 @ 0"), "{out}");
+
+    // A min-scale above 0.25 must reject that recovery.
+    let (ok, out, _) = run(&[
+        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
+        "--min-scale", "0.5",
+    ]);
+    assert!(ok);
+    assert!(!out.contains("series 0 @ 0"), "cost limit ignored: {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_invocations_fail_cleanly() {
+    for args in [
+        vec!["unknown-subcommand"],
+        vec!["build"],                        // missing required options
+        vec!["query", "--engine", "/nonexistent", "--query", "/x", "--epsilon", "1"],
+        vec!["generate", "--companies", "NaN", "--days", "5", "--out", "/tmp/x.csv"],
+    ] {
+        let (ok, _, err) = run(&args);
+        assert!(!ok, "{args:?} should fail");
+        assert!(err.contains("error:"), "{args:?} gave no error message: {err}");
+    }
+}
