@@ -14,7 +14,9 @@ use tsss_core::{EngineConfig, SearchEngine, SearchOptions};
 use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, WorkloadConfig};
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let (companies, queries) = if quick { (200, 20) } else { (500, 100) };
     let data = MarketSimulator::new(MarketConfig {
         companies,
@@ -46,11 +48,13 @@ fn main() {
     for frames in [0usize, 8, 32, 128, 512, 2048] {
         let mut cfg = EngineConfig::paper();
         cfg.index_buffer_frames = frames;
-        let mut engine = SearchEngine::build(&data, cfg);
+        let engine = SearchEngine::build(&data, cfg).expect("data set fits the u32 window ids");
         engine.reset_counters();
         // One warm batch: the pool persists across queries.
         for q in &workload.queries {
-            let _ = engine.search(&q.values, eps, SearchOptions::default()).unwrap();
+            let _ = engine
+                .search(&q.values, eps, SearchOptions::default())
+                .unwrap();
         }
         let stats = engine.index_stats();
         let n = workload.queries.len() as f64;

@@ -19,7 +19,9 @@ use tsss_core::{BuildMethod, EngineConfig, SearchEngine, SearchOptions};
 use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, WorkloadConfig};
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     // Insertion-build of the full 523 000 windows is the limiting factor.
     let (companies, queries) = if quick { (100, 10) } else { (500, 50) };
     let data = MarketSimulator::new(MarketConfig {
@@ -46,11 +48,15 @@ fn main() {
         "{:>12} {:>10} | {:>11} {:>11} {:>11}",
         "build", "build s", "pages@0", "pages@1e-3", "pages@5e-3"
     );
-    for build in [BuildMethod::BulkStr, BuildMethod::BulkPolar, BuildMethod::Insert] {
+    for build in [
+        BuildMethod::BulkStr,
+        BuildMethod::BulkPolar,
+        BuildMethod::Insert,
+    ] {
         let mut cfg = EngineConfig::paper();
         cfg.build = build;
         let t0 = Instant::now();
-        let mut engine = SearchEngine::build(&data, cfg);
+        let engine = SearchEngine::build(&data, cfg).expect("data set fits the u32 window ids");
         let build_s = t0.elapsed().as_secs_f64();
 
         let mut row = Vec::new();
@@ -58,7 +64,9 @@ fn main() {
             let eps = frac * med;
             let mut pages = 0.0;
             for q in &workload.queries {
-                let r = engine.search(&q.values, eps, SearchOptions::default()).unwrap();
+                let r = engine
+                    .search(&q.values, eps, SearchOptions::default())
+                    .unwrap();
                 pages += r.stats.total_pages() as f64;
             }
             row.push(pages / workload.queries.len() as f64);

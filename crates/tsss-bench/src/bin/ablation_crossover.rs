@@ -15,9 +15,12 @@
 use tsss_bench::{Harness, Method};
 
 fn main() {
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     let seq = h.run_method(Method::Sequential, 0.0);
-    println!("sequential scan: {:.0} pages/query (flat in eps)\n", seq.pages);
+    println!(
+        "sequential scan: {:.0} pages/query (flat in eps)\n",
+        seq.pages
+    );
     println!(
         "{:>12} {:>14} {:>12} {:>12} {:>12} {:>10}",
         "eps/median", "matches", "idx pages", "data pages", "tree pages", "tree wins"

@@ -18,7 +18,9 @@ use tsss_index::Node;
 const WINDOW: usize = 34; // full-dim mode gives a 34-d tree (> the paper's 10)
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let (companies, queries) = if quick { (60, 10) } else { (300, 40) };
     let data = MarketSimulator::new(MarketConfig {
         companies,
@@ -54,11 +56,11 @@ fn main() {
             cfg.min_entries = (max_m * 2 / 5).max(2);
             cfg.reinsert_count = max_m * 3 / 10;
         }
-        let mut engine = SearchEngine::build(&data, cfg);
+        let engine = SearchEngine::build(&data, cfg).expect("data set fits the u32 window ids");
 
         // Mean pairwise overlap fraction among sibling directory boxes —
         // the quantity the paper says explodes past ~10 dimensions.
-        let boxes = engine.tree_mut().directory_mbrs();
+        let boxes = engine.tree().directory_mbrs();
         let sample = &boxes[..boxes.len().min(400)];
         let mut overlap_frac = 0.0;
         let mut pairs = 0u64;

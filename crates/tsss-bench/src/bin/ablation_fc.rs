@@ -13,8 +13,14 @@ use tsss_bench::{write_csv, Harness, Method};
 use tsss_core::EngineConfig;
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
-    let (companies, days, queries) = if quick { (200, 650, 20) } else { (1000, 650, 100) };
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (companies, days, queries) = if quick {
+        (200, 650, 20)
+    } else {
+        (1000, 650, 100)
+    };
 
     println!(
         "{:>4} {:>10} {:>12} {:>14} {:>12} {:>12} {:>10}",
@@ -32,7 +38,7 @@ fn main() {
             cfg.min_entries = (max_m * 2 / 5).max(2);
             cfg.reinsert_count = max_m * 3 / 10;
         }
-        let mut h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
+        let h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
         let eps = 0.002 * h.median_fluctuation;
         let cell = h.run_method(Method::TreeEnteringExiting, eps);
         let fa = cell.candidates - cell.matches;

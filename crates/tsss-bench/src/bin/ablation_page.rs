@@ -12,7 +12,9 @@ use tsss_core::EngineConfig;
 use tsss_index::Node;
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let (companies, queries) = if quick { (200, 10) } else { (500, 50) };
 
     println!(
@@ -29,7 +31,7 @@ fn main() {
         cfg.max_entries = (20 * page_size / 4096).clamp(4, max_m);
         cfg.min_entries = (cfg.max_entries * 2 / 5).max(2);
         cfg.reinsert_count = cfg.max_entries * 3 / 10;
-        let mut h = Harness::build(companies, 650, queries, cfg, 0x7555_1999);
+        let h = Harness::build(companies, 650, queries, cfg, 0x7555_1999);
         let eps = 0.001 * h.median_fluctuation;
         let seq = h.run_method(Method::Sequential, eps);
         let tree = h.run_method(Method::TreeEnteringExiting, eps);

@@ -12,7 +12,9 @@ use tsss_bench::{Harness, Method};
 use tsss_core::EngineConfig;
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let sizes: &[usize] = if quick {
         &[50, 100, 200]
     } else {
@@ -25,7 +27,7 @@ fn main() {
         "companies", "windows", "seq pages", "tree pages", "ratio", "seq µs", "tree µs"
     );
     for &companies in sizes {
-        let mut h = Harness::build(companies, 650, queries, EngineConfig::paper(), 0x7555_1999);
+        let h = Harness::build(companies, 650, queries, EngineConfig::paper(), 0x7555_1999);
         let eps = 0.001 * h.median_fluctuation;
         let seq = h.run_method(Method::Sequential, eps);
         let tree = h.run_method(Method::TreeEnteringExiting, eps);

@@ -19,12 +19,12 @@ use tsss_core::SearchOptions;
 use tsss_geometry::penetration::{PenetrationMethod, SphereStats};
 
 fn main() {
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
 
     // Box-shape evidence.
     let mut elong: Vec<f64> = h
         .engine
-        .tree_mut()
+        .tree()
         .directory_mbrs()
         .iter()
         .map(|m| {

@@ -18,7 +18,9 @@ use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, WorkloadConfig};
 use tsss_index::SplitPolicy;
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     // Incremental R*-insertion of half a million windows is the slow part;
     // default to a mid-sized setting unless the full scale is forced.
     let (companies, days, queries) = if quick { (60, 650, 10) } else { (200, 650, 50) };
@@ -55,7 +57,7 @@ fn main() {
         cfg.split = split;
         cfg.build = tsss_core::BuildMethod::Insert; // split quality only shows on incremental builds
         let t0 = Instant::now();
-        let mut engine = SearchEngine::build(&data, cfg);
+        let engine = SearchEngine::build(&data, cfg).expect("data set fits the u32 window ids");
         let build = t0.elapsed().as_secs_f64();
 
         let mut pages = 0.0;

@@ -11,8 +11,14 @@ use tsss_bench::{Harness, Method};
 use tsss_core::EngineConfig;
 
 fn main() {
-    let quick = std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false);
-    let (companies, days, queries) = if quick { (200, 650, 20) } else { (1000, 650, 100) };
+    let quick = std::env::var("TSSS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (companies, days, queries) = if quick {
+        (200, 650, 20)
+    } else {
+        (1000, 650, 100)
+    };
 
     println!(
         "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
@@ -21,7 +27,7 @@ fn main() {
     for n in [32usize, 64, 128, 256] {
         let mut cfg = EngineConfig::paper();
         cfg.window_len = n;
-        let mut h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
+        let h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
         let eps = 0.002 * h.median_fluctuation;
         let cell = h.run_method(Method::TreeEnteringExiting, eps);
         println!(

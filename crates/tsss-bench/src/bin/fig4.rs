@@ -11,7 +11,7 @@
 use tsss_bench::{print_table, write_csv, Harness, Method};
 
 fn main() {
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     println!(
         "data: {} series, {} values, {} windows indexed; median fluctuation {:.3}",
         h.data.len(),
@@ -48,13 +48,18 @@ fn main() {
     write_csv(std::path::Path::new("results/fig4.csv"), &rows);
 
     // Shape checks (the paper's qualitative findings).
-    let cpu = |m: Method, i: usize| rows.iter().filter(|(mm, _)| *mm == m).nth(i).unwrap().1.cpu_us;
+    let cpu = |m: Method, i: usize| {
+        rows.iter()
+            .filter(|(mm, _)| *mm == m)
+            .nth(i)
+            .unwrap()
+            .1
+            .cpu_us
+    };
     let last = grid.len() - 1;
     let seq_flat = cpu(Method::Sequential, last) / cpu(Method::Sequential, 0);
     println!("\nshape checks:");
-    println!(
-        "  sequential flatness (cpu@max_eps / cpu@0): {seq_flat:.2} (paper: ~1, constant)"
-    );
+    println!("  sequential flatness (cpu@max_eps / cpu@0): {seq_flat:.2} (paper: ~1, constant)");
     println!(
         "  tree speedup at eps=0 (set1/set2): {:.0}x (paper: tree ≪ sequential)",
         cpu(Method::Sequential, 0) / cpu(Method::TreeEnteringExiting, 0)

@@ -12,7 +12,7 @@
 use tsss_bench::{print_table, write_csv, Harness, Method};
 
 fn main() {
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     let data_pages = h.engine.data_page_count();
     println!(
         "data: {} values in {} pages of 4 KB",
@@ -42,7 +42,12 @@ fn main() {
     write_csv(std::path::Path::new("results/fig5.csv"), &rows);
 
     let pages = |m: Method, i: usize| {
-        rows.iter().filter(|(mm, _)| *mm == m).nth(i).unwrap().1.pages
+        rows.iter()
+            .filter(|(mm, _)| *mm == m)
+            .nth(i)
+            .unwrap()
+            .1
+            .pages
     };
     let last = grid.len() - 1;
     println!("\nclaim checks:");
@@ -56,8 +61,8 @@ fn main() {
         "  C2: pages ratio at eps=0 (set1/set2) = {:.0}x (paper: ~1000x)",
         pages(Method::Sequential, 0) / pages(Method::TreeEnteringExiting, 0)
     );
-    let tree_below = (0..=last)
-        .all(|i| pages(Method::TreeEnteringExiting, i) < pages(Method::Sequential, i));
+    let tree_below =
+        (0..=last).all(|i| pages(Method::TreeEnteringExiting, i) < pages(Method::Sequential, i));
     println!(
         "  tree below sequential over the whole range: {} (paper: yes)",
         if tree_below { "yes" } else { "NO" }

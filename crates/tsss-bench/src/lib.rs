@@ -114,7 +114,8 @@ impl Harness {
         .generate();
         let window_len = cfg.window_len;
         let t0 = Instant::now();
-        let engine = SearchEngine::build(&data, cfg);
+        let engine =
+            SearchEngine::build(&data, cfg).expect("synthetic market fits the u32 window ids");
         eprintln!(
             "[harness] built index: {} windows, height {}, {:.1?}",
             engine.num_windows(),
@@ -161,7 +162,10 @@ impl Harness {
     /// Chooses the harness size from the environment: set `TSSS_QUICK=1`
     /// for the reduced setting.
     pub fn from_env() -> Self {
-        if std::env::var("TSSS_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("TSSS_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             eprintln!("[harness] TSSS_QUICK=1 — reduced scale");
             Self::quick()
         } else {
@@ -187,7 +191,7 @@ impl Harness {
     }
 
     /// Runs one (method, ε) cell over the whole query batch and averages.
-    pub fn run_method(&mut self, method: Method, epsilon: f64) -> Cell {
+    pub fn run_method(&self, method: Method, epsilon: f64) -> Cell {
         let mut cpu = 0.0f64;
         let mut pages = 0.0f64;
         let mut index_pages = 0.0f64;
@@ -197,8 +201,7 @@ impl Harness {
         let mut sphere_fallbacks = 0u64;
         let mut sphere_total = 0u64;
         let n = self.queries.len() as f64;
-        let queries = self.queries.clone();
-        for q in &queries {
+        for q in &self.queries {
             self.engine.clear_caches();
             let result = match method {
                 Method::Sequential => self
@@ -244,6 +247,43 @@ impl Harness {
                 sphere_fallbacks as f64 / sphere_total as f64
             },
         }
+    }
+
+    /// Runs the set-2 tree method over the whole query batch with
+    /// [`SearchEngine::search_batch`] on `workers` threads, returning the
+    /// averaged cell plus the batch wall-clock time.
+    ///
+    /// Page counts are the same logical (unbuffered) accesses `run_method`
+    /// reports — the thread-local per-query tallies make them independent
+    /// of the worker count, which `ablation_parallel` asserts.
+    pub fn run_tree_batch(&self, epsilon: f64, workers: usize) -> (Cell, std::time::Duration) {
+        self.engine.clear_caches();
+        let t0 = Instant::now();
+        let results = self
+            .engine
+            .search_batch(&self.queries, epsilon, SearchOptions::default(), workers)
+            .expect("valid queries");
+        let wall = t0.elapsed();
+        let n = results.len() as f64;
+        let mut cell = Cell {
+            epsilon,
+            cpu_us: 0.0,
+            pages: 0.0,
+            index_pages: 0.0,
+            data_pages: 0.0,
+            candidates: 0.0,
+            matches: 0.0,
+            sphere_fallback_rate: 0.0,
+        };
+        for r in &results {
+            cell.cpu_us += r.stats.elapsed.as_secs_f64() * 1e6 / n;
+            cell.pages += r.stats.total_pages() as f64 / n;
+            cell.index_pages += r.stats.index_pages as f64 / n;
+            cell.data_pages += r.stats.data_pages as f64 / n;
+            cell.candidates += r.stats.candidates as f64 / n;
+            cell.matches += r.stats.verified as f64 / n;
+        }
+        (cell, wall)
     }
 }
 
@@ -375,7 +415,7 @@ mod tests {
     fn run_method_produces_consistent_cells() {
         let mut cfg = EngineConfig::paper();
         cfg.window_len = 16;
-        let mut h = Harness::build(4, 60, 3, cfg, 1);
+        let h = Harness::build(4, 60, 3, cfg, 1);
         let seq = h.run_method(Method::Sequential, 0.0);
         let tree = h.run_method(Method::TreeEnteringExiting, 0.0);
         assert_eq!(seq.epsilon, 0.0);

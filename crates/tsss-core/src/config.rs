@@ -108,8 +108,8 @@ impl EngineConfig {
     /// `M = 20` — the leaf capacity is the page's).
     pub fn tree_config(&self) -> TreeConfig {
         let dim = self.feature_dim();
-        let leaf_max = tsss_index::Node::max_leaf_fanout(self.page_size, dim)
-            .min(u16::MAX as usize);
+        let leaf_max =
+            tsss_index::Node::max_leaf_fanout(self.page_size, dim).min(u16::MAX as usize);
         TreeConfig {
             dim,
             page_size: self.page_size,

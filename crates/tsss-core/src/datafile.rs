@@ -101,12 +101,12 @@ impl PagedSeriesStore {
     }
 
     /// Shared page-access counters of the data file.
-    pub fn stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+    pub fn stats(&self) -> std::sync::Arc<tsss_storage::AccessStats> {
         self.pool.stats()
     }
 
     /// Drops buffered frames so the next access pattern starts cold.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.pool.clear_cache();
     }
 
@@ -200,7 +200,7 @@ impl PagedSeriesStore {
     /// engine only requests windows it indexed, so that is a bug, not a data
     /// condition.
     pub fn fetch_window(
-        &mut self,
+        &self,
         series: usize,
         offset: usize,
         len: usize,
@@ -250,7 +250,7 @@ impl PagedSeriesStore {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn write_to<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<()> {
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         use tsss_storage::codec::*;
         put_magic(w, b"TSSSDF01")?;
         put_usize(w, self.values_per_page)?;
@@ -266,22 +266,19 @@ impl PagedSeriesStore {
                 put_usize(w, e.len)?;
             }
         }
-        self.pool.flush();
         put_usize(w, self.pages.len())?;
         for p in &self.pages {
             put_u32(w, p.0)?;
         }
-        self.pool.file().write_to(w)
+        // `with_file` flushes dirty frames before exposing the file.
+        self.pool.with_file(|file| file.write_to(w))
     }
 
     /// Reads a store previously written by [`PagedSeriesStore::write_to`].
     ///
     /// # Errors
     /// `InvalidData` on malformed input; propagates I/O errors.
-    pub fn read_from<R: std::io::Read>(
-        r: &mut R,
-        buffer_frames: usize,
-    ) -> std::io::Result<Self> {
+    pub fn read_from<R: std::io::Read>(r: &mut R, buffer_frames: usize) -> std::io::Result<Self> {
         use tsss_storage::codec::*;
         expect_magic(r, b"TSSSDF01")?;
         let values_per_page = get_usize(r)?;
@@ -336,7 +333,7 @@ impl PagedSeriesStore {
     /// Reads the whole file page by page — exactly once per page — and
     /// reassembles every series. This is the I/O pattern of the sequential
     /// scan baseline (paper experiment set 1).
-    pub fn read_everything(&mut self) -> Vec<Vec<f64>> {
+    pub fn read_everything(&self) -> Vec<Vec<f64>> {
         // One pass over the global log.
         let mut global = Vec::with_capacity(self.total);
         for (i, &pid) in self.pages.iter().enumerate() {
@@ -430,9 +427,12 @@ mod tests {
         let mut s = store();
         let a = s.add_series("a");
         let b = s.add_series("b");
-        s.append(a, &(0..13).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
-        s.append(b, &(100..120).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
-        s.append(a, &(13..20).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        s.append(a, &(0..13).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.append(b, &(100..120).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.append(a, &(13..20).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
         s.stats().reset();
         let all = s.read_everything();
         assert_eq!(s.stats().reads(), s.page_count() as u64);
@@ -459,7 +459,10 @@ mod tests {
             EngineError::UnknownSeries(0)
         );
         assert_eq!(s.series_len(3).unwrap_err(), EngineError::UnknownSeries(3));
-        assert_eq!(s.append(1, &[1.0]).unwrap_err(), EngineError::UnknownSeries(1));
+        assert_eq!(
+            s.append(1, &[1.0]).unwrap_err(),
+            EngineError::UnknownSeries(1)
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::Instant;
 use tsss_data::Series;
 use tsss_dft::FeatureExtractor;
 use tsss_geometry::line::Line;
-use tsss_geometry::scale_shift::optimal_scale_shift;
+use tsss_geometry::scale_shift::{is_numerically_constant, optimal_scale_shift};
 use tsss_geometry::se::se_transform_into;
 use tsss_index::bulk::{bulk_load, bulk_load_polar};
 use tsss_index::{DataEntry, RTree};
@@ -29,7 +29,7 @@ use crate::window::window_offsets;
 ///
 /// let wave: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin() * 5.0 + 20.0).collect();
 /// let data = vec![Series::new("wave", wave.clone())];
-/// let mut engine = SearchEngine::build(&data, EngineConfig::small(16));
+/// let engine = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
 ///
 /// // A scaled + shifted copy of days 10..26 finds its source.
 /// let query: Vec<f64> = wave[10..26].iter().map(|v| 3.0 * v - 7.0).collect();
@@ -54,7 +54,11 @@ impl SearchEngine {
     ///
     /// Series shorter than one window are stored (they may grow later via
     /// [`SearchEngine::append_values`]) but contribute no windows yet.
-    pub fn build(data: &[Series], cfg: EngineConfig) -> Self {
+    ///
+    /// # Errors
+    /// [`EngineError::TooLarge`] when a series index or window offset does
+    /// not fit the packed `u32` window id.
+    pub fn build(data: &[Series], cfg: EngineConfig) -> Result<Self, EngineError> {
         cfg.validate();
         let extractor = cfg.fc.map(|fc| FeatureExtractor::new(cfg.window_len, fc));
         let mut store = PagedSeriesStore::new(cfg.page_size, cfg.data_buffer_frames);
@@ -68,19 +72,14 @@ impl SearchEngine {
                 let window = &s.values[off..off + cfg.window_len];
                 max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
                 let feat = feature_of(&extractor, window, &mut se_buf);
-                let id = SubseqId {
-                    series: u32::try_from(si).expect("series count fits u32"),
-                    offset: u32::try_from(off).expect("offset fits u32"),
-                };
+                let id = SubseqId::try_new(si, off)?;
                 entries.push(DataEntry::new(feat, id.pack()));
             }
         }
 
         let tree = match cfg.build {
             crate::config::BuildMethod::BulkStr => bulk_load(cfg.tree_config(), entries),
-            crate::config::BuildMethod::BulkPolar => {
-                bulk_load_polar(cfg.tree_config(), entries)
-            }
+            crate::config::BuildMethod::BulkPolar => bulk_load_polar(cfg.tree_config(), entries),
             crate::config::BuildMethod::Insert => {
                 let mut t = RTree::new(cfg.tree_config());
                 for e in entries {
@@ -90,13 +89,13 @@ impl SearchEngine {
             }
         };
 
-        Self {
+        Ok(Self {
             cfg,
             extractor,
             tree,
             store,
             max_se_norm,
-        }
+        })
     }
 
     /// Reassembles an engine from persisted parts (see `persist`).
@@ -148,12 +147,12 @@ impl SearchEngine {
     }
 
     /// Index-file access counters.
-    pub fn index_stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+    pub fn index_stats(&self) -> std::sync::Arc<tsss_storage::AccessStats> {
         self.tree.stats()
     }
 
     /// Data-file access counters.
-    pub fn data_stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+    pub fn data_stats(&self) -> std::sync::Arc<tsss_storage::AccessStats> {
         self.store.stats()
     }
 
@@ -164,9 +163,14 @@ impl SearchEngine {
     }
 
     /// Drops both buffer pools' cached frames.
-    pub fn clear_caches(&mut self) {
+    pub fn clear_caches(&self) {
         self.tree.clear_cache();
         self.store.clear_cache();
+    }
+
+    /// Read access to the underlying tree (queries, white-box tests).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
     }
 
     /// Mutable access to the underlying tree (white-box tests, benches).
@@ -174,9 +178,9 @@ impl SearchEngine {
         &mut self.tree
     }
 
-    /// Mutable access to the underlying data file (baselines).
-    pub(crate) fn store_mut(&mut self) -> &mut PagedSeriesStore {
-        &mut self.store
+    /// Read access to the underlying data file (baselines, persistence).
+    pub(crate) fn store(&self) -> &PagedSeriesStore {
+        &self.store
     }
 
     /// Computes the feature-space query line (the SE-line of the query after
@@ -188,11 +192,7 @@ impl SearchEngine {
     }
 
     /// Fetches a raw window for verification, charging data pages.
-    pub(crate) fn fetch_raw(
-        &mut self,
-        id: SubseqId,
-        len: usize,
-    ) -> Result<Vec<f64>, EngineError> {
+    pub(crate) fn fetch_raw(&self, id: SubseqId, len: usize) -> Result<Vec<f64>, EngineError> {
         self.store
             .fetch_window(id.series as usize, id.offset as usize, len)
     }
@@ -211,13 +211,16 @@ impl SearchEngine {
 
     /// Adds a brand-new series, indexing all of its windows. Returns the
     /// series index.
-    pub fn append_series(&mut self, series: &Series) -> usize {
+    ///
+    /// # Errors
+    /// [`EngineError::TooLarge`] when the data set outgrows the packed
+    /// `u32` window ids.
+    pub fn append_series(&mut self, series: &Series) -> Result<usize, EngineError> {
         let si = self.store.add_series(series.name.clone());
         if !series.values.is_empty() {
-            self.append_values(si, &series.values)
-                .expect("series was just created");
+            self.append_values(si, &series.values)?;
         }
-        si
+        Ok(si)
     }
 
     /// Appends freshly-collected values to an existing series and indexes
@@ -246,10 +249,7 @@ impl SearchEngine {
                 let window = self.store.fetch_window(series, off, n)?;
                 self.max_se_norm = self.max_se_norm.max(tsss_geometry::se::se_norm(&window));
                 let feat = feature_of(&self.extractor, &window, &mut se_buf);
-                let id = SubseqId {
-                    series: u32::try_from(series).expect("series index fits u32"),
-                    offset: u32::try_from(off).expect("offset fits u32"),
-                };
+                let id = SubseqId::try_new(series, off)?;
                 self.tree.insert(feat, id.pack());
             }
             off += self.cfg.stride;
@@ -273,10 +273,7 @@ impl SearchEngine {
         let mut removed = 0;
         let mut off = 0;
         while off + n <= len {
-            let id = SubseqId {
-                series: u32::try_from(series).expect("series fits u32"),
-                offset: u32::try_from(off).expect("offset fits u32"),
-            };
+            let id = SubseqId::try_new(series, off)?;
             if self.remove_window(id)? {
                 removed += 1;
             }
@@ -308,11 +305,15 @@ impl SearchEngine {
     /// optimal `(a, b)` and exact distance per match, sorted by ascending
     /// distance.
     ///
+    /// Takes `&self`: the whole read path is thread-safe, and the per-query
+    /// page counts in [`SearchStats`] are exact even when other queries run
+    /// concurrently (see [`SearchEngine::search_batch`]).
+    ///
     /// # Errors
     /// [`EngineError::QueryLength`] or [`EngineError::InvalidEpsilon`] on
     /// malformed input.
     pub fn search(
-        &mut self,
+        &self,
         query: &[f64],
         epsilon: f64,
         opts: SearchOptions,
@@ -327,12 +328,29 @@ impl SearchEngine {
             return Err(EngineError::InvalidEpsilon(epsilon));
         }
         let t0 = Instant::now();
-        let index_reads0 = self.tree.stats().total_accesses();
-        let data_reads0 = self.store.stats().total_accesses();
+        // Thread-local tally scopes: they see exactly the accesses *this*
+        // query performs, no matter how many queries run in parallel, and
+        // they still feed the global counters.
+        let index_stats = self.tree.stats();
+        let data_stats = self.store.stats();
+        let index_scope = index_stats.local_scope();
+        let data_scope = data_stats.local_scope();
 
-        // Searching step: feature-space SE-line vs the tree.
-        let line = self.query_line(query);
-        let outcome = self.tree.line_query(&line, epsilon, opts.method);
+        // Searching step: feature-space SE-line vs the tree. A constant
+        // (zero-fluctuation) query is the degenerate case: its
+        // SE-transformation vanishes, so its "SE-line" direction is rounding
+        // noise. Only shift-only matches are possible — windows whose own
+        // fluctuation is within ε — so query the feature-space ball around
+        // the origin instead (feature norms never exceed SE-norms, hence no
+        // false dismissals). Verification below agrees because
+        // `optimal_scale_shift` applies the same degeneracy test.
+        let outcome = if is_numerically_constant(query) {
+            self.tree
+                .radius_query(&vec![0.0; self.cfg.feature_dim()], epsilon)
+        } else {
+            let line = self.query_line(query);
+            self.tree.line_query(&line, epsilon, opts.method)
+        };
 
         // Post-processing step: verify candidates on the raw data, compute
         // (a, b), apply cost limits.
@@ -368,10 +386,71 @@ impl SearchEngine {
                 .then_with(|| a.id.cmp(&b.id))
         });
 
-        stats.index_pages = self.tree.stats().total_accesses() - index_reads0;
-        stats.data_pages = self.store.stats().total_accesses() - data_reads0;
+        stats.index_pages = index_scope.finish().total_accesses();
+        stats.data_pages = data_scope.finish().total_accesses();
         stats.elapsed = t0.elapsed();
         Ok(SearchResult { matches, stats })
+    }
+
+    /// Answers a batch of queries, fanning them over `workers` scoped
+    /// threads (capped at the batch size; `0` is treated as `1`, which runs
+    /// serially on the calling thread).
+    ///
+    /// Results are returned in query order and are identical to calling
+    /// [`SearchEngine::search`] on each query sequentially — including the
+    /// per-query `index_pages`/`data_pages` counts, which are tallied by
+    /// thread-local scopes and therefore unaffected by interleaving. Summed
+    /// over the batch they equal the global counter increase.
+    ///
+    /// # Errors
+    /// The first per-query error, if any ([`EngineError::QueryLength`] /
+    /// [`EngineError::InvalidEpsilon`]).
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<f64>],
+        epsilon: f64,
+        opts: SearchOptions,
+        workers: usize,
+    ) -> Result<Vec<SearchResult>, EngineError> {
+        let workers = workers.max(1).min(queries.len().max(1));
+        if workers == 1 {
+            return queries
+                .iter()
+                .map(|q| self.search(q, epsilon, opts))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let merged = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Work-stealing by atomic claim: threads grab the
+                        // next unclaimed query index until none remain.
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            local.push((i, self.search(&queries[i], epsilon, opts)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged: Vec<Option<Result<SearchResult, EngineError>>> =
+                (0..queries.len()).map(|_| None).collect();
+            for h in handles {
+                for (i, r) in h.join().expect("search worker panicked") {
+                    merged[i] = Some(r);
+                }
+            }
+            merged
+        });
+        merged
+            .into_iter()
+            .map(|r| r.expect("every query index was claimed by a worker"))
+            .collect()
     }
 }
 
@@ -401,7 +480,7 @@ mod tests {
     fn engine() -> (SearchEngine, Vec<Series>) {
         let data = market(6, 80);
         let cfg = EngineConfig::small(16);
-        (SearchEngine::build(&data, cfg), data)
+        (SearchEngine::build(&data, cfg).unwrap(), data)
     }
 
     #[test]
@@ -414,7 +493,7 @@ mod tests {
 
     #[test]
     fn exact_window_is_found_at_epsilon_zero_with_identity_transform() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[2].window(10, 16).unwrap().to_vec();
         let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
         let hit = res
@@ -429,7 +508,7 @@ mod tests {
 
     #[test]
     fn scaled_and_shifted_query_finds_its_source() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let src = data[4].window(30, 16).unwrap();
         let f = ScaleShift { a: 2.5, b: -40.0 };
         // query = F⁻¹ disguise: we want F'(q) = src with some F'.
@@ -447,7 +526,7 @@ mod tests {
 
     #[test]
     fn matches_are_sorted_and_within_epsilon() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(5, 16).unwrap().to_vec();
         let res = e.search(&q, 5.0, SearchOptions::default()).unwrap();
         assert!(!res.matches.is_empty());
@@ -461,7 +540,7 @@ mod tests {
 
     #[test]
     fn reported_transform_achieves_reported_distance() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[1].window(20, 16).unwrap().to_vec();
         let res = e.search(&q, 10.0, SearchOptions::default()).unwrap();
         for m in res.matches.iter().take(20) {
@@ -476,15 +555,14 @@ mod tests {
 
     #[test]
     fn no_false_dismissals_against_brute_force() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[3].window(12, 16).unwrap().to_vec();
         for eps in [0.5, 2.0, 8.0] {
             let got = e.search(&q, eps, SearchOptions::default()).unwrap();
             let got_ids = got.id_set();
             for (si, s) in data.iter().enumerate() {
                 for off in 0..=s.len() - 16 {
-                    let d =
-                        min_scale_shift_distance(&q, s.window(off, 16).unwrap()).unwrap();
+                    let d = min_scale_shift_distance(&q, s.window(off, 16).unwrap()).unwrap();
                     let id = SubseqId {
                         series: si as u32,
                         offset: off as u32,
@@ -501,7 +579,7 @@ mod tests {
 
     #[test]
     fn cost_limits_filter_transforms() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let src = data[0].window(8, 16).unwrap();
         let q = ScaleShift { a: 0.5, b: 3.0 }.apply(src); // recovery needs a = 2
         let permissive = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
@@ -528,7 +606,7 @@ mod tests {
 
     #[test]
     fn both_penetration_methods_agree() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[5].window(40, 16).unwrap().to_vec();
         for eps in [0.1, 1.0, 6.0] {
             let a = e
@@ -540,8 +618,7 @@ mod tests {
                     &q,
                     eps,
                     SearchOptions {
-                        method:
-                            tsss_geometry::penetration::PenetrationMethod::BoundingSpheres,
+                        method: tsss_geometry::penetration::PenetrationMethod::BoundingSpheres,
                         ..Default::default()
                     },
                 )
@@ -553,7 +630,7 @@ mod tests {
 
     #[test]
     fn wrong_query_length_is_an_error() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         assert_eq!(
             e.search(&[1.0; 8], 1.0, SearchOptions::default())
                 .unwrap_err(),
@@ -566,7 +643,7 @@ mod tests {
 
     #[test]
     fn bad_epsilon_is_an_error() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
         for eps in [-1.0, f64::NAN, f64::INFINITY] {
             assert!(matches!(
@@ -578,7 +655,7 @@ mod tests {
 
     #[test]
     fn page_accounting_is_populated() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
         let res = e.search(&q, 2.0, SearchOptions::default()).unwrap();
         assert!(res.stats.index_pages > 0, "index traversal reads pages");
@@ -604,7 +681,7 @@ mod tests {
         .map(|build| {
             let mut cfg = EngineConfig::small(16);
             cfg.build = build;
-            let mut e = SearchEngine::build(&data, cfg);
+            let mut e = SearchEngine::build(&data, cfg).unwrap();
             e.tree_mut().check_invariants();
             e
         })
@@ -616,7 +693,9 @@ mod tests {
                 .id_set();
             for e in engines.iter_mut().skip(1) {
                 assert_eq!(
-                    e.search(&q, eps, SearchOptions::default()).unwrap().id_set(),
+                    e.search(&q, eps, SearchOptions::default())
+                        .unwrap()
+                        .id_set(),
                     reference,
                     "eps {eps}"
                 );
@@ -627,8 +706,11 @@ mod tests {
     #[test]
     fn append_series_makes_new_windows_searchable() {
         let (mut e, data) = engine();
-        let novel = Series::new("NEW", data[0].values.iter().map(|v| v * 3.0 + 7.0).collect());
-        let si = e.append_series(&novel);
+        let novel = Series::new(
+            "NEW",
+            data[0].values.iter().map(|v| v * 3.0 + 7.0).collect(),
+        );
+        let si = e.append_series(&novel).unwrap();
         let q = novel.window(10, 16).unwrap().to_vec();
         let res = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
         assert!(res
@@ -639,14 +721,17 @@ mod tests {
 
     #[test]
     fn append_values_indexes_boundary_windows() {
-        let data = vec![Series::new("grow", (0..20).map(|i| (i as f64).sin()).collect())];
+        let data = vec![Series::new(
+            "grow",
+            (0..20).map(|i| (i as f64).sin()).collect(),
+        )];
         let cfg = EngineConfig::small(16);
-        let mut e = SearchEngine::build(&data, cfg);
+        let mut e = SearchEngine::build(&data, cfg).unwrap();
         assert_eq!(e.num_windows(), 5); // 20 − 16 + 1
         let fresh: Vec<f64> = (20..30).map(|i| (i as f64).sin()).collect();
         e.append_values(0, &fresh).unwrap();
         assert_eq!(e.num_windows(), 15); // 30 − 16 + 1
-        // A window spanning the boundary must be searchable.
+                                         // A window spanning the boundary must be searchable.
         let full: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
         let q = full[12..28].to_vec();
         let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
@@ -691,7 +776,7 @@ mod tests {
         let data = market(3, 50);
         let mut cfg = EngineConfig::small(8);
         cfg.fc = None; // index the 8-d SE windows directly
-        let mut e = SearchEngine::build(&data, cfg);
+        let e = SearchEngine::build(&data, cfg).unwrap();
         let q = data[0].window(4, 8).unwrap().to_vec();
         let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
         assert!(res
@@ -705,7 +790,7 @@ mod tests {
         let mut data = market(2, 40);
         data.push(Series::new("flat", vec![7.0; 40]));
         let cfg = EngineConfig::small(16);
-        let mut e = SearchEngine::build(&data, cfg);
+        let e = SearchEngine::build(&data, cfg).unwrap();
         let q = vec![100.0; 16]; // constant query, any level
         let res = e.search(&q, 1e-6, SearchOptions::default()).unwrap();
         assert!(!res.matches.is_empty(), "flat windows exist");
@@ -713,5 +798,98 @@ mod tests {
             res.matches.iter().all(|m| m.id.series == 2),
             "only the flat series can match a constant query at eps ~ 0"
         );
+    }
+
+    #[test]
+    fn constant_query_agrees_with_sequential_scan() {
+        // The degenerate shift-only plan must return exactly the windows the
+        // brute-force oracle accepts — with the same canonical transforms —
+        // at an eps that also admits near-flat market windows.
+        let mut data = market(3, 40);
+        data.push(Series::new("flat", vec![-3.25; 40]));
+        let e = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
+        // A near-constant query below the degeneracy threshold behaves like
+        // an exactly-constant one (its SE-direction is rounding noise).
+        let mut q = vec![50.0; 16];
+        q[7] += 5e-12;
+        for eps in [0.0, 0.5, 5.0, 50.0] {
+            let idx = e.search(&q, eps, SearchOptions::default()).unwrap();
+            let seq = e
+                .sequential_search(&q, eps, crate::config::CostLimit::UNLIMITED)
+                .unwrap();
+            assert_eq!(idx.id_set(), seq.id_set(), "eps {eps}");
+            for (a, b) in idx.matches.iter().zip(&seq.matches) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.transform.a, 0.0, "constant query ⇒ shift-only");
+                assert_eq!(a.transform, b.transform);
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchEngine>();
+    }
+
+    #[test]
+    fn batch_results_are_identical_to_serial_for_any_worker_count() {
+        let (e, data) = engine();
+        let queries: Vec<Vec<f64>> = (0..12)
+            .map(|i| data[i % 6].window((i * 5) % 40, 16).unwrap().to_vec())
+            .collect();
+        let serial: Vec<SearchResult> = queries
+            .iter()
+            .map(|q| e.search(q, 2.0, SearchOptions::default()).unwrap())
+            .collect();
+        for workers in [0, 1, 2, 4, 8, 64] {
+            let batch = e
+                .search_batch(&queries, 2.0, SearchOptions::default(), workers)
+                .unwrap();
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.matches, s.matches, "workers {workers}");
+                assert_eq!(
+                    b.stats.index_pages, s.stats.index_pages,
+                    "workers {workers}"
+                );
+                assert_eq!(b.stats.data_pages, s.stats.data_pages, "workers {workers}");
+                assert_eq!(b.stats.candidates, s.stats.candidates, "workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_per_query_pages_sum_to_the_global_counters() {
+        let (e, data) = engine();
+        let queries: Vec<Vec<f64>> = (0..9)
+            .map(|i| data[i % 6].window((i * 7) % 30, 16).unwrap().to_vec())
+            .collect();
+        e.reset_counters();
+        let batch = e
+            .search_batch(&queries, 3.0, SearchOptions::default(), 4)
+            .unwrap();
+        let index_sum: u64 = batch.iter().map(|r| r.stats.index_pages).sum();
+        let data_sum: u64 = batch.iter().map(|r| r.stats.data_pages).sum();
+        assert_eq!(index_sum, e.index_stats().total_accesses());
+        assert_eq!(data_sum, e.data_stats().total_accesses());
+    }
+
+    #[test]
+    fn batch_propagates_per_query_errors() {
+        let (e, data) = engine();
+        let queries = vec![
+            data[0].window(0, 16).unwrap().to_vec(),
+            vec![1.0; 8], // wrong length
+        ];
+        assert!(matches!(
+            e.search_batch(&queries, 1.0, SearchOptions::default(), 4),
+            Err(EngineError::QueryLength { .. })
+        ));
+        let empty = e
+            .search_batch(&[], 1.0, SearchOptions::default(), 4)
+            .unwrap();
+        assert!(empty.is_empty());
     }
 }

@@ -31,6 +31,14 @@ pub enum EngineError {
     },
     /// Referenced a series index that does not exist.
     UnknownSeries(usize),
+    /// The data set is too large for the engine's compact window ids
+    /// (series index and window offset are stored as `u32`).
+    TooLarge {
+        /// Which quantity overflowed ("series index" or "window offset").
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -51,6 +59,9 @@ impl fmt::Display for EngineError {
                 "no series is at least one window ({window_len} values) long"
             ),
             EngineError::UnknownSeries(i) => write!(f, "series index {i} does not exist"),
+            EngineError::TooLarge { what, value } => {
+                write!(f, "{what} {value} exceeds the engine's u32 window-id range")
+            }
         }
     }
 }
@@ -78,6 +89,13 @@ mod tests {
             (EngineError::InvalidEpsilon(-1.0), "-1"),
             (EngineError::DatasetTooSmall { window_len: 9 }, "9"),
             (EngineError::UnknownSeries(3), "index 3"),
+            (
+                EngineError::TooLarge {
+                    what: "window offset",
+                    value: 5_000_000_000,
+                },
+                "window offset 5000000000",
+            ),
         ];
         for (err, frag) in cases {
             assert!(

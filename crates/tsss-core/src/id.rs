@@ -14,6 +14,24 @@ pub struct SubseqId {
 }
 
 impl SubseqId {
+    /// Builds an identifier from `usize` coordinates, rejecting values that
+    /// do not fit the packed `u32` halves instead of panicking.
+    ///
+    /// # Errors
+    /// [`EngineError::TooLarge`](crate::EngineError::TooLarge) when either
+    /// coordinate exceeds `u32::MAX`.
+    pub fn try_new(series: usize, offset: usize) -> Result<Self, crate::EngineError> {
+        let series = u32::try_from(series).map_err(|_| crate::EngineError::TooLarge {
+            what: "series index",
+            value: series,
+        })?;
+        let offset = u32::try_from(offset).map_err(|_| crate::EngineError::TooLarge {
+            what: "window offset",
+            value: offset,
+        })?;
+        Ok(Self { series, offset })
+    }
+
     /// Packs the identifier into the R-tree's `u64` record id.
     pub fn pack(self) -> u64 {
         (u64::from(self.series) << 32) | u64::from(self.offset)
@@ -41,8 +59,14 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         for id in [
-            SubseqId { series: 0, offset: 0 },
-            SubseqId { series: 1, offset: 2 },
+            SubseqId {
+                series: 0,
+                offset: 0,
+            },
+            SubseqId {
+                series: 1,
+                offset: 2,
+            },
             SubseqId {
                 series: u32::MAX,
                 offset: u32::MAX,
@@ -61,9 +85,48 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for s in 0..50u32 {
             for o in 0..50u32 {
-                assert!(seen.insert(SubseqId { series: s, offset: o }.pack()));
+                assert!(seen.insert(
+                    SubseqId {
+                        series: s,
+                        offset: o
+                    }
+                    .pack()
+                ));
             }
         }
+    }
+
+    #[test]
+    fn try_new_accepts_the_u32_range_and_rejects_beyond() {
+        assert_eq!(
+            SubseqId::try_new(7, 42).unwrap(),
+            SubseqId {
+                series: 7,
+                offset: 42
+            }
+        );
+        assert_eq!(
+            SubseqId::try_new(u32::MAX as usize, u32::MAX as usize).unwrap(),
+            SubseqId {
+                series: u32::MAX,
+                offset: u32::MAX
+            }
+        );
+        // Regression: oversized coordinates are errors, not panics.
+        assert_eq!(
+            SubseqId::try_new(u32::MAX as usize + 1, 0).unwrap_err(),
+            crate::EngineError::TooLarge {
+                what: "series index",
+                value: u32::MAX as usize + 1,
+            }
+        );
+        assert_eq!(
+            SubseqId::try_new(0, u32::MAX as usize + 5).unwrap_err(),
+            crate::EngineError::TooLarge {
+                what: "window offset",
+                value: u32::MAX as usize + 5,
+            }
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl SearchEngine {
     /// Panics when the engine's stride is not 1 (the decomposition needs
     /// every piece offset indexed).
     pub fn search_long(
-        &mut self,
+        &self,
         query: &[f64],
         epsilon: f64,
         opts: SearchOptions,
@@ -58,8 +58,10 @@ impl SearchEngine {
             return Err(EngineError::InvalidEpsilon(epsilon));
         }
         let t0 = Instant::now();
-        let index_reads0 = self.index_stats().total_accesses();
-        let data_reads0 = self.data_stats().total_accesses();
+        let index_stats = self.index_stats();
+        let data_stats = self.data_stats();
+        let index_scope = index_stats.local_scope();
+        let data_scope = data_stats.local_scope();
         let total_len = query.len();
         let piece_offsets: Vec<usize> = (0..=total_len - n).step_by(n).collect();
 
@@ -69,7 +71,7 @@ impl SearchEngine {
         for (pi, &poff) in piece_offsets.iter().enumerate() {
             let piece = &query[poff..poff + n];
             let line = self.query_line(piece);
-            let outcome = self.tree_mut().line_query(&line, epsilon, opts.method);
+            let outcome = self.tree().line_query(&line, epsilon, opts.method);
             stats.index.internal_visited += outcome.stats.internal_visited;
             stats.index.leaves_visited += outcome.stats.leaves_visited;
             stats.index.candidates_checked += outcome.stats.candidates_checked;
@@ -131,8 +133,8 @@ impl SearchEngine {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.id.cmp(&b.id))
         });
-        stats.index_pages = self.index_stats().total_accesses() - index_reads0;
-        stats.data_pages = self.data_stats().total_accesses() - data_reads0;
+        stats.index_pages = index_scope.finish().total_accesses();
+        stats.data_pages = data_scope.finish().total_accesses();
         stats.elapsed = t0.elapsed();
         Ok(SearchResult { matches, stats })
     }
@@ -143,7 +145,7 @@ impl SearchEngine {
     /// # Errors
     /// Same validation as [`SearchEngine::search_long`].
     pub fn sequential_search_long(
-        &mut self,
+        &self,
         query: &[f64],
         epsilon: f64,
     ) -> Result<SearchResult, EngineError> {
@@ -159,7 +161,7 @@ impl SearchEngine {
         }
         let t0 = Instant::now();
         let total_len = query.len();
-        let all = self.store_mut().read_everything();
+        let all = self.store().read_everything();
         let mut stats = SearchStats::default();
         let mut matches = Vec::new();
         for (si, values) in all.iter().enumerate() {
@@ -173,10 +175,7 @@ impl SearchEngine {
                 if fit.distance <= epsilon {
                     stats.verified += 1;
                     matches.push(SubsequenceMatch {
-                        id: SubseqId {
-                            series: si as u32,
-                            offset: off as u32,
-                        },
+                        id: SubseqId::try_new(si, off)?,
                         transform: fit.transform,
                         distance: fit.distance,
                     });
@@ -205,12 +204,15 @@ mod tests {
 
     fn engine() -> (SearchEngine, Vec<Series>) {
         let data = MarketSimulator::new(MarketConfig::small(4, 90, 2024)).generate();
-        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
+            data,
+        )
     }
 
     #[test]
     fn long_query_finds_its_exact_source() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[1].window(10, 40).unwrap().to_vec(); // 2.5 windows
         let res = e.search_long(&q, 1e-6, SearchOptions::default()).unwrap();
         assert!(res
@@ -221,7 +223,7 @@ mod tests {
 
     #[test]
     fn long_query_sees_through_disguises() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let src = data[3].window(0, 48).unwrap();
         let q = ScaleShift { a: 3.0, b: -12.0 }.apply(src);
         let res = e.search_long(&q, 1e-5, SearchOptions::default()).unwrap();
@@ -235,7 +237,7 @@ mod tests {
 
     #[test]
     fn long_search_matches_brute_force_exactly() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(20, 35).unwrap().to_vec(); // non-multiple length
         for eps in [0.1, 2.0, 10.0] {
             let fast = e.search_long(&q, eps, SearchOptions::default()).unwrap();
@@ -246,7 +248,7 @@ mod tests {
 
     #[test]
     fn exact_window_length_degenerates_to_plain_search() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[2].window(7, 16).unwrap().to_vec();
         let long = e.search_long(&q, 3.0, SearchOptions::default()).unwrap();
         let plain = e.search(&q, 3.0, SearchOptions::default()).unwrap();
@@ -255,7 +257,7 @@ mod tests {
 
     #[test]
     fn too_short_long_query_is_an_error() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         assert!(matches!(
             e.search_long(&[0.0; 10], 1.0, SearchOptions::default()),
             Err(EngineError::QueryTooShort { min: 16, got: 10 })
@@ -267,7 +269,7 @@ mod tests {
         // A long query at high eps still verifies; the piece intersection
         // must only ever reduce false alarms, never lose matches (checked
         // against brute force in long_search_matches_brute_force_exactly).
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[1].window(0, 64).unwrap().to_vec(); // 4 pieces
         let res = e.search_long(&q, 5.0, SearchOptions::default()).unwrap();
         let brute = e.sequential_search_long(&q, 5.0).unwrap();

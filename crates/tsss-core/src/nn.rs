@@ -25,11 +25,7 @@ impl SearchEngine {
     ///
     /// # Errors
     /// [`EngineError::QueryLength`] on a malformed query.
-    pub fn nearest(
-        &mut self,
-        query: &[f64],
-        k: usize,
-    ) -> Result<Vec<SubsequenceMatch>, EngineError> {
+    pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<SubsequenceMatch>, EngineError> {
         self.nearest_with_cost(query, k, crate::config::CostLimit::UNLIMITED)
     }
 
@@ -45,7 +41,7 @@ impl SearchEngine {
     /// # Errors
     /// [`EngineError::QueryLength`] on a malformed query.
     pub fn nearest_with_cost(
-        &mut self,
+        &self,
         query: &[f64],
         k: usize,
         cost: crate::config::CostLimit,
@@ -65,7 +61,7 @@ impl SearchEngine {
 
         let mut fetch = (2 * k).max(8);
         loop {
-            let candidates = self.tree_mut().nearest_to_line(&line, fetch);
+            let candidates = self.tree().nearest_to_line(&line, fetch);
             // Exhausted: we have already pulled every window — exact answers
             // are final regardless of bounds.
             let exhausted = candidates.len() < fetch || fetch >= self.num_windows();
@@ -118,7 +114,10 @@ mod tests {
 
     fn engine() -> (SearchEngine, Vec<Series>) {
         let data = MarketSimulator::new(MarketConfig::small(5, 60, 99)).generate();
-        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
+            data,
+        )
     }
 
     fn brute_force_nn(data: &[Series], q: &[f64], k: usize) -> Vec<(SubseqId, f64)> {
@@ -142,7 +141,7 @@ mod tests {
 
     #[test]
     fn nn_of_an_indexed_window_is_itself() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[3].window(25, 16).unwrap().to_vec();
         let got = e.nearest(&q, 1).unwrap();
         assert_eq!(got.len(), 1);
@@ -153,7 +152,7 @@ mod tests {
 
     #[test]
     fn nn_sees_through_disguises() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let src = data[1].window(5, 16).unwrap();
         let q = ScaleShift { a: 0.2, b: 55.0 }.apply(src);
         let got = e.nearest(&q, 1).unwrap();
@@ -163,7 +162,7 @@ mod tests {
 
     #[test]
     fn knn_distances_match_brute_force() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(30, 16).unwrap().to_vec();
         for k in [1, 3, 10] {
             let got = e.nearest(&q, k).unwrap();
@@ -182,7 +181,7 @@ mod tests {
 
     #[test]
     fn knn_is_sorted_ascending() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[2].window(11, 16).unwrap().to_vec();
         let got = e.nearest(&q, 15).unwrap();
         for w in got.windows(2) {
@@ -192,7 +191,7 @@ mod tests {
 
     #[test]
     fn k_zero_and_oversized_k() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
         assert!(e.nearest(&q, 0).unwrap().is_empty());
         let all = e.nearest(&q, usize::MAX).unwrap();
@@ -201,7 +200,7 @@ mod tests {
 
     #[test]
     fn cost_constrained_nn_only_returns_accepted_transforms() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(30, 16).unwrap().to_vec();
         let cost = crate::config::CostLimit {
             a_range: Some((0.5, 2.0)),
@@ -216,11 +215,9 @@ mod tests {
         let mut brute = Vec::new();
         for (si, s) in data.iter().enumerate() {
             for off in 0..=s.len() - 16 {
-                let fit = tsss_geometry::scale_shift::optimal_scale_shift(
-                    &q,
-                    s.window(off, 16).unwrap(),
-                )
-                .unwrap();
+                let fit =
+                    tsss_geometry::scale_shift::optimal_scale_shift(&q, s.window(off, 16).unwrap())
+                        .unwrap();
                 if fit.transform.a >= 0.5 && fit.transform.a <= 2.0 {
                     brute.push(((si, off), fit.distance));
                 }
@@ -234,7 +231,7 @@ mod tests {
 
     #[test]
     fn cost_constrained_nn_may_return_fewer_than_k() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
         // Impossible cost window: nothing qualifies.
         let cost = crate::config::CostLimit {
@@ -246,7 +243,7 @@ mod tests {
 
     #[test]
     fn malformed_query_is_an_error() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         assert!(matches!(
             e.nearest(&[1.0; 5], 3),
             Err(EngineError::QueryLength { .. })

@@ -197,7 +197,7 @@ impl SearchEngine {
     /// # Errors
     /// Same validation as [`SearchEngine::search`].
     pub fn search_znormalized(
-        &mut self,
+        &self,
         query: &[f64],
         z_eps: f64,
     ) -> Result<SearchResult, EngineError> {
@@ -212,8 +212,10 @@ impl SearchEngine {
             return Err(EngineError::InvalidEpsilon(z_eps));
         }
         let t0 = std::time::Instant::now();
-        let index_reads0 = self.index_stats().total_accesses();
-        let data_reads0 = self.data_stats().total_accesses();
+        let index_stats = self.index_stats();
+        let data_stats = self.data_stats();
+        let index_scope = index_stats.local_scope();
+        let data_scope = data_stats.local_scope();
 
         // z_eps² = 2n(1 − cos θ) ⇒ cos θ = 1 − z_eps²/(2n).
         let cos = 1.0 - z_eps * z_eps / (2.0 * n as f64);
@@ -225,7 +227,7 @@ impl SearchEngine {
         let eps_abs = sin * self.max_se_norm();
 
         let line = self.query_line(query);
-        let outcome = self.tree_mut().line_query(
+        let outcome = self.tree().line_query(
             &line,
             eps_abs,
             tsss_geometry::penetration::PenetrationMethod::EnteringExiting,
@@ -260,8 +262,8 @@ impl SearchEngine {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.id.cmp(&b.id))
         });
-        stats.index_pages = self.index_stats().total_accesses() - index_reads0;
-        stats.data_pages = self.data_stats().total_accesses() - data_reads0;
+        stats.index_pages = index_scope.finish().total_accesses();
+        stats.data_pages = data_scope.finish().total_accesses();
         stats.elapsed = t0.elapsed();
         Ok(SearchResult { matches, stats })
     }
@@ -275,12 +277,15 @@ mod engine_tests {
 
     fn engine() -> (SearchEngine, Vec<Series>) {
         let data = MarketSimulator::new(MarketConfig::small(8, 80, 77)).generate();
-        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
+            data,
+        )
     }
 
     #[test]
     fn znorm_search_matches_brute_force_exactly() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[3].window(25, 16).unwrap().to_vec();
         for z_eps in [0.1, 1.0, 3.0] {
             let got = e.search_znormalized(&q, z_eps).unwrap();
@@ -301,13 +306,16 @@ mod engine_tests {
 
     #[test]
     fn znorm_search_is_scale_and_shift_invariant() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let base = data[1].window(10, 16).unwrap().to_vec();
         let disguised: Vec<f64> = base.iter().map(|v| v * 7.0 - 100.0).collect();
         let a = e.search_znormalized(&base, 1.0).unwrap().id_set();
         let b = e.search_znormalized(&disguised, 1.0).unwrap().id_set();
         assert_eq!(a, b, "z-search must not care about the query's scale/shift");
-        assert!(a.contains(&crate::id::SubseqId { series: 1, offset: 10 }));
+        assert!(a.contains(&crate::id::SubseqId {
+            series: 1,
+            offset: 10
+        }));
     }
 
     #[test]
@@ -316,24 +324,29 @@ mod engine_tests {
         // Add the exact mirror of a window of series 0 as its own series.
         let mirrored: Vec<f64> = data[0].values.iter().map(|v| 200.0 - v).collect();
         data.push(Series::new("mirror", mirrored));
-        let mut e = SearchEngine::build(&data, EngineConfig::small(16));
+        let e = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
         let q = data[0].window(20, 16).unwrap().to_vec();
         // The scale-shift model embraces the mirror (a < 0)…
-        let ss = e.search(&q, 1e-6, crate::config::SearchOptions::default()).unwrap();
+        let ss = e
+            .search(&q, 1e-6, crate::config::SearchOptions::default())
+            .unwrap();
         assert!(ss
             .matches
             .iter()
             .any(|m| m.id.series == 3 && m.id.offset == 20 && m.transform.a < 0.0));
         // …the z-normalised model rejects it.
         let z = e.search_znormalized(&q, 0.5).unwrap();
-        assert!(z.matches.iter().all(|m| !(m.id.series == 3 && m.id.offset == 20)));
+        assert!(z
+            .matches
+            .iter()
+            .all(|m| !(m.id.series == 3 && m.id.offset == 20)));
         // And every reported z-match has a positive scaling.
         assert!(z.matches.iter().all(|m| m.transform.a > 0.0));
     }
 
     #[test]
     fn znorm_validation_mirrors_plain_search() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         assert!(matches!(
             e.search_znormalized(&[0.0; 4], 1.0),
             Err(EngineError::QueryLength { .. })
@@ -346,7 +359,7 @@ mod engine_tests {
 
     #[test]
     fn huge_z_eps_degenerates_to_everything() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         let q: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
         // z-distance is bounded by 2√n; beyond that every window matches.
         let everything = e.search_znormalized(&q, 1000.0).unwrap();

@@ -111,12 +111,12 @@ impl SearchEngine {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn save_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         put_magic(w, MAGIC)?;
-        write_engine_config(w, &self.config().clone())?;
+        write_engine_config(w, self.config())?;
         put_f64(w, self.max_se_norm())?;
-        self.store_mut().write_to(w)?;
-        self.tree_mut().save_to(w)
+        self.store().write_to(w)?;
+        self.tree().save_to(w)
     }
 
     /// Loads an engine previously written by [`SearchEngine::save_to`].
@@ -142,7 +142,7 @@ impl SearchEngine {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn save_to_path(&mut self, path: &Path) -> io::Result<()> {
+    pub fn save_to_path(&self, path: &Path) -> io::Result<()> {
         let mut w = io::BufWriter::new(std::fs::File::create(path)?);
         self.save_to(&mut w)?;
         use io::Write as _;
@@ -168,12 +168,12 @@ mod tests {
     fn build_engine() -> (SearchEngine, Vec<Series>) {
         let data = MarketSimulator::new(MarketConfig::small(6, 70, 88)).generate();
         (
-            SearchEngine::build(&data, EngineConfig::small(16)),
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
             data,
         )
     }
 
-    fn roundtrip(e: &mut SearchEngine) -> SearchEngine {
+    fn roundtrip(e: &SearchEngine) -> SearchEngine {
         let mut buf = Vec::new();
         e.save_to(&mut buf).unwrap();
         SearchEngine::load_from(&mut std::io::Cursor::new(buf)).unwrap()
@@ -181,8 +181,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_metadata() {
-        let (mut e, _) = build_engine();
-        let mut l = roundtrip(&mut e);
+        let (e, _) = build_engine();
+        let mut l = roundtrip(&e);
         assert_eq!(l.num_series(), e.num_series());
         assert_eq!(l.num_windows(), e.num_windows());
         assert_eq!(l.data_page_count(), e.data_page_count());
@@ -192,8 +192,8 @@ mod tests {
 
     #[test]
     fn loaded_engine_answers_queries_identically() {
-        let (mut e, data) = build_engine();
-        let mut l = roundtrip(&mut e);
+        let (e, data) = build_engine();
+        let l = roundtrip(&e);
         for (series, offset) in [(0usize, 3usize), (3, 20), (5, 40)] {
             let q = data[series].window(offset, 16).unwrap().to_vec();
             for eps in [0.0, 1.0, 6.0] {
@@ -207,10 +207,10 @@ mod tests {
 
     #[test]
     fn loaded_engine_supports_dynamic_updates() {
-        let (mut e, data) = build_engine();
-        let mut l = roundtrip(&mut e);
+        let (e, data) = build_engine();
+        let mut l = roundtrip(&e);
         let novel = Series::new("NEW", data[0].values.iter().map(|v| v * 2.0).collect());
-        let si = l.append_series(&novel);
+        let si = l.append_series(&novel).unwrap();
         let q = novel.window(10, 16).unwrap().to_vec();
         let res = l.search(&q, 1e-6, SearchOptions::default()).unwrap();
         assert!(res
@@ -222,23 +222,27 @@ mod tests {
 
     #[test]
     fn save_load_via_filesystem() {
-        let (mut e, data) = build_engine();
+        let (e, data) = build_engine();
         let dir = std::env::temp_dir().join("tsss-engine-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("engine.tsss");
         e.save_to_path(&path).unwrap();
-        let mut l = SearchEngine::load_from_path(&path).unwrap();
+        let l = SearchEngine::load_from_path(&path).unwrap();
         let q = data[2].window(5, 16).unwrap().to_vec();
         assert_eq!(
-            e.search(&q, 2.0, SearchOptions::default()).unwrap().id_set(),
-            l.search(&q, 2.0, SearchOptions::default()).unwrap().id_set()
+            e.search(&q, 2.0, SearchOptions::default())
+                .unwrap()
+                .id_set(),
+            l.search(&q, 2.0, SearchOptions::default())
+                .unwrap()
+                .id_set()
         );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn corrupt_stream_is_rejected() {
-        let (mut e, _) = build_engine();
+        let (e, _) = build_engine();
         let mut buf = Vec::new();
         e.save_to(&mut buf).unwrap();
         buf[5] ^= 0xFF;
@@ -247,7 +251,7 @@ mod tests {
 
     #[test]
     fn truncation_anywhere_is_an_error_not_a_panic() {
-        let (mut e, _) = build_engine();
+        let (e, _) = build_engine();
         let mut buf = Vec::new();
         e.save_to(&mut buf).unwrap();
         for cut in [3usize, 20, 100, buf.len() / 2, buf.len() - 1] {

@@ -25,7 +25,7 @@ impl SearchEngine {
     /// # Errors
     /// Same input validation as [`SearchEngine::search`].
     pub fn sequential_search(
-        &mut self,
+        &self,
         query: &[f64],
         epsilon: f64,
         cost: CostLimit,
@@ -42,10 +42,11 @@ impl SearchEngine {
         }
         let stride = self.config().stride;
         let t0 = Instant::now();
-        let data_reads0 = self.data_stats().total_accesses();
+        let data_stats = self.data_stats();
+        let data_scope = data_stats.local_scope();
 
         // One sequential pass over the raw pages.
-        let all = self.store_mut().read_everything();
+        let all = self.store().read_everything();
 
         let mut stats = SearchStats::default();
         let mut matches = Vec::new();
@@ -64,10 +65,7 @@ impl SearchEngine {
                 }
                 stats.verified += 1;
                 matches.push(SubsequenceMatch {
-                    id: SubseqId {
-                        series: u32::try_from(si).expect("series fits u32"),
-                        offset: u32::try_from(off).expect("offset fits u32"),
-                    },
+                    id: SubseqId::try_new(si, off)?,
                     transform: fit.transform,
                     distance: fit.distance,
                 });
@@ -80,7 +78,7 @@ impl SearchEngine {
                 .then_with(|| a.id.cmp(&b.id))
         });
 
-        stats.data_pages = self.data_stats().total_accesses() - data_reads0;
+        stats.data_pages = data_scope.finish().total_accesses();
         stats.elapsed = t0.elapsed();
         Ok(SearchResult { matches, stats })
     }
@@ -94,17 +92,18 @@ mod tests {
 
     fn engine() -> (SearchEngine, Vec<Series>) {
         let data = MarketSimulator::new(MarketConfig::small(5, 70, 321)).generate();
-        (SearchEngine::build(&data, EngineConfig::small(16)), data)
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
+            data,
+        )
     }
 
     #[test]
     fn sequential_scan_equals_indexed_search() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         for (series, offset, eps) in [(0, 3, 0.5), (2, 20, 2.0), (4, 40, 8.0)] {
             let q = data[series].window(offset, 16).unwrap().to_vec();
-            let seq = e
-                .sequential_search(&q, eps, CostLimit::UNLIMITED)
-                .unwrap();
+            let seq = e.sequential_search(&q, eps, CostLimit::UNLIMITED).unwrap();
             let idx = e.search(&q, eps, SearchOptions::default()).unwrap();
             assert_eq!(seq.id_set(), idx.id_set(), "eps {eps}");
             // And the reported distances agree pairwise.
@@ -117,7 +116,7 @@ mod tests {
 
     #[test]
     fn page_cost_is_the_whole_file_independent_of_epsilon() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[1].window(10, 16).unwrap().to_vec();
         let total_pages = e.data_page_count() as u64;
         for eps in [0.0, 1.0, 100.0] {
@@ -130,21 +129,17 @@ mod tests {
 
     #[test]
     fn candidate_count_is_the_window_count() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
-        let res = e
-            .sequential_search(&q, 1.0, CostLimit::UNLIMITED)
-            .unwrap();
+        let res = e.sequential_search(&q, 1.0, CostLimit::UNLIMITED).unwrap();
         assert_eq!(res.stats.candidates as usize, e.num_windows());
     }
 
     #[test]
     fn cost_limits_apply_to_the_scan_too() {
-        let (mut e, data) = engine();
+        let (e, data) = engine();
         let q = data[0].window(0, 16).unwrap().to_vec();
-        let all = e
-            .sequential_search(&q, 5.0, CostLimit::UNLIMITED)
-            .unwrap();
+        let all = e.sequential_search(&q, 5.0, CostLimit::UNLIMITED).unwrap();
         let restricted = e
             .sequential_search(
                 &q,
@@ -164,7 +159,7 @@ mod tests {
 
     #[test]
     fn input_validation_matches_indexed_search() {
-        let (mut e, _) = engine();
+        let (e, _) = engine();
         assert!(matches!(
             e.sequential_search(&[0.0; 4], 1.0, CostLimit::UNLIMITED),
             Err(EngineError::QueryLength { .. })

@@ -64,20 +64,19 @@ pub fn window_count(series_len: usize, window_len: usize, stride: usize) -> usiz
 }
 
 /// Enumerates the [`SubseqId`]s of every window over a set of series
-/// lengths.
+/// lengths. Each item is an `Err` when the series index or offset does not
+/// fit the packed `u32` id — callers propagate instead of panicking.
 pub fn all_window_ids<'a>(
     series_lens: impl IntoIterator<Item = usize> + 'a,
     window_len: usize,
     stride: usize,
-) -> impl Iterator<Item = SubseqId> + 'a {
+) -> impl Iterator<Item = Result<SubseqId, crate::EngineError>> + 'a {
     series_lens
         .into_iter()
         .enumerate()
         .flat_map(move |(series, len)| {
-            window_offsets(len, window_len, stride).map(move |offset| SubseqId {
-                series: u32::try_from(series).expect("series count fits u32"),
-                offset: u32::try_from(offset).expect("offset fits u32"),
-            })
+            window_offsets(len, window_len, stride)
+                .map(move |offset| SubseqId::try_new(series, offset))
         })
 }
 
@@ -120,18 +119,54 @@ mod tests {
 
     #[test]
     fn all_window_ids_enumerates_per_series() {
-        let ids: Vec<SubseqId> = all_window_ids(vec![5usize, 2, 4], 3, 1).collect();
+        let ids: Vec<SubseqId> = all_window_ids(vec![5usize, 2, 4], 3, 1)
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(
             ids,
             vec![
-                SubseqId { series: 0, offset: 0 },
-                SubseqId { series: 0, offset: 1 },
-                SubseqId { series: 0, offset: 2 },
+                SubseqId {
+                    series: 0,
+                    offset: 0
+                },
+                SubseqId {
+                    series: 0,
+                    offset: 1
+                },
+                SubseqId {
+                    series: 0,
+                    offset: 2
+                },
                 // series 1 is too short
-                SubseqId { series: 2, offset: 0 },
-                SubseqId { series: 2, offset: 1 },
+                SubseqId {
+                    series: 2,
+                    offset: 0
+                },
+                SubseqId {
+                    series: 2,
+                    offset: 1
+                },
             ]
         );
+    }
+
+    #[test]
+    fn oversized_offsets_are_errors_not_panics() {
+        // A series long enough that a window offset overflows u32; the huge
+        // stride keeps the enumeration cheap. These exact sites used to
+        // `expect` and abort the process.
+        let huge = u32::MAX as usize + 10;
+        let ids: Vec<Result<SubseqId, crate::EngineError>> =
+            all_window_ids(vec![huge], 2, huge - 2).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids[0].is_ok());
+        assert!(matches!(
+            ids[1],
+            Err(crate::EngineError::TooLarge {
+                what: "window offset",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! Model-based property test for the paged series store: under arbitrary
+//! Model-based randomised test for the paged series store: under arbitrary
 //! interleavings of series creation and appends, every window fetch must
 //! agree with a plain `Vec<Vec<f64>>` model, and the page arithmetic must
 //! hold exactly.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use tsss_core::datafile::PagedSeriesStore;
+use tsss_rand::Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,38 +15,38 @@ enum Op {
     Append { series: usize, values: Vec<f64> },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        1 => Just(Op::NewSeries),
-        4 => (
-            0usize..8,
-            prop::collection::vec(-1e6f64..1e6, 1..40),
-        )
-            .prop_map(|(series, values)| Op::Append { series, values }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    if rng.usize_below(5) == 0 {
+        Op::NewSeries
+    } else {
+        let series = rng.usize_below(8);
+        let len = 1 + rng.usize_below(39);
+        Op::Append {
+            series,
+            values: rng.f64_vec(len, -1e6, 1e6),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn store_matches_vec_model() {
+    let mut rng = Rng::seed_from_u64(0xDA7A_0001);
+    for case in 0..96 {
+        let page_size = [16usize, 64, 256, 4096][rng.usize_below(4)];
+        let n_ops = 1 + rng.usize_below(59);
 
-    #[test]
-    fn store_matches_vec_model(
-        ops in prop::collection::vec(op_strategy(), 1..60),
-        page_size in prop::sample::select(vec![16usize, 64, 256, 4096]),
-        fetch_seed in any::<u64>(),
-    ) {
         let mut store = PagedSeriesStore::new(page_size, 0);
         let mut model: Vec<Vec<f64>> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::NewSeries => {
                     let idx = store.add_series(format!("s{}", model.len()));
-                    prop_assert_eq!(idx, model.len());
+                    assert_eq!(idx, model.len());
                     model.push(Vec::new());
                 }
                 Op::Append { series, values } => {
                     if model.is_empty() {
-                        prop_assert!(store.append(series, &values).is_err());
+                        assert!(store.append(series, &values).is_err());
                         continue;
                     }
                     let s = series % model.len();
@@ -54,38 +57,37 @@ proptest! {
         }
 
         // Shape agreement.
-        prop_assert_eq!(store.num_series(), model.len());
+        assert_eq!(store.num_series(), model.len());
         let total: usize = model.iter().map(Vec::len).sum();
-        prop_assert_eq!(store.total_values(), total);
-        prop_assert_eq!(store.page_count(), total.div_ceil(page_size / 8));
+        assert_eq!(store.total_values(), total);
+        assert_eq!(store.page_count(), total.div_ceil(page_size / 8));
         for (i, m) in model.iter().enumerate() {
-            prop_assert_eq!(store.series_len(i).unwrap(), m.len());
+            assert_eq!(store.series_len(i).unwrap(), m.len());
         }
 
         // read_everything reproduces the model, one page read each.
         store.stats().reset();
         let all = store.read_everything();
-        prop_assert_eq!(store.stats().reads(), store.page_count() as u64);
-        prop_assert_eq!(&all, &model);
+        assert_eq!(
+            store.stats().reads(),
+            store.page_count() as u64,
+            "case {case}"
+        );
+        assert_eq!(&all, &model);
 
         // Pseudo-random window fetches agree with the model.
-        let mut x = fetch_seed | 1;
-        let mut next = move |m: usize| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (x >> 33) as usize % m
-        };
         for _ in 0..20 {
             if model.is_empty() {
                 break;
             }
-            let s = next(model.len());
+            let s = rng.usize_below(model.len());
             if model[s].is_empty() {
                 continue;
             }
-            let off = next(model[s].len());
-            let len = 1 + next(model[s].len() - off);
+            let off = rng.usize_below(model[s].len());
+            let len = 1 + rng.usize_below(model[s].len() - off);
             let got = store.fetch_window(s, off, len).unwrap();
-            prop_assert_eq!(&got[..], &model[s][off..off + len]);
+            assert_eq!(&got[..], &model[s][off..off + len], "case {case}");
         }
     }
 }

@@ -1,14 +1,18 @@
-//! End-to-end property tests for the engine: on arbitrary (small) markets
+//! End-to-end randomised tests for the engine: on arbitrary (small) markets
 //! and arbitrary queries, the indexed search must agree exactly with the
 //! sequential-scan oracle, persistence must be transparent, and the
 //! z-normalised search must agree with its own brute force.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use tsss_core::{CostLimit, EngineConfig, SearchEngine, SearchOptions, SubseqId};
 use tsss_data::{MarketConfig, MarketSimulator, Series};
 use tsss_geometry::penetration::PenetrationMethod;
+use tsss_rand::Rng;
 
 const WINDOW: usize = 12;
+const CASES: usize = 24;
 
 fn engine_cfg() -> EngineConfig {
     let mut cfg = EngineConfig::small(WINDOW);
@@ -20,33 +24,35 @@ fn market(seed: u64) -> Vec<Series> {
     MarketSimulator::new(MarketConfig::small(4, 50, seed)).generate()
 }
 
-/// An arbitrary query: either a disguised data window or pure noise.
-fn query_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop_oneof![
-        // Disguised window: (series, offset, a, b) applied later.
-        prop::collection::vec(-20.0f64..120.0, WINDOW),
-        prop::collection::vec(-1.0f64..1.0, WINDOW),
-    ]
+/// An arbitrary query: either in data range or pure noise.
+fn random_query(rng: &mut Rng) -> Vec<f64> {
+    if rng.bool() {
+        rng.f64_vec(WINDOW, -20.0, 120.0)
+    } else {
+        rng.f64_vec(WINDOW, -1.0, 1.0)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Recall and precision are exactly 1 against the scan for arbitrary
+/// queries, ε values, methods and cost limits.
+#[test]
+fn index_equals_oracle() {
+    let mut rng = Rng::seed_from_u64(0xC07E_0001);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let query = random_query(&mut rng);
+        let eps = rng.f64_range(0.0, 30.0);
+        let a_lo = rng.f64_range(-2.0, 2.0);
+        let use_cost = rng.bool();
+        let sphere = rng.bool();
 
-    /// Recall and precision are exactly 1 against the scan for arbitrary
-    /// queries, ε values, methods and cost limits.
-    #[test]
-    fn index_equals_oracle(
-        seed in any::<u64>(),
-        query in query_strategy(),
-        eps in 0.0f64..30.0,
-        a_lo in -2.0f64..2.0,
-        use_cost in any::<bool>(),
-        sphere in any::<bool>(),
-    ) {
         let data = market(seed);
-        let mut e = SearchEngine::build(&data, engine_cfg());
+        let e = SearchEngine::build(&data, engine_cfg()).unwrap();
         let cost = if use_cost {
-            CostLimit { a_range: Some((a_lo, a_lo + 2.5)), b_range: None }
+            CostLimit {
+                a_range: Some((a_lo, a_lo + 2.5)),
+                b_range: None,
+            }
         } else {
             CostLimit::UNLIMITED
         };
@@ -60,73 +66,86 @@ proptest! {
         };
         let fast = e.search(&query, eps, opts).unwrap();
         let slow = e.sequential_search(&query, eps, cost).unwrap();
-        prop_assert_eq!(fast.id_set(), slow.id_set());
+        assert_eq!(fast.id_set(), slow.id_set());
         // Reported distances agree pairwise.
         for (a, b) in fast.matches.iter().zip(&slow.matches) {
-            prop_assert_eq!(a.id, b.id);
-            prop_assert!((a.distance - b.distance).abs() < 1e-9);
-            prop_assert!(a.distance <= eps + 1e-9);
+            assert_eq!(a.id, b.id);
+            assert!((a.distance - b.distance).abs() < 1e-9);
+            assert!(a.distance <= eps + 1e-9);
         }
     }
+}
 
-    /// Save → load is observationally transparent.
-    #[test]
-    fn persistence_is_transparent(seed in any::<u64>(), eps in 0.0f64..10.0) {
+/// Save → load is observationally transparent.
+#[test]
+fn persistence_is_transparent() {
+    let mut rng = Rng::seed_from_u64(0xC07E_0002);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let eps = rng.f64_range(0.0, 10.0);
         let data = market(seed);
-        let mut e = SearchEngine::build(&data, engine_cfg());
+        let e = SearchEngine::build(&data, engine_cfg()).unwrap();
         let mut buf = Vec::new();
         e.save_to(&mut buf).unwrap();
-        let mut l = SearchEngine::load_from(&mut std::io::Cursor::new(buf)).unwrap();
+        let l = SearchEngine::load_from(&mut std::io::Cursor::new(buf)).unwrap();
         let q = data[0].window(7, WINDOW).unwrap().to_vec();
         let a = e.search(&q, eps, SearchOptions::default()).unwrap();
         let b = l.search(&q, eps, SearchOptions::default()).unwrap();
-        prop_assert_eq!(a.matches, b.matches);
-        prop_assert_eq!(a.stats.total_pages(), b.stats.total_pages());
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.stats.total_pages(), b.stats.total_pages());
     }
+}
 
-    /// z-normalised search equals its brute force for arbitrary inputs.
-    #[test]
-    fn znorm_search_equals_brute_force(
-        seed in any::<u64>(),
-        query in query_strategy(),
-        z_eps in 0.0f64..4.0,
-    ) {
+/// z-normalised search equals its brute force for arbitrary inputs.
+#[test]
+fn znorm_search_equals_brute_force() {
+    let mut rng = Rng::seed_from_u64(0xC07E_0003);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let query = random_query(&mut rng);
+        let z_eps = rng.f64_range(0.0, 4.0);
         let data = market(seed);
-        let mut e = SearchEngine::build(&data, engine_cfg());
+        let e = SearchEngine::build(&data, engine_cfg()).unwrap();
         let got = e.search_znormalized(&query, z_eps).unwrap().id_set();
         let mut want = std::collections::BTreeSet::new();
         for (si, s) in data.iter().enumerate() {
             for off in 0..=s.len() - WINDOW {
-                let zd = tsss_core::normalized::z_distance(
-                    &query,
-                    s.window(off, WINDOW).unwrap(),
-                )
-                .unwrap();
+                let zd = tsss_core::normalized::z_distance(&query, s.window(off, WINDOW).unwrap())
+                    .unwrap();
                 if zd <= z_eps {
-                    want.insert(SubseqId { series: si as u32, offset: off as u32 });
+                    want.insert(SubseqId {
+                        series: si as u32,
+                        offset: off as u32,
+                    });
                 }
             }
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Dynamic maintenance: after random appends and removals, the index
-    /// still equals the oracle (which always sees the current data file).
-    #[test]
-    fn dynamic_updates_preserve_oracle_equality(
-        seed in any::<u64>(),
-        grow_by in 1usize..20,
-        remove_offset in 0usize..30,
-        eps in 0.0f64..10.0,
-    ) {
+/// Dynamic maintenance: after random appends and removals, the index still
+/// equals the oracle (which always sees the current data file).
+#[test]
+fn dynamic_updates_preserve_oracle_equality() {
+    let mut rng = Rng::seed_from_u64(0xC07E_0004);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let grow_by = 1 + rng.usize_below(19);
+        let remove_offset = rng.usize_below(30);
+        let eps = rng.f64_range(0.0, 10.0);
+
         let mut data = market(seed);
         let tail: Vec<f64> = data[1].values.split_off(50 - grow_by);
-        let mut e = SearchEngine::build(&data, engine_cfg());
+        let mut e = SearchEngine::build(&data, engine_cfg()).unwrap();
         e.append_values(1, &tail).unwrap();
         // The oracle scans the engine's own data file, so it reflects the
         // append automatically.
-        let victim = SubseqId { series: 0, offset: (remove_offset % (50 - WINDOW)) as u32 };
-        prop_assert!(e.remove_window(victim).unwrap());
+        let victim = SubseqId {
+            series: 0,
+            offset: (remove_offset % (50 - WINDOW)) as u32,
+        };
+        assert!(e.remove_window(victim).unwrap());
         let q = data[2].window(11, WINDOW).unwrap().to_vec();
         let fast = e.search(&q, eps, SearchOptions::default()).unwrap();
         let slow = e.sequential_search(&q, eps, CostLimit::UNLIMITED).unwrap();
@@ -134,26 +153,31 @@ proptest! {
         // index must match it everywhere else.
         let mut slow_ids = slow.id_set();
         slow_ids.remove(&victim);
-        prop_assert_eq!(fast.id_set(), slow_ids);
+        assert_eq!(fast.id_set(), slow_ids);
         e.tree_mut().check_invariants();
     }
+}
 
-    /// k-NN results are consistent with the range search: searching with
-    /// ε = (k-th NN distance) returns at least k windows.
-    #[test]
-    fn knn_and_range_search_are_consistent(seed in any::<u64>(), k in 1usize..8) {
+/// k-NN results are consistent with the range search: searching with
+/// ε = (k-th NN distance) returns at least k windows.
+#[test]
+fn knn_and_range_search_are_consistent() {
+    let mut rng = Rng::seed_from_u64(0xC07E_0005);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let k = 1 + rng.usize_below(7);
         let data = market(seed);
-        let mut e = SearchEngine::build(&data, engine_cfg());
+        let e = SearchEngine::build(&data, engine_cfg()).unwrap();
         let q = data[3].window(20, WINDOW).unwrap().to_vec();
         let nn = e.nearest(&q, k).unwrap();
-        prop_assert_eq!(nn.len(), k);
+        assert_eq!(nn.len(), k);
         let kth = nn.last().unwrap().distance;
         let range = e.search(&q, kth + 1e-9, SearchOptions::default()).unwrap();
-        prop_assert!(range.matches.len() >= k);
+        assert!(range.matches.len() >= k);
         // And every NN is inside that range result.
         let ids = range.id_set();
         for m in &nn {
-            prop_assert!(ids.contains(&m.id));
+            assert!(ids.contains(&m.id));
         }
     }
 }

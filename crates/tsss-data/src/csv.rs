@@ -133,10 +133,10 @@ mod tests {
     #[test]
     fn malformed_lines_are_rejected_with_context() {
         for bad in [
-            "A,0",            // missing value
-            "A,x,1.0",        // bad index
-            "A,0,notanumber", // bad value
-            "A,1,1.0",        // series starting at 1
+            "A,0",              // missing value
+            "A,x,1.0",          // bad index
+            "A,0,notanumber",   // bad value
+            "A,1,1.0",          // series starting at 1
             "A,0,1.0\nA,2,2.0", // gap
         ] {
             let err = from_csv(bad).unwrap_err();

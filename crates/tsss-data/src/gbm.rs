@@ -14,11 +14,10 @@
 //! * initial prices are spread over two orders of magnitude so the *shift*
 //!   and *scale* invariance of the similarity model genuinely matters.
 //!
-//! Gaussian variates come from a Box–Muller transform over `rand`'s uniform
-//! source (the `rand_distr` crate is intentionally not a dependency).
+//! Gaussian variates come from the Box–Muller transform in [`tsss_rand`]
+//! (no external RNG crates — the workspace builds offline).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tsss_rand::Rng;
 
 use crate::series::Series;
 
@@ -100,7 +99,7 @@ impl MarketSimulator {
     /// Generates the full market: `companies` series of `days` values each.
     pub fn generate(&self) -> Vec<Series> {
         let cfg = &self.cfg;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let dt = 1.0 / 252.0;
         let step_drift = (cfg.annual_drift - 0.5 * cfg.annual_volatility.powi(2)) * dt;
         let step_vol = cfg.annual_volatility * dt.sqrt();
@@ -108,49 +107,24 @@ impl MarketSimulator {
         let idio = (1.0 - beta * beta).sqrt();
 
         // Market factor path, shared by all stocks.
-        let mut gauss = GaussianSource::new();
-        let market: Vec<f64> = (0..cfg.days - 1).map(|_| gauss.next(&mut rng)).collect();
+        let market: Vec<f64> = (0..cfg.days - 1).map(|_| rng.normal()).collect();
 
         let mut out = Vec::with_capacity(cfg.companies);
         for c in 0..cfg.companies {
             // Initial prices spread over ~2 orders of magnitude (HK$ 1–150),
             // log-uniformly.
-            let s0 = 1.0 * (150.0f64 / 1.0).powf(rng.gen::<f64>());
+            let s0 = 1.0 * (150.0f64 / 1.0).powf(rng.f64());
             let mut values = Vec::with_capacity(cfg.days);
             let mut log_price = s0.ln();
             values.push(s0);
             for m in &market {
-                let z = beta * m + idio * gauss.next(&mut rng);
+                let z = beta * m + idio * rng.normal();
                 log_price += step_drift + step_vol * z;
                 values.push(log_price.exp());
             }
             out.push(Series::new(format!("HK{c:04}"), values));
         }
         out
-    }
-}
-
-/// Box–Muller standard-normal source (caches the second variate).
-struct GaussianSource {
-    spare: Option<f64>,
-}
-
-impl GaussianSource {
-    fn new() -> Self {
-        Self { spare: None }
-    }
-
-    fn next<R: Rng>(&mut self, rng: &mut R) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        // Draw u1 in (0, 1] to keep ln() finite.
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
     }
 }
 
@@ -188,14 +162,21 @@ mod tests {
     fn prices_stay_positive() {
         let series = MarketSimulator::new(MarketConfig::small(20, 300, 7)).generate();
         for s in &series {
-            assert!(s.values.iter().all(|&v| v > 0.0), "{} went non-positive", s.name);
+            assert!(
+                s.values.iter().all(|&v| v > 0.0),
+                "{} went non-positive",
+                s.name
+            );
         }
     }
 
     #[test]
     fn initial_prices_span_a_wide_range() {
         let series = MarketSimulator::new(MarketConfig::small(200, 2, 11)).generate();
-        let min = series.iter().map(|s| s.values[0]).fold(f64::INFINITY, f64::min);
+        let min = series
+            .iter()
+            .map(|s| s.values[0])
+            .fold(f64::INFINITY, f64::min);
         let max = series
             .iter()
             .map(|s| s.values[0])
@@ -232,10 +213,7 @@ mod tests {
             .collect();
         let corr = |a: &[f64], b: &[f64]| -> f64 {
             let n = a.len() as f64;
-            let (ma, mb) = (
-                a.iter().sum::<f64>() / n,
-                b.iter().sum::<f64>() / n,
-            );
+            let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
             let cov = a
                 .iter()
                 .zip(b)

@@ -8,8 +8,7 @@
 //! A correct engine must see through the scale/shift (Theorem 1) and the
 //! error bound ε must absorb the noise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tsss_rand::Rng;
 
 use tsss_geometry::scale_shift::ScaleShift;
 
@@ -92,19 +91,19 @@ impl QueryWorkload {
             cfg.window_len
         );
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut queries = Vec::with_capacity(cfg.queries);
         for _ in 0..cfg.queries {
-            let series_idx = eligible[rng.gen_range(0..eligible.len())];
+            let series_idx = eligible[rng.usize_below(eligible.len())];
             let series = &data[series_idx];
-            let offset = rng.gen_range(0..=series.len() - cfg.window_len);
+            let offset = rng.usize_below(series.len() - cfg.window_len + 1);
             let window = series.window(offset, cfg.window_len).expect("validated");
 
             // Log-uniform scaling, with a random sign-free disguise (prices
             // are positive; negative scalings would be unnatural here).
-            let log_s = rng.gen_range(-cfg.scale_range.ln()..=cfg.scale_range.ln());
+            let log_s = rng.f64_range(-cfg.scale_range.ln(), cfg.scale_range.ln());
             let a = log_s.exp();
-            let b = rng.gen_range(-cfg.shift_range..=cfg.shift_range);
+            let b = rng.f64_range(-cfg.shift_range, cfg.shift_range);
             let applied = ScaleShift { a, b };
             let mut values = applied.apply(window);
 
@@ -112,7 +111,7 @@ impl QueryWorkload {
                 let se = tsss_geometry::se::se_norm(&values);
                 let sigma = cfg.noise_level * se / (cfg.window_len as f64).sqrt();
                 for v in &mut values {
-                    *v += sigma * gaussian(&mut rng);
+                    *v += sigma * rng.normal();
                 }
             }
 
@@ -128,12 +127,6 @@ impl QueryWorkload {
             config: cfg,
         }
     }
-}
-
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -178,9 +171,7 @@ mod tests {
         let data = market();
         let w = QueryWorkload::generate(&data, cfg());
         for q in &w.queries {
-            let src = data[q.source_series]
-                .window(q.source_offset, 32)
-                .unwrap();
+            let src = data[q.source_series].window(q.source_offset, 32).unwrap();
             // The query equals F(src) exactly, so min distance src→query is 0.
             let d = min_scale_shift_distance(src, &q.values).unwrap();
             assert!(d < 1e-6, "distance {d} should be ~0 without noise");
@@ -199,9 +190,7 @@ mod tests {
         c.noise_level = 0.05;
         let w = QueryWorkload::generate(&data, c);
         for q in &w.queries {
-            let src = data[q.source_series]
-                .window(q.source_offset, 32)
-                .unwrap();
+            let src = data[q.source_series].window(q.source_offset, 32).unwrap();
             let d = min_scale_shift_distance(src, &q.values).unwrap();
             // Noise is 5 % of the window's SE-norm; allow generous slack.
             let scale = tsss_geometry::se::se_norm(&q.values).max(1e-9);
@@ -218,7 +207,10 @@ mod tests {
         let w = QueryWorkload::generate(&data, c);
         let ups = w.queries.iter().filter(|q| q.applied.a > 1.0).count();
         let downs = w.queries.iter().filter(|q| q.applied.a < 1.0).count();
-        assert!(ups > 40 && downs > 40, "lopsided scaling: {ups} up, {downs} down");
+        assert!(
+            ups > 40 && downs > 40,
+            "lopsided scaling: {ups} up, {downs} down"
+        );
         assert!(w
             .queries
             .iter()

@@ -1,28 +1,45 @@
-//! Property-based tests for the data substrate: CSV round-trips must be
+//! Randomised tests for the data substrate: CSV round-trips must be
 //! bit-exact for arbitrary finite series, and workload generation must
 //! honour its configuration for every seed.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use tsss_data::csv::{from_csv, to_csv};
 use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, Series, WorkloadConfig};
+use tsss_rand::Rng;
 
-fn series_strategy() -> impl Strategy<Value = Series> {
-    (
-        "[A-Za-z0-9_.]{1,12}",
-        prop::collection::vec(
-            prop::num::f64::NORMAL | prop::num::f64::ZERO | prop::num::f64::SUBNORMAL,
-            0..50,
-        ),
-    )
-        .prop_map(|(name, values)| Series::new(name, values))
+const CASES: usize = 128;
+
+const NAME_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.";
+
+fn random_series(rng: &mut Rng) -> Series {
+    let name_len = 1 + rng.usize_below(12);
+    let name: String = (0..name_len)
+        .map(|_| NAME_CHARS[rng.usize_below(NAME_CHARS.len())] as char)
+        .collect();
+    let n = rng.usize_below(50);
+    // Mix of magnitudes, zeros, and subnormals — CSV must round-trip all of
+    // them bit-exactly.
+    let values: Vec<f64> = (0..n)
+        .map(|_| match rng.usize_below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::from_bits(rng.next_u64() % (1u64 << 52)), // subnormal
+            3 => rng.f64_range(-1e300, 1e300),
+            _ => rng.f64_range(-1e6, 1e6),
+        })
+        .collect();
+    Series::new(name, values)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// CSV round-trip is bit-exact for any finite values and sane names.
-    #[test]
-    fn csv_roundtrip_is_bit_exact(series in prop::collection::vec(series_strategy(), 0..8)) {
+/// CSV round-trip is bit-exact for any finite values and sane names.
+#[test]
+fn csv_roundtrip_is_bit_exact() {
+    let mut rng = Rng::seed_from_u64(0xDA7A_1001);
+    for _ in 0..CASES {
+        let n_series = rng.usize_below(8);
+        let series: Vec<Series> = (0..n_series).map(|_| random_series(&mut rng)).collect();
         // Adjacent series sharing a name would merge on parse; deduplicate.
         let mut seen = std::collections::HashSet::new();
         let series: Vec<Series> = series
@@ -33,44 +50,56 @@ proptest! {
         // Empty series vanish in the long format (no rows) — compare only
         // non-empty ones.
         let expect: Vec<&Series> = series.iter().filter(|s| !s.is_empty()).collect();
-        prop_assert_eq!(parsed.len(), expect.len());
+        assert_eq!(parsed.len(), expect.len());
         for (a, b) in parsed.iter().zip(expect) {
-            prop_assert_eq!(&a.name, &b.name);
-            prop_assert_eq!(a.values.len(), b.values.len());
+            assert_eq!(&a.name, &b.name);
+            assert_eq!(a.values.len(), b.values.len());
             for (x, y) in a.values.iter().zip(&b.values) {
-                prop_assert_eq!(x.to_bits(), y.to_bits());
+                assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }
+}
 
-    /// The market simulator is a pure function of its configuration.
-    #[test]
-    fn market_is_deterministic(companies in 1usize..6, days in 2usize..40, seed in any::<u64>()) {
+/// The market simulator is a pure function of its configuration.
+#[test]
+fn market_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xDA7A_1002);
+    for _ in 0..CASES {
+        let companies = 1 + rng.usize_below(5);
+        let days = 2 + rng.usize_below(38);
+        let seed = rng.next_u64();
         let cfg = MarketConfig::small(companies, days, seed);
         let a = MarketSimulator::new(cfg.clone()).generate();
         let b = MarketSimulator::new(cfg).generate();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Prices are positive and shaped as configured for every seed.
-    #[test]
-    fn market_shape_and_positivity(seed in any::<u64>()) {
+/// Prices are positive and shaped as configured for every seed.
+#[test]
+fn market_shape_and_positivity() {
+    let mut rng = Rng::seed_from_u64(0xDA7A_1003);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let series = MarketSimulator::new(MarketConfig::small(4, 30, seed)).generate();
-        prop_assert_eq!(series.len(), 4);
+        assert_eq!(series.len(), 4);
         for s in &series {
-            prop_assert_eq!(s.len(), 30);
-            prop_assert!(s.values.iter().all(|&v| v > 0.0 && v.is_finite()));
+            assert_eq!(s.len(), 30);
+            assert!(s.values.iter().all(|&v| v > 0.0 && v.is_finite()));
         }
     }
+}
 
-    /// Generated queries always honour the configured length, scale range,
-    /// and provenance bounds.
-    #[test]
-    fn workload_respects_its_config(
-        seed in any::<u64>(),
-        window in 4usize..24,
-        scale_range in 1.0f64..5.0,
-    ) {
+/// Generated queries always honour the configured length, scale range, and
+/// provenance bounds.
+#[test]
+fn workload_respects_its_config() {
+    let mut rng = Rng::seed_from_u64(0xDA7A_1004);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let window = 4 + rng.usize_below(20);
+        let scale_range = rng.f64_range(1.0, 5.0);
         let data = MarketSimulator::new(MarketConfig::small(5, 40, seed)).generate();
         let cfg = WorkloadConfig {
             queries: 10,
@@ -81,19 +110,21 @@ proptest! {
             seed,
         };
         let w = QueryWorkload::generate(&data, cfg);
-        prop_assert_eq!(w.queries.len(), 10);
+        assert_eq!(w.queries.len(), 10);
         for q in &w.queries {
-            prop_assert_eq!(q.values.len(), window);
-            prop_assert!(q.source_series < data.len());
-            prop_assert!(q.source_offset + window <= data[q.source_series].len());
-            prop_assert!(q.applied.a >= 1.0 / scale_range - 1e-9);
-            prop_assert!(q.applied.a <= scale_range + 1e-9);
-            prop_assert!(q.applied.b.abs() <= 7.0 + 1e-9);
+            assert_eq!(q.values.len(), window);
+            assert!(q.source_series < data.len());
+            assert!(q.source_offset + window <= data[q.source_series].len());
+            assert!(q.applied.a >= 1.0 / scale_range - 1e-9);
+            assert!(q.applied.a <= scale_range + 1e-9);
+            assert!(q.applied.b.abs() <= 7.0 + 1e-9);
             // Noiseless queries are exact transforms of their source.
-            let src = data[q.source_series].window(q.source_offset, window).unwrap();
+            let src = data[q.source_series]
+                .window(q.source_offset, window)
+                .unwrap();
             let rebuilt = q.applied.apply(src);
             for (x, y) in rebuilt.iter().zip(&q.values) {
-                prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+                assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
             }
         }
     }

@@ -72,7 +72,10 @@ pub fn inverse_dft_naive(spectrum: &[Complex]) -> Vec<f64> {
 /// Panics unless `buf.len()` is a power of two.
 pub fn fft_complex_in_place(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires a power-of-two length");
+    assert!(
+        is_power_of_two(n),
+        "radix-2 FFT requires a power-of-two length"
+    );
     if n == 1 {
         return;
     }
@@ -236,7 +239,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let x: Vec<f64> = (0..64).map(|i| ((i * 7919) % 101) as f64 / 10.0 - 5.0).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| ((i * 7919) % 101) as f64 / 10.0 - 5.0)
+            .collect();
         let time: f64 = x.iter().map(|v| v * v).sum();
         let freq: f64 = fft_real(&x).iter().map(|z| z.norm_sq()).sum();
         assert!((time - freq).abs() < 1e-8 * time.max(1.0));

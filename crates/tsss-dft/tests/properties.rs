@@ -1,21 +1,26 @@
-//! Property-based tests for the DFT substrate: the transform must be a
-//! unitary linear map on every input, and the feature extractor must be a
-//! linear contraction — the exact properties the index's no-false-dismissal
+//! Randomised tests for the DFT substrate: the transform must be a unitary
+//! linear map on every input, and the feature extractor must be a linear
+//! contraction — the exact properties the index's no-false-dismissal
 //! guarantee rests on.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use tsss_dft::{dft_naive, fft_real, ifft, FeatureExtractor};
+use tsss_rand::Rng;
 
-fn signal(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e3f64..1e3, n)
+const CASES: usize = 128;
+
+fn signal(rng: &mut Rng, n: usize) -> Vec<f64> {
+    rng.f64_vec(n, -1e3, 1e3)
 }
 
-fn pow2_len() -> impl Strategy<Value = usize> {
-    prop::sample::select(vec![2usize, 4, 8, 16, 32, 64, 128])
+fn pow2_len(rng: &mut Rng) -> usize {
+    [2usize, 4, 8, 16, 32, 64, 128][rng.usize_below(7)]
 }
 
-fn any_len() -> impl Strategy<Value = usize> {
-    2usize..40
+fn any_len(rng: &mut Rng) -> usize {
+    2 + rng.usize_below(38)
 }
 
 fn centred(x: &[f64]) -> Vec<f64> {
@@ -31,90 +36,101 @@ fn dist(a: &[f64], b: &[f64]) -> f64 {
         .sqrt()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// FFT == naive DFT on power-of-two lengths.
-    #[test]
-    fn fft_agrees_with_definition(x in pow2_len().prop_flat_map(signal)) {
+/// FFT == naive DFT on power-of-two lengths.
+#[test]
+fn fft_agrees_with_definition() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0001);
+    for _ in 0..CASES {
+        let n = pow2_len(&mut rng);
+        let x = signal(&mut rng, n);
         let fast = fft_real(&x);
         let slow = dft_naive(&x);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
         }
     }
+}
 
-    /// Forward then inverse recovers the signal (any length).
-    #[test]
-    fn roundtrip_is_identity(x in any_len().prop_flat_map(signal)) {
+/// Forward then inverse recovers the signal (any length).
+#[test]
+fn roundtrip_is_identity() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0002);
+    for _ in 0..CASES {
+        let n = any_len(&mut rng);
+        let x = signal(&mut rng, n);
         let back = ifft(&fft_real(&x));
         for (a, b) in x.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
         }
     }
+}
 
-    /// Parseval: the unitary transform preserves energy.
-    #[test]
-    fn parseval_holds(x in any_len().prop_flat_map(signal)) {
+/// Parseval: the unitary transform preserves energy.
+#[test]
+fn parseval_holds() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0003);
+    for _ in 0..CASES {
+        let n = any_len(&mut rng);
+        let x = signal(&mut rng, n);
         let time: f64 = x.iter().map(|v| v * v).sum();
         let freq: f64 = fft_real(&x).iter().map(|z| z.norm_sq()).sum();
-        prop_assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
+        assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
     }
+}
 
-    /// Conjugate symmetry of real-signal spectra.
-    #[test]
-    fn real_signals_have_symmetric_spectra(x in any_len().prop_flat_map(signal)) {
+/// Conjugate symmetry of real-signal spectra.
+#[test]
+fn real_signals_have_symmetric_spectra() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0004);
+    for _ in 0..CASES {
+        let n = any_len(&mut rng);
+        let x = signal(&mut rng, n);
         let s = fft_real(&x);
-        let n = x.len();
         for k in 1..n {
             let a = s[k];
             let b = s[n - k].conj();
-            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
         }
     }
+}
 
-    /// The feature extractor is a contraction on zero-mean inputs: feature
-    /// distance never exceeds window distance. This is the index's
-    /// no-false-dismissal lemma.
-    #[test]
-    fn extractor_is_a_contraction(
-        (n, fc) in (8usize..64).prop_flat_map(|n| (Just(n), 1usize..=(n - 1) / 2)),
-        seed_a in any::<u64>(),
-        seed_b in any::<u64>(),
-    ) {
-        let gen = |seed: u64, n: usize| -> Vec<f64> {
-            let mut s = seed | 1;
-            (0..n)
-                .map(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    ((s >> 33) as f64 / (1u64 << 31) as f64) * 200.0 - 100.0
-                })
-                .collect()
-        };
+/// The feature extractor is a contraction on zero-mean inputs: feature
+/// distance never exceeds window distance. This is the index's
+/// no-false-dismissal lemma.
+#[test]
+fn extractor_is_a_contraction() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0005);
+    for _ in 0..CASES {
+        let n = 8 + rng.usize_below(56);
+        let fc = 1 + rng.usize_below((n - 1) / 2);
         let fx = FeatureExtractor::new(n, fc);
-        let a = centred(&gen(seed_a, n));
-        let b = centred(&gen(seed_b, n));
+        let a = centred(&signal(&mut rng, n));
+        let b = centred(&signal(&mut rng, n));
         let d_feat = dist(&fx.extract(&a), &fx.extract(&b));
         let d_full = dist(&a, &b);
-        prop_assert!(d_feat <= d_full + 1e-7 * (1.0 + d_full),
-            "contraction violated: {d_feat} > {d_full} (n = {n}, fc = {fc})");
+        assert!(
+            d_feat <= d_full + 1e-7 * (1.0 + d_full),
+            "contraction violated: {d_feat} > {d_full} (n = {n}, fc = {fc})"
+        );
     }
+}
 
-    /// Feature extraction commutes with scaling — the property that lets the
-    /// SE-line live in feature space (Theorem 2 machinery).
-    #[test]
-    fn extractor_commutes_with_scaling(
-        x in (8usize..64).prop_flat_map(signal),
-        t in -50.0f64..50.0,
-    ) {
-        let n = x.len();
+/// Feature extraction commutes with scaling — the property that lets the
+/// SE-line live in feature space (Theorem 2 machinery).
+#[test]
+fn extractor_commutes_with_scaling() {
+    let mut rng = Rng::seed_from_u64(0xDF7_0006);
+    for _ in 0..CASES {
+        let n = 8 + rng.usize_below(56);
+        let x = signal(&mut rng, n);
+        let t = rng.f64_range(-50.0, 50.0);
         let fx = FeatureExtractor::new(n, ((n - 1) / 2).min(3));
         let c = centred(&x);
         let scaled: Vec<f64> = c.iter().map(|v| t * v).collect();
         let f1 = fx.extract(&scaled);
         let f2: Vec<f64> = fx.extract(&c).iter().map(|v| t * v).collect();
         for (a, b) in f1.iter().zip(&f2) {
-            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
         }
     }
 }

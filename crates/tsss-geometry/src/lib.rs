@@ -29,7 +29,7 @@ pub mod se;
 pub mod sphere;
 pub mod vector;
 
-pub use line::{Line, lld, pld};
+pub use line::{lld, pld, Line};
 pub use mbr::Mbr;
 pub use penetration::{line_mbr_interval, line_penetrates_mbr, PenetrationMethod};
 pub use scale_shift::{min_scale_shift_distance, optimal_scale_shift, ScaleShift};

@@ -360,10 +360,7 @@ mod tests {
                 Line::scaling(&[5.0, 10.0, 6.0, 12.0, 4.0]),
                 Line::shifting(&[25.0, 30.0, 26.0, 32.0, 24.0]),
             ),
-            (
-                Line::scaling(&[1.0, 2.0]),
-                Line::shifting(&[-3.0, 7.0]),
-            ),
+            (Line::scaling(&[1.0, 2.0]), Line::shifting(&[-3.0, 7.0])),
         ];
         for (l1, l2) in cases {
             let exact = lld(&l1, &l2);

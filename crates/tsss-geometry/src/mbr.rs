@@ -99,10 +99,7 @@ impl Mbr {
     /// True when this box contains `other` (paper §6.1: `lᵢ ≤ l'ᵢ ∧ h'ᵢ ≤ hᵢ`).
     pub fn contains_mbr(&self, other: &Mbr) -> bool {
         debug_assert_eq!(other.dim(), self.dim());
-        self.low
-            .iter()
-            .zip(other.low.iter())
-            .all(|(l, ol)| l <= ol)
+        self.low.iter().zip(other.low.iter()).all(|(l, ol)| l <= ol)
             && self
                 .high
                 .iter()

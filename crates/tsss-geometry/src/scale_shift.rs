@@ -86,6 +86,28 @@ pub struct ScaleShiftFit {
     pub distance: f64,
 }
 
+/// Relative variance threshold below which a sequence counts as constant for
+/// fitting purposes (see [`is_numerically_constant`]).
+const CONSTANT_REL_TOL: f64 = 1e-24;
+
+/// True when `u` is numerically constant — zero fluctuation relative to its
+/// magnitude, so its SE-transformation vanishes and its SE-line degenerates
+/// to the origin.
+///
+/// This is *the* degeneracy test [`optimal_scale_shift`] applies, exposed so
+/// search layers can branch to a shift-only query plan and stay consistent
+/// with verification.
+pub fn is_numerically_constant(u: &[f64]) -> bool {
+    if u.is_empty() {
+        return true;
+    }
+    let n = u.len() as f64;
+    let mu = mean(u);
+    let uu = norm_sq(u);
+    let ucuc = (uu - n * mu * mu).max(0.0);
+    ucuc <= CONSTANT_REL_TOL * uu.max(1e-300)
+}
+
 /// Computes the optimal `(a, b)` minimising `‖a·u + b·N − v‖₂` together with
 /// the attained distance, in a single O(n) pass (paper §5.2).
 ///
@@ -139,9 +161,9 @@ pub fn optimal_scale_shift(u: &[f64], v: &[f64]) -> Result<ScaleShiftFit, Dimens
     let ucuc = (uu - n * mu * mu).max(0.0);
 
     // Relative degeneracy test: a sequence whose variance is ~0 compared to
-    // its magnitude is "constant" for fitting purposes.
-    let scale_ref = uu.max(1e-300);
-    if ucuc <= 1e-24 * scale_ref {
+    // its magnitude is "constant" for fitting purposes (the same test
+    // `is_numerically_constant` applies).
+    if ucuc <= CONSTANT_REL_TOL * uu.max(1e-300) {
         let resid: f64 = v.iter().map(|y| (y - mv) * (y - mv)).sum();
         return Ok(ScaleShiftFit {
             transform: ScaleShift { a: 0.0, b: mv },
@@ -292,7 +314,13 @@ mod tests {
         let u = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
         let v = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
         let fit = optimal_scale_shift(&u, &v).unwrap();
-        for &(a, b) in &[(0.0, 0.0), (1.0, 0.0), (0.5, 3.0), (-2.0, 10.0), (3.3, -4.4)] {
+        for &(a, b) in &[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.5, 3.0),
+            (-2.0, 10.0),
+            (3.3, -4.4),
+        ] {
             let d = dist(&ScaleShift { a, b }.apply(&u), &v);
             assert!(fit.distance <= d + 1e-10, "({a},{b}) beat the optimum");
         }
@@ -342,7 +370,7 @@ mod tests {
         let dvu = min_scale_shift_distance(&v, &u).unwrap();
         assert!(duv < 1e-9); // u scales up onto v exactly
         assert!(dvu < 1e-9); // and v scales down onto u exactly (a = 1/95 ≠ 0)
-        // An asymmetric example: u constant, v not.
+                             // An asymmetric example: u constant, v not.
         let u = [1.0, 1.0, 1.0];
         let v = [0.0, 1.0, 2.0];
         let duv = min_scale_shift_distance(&u, &v).unwrap();

@@ -50,7 +50,11 @@ pub fn bulk_load_polar(cfg: TreeConfig, entries: Vec<DataEntry>) -> RTree {
             // line penetrates.) Log-radius keeps the log-uniformly spread
             // amplitudes from crowding into one shell.
             let mut k = Vec::with_capacity(e.point.len() + 1);
-            k.push(if norm > 0.0 { norm.ln() } else { f64::NEG_INFINITY });
+            k.push(if norm > 0.0 {
+                norm.ln()
+            } else {
+                f64::NEG_INFINITY
+            });
             if norm > 0.0 {
                 k.extend(e.point.iter().map(|x| x / norm));
             } else {
@@ -253,14 +257,14 @@ mod tests {
 
     #[test]
     fn empty_bulk_load_gives_empty_tree() {
-        let mut t = bulk_load(cfg(), vec![]);
+        let t = bulk_load(cfg(), vec![]);
         assert!(t.is_empty());
         assert_eq!(t.check_invariants(), 0);
     }
 
     #[test]
     fn single_entry_bulk_load() {
-        let mut t = bulk_load(cfg(), points(1));
+        let t = bulk_load(cfg(), points(1));
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
         t.check_invariants();
@@ -268,11 +272,10 @@ mod tests {
 
     #[test]
     fn bulk_load_preserves_every_entry() {
-        let mut t = bulk_load(cfg(), points(777));
+        let t = bulk_load(cfg(), points(777));
         assert_eq!(t.len(), 777);
         t.check_invariants();
-        let ids: std::collections::BTreeSet<u64> =
-            t.dump().into_iter().map(|(_, id)| id).collect();
+        let ids: std::collections::BTreeSet<u64> = t.dump().into_iter().map(|(_, id)| id).collect();
         assert_eq!(ids.len(), 777);
         assert_eq!(*ids.iter().next().unwrap(), 0);
         assert_eq!(*ids.iter().last().unwrap(), 776);
@@ -281,7 +284,7 @@ mod tests {
     #[test]
     fn bulk_loaded_tree_answers_like_incremental_tree() {
         let entries = points(400);
-        let mut bulk = bulk_load(cfg(), entries.clone());
+        let bulk = bulk_load(cfg(), entries.clone());
         let mut incr = RTree::new(cfg());
         for e in &entries {
             incr.insert(e.point.to_vec(), e.id);
@@ -337,12 +340,14 @@ mod tests {
         let entries: Vec<DataEntry> = (0..5000)
             .map(|i| {
                 DataEntry::new(
-                    (0..6).map(|j| (((i * 31 + j * 17) % 211) as f64).sin()).collect(),
+                    (0..6)
+                        .map(|j| (((i * 31 + j * 17) % 211) as f64).sin())
+                        .collect(),
                     i as u64,
                 )
             })
             .collect();
-        let mut t = bulk_load(c, entries);
+        let t = bulk_load(c, entries);
         assert_eq!(t.len(), 5000);
         t.check_invariants();
     }

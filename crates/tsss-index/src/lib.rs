@@ -24,11 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
-pub mod split;
 pub mod nn;
 pub mod node;
 pub mod persist;
 pub mod query;
+pub mod split;
 pub mod tree;
 
 pub use node::{ChildEntry, DataEntry, Node};

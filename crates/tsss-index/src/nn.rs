@@ -109,8 +109,13 @@ pub fn line_mbr_min_dist(line: &Line, mbr: &Mbr) -> f64 {
 
 #[derive(Debug)]
 enum HeapItem {
-    Node { page: tsss_storage::PageId, bound: f64 },
-    Point { entry: Match },
+    Node {
+        page: tsss_storage::PageId,
+        bound: f64,
+    },
+    Point {
+        entry: Match,
+    },
 }
 
 impl HeapItem {
@@ -148,7 +153,7 @@ impl RTree {
     ///
     /// Ties at equal distance are broken arbitrarily. Returns fewer than `k`
     /// matches when the tree holds fewer points.
-    pub fn nearest_to_line(&mut self, line: &Line, k: usize) -> Vec<Match> {
+    pub fn nearest_to_line(&self, line: &Line, k: usize) -> Vec<Match> {
         assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
         let mut out = Vec::with_capacity(k.min(self.len()));
         if k == 0 || self.is_empty() {
@@ -239,10 +244,7 @@ mod tests {
         // Sample points of the box; all must be at least `bound` away.
         for i in 0..=10 {
             for j in 0..=10 {
-                let p = [
-                    5.0 + 4.0 * i as f64 / 10.0,
-                    -8.0 + 4.0 * j as f64 / 10.0,
-                ];
+                let p = [5.0 + 4.0 * i as f64 / 10.0, -8.0 + 4.0 * j as f64 / 10.0];
                 assert!(pld_sq(&p, &line).sqrt() + 1e-9 >= bound);
             }
         }
@@ -250,7 +252,7 @@ mod tests {
 
     #[test]
     fn nearest_one_matches_brute_force() {
-        let (mut t, pts) = build(300);
+        let (t, pts) = build(300);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.85]).unwrap();
         let got = t.nearest_to_line(&line, 1);
         assert_eq!(got.len(), 1);
@@ -263,7 +265,7 @@ mod tests {
 
     #[test]
     fn nearest_k_is_sorted_and_matches_brute_force() {
-        let (mut t, pts) = build(250);
+        let (t, pts) = build(250);
         let line = Line::new(vec![10.0, -5.0], vec![0.3, 1.0]).unwrap();
         let k = 10;
         let got = t.nearest_to_line(&line, k);
@@ -280,7 +282,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_tree_returns_everything() {
-        let (mut t, pts) = build(20);
+        let (t, pts) = build(20);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         let got = t.nearest_to_line(&line, 100);
         assert_eq!(got.len(), pts.len());
@@ -288,16 +290,16 @@ mod tests {
 
     #[test]
     fn k_zero_and_empty_tree() {
-        let (mut t, _) = build(20);
+        let (t, _) = build(20);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         assert!(t.nearest_to_line(&line, 0).is_empty());
-        let mut empty = RTree::new(cfg());
+        let empty = RTree::new(cfg());
         assert!(empty.nearest_to_line(&line, 3).is_empty());
     }
 
     #[test]
     fn best_first_visits_fewer_nodes_than_full_scan() {
-        let (mut t, _) = build(600);
+        let (t, _) = build(600);
         t.stats().reset();
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         let _ = t.nearest_to_line(&line, 1);

@@ -210,7 +210,12 @@ mod tests {
     fn leaf_fixture(dim: usize, n: usize) -> Node {
         Node::Leaf(
             (0..n)
-                .map(|i| DataEntry::new((0..dim).map(|j| (i * dim + j) as f64 * 0.5).collect(), i as u64 + 1000))
+                .map(|i| {
+                    DataEntry::new(
+                        (0..dim).map(|j| (i * dim + j) as f64 * 0.5).collect(),
+                        i as u64 + 1000,
+                    )
+                })
                 .collect(),
         )
     }

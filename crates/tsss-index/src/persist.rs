@@ -69,13 +69,13 @@ impl RTree {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn save_to<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         put_magic(w, MAGIC)?;
         write_config(w, &self.config().clone())?;
         put_u32(w, self.root_page().0)?;
         put_usize(w, self.height())?;
         put_usize(w, self.len())?;
-        self.flush_and_file().write_to(w)
+        self.with_file(|file| file.write_to(w))
     }
 
     /// Loads a tree previously written by [`RTree::save_to`].
@@ -114,15 +114,7 @@ mod tests {
     use tsss_geometry::penetration::PenetrationMethod;
 
     fn build_tree(n: usize) -> RTree {
-        let mut t = RTree::new(TreeConfig::uniform(
-            3,
-            1024,
-            8,
-            3,
-            2,
-            SplitPolicy::RStar,
-            0,
-        ));
+        let mut t = RTree::new(TreeConfig::uniform(3, 1024, 8, 3, 2, SplitPolicy::RStar, 0));
         for i in 0..n as u64 {
             t.insert(
                 vec![
@@ -145,7 +137,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_contents_and_invariants() {
         let mut t = build_tree(250);
-        let mut u = roundtrip(&mut t);
+        let u = roundtrip(&mut t);
         assert_eq!(u.len(), 250);
         assert_eq!(u.height(), t.height());
         u.check_invariants();
@@ -159,7 +151,7 @@ mod tests {
     #[test]
     fn loaded_tree_answers_queries_identically() {
         let mut t = build_tree(300);
-        let mut u = roundtrip(&mut t);
+        let u = roundtrip(&mut t);
         let line = Line::new(vec![0.0; 3], vec![1.0, 0.9, 1.2]).unwrap();
         for eps in [0.0, 5.0, 25.0] {
             let a: Vec<u64> = {
@@ -215,7 +207,7 @@ mod tests {
             SplitPolicy::GuttmanLinear,
             0,
         ));
-        let mut u = roundtrip(&mut t);
+        let u = roundtrip(&mut t);
         assert!(u.is_empty());
         assert_eq!(u.config().split, SplitPolicy::GuttmanLinear);
         u.check_invariants();
@@ -223,7 +215,7 @@ mod tests {
 
     #[test]
     fn corrupt_header_is_rejected() {
-        let mut t = build_tree(10);
+        let t = build_tree(10);
         let mut buf = Vec::new();
         t.save_to(&mut buf).unwrap();
         buf[3] = b'Z';
@@ -240,7 +232,7 @@ mod tests {
         }
         let mut buf = Vec::new();
         t.save_to(&mut buf).unwrap();
-        let mut u = RTree::load_from(&mut std::io::Cursor::new(buf)).unwrap();
+        let u = RTree::load_from(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(u.len(), 60);
         u.check_invariants();
     }

@@ -61,12 +61,7 @@ impl RTree {
     ///
     /// # Panics
     /// Panics when the line's dimension differs from the tree's.
-    pub fn line_query(
-        &mut self,
-        line: &Line,
-        epsilon: f64,
-        method: PenetrationMethod,
-    ) -> QueryOutcome {
+    pub fn line_query(&self, line: &Line, epsilon: f64, method: PenetrationMethod) -> QueryOutcome {
         assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
         let mut out = QueryOutcome::default();
@@ -77,7 +72,7 @@ impl RTree {
     }
 
     fn line_query_node(
-        &mut self,
+        &self,
         page: tsss_storage::PageId,
         line: &Line,
         epsilon: f64,
@@ -114,7 +109,7 @@ impl RTree {
     }
 
     /// All points contained in `query_box` (a classic R-tree window query).
-    pub fn box_query(&mut self, query_box: &Mbr) -> QueryOutcome {
+    pub fn box_query(&self, query_box: &Mbr) -> QueryOutcome {
         assert_eq!(query_box.dim(), self.config().dim, "box dimension mismatch");
         let mut out = QueryOutcome::default();
         let root = self.root_page();
@@ -122,12 +117,7 @@ impl RTree {
         out
     }
 
-    fn box_query_node(
-        &mut self,
-        page: tsss_storage::PageId,
-        query_box: &Mbr,
-        out: &mut QueryOutcome,
-    ) {
+    fn box_query_node(&self, page: tsss_storage::PageId, query_box: &Mbr, out: &mut QueryOutcome) {
         match self.read_node(page) {
             Node::Leaf(entries) => {
                 out.stats.leaves_visited += 1;
@@ -155,7 +145,7 @@ impl RTree {
 
     /// All points within Euclidean distance `radius` of `center` — the
     /// F-index style range query, used by baselines and tests.
-    pub fn radius_query(&mut self, center: &[f64], radius: f64) -> QueryOutcome {
+    pub fn radius_query(&self, center: &[f64], radius: f64) -> QueryOutcome {
         assert_eq!(center.len(), self.config().dim, "center dimension mismatch");
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut out = QueryOutcome::default();
@@ -165,7 +155,7 @@ impl RTree {
     }
 
     fn radius_query_node(
-        &mut self,
+        &self,
         page: tsss_storage::PageId,
         center: &[f64],
         radius_sq: f64,
@@ -220,7 +210,7 @@ mod tests {
 
     #[test]
     fn box_query_matches_linear_filter() {
-        let (mut t, pts) = build(200);
+        let (t, pts) = build(200);
         let qb = Mbr::new(vec![20.0, 10.0], vec![60.0, 50.0]).unwrap();
         let got: std::collections::BTreeSet<u64> =
             t.box_query(&qb).matches.iter().map(|m| m.id).collect();
@@ -236,7 +226,7 @@ mod tests {
 
     #[test]
     fn radius_query_matches_linear_filter() {
-        let (mut t, pts) = build(200);
+        let (t, pts) = build(200);
         let center = [50.0, 50.0];
         let r = 25.0;
         let got: std::collections::BTreeSet<u64> = t
@@ -257,7 +247,7 @@ mod tests {
 
     #[test]
     fn line_query_matches_linear_filter_for_both_methods() {
-        let (mut t, pts) = build(300);
+        let (t, pts) = build(300);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.9]).unwrap();
         for method in [
             PenetrationMethod::EnteringExiting,
@@ -283,7 +273,7 @@ mod tests {
 
     #[test]
     fn line_query_reports_distances() {
-        let (mut t, _) = build(100);
+        let (t, _) = build(100);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         let out = t.line_query(&line, 10.0, PenetrationMethod::EnteringExiting);
         for m in &out.matches {
@@ -295,7 +285,7 @@ mod tests {
 
     #[test]
     fn pruning_visits_fewer_leaves_than_full_scan() {
-        let (mut t, _) = build(500);
+        let (t, _) = build(500);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.0]).unwrap();
         let out = t.line_query(&line, 1.0, PenetrationMethod::EnteringExiting);
         // A thin strip query should not need every leaf.
@@ -313,7 +303,7 @@ mod tests {
 
     #[test]
     fn sphere_stats_populated_only_for_sphere_method() {
-        let (mut t, _) = build(300);
+        let (t, _) = build(300);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap();
         let plain = t.line_query(&line, 2.0, PenetrationMethod::EnteringExiting);
         assert_eq!(plain.stats.sphere.total(), 0);
@@ -327,16 +317,13 @@ mod tests {
 
     #[test]
     fn empty_tree_queries_return_nothing() {
-        let mut t = RTree::new(cfg());
+        let t = RTree::new(cfg());
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         assert!(t
             .line_query(&line, 100.0, PenetrationMethod::EnteringExiting)
             .matches
             .is_empty());
-        assert!(t
-            .radius_query(&[0.0, 0.0], 100.0)
-            .matches
-            .is_empty());
+        assert!(t.radius_query(&[0.0, 0.0], 100.0).matches.is_empty());
     }
 
     #[test]
@@ -354,7 +341,7 @@ mod tests {
 
     #[test]
     fn page_reads_equal_nodes_visited() {
-        let (mut t, _) = build(400);
+        let (t, _) = build(400);
         t.stats().reset();
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.3]).unwrap();
         let out = t.line_query(&line, 3.0, PenetrationMethod::EnteringExiting);

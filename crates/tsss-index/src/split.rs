@@ -412,15 +412,27 @@ mod tests {
         // A line of points: splitting in the middle has zero overlap.
         let mbrs: Vec<Mbr> = (0..10).map(|i| Mbr::point(&[i as f64, 0.0])).collect();
         let g = rstar_split(&mbrs, 3);
-        let m1 = g.first.iter().map(|&i| mbrs[i].clone()).reduce(|a, b| a.union(&b)).unwrap();
-        let m2 = g.second.iter().map(|&i| mbrs[i].clone()).reduce(|a, b| a.union(&b)).unwrap();
+        let m1 = g
+            .first
+            .iter()
+            .map(|&i| mbrs[i].clone())
+            .reduce(|a, b| a.union(&b))
+            .unwrap();
+        let m2 = g
+            .second
+            .iter()
+            .map(|&i| mbrs[i].clone())
+            .reduce(|a, b| a.union(&b))
+            .unwrap();
         assert_eq!(m1.overlap(&m2), 0.0);
     }
 
     #[test]
     fn minimum_sized_split_is_exact_halves() {
         // total = 2m exactly: each group must be exactly m.
-        let mbrs: Vec<Mbr> = (0..8).map(|i| Mbr::point(&[i as f64, -(i as f64)])).collect();
+        let mbrs: Vec<Mbr> = (0..8)
+            .map(|i| Mbr::point(&[i as f64, -(i as f64)]))
+            .collect();
         for g in [
             rstar_split(&mbrs, 4),
             quadratic_split(&mbrs, 4),

@@ -254,23 +254,22 @@ impl RTree {
     }
 
     /// Shared page-access counters (the Figure 5 metric).
-    pub fn stats(&self) -> std::rc::Rc<tsss_storage::AccessStats> {
+    pub fn stats(&self) -> std::sync::Arc<tsss_storage::AccessStats> {
         self.pool.stats()
     }
 
     /// Drops cached buffer frames so the next query starts cold.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.pool.clear_cache();
     }
 
-    /// Flushes cached frames and exposes the backing page file (used by
-    /// persistence).
-    pub(crate) fn flush_and_file(&mut self) -> &tsss_storage::PageFile {
-        self.pool.flush();
-        self.pool.file()
+    /// Flushes cached frames and runs `f` against the backing page file
+    /// (used by persistence).
+    pub(crate) fn with_file<R>(&self, f: impl FnOnce(&tsss_storage::PageFile) -> R) -> R {
+        self.pool.with_file(f)
     }
 
-    pub(crate) fn read_node(&mut self, page: PageId) -> Node {
+    pub(crate) fn read_node(&self, page: PageId) -> Node {
         let p = self.pool.read(page);
         Node::decode(&p, self.cfg.dim)
     }
@@ -360,8 +359,14 @@ impl RTree {
             let item_mbr = item.mbr(self.cfg.dim);
             let chosen = Self::choose_subtree(entries, &item_mbr, level == target_level + 1);
             let child_page = entries[chosen].page;
-            match self.insert_at(child_page, level - 1, item, target_level, reinserted, pending)
-            {
+            match self.insert_at(
+                child_page,
+                level - 1,
+                item,
+                target_level,
+                reinserted,
+                pending,
+            ) {
                 UpResult::Done(child_mbr) => {
                     // Re-read: recursion may have rewritten this very page
                     // via reinsertion passing through it? No — reinsertions
@@ -411,14 +416,9 @@ impl RTree {
                     if i == j {
                         continue;
                     }
-                    overlap_delta +=
-                        enlarged.overlap(&other.mbr) - e.mbr.overlap(&other.mbr);
+                    overlap_delta += enlarged.overlap(&other.mbr) - e.mbr.overlap(&other.mbr);
                 }
-                let key = (
-                    overlap_delta,
-                    e.mbr.enlargement_for(item),
-                    e.mbr.volume(),
-                );
+                let key = (overlap_delta, e.mbr.enlargement_for(item), e.mbr.volume());
                 if key < best_key {
                     best_key = key;
                     best = i;
@@ -549,7 +549,10 @@ impl RTree {
                 let pick = |idxs: &[usize]| -> Vec<DataEntry> {
                     idxs.iter().map(|&i| entries[i].clone()).collect()
                 };
-                (Node::Leaf(pick(&groups.first)), Node::Leaf(pick(&groups.second)))
+                (
+                    Node::Leaf(pick(&groups.first)),
+                    Node::Leaf(pick(&groups.second)),
+                )
             }
             Node::Internal(entries) => {
                 let pick = |idxs: &[usize]| -> Vec<ChildEntry> {
@@ -736,7 +739,7 @@ impl RTree {
     /// # Panics
     /// Panics on the first violated invariant. Test-and-debug facility; uses
     /// counted reads (reset the stats afterwards if you care).
-    pub fn check_invariants(&mut self) -> usize {
+    pub fn check_invariants(&self) -> usize {
         let root = self.root;
         let height = self.height;
         let count = self.check_node(root, height - 1, None);
@@ -744,7 +747,7 @@ impl RTree {
         count
     }
 
-    fn check_node(&mut self, page: PageId, level: usize, parent_mbr: Option<&Mbr>) -> usize {
+    fn check_node(&self, page: PageId, level: usize, parent_mbr: Option<&Mbr>) -> usize {
         let node = self.read_node(page);
         let is_root = page == self.root;
         let (max, min, _) = self.cfg.caps(node.is_leaf());
@@ -791,14 +794,14 @@ impl RTree {
 
     /// Collects the MBR of every directory entry in the tree (all levels).
     /// Introspection facility for box-shape analyses.
-    pub fn directory_mbrs(&mut self) -> Vec<Mbr> {
+    pub fn directory_mbrs(&self) -> Vec<Mbr> {
         let mut out = Vec::new();
         let root = self.root;
         self.collect_mbrs(root, &mut out);
         out
     }
 
-    fn collect_mbrs(&mut self, page: PageId, out: &mut Vec<Mbr>) {
+    fn collect_mbrs(&self, page: PageId, out: &mut Vec<Mbr>) {
         if let Node::Internal(entries) = self.read_node(page) {
             for e in entries {
                 out.push(e.mbr.clone());
@@ -809,14 +812,14 @@ impl RTree {
 
     /// Collects every `(point, id)` pair in the tree (in unspecified order).
     /// Test facility.
-    pub fn dump(&mut self) -> Vec<(Vec<f64>, u64)> {
+    pub fn dump(&self) -> Vec<(Vec<f64>, u64)> {
         let mut out = Vec::with_capacity(self.len);
         let root = self.root;
         self.dump_node(root, &mut out);
         out
     }
 
-    fn dump_node(&mut self, page: PageId, out: &mut Vec<(Vec<f64>, u64)>) {
+    fn dump_node(&self, page: PageId, out: &mut Vec<(Vec<f64>, u64)>) {
         match self.read_node(page) {
             Node::Leaf(entries) => {
                 for e in entries {
@@ -872,7 +875,7 @@ mod tests {
 
     #[test]
     fn empty_tree_properties() {
-        let mut t = RTree::new(small_cfg(2, SplitPolicy::RStar));
+        let t = RTree::new(small_cfg(2, SplitPolicy::RStar));
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         assert_eq!(t.height(), 1);
@@ -998,15 +1001,10 @@ mod tests {
             }
         }
         t.check_invariants();
-        let ids: std::collections::BTreeSet<u64> =
-            t.dump().into_iter().map(|(_, id)| id).collect();
+        let ids: std::collections::BTreeSet<u64> = t.dump().into_iter().map(|(_, id)| id).collect();
         for i in 0..200u64 {
             let expect_deleted = i % 3 == 1 && i + 1 < 200;
-            assert_eq!(
-                !ids.contains(&i),
-                expect_deleted,
-                "id {i} presence wrong"
-            );
+            assert_eq!(!ids.contains(&i), expect_deleted, "id {i} presence wrong");
         }
     }
 

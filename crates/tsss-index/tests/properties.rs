@@ -1,21 +1,32 @@
-//! Model-based property tests: the R-tree (any split policy, incremental or
-//! bulk-loaded) must behave exactly like a flat vector of points under every
-//! query, across random interleavings of inserts and deletes.
+//! Model-based randomised tests: the R-tree (any split policy, incremental
+//! or bulk-loaded) must behave exactly like a flat vector of points under
+//! every query, across random interleavings of inserts and deletes.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use tsss_geometry::line::{pld_sq, Line};
 use tsss_geometry::penetration::PenetrationMethod;
 use tsss_geometry::Mbr;
 use tsss_index::bulk::bulk_load;
 use tsss_index::{DataEntry, RTree, SplitPolicy, TreeConfig};
+use tsss_rand::Rng;
 
 fn cfg(split: SplitPolicy) -> TreeConfig {
     TreeConfig::uniform(3, 1024, 8, 3, 2, split, 0)
 }
 
-fn point_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-50.0f64..50.0, 3)
+fn point(rng: &mut Rng) -> Vec<f64> {
+    rng.f64_vec(3, -50.0, 50.0)
+}
+
+fn random_split(rng: &mut Rng) -> SplitPolicy {
+    match rng.usize_below(3) {
+        0 => SplitPolicy::RStar,
+        1 => SplitPolicy::GuttmanQuadratic,
+        _ => SplitPolicy::GuttmanLinear,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -25,38 +36,29 @@ enum Op {
     DeleteMissing(Vec<f64>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => point_strategy().prop_map(Op::Insert),
-        2 => (0usize..1000).prop_map(Op::DeleteExisting),
-        1 => point_strategy().prop_map(Op::DeleteMissing),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.usize_below(8) {
+        0..=4 => Op::Insert(point(rng)),
+        5 | 6 => Op::DeleteExisting(rng.usize_below(1000)),
+        _ => Op::DeleteMissing(point(rng)),
+    }
 }
 
-fn split_strategy() -> impl Strategy<Value = SplitPolicy> {
-    prop_oneof![
-        Just(SplitPolicy::RStar),
-        Just(SplitPolicy::GuttmanQuadratic),
-        Just(SplitPolicy::GuttmanLinear),
-    ]
-}
+#[test]
+fn tree_matches_model_under_churn() {
+    let mut rng = Rng::seed_from_u64(0x1DE_0001);
+    for case in 0..64 {
+        let split = random_split(&mut rng);
+        let n_ops = 1 + rng.usize_below(119);
+        let line_dir = point(&mut rng);
+        let eps = rng.f64_range(0.0, 30.0);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tree_matches_model_under_churn(
-        split in split_strategy(),
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        line_dir in point_strategy(),
-        eps in 0.0f64..30.0,
-    ) {
         let mut tree = RTree::new(cfg(split));
         let mut model: Vec<(Vec<f64>, u64)> = Vec::new();
         let mut next_id = 0u64;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Insert(p) => {
                     tree.insert(p.clone(), next_id);
                     model.push((p, next_id));
@@ -68,15 +70,21 @@ proptest! {
                     }
                     let i = raw % model.len();
                     let (p, id) = model.swap_remove(i);
-                    prop_assert!(tree.delete(&p, id), "existing entry not deleted");
+                    assert!(
+                        tree.delete(&p, id),
+                        "case {case}: existing entry not deleted"
+                    );
                 }
                 Op::DeleteMissing(p) => {
-                    prop_assert!(!tree.delete(&p, 999_999), "phantom delete succeeded");
+                    assert!(
+                        !tree.delete(&p, 999_999),
+                        "case {case}: phantom delete succeeded"
+                    );
                 }
             }
         }
 
-        prop_assert_eq!(tree.len(), model.len());
+        assert_eq!(tree.len(), model.len());
         tree.check_invariants();
 
         // Full content equality.
@@ -84,11 +92,14 @@ proptest! {
         dumped.sort_by_key(|(_, id)| *id);
         let mut want = model.clone();
         want.sort_by_key(|(_, id)| *id);
-        prop_assert_eq!(&dumped, &want);
+        assert_eq!(&dumped, &want);
 
         // Line query equality for both penetration methods.
         let line = Line::new(vec![0.0; 3], line_dir).unwrap();
-        for method in [PenetrationMethod::EnteringExiting, PenetrationMethod::BoundingSpheres] {
+        for method in [
+            PenetrationMethod::EnteringExiting,
+            PenetrationMethod::BoundingSpheres,
+        ] {
             let got: BTreeSet<u64> = tree
                 .line_query(&line, eps, method)
                 .matches
@@ -100,39 +111,60 @@ proptest! {
                 .filter(|(p, _)| pld_sq(p, &line) <= eps * eps)
                 .map(|(_, id)| *id)
                 .collect();
-            prop_assert_eq!(&got, &expect, "line query diverged ({:?})", method);
+            assert_eq!(
+                &got, &expect,
+                "case {case}: line query diverged ({method:?})"
+            );
         }
     }
+}
 
-    #[test]
-    fn bulk_load_equals_incremental_build(
-        split in split_strategy(),
-        points in prop::collection::vec(point_strategy(), 0..150),
-        center in point_strategy(),
-        radius in 0.0f64..60.0,
-    ) {
+#[test]
+fn bulk_load_equals_incremental_build() {
+    let mut rng = Rng::seed_from_u64(0x1DE_0002);
+    for _ in 0..64 {
+        let split = random_split(&mut rng);
+        let n_points = rng.usize_below(150);
+        let points: Vec<Vec<f64>> = (0..n_points).map(|_| point(&mut rng)).collect();
+        let center = point(&mut rng);
+        let radius = rng.f64_range(0.0, 60.0);
+
         let entries: Vec<DataEntry> = points
             .iter()
             .enumerate()
             .map(|(i, p)| DataEntry::new(p.clone(), i as u64))
             .collect();
-        let mut bulk = bulk_load(cfg(split), entries.clone());
+        let bulk = bulk_load(cfg(split), entries.clone());
         bulk.check_invariants();
         let mut incr = RTree::new(cfg(split));
         for e in &entries {
             incr.insert(e.point.to_vec(), e.id);
         }
-        let a: BTreeSet<u64> = bulk.radius_query(&center, radius).matches.iter().map(|m| m.id).collect();
-        let b: BTreeSet<u64> = incr.radius_query(&center, radius).matches.iter().map(|m| m.id).collect();
-        prop_assert_eq!(a, b);
+        let a: BTreeSet<u64> = bulk
+            .radius_query(&center, radius)
+            .matches
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        let b: BTreeSet<u64> = incr
+            .radius_query(&center, radius)
+            .matches
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn box_query_equals_linear_filter(
-        points in prop::collection::vec(point_strategy(), 1..150),
-        low in point_strategy(),
-        ext in prop::collection::vec(0.0f64..80.0, 3),
-    ) {
+#[test]
+fn box_query_equals_linear_filter() {
+    let mut rng = Rng::seed_from_u64(0x1DE_0003);
+    for _ in 0..64 {
+        let n_points = 1 + rng.usize_below(149);
+        let points: Vec<Vec<f64>> = (0..n_points).map(|_| point(&mut rng)).collect();
+        let low = point(&mut rng);
+        let ext = rng.f64_vec(3, 0.0, 80.0);
+
         let mut tree = RTree::new(cfg(SplitPolicy::RStar));
         for (i, p) in points.iter().enumerate() {
             tree.insert(p.clone(), i as u64);
@@ -146,15 +178,19 @@ proptest! {
             .filter(|(_, p)| qb.contains_point(p))
             .map(|(i, _)| i as u64)
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn nn_matches_brute_force(
-        points in prop::collection::vec(point_strategy(), 1..120),
-        dir in point_strategy(),
-        k in 1usize..8,
-    ) {
+#[test]
+fn nn_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x1DE_0004);
+    for _ in 0..64 {
+        let n_points = 1 + rng.usize_below(119);
+        let points: Vec<Vec<f64>> = (0..n_points).map(|_| point(&mut rng)).collect();
+        let dir = point(&mut rng);
+        let k = 1 + rng.usize_below(7);
+
         let mut tree = RTree::new(cfg(SplitPolicy::RStar));
         for (i, p) in points.iter().enumerate() {
             tree.insert(p.clone(), i as u64);
@@ -163,28 +199,33 @@ proptest! {
         let got = tree.nearest_to_line(&line, k);
         let mut brute: Vec<f64> = points.iter().map(|p| pld_sq(p, &line).sqrt()).collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(got.len(), k.min(points.len()));
+        assert_eq!(got.len(), k.min(points.len()));
         for (g, b) in got.iter().zip(&brute) {
-            prop_assert!((g.distance - b).abs() < 1e-7,
-                "k-NN distance {} vs brute {}", g.distance, b);
+            assert!(
+                (g.distance - b).abs() < 1e-7,
+                "k-NN distance {} vs brute {}",
+                g.distance,
+                b
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The exact line–MBR distance equals dense-sampled ground truth and is
-    /// admissible (never exceeds the distance to any box point).
-    #[test]
-    fn line_mbr_min_dist_is_exact(
-        p in prop::collection::vec(-30.0f64..30.0, 3),
-        d in prop::collection::vec(-5.0f64..5.0, 3),
-        lo in prop::collection::vec(-30.0f64..30.0, 3),
-        ext in prop::collection::vec(0.1f64..20.0, 3),
-    ) {
-        use tsss_index::nn::line_mbr_min_dist;
-        let line = Line::new(p, d).unwrap();
+/// The exact line–MBR distance equals dense-sampled ground truth and is
+/// admissible (never exceeds the distance to any box point).
+#[test]
+fn line_mbr_min_dist_is_exact() {
+    use tsss_index::nn::line_mbr_min_dist;
+    let mut rng = Rng::seed_from_u64(0x1DE_0005);
+    for _ in 0..256 {
+        let p = rng.f64_vec(3, -30.0, 30.0);
+        let d = rng.f64_vec(3, -5.0, 5.0);
+        let lo = rng.f64_vec(3, -30.0, 30.0);
+        let ext = rng.f64_vec(3, 0.1, 20.0);
+        let line = match Line::new(p, d) {
+            Ok(l) => l,
+            Err(_) => continue, // zero direction — vanishingly unlikely
+        };
         let high: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
         let mbr = Mbr::new(lo, high).unwrap();
         let exact = line_mbr_min_dist(&line, &mbr);
@@ -203,10 +244,17 @@ proptest! {
         for k in -4000..=4000 {
             sampled = sampled.min(f(k as f64 * 0.05));
         }
-        prop_assert!(exact <= sampled + 1e-9, "bound not admissible: {exact} > {sampled}");
+        assert!(
+            exact <= sampled + 1e-9,
+            "bound not admissible: {exact} > {sampled}"
+        );
         // And within sampling resolution of the truth (f is 1-Lipschitz-ish
         // in t scaled by ‖d‖, so a 0.05 grid pins it down to ~0.05·‖d‖).
         let lip = 0.06 * line.dir.iter().map(|v| v * v).sum::<f64>().sqrt() + 1e-6;
-        prop_assert!(sampled - exact <= lip, "gap {} exceeds sampling slack {lip}", sampled - exact);
+        assert!(
+            sampled - exact <= lip,
+            "gap {} exceeds sampling slack {lip}",
+            sampled - exact
+        );
     }
 }

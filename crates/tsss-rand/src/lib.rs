@@ -1,0 +1,192 @@
+//! Minimal deterministic pseudo-random number generation.
+//!
+//! The workspace builds offline with no external crates, so the `rand`
+//! dependency is replaced by this tiny self-contained generator. It is used
+//! in two places with different requirements, both satisfied here:
+//!
+//! * **data synthesis** (`tsss-data`) needs a statistically sound stream —
+//!   xoshiro256++ passes BigCrush and is the algorithm `rand`'s own small
+//!   RNGs are built from;
+//! * **randomised tests** need reproducibility — every stream is a pure
+//!   function of its `u64` seed, expanded through splitmix64 exactly as the
+//!   xoshiro reference implementation recommends.
+//!
+//! This is **not** a cryptographic generator and must never be used for
+//! security purposes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A deterministic xoshiro256++ generator seeded via splitmix64.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 state expansion (Blackman & Vigna's recommendation):
+        // guarantees a non-zero xoshiro state for every seed, including 0.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+            spare_normal: None,
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit resolution.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (or a constant when `lo == hi`).
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` or either bound is non-finite.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range {lo}..{hi}"
+        );
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `usize` in `[0, n)` via the widening-multiply method.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A standard-normal variate (Box–Muller; the second variate of each
+    /// pair is cached).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // u1 in (0, 1] keeps ln() finite.
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A vector of `n` uniform values in `[lo, hi)` — the common shape in
+    /// randomised tests.
+    pub fn f64_vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.f64_range(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::seed_from_u64(0);
+        assert_ne!(r.next_u64() | r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn usize_below_covers_the_range() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let k = r.usize_below(10);
+            assert!(k < 10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut r = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let x = r.f64_range(-3.0, 7.5);
+            assert!((-3.0..7.5).contains(&x));
+        }
+        assert_eq!(r.f64_range(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn usize_below_zero_panics() {
+        Rng::seed_from_u64(1).usize_below(0);
+    }
+}

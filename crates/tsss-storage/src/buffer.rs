@@ -1,4 +1,4 @@
-//! An LRU buffer pool in front of a [`PageFile`].
+//! A thread-safe LRU buffer pool in front of a [`PageFile`].
 //!
 //! The paper's Figure 5 counts raw (unbuffered) page accesses, so the
 //! reproduction engine defaults to `capacity = 0` — every logical access is
@@ -17,15 +17,38 @@
 //! Evictions write dirty frames back to the file; those write-backs are
 //! physical artefacts of caching and are *not* added to the logical
 //! counters.
+//!
+//! # Concurrency model
+//!
+//! The pool has interior mutability so the whole read path can run on
+//! `&self` from many threads at once:
+//!
+//! * The backing [`PageFile`] sits behind an `RwLock`. In the paper's
+//!   unbuffered regime (`capacity = 0`) reads only ever take the shared
+//!   lock, so concurrent queries proceed in parallel.
+//! * Cached frames live in **shards**, each its own `Mutex`-protected LRU
+//!   (pages hash to shards by id). Hit/miss accounting stays exact: the
+//!   shard lock is held from lookup to frame insertion, so every logical
+//!   read is classified exactly once.
+//! * Lock order is always shard → file; shards are never nested, so the
+//!   pool cannot deadlock against itself.
+//!
+//! Structural operations (allocate/deallocate/flush-into) take `&mut self` —
+//! they are build/maintenance-time operations and the exclusive borrow makes
+//! the single-writer discipline explicit in the API.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::disk::{PageFile, PageId};
 use crate::page::Page;
 use crate::stats::AccessStats;
-use std::rc::Rc;
 
 const NIL: usize = usize::MAX;
+
+/// Upper bound on frame-table shards (fewer when capacity is small, so each
+/// shard still holds at least one frame).
+const MAX_SHARDS: usize = 8;
 
 #[derive(Debug)]
 struct Frame {
@@ -36,150 +59,26 @@ struct Frame {
     next: usize,
 }
 
-/// An LRU page cache with write-back semantics over a [`PageFile`].
-///
-/// ```
-/// use tsss_storage::{BufferPool, Page, PageFile};
-/// let mut file = PageFile::new(64);
-/// let id = file.allocate();
-/// let mut pool = BufferPool::new(file, 4);
-/// let mut page = Page::zeroed(64);
-/// page.put_u64(0, 42);
-/// pool.write(id, page);
-/// assert_eq!(pool.read(id).get_u64(0), 42);
-/// assert_eq!(pool.stats().hits(), 1); // served from the cached frame
-/// ```
+/// One independently locked slice of the frame table: a bounded LRU over the
+/// pages that hash to this shard.
 #[derive(Debug)]
-pub struct BufferPool {
-    file: PageFile,
+struct Shard {
     capacity: usize,
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
-    stats: Rc<AccessStats>,
 }
 
-impl BufferPool {
-    /// Wraps `file` in a pool holding at most `capacity` frames.
-    ///
-    /// `capacity = 0` disables caching entirely (the paper's measurement
-    /// regime): reads and writes go straight to the file and every read is a
-    /// miss.
-    pub fn new(file: PageFile, capacity: usize) -> Self {
-        let stats = file.stats();
+impl Shard {
+    fn new(capacity: usize) -> Self {
         Self {
-            file,
             capacity,
             frames: Vec::new(),
             map: HashMap::new(),
             head: NIL,
             tail: NIL,
-            stats,
         }
-    }
-
-    /// Frame capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of frames currently cached.
-    pub fn cached(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Shared access counters (same object the underlying file reports to).
-    pub fn stats(&self) -> Rc<AccessStats> {
-        Rc::clone(&self.stats)
-    }
-
-    /// Allocates a fresh page in the backing file.
-    pub fn allocate(&mut self) -> PageId {
-        self.file.allocate()
-    }
-
-    /// Frees a page, dropping any cached frame for it (dirty or not).
-    pub fn deallocate(&mut self, id: PageId) {
-        if let Some(&idx) = self.map.get(&id) {
-            self.unlink(idx);
-            self.remove_frame(idx);
-        }
-        self.file.deallocate(id);
-    }
-
-    /// Page size of the backing file.
-    pub fn page_size(&self) -> usize {
-        self.file.page_size()
-    }
-
-    /// Reads a page through the cache. Counts one logical read, plus a hit
-    /// or a miss.
-    pub fn read(&mut self, id: PageId) -> Page {
-        self.stats.record_read();
-        if self.capacity == 0 {
-            self.stats.record_miss();
-            return self.file.read_page_uncounted(id).clone();
-        }
-        if let Some(&idx) = self.map.get(&id) {
-            self.stats.record_hit();
-            self.touch(idx);
-            return self.frames[idx].page.clone();
-        }
-        self.stats.record_miss();
-        let page = self.file.read_page_uncounted(id).clone();
-        self.insert_frame(id, page.clone(), false);
-        page
-    }
-
-    /// Writes a page through the cache. Counts one logical write.
-    pub fn write(&mut self, id: PageId, page: Page) {
-        self.stats.record_write();
-        if self.capacity == 0 {
-            self.file.write_page_uncounted(id, page);
-            return;
-        }
-        if let Some(&idx) = self.map.get(&id) {
-            self.frames[idx].page = page;
-            self.frames[idx].dirty = true;
-            self.touch(idx);
-            return;
-        }
-        self.insert_frame(id, page, true);
-    }
-
-    /// Writes every dirty frame back to the file (frames stay cached,
-    /// now clean).
-    pub fn flush(&mut self) {
-        for f in &mut self.frames {
-            if f.dirty {
-                self.file.write_page_uncounted(f.id, f.page.clone());
-                f.dirty = false;
-            }
-        }
-    }
-
-    /// Flushes and returns the backing file.
-    pub fn into_file(mut self) -> PageFile {
-        self.flush();
-        self.file
-    }
-
-    /// Read-only access to the backing file. Callers that need the file's
-    /// durable contents must [`BufferPool::flush`] first.
-    pub fn file(&self) -> &PageFile {
-        &self.file
-    }
-
-    /// Drops every cached frame after flushing — subsequent reads are cold.
-    /// Used between benchmark queries to reproduce the paper's per-query
-    /// accounting.
-    pub fn clear_cache(&mut self) {
-        self.flush();
-        self.frames.clear();
-        self.map.clear();
-        self.head = NIL;
-        self.tail = NIL;
     }
 
     fn touch(&mut self, idx: usize) {
@@ -218,9 +117,15 @@ impl BufferPool {
         }
     }
 
-    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool) {
+    /// Inserts a frame, evicting the LRU victim first when full. A dirty
+    /// victim is written back to `file` (uncounted — caching artefact).
+    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool, file: &RwLock<PageFile>) {
+        debug_assert!(self.capacity > 0);
         if self.map.len() >= self.capacity {
-            self.evict_lru();
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "evict on empty shard");
+            self.unlink(victim);
+            self.remove_frame(victim, file);
         }
         let idx = self.frames.len();
         self.frames.push(Frame {
@@ -234,21 +139,16 @@ impl BufferPool {
         self.push_front(idx);
     }
 
-    fn evict_lru(&mut self) {
-        let victim = self.tail;
-        debug_assert_ne!(victim, NIL, "evict on empty pool");
-        self.unlink(victim);
-        self.remove_frame(victim);
-    }
-
     /// Removes the frame at `idx` (which must already be unlinked from the
     /// LRU list), writing it back if dirty. Uses swap-remove to keep the
     /// frame vector dense, then repairs the pointers of the frame that moved
     /// into `idx`.
-    fn remove_frame(&mut self, idx: usize) {
+    fn remove_frame(&mut self, idx: usize, file: &RwLock<PageFile>) {
         let frame = self.frames.swap_remove(idx);
         if frame.dirty {
-            self.file.write_page_uncounted(frame.id, frame.page);
+            file.write()
+                .expect("page file lock")
+                .write_page_uncounted(frame.id, frame.page);
         }
         self.map.remove(&frame.id);
         if idx < self.frames.len() {
@@ -268,6 +168,220 @@ impl BufferPool {
             } else {
                 self.tail = idx;
             }
+        }
+    }
+
+    fn flush(&mut self, file: &RwLock<PageFile>) {
+        let mut file = file.write().expect("page file lock");
+        for f in &mut self.frames {
+            if f.dirty {
+                file.write_page_uncounted(f.id, f.page.clone());
+                f.dirty = false;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// A sharded LRU page cache with write-back semantics over a [`PageFile`],
+/// safe for concurrent readers.
+///
+/// ```
+/// use tsss_storage::{BufferPool, Page, PageFile};
+/// let mut file = PageFile::new(64);
+/// let id = file.allocate();
+/// let pool = BufferPool::new(file, 4);
+/// let mut page = Page::zeroed(64);
+/// page.put_u64(0, 42);
+/// pool.write(id, page);
+/// assert_eq!(pool.read(id).get_u64(0), 42);
+/// assert_eq!(pool.stats().hits(), 1); // served from the cached frame
+/// ```
+#[derive(Debug)]
+pub struct BufferPool {
+    file: RwLock<PageFile>,
+    capacity: usize,
+    page_size: usize,
+    shards: Vec<Mutex<Shard>>,
+    stats: Arc<AccessStats>,
+}
+
+impl BufferPool {
+    /// Wraps `file` in a pool holding at most `capacity` frames.
+    ///
+    /// `capacity = 0` disables caching entirely (the paper's measurement
+    /// regime): reads and writes go straight to the file and every read is a
+    /// miss.
+    pub fn new(file: PageFile, capacity: usize) -> Self {
+        let stats = file.stats();
+        let page_size = file.page_size();
+        let n_shards = capacity.clamp(0, MAX_SHARDS);
+        let shards = (0..n_shards)
+            .map(|i| {
+                // Distribute capacity as evenly as possible; every shard gets
+                // at least one frame.
+                let cap = capacity / n_shards + usize::from(i < capacity % n_shards);
+                Mutex::new(Shard::new(cap))
+            })
+            .collect();
+        Self {
+            file: RwLock::new(file),
+            capacity,
+            page_size,
+            shards,
+            stats,
+        }
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").map.len())
+            .sum()
+    }
+
+    /// Shared access counters (same object the underlying file reports to).
+    pub fn stats(&self) -> Arc<AccessStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Allocates a fresh page in the backing file.
+    pub fn allocate(&mut self) -> PageId {
+        self.file.get_mut().expect("page file lock").allocate()
+    }
+
+    /// Frees a page, dropping any cached frame for it (dirty or not).
+    pub fn deallocate(&mut self, id: PageId) {
+        if !self.shards.is_empty() {
+            let mut shard = self.shard(id).lock().expect("shard lock");
+            if let Some(&idx) = shard.map.get(&id) {
+                shard.unlink(idx);
+                // Drop without write-back: the page is being freed.
+                let frame = shard.frames.swap_remove(idx);
+                shard.map.remove(&frame.id);
+                if idx < shard.frames.len() {
+                    let moved_id = shard.frames[idx].id;
+                    *shard.map.get_mut(&moved_id).expect("moved frame in map") = idx;
+                    let (p, n) = (shard.frames[idx].prev, shard.frames[idx].next);
+                    if p != NIL {
+                        shard.frames[p].next = idx;
+                    } else {
+                        shard.head = idx;
+                    }
+                    if n != NIL {
+                        shard.frames[n].prev = idx;
+                    } else {
+                        shard.tail = idx;
+                    }
+                }
+            }
+        }
+        self.file.get_mut().expect("page file lock").deallocate(id);
+    }
+
+    /// Page size of the backing file.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn shard(&self, id: PageId) -> &Mutex<Shard> {
+        &self.shards[id.0 as usize % self.shards.len()]
+    }
+
+    /// Reads a page through the cache. Counts one logical read, plus a hit
+    /// or a miss. Safe to call from many threads at once.
+    pub fn read(&self, id: PageId) -> Page {
+        self.stats.record_read();
+        if self.capacity == 0 {
+            self.stats.record_miss();
+            return self
+                .file
+                .read()
+                .expect("page file lock")
+                .read_page_uncounted(id)
+                .clone();
+        }
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        if let Some(&idx) = shard.map.get(&id) {
+            self.stats.record_hit();
+            shard.touch(idx);
+            return shard.frames[idx].page.clone();
+        }
+        self.stats.record_miss();
+        let page = self
+            .file
+            .read()
+            .expect("page file lock")
+            .read_page_uncounted(id)
+            .clone();
+        shard.insert_frame(id, page.clone(), false, &self.file);
+        page
+    }
+
+    /// Writes a page through the cache. Counts one logical write. Safe to
+    /// call concurrently with reads (writers of the *same* page serialise on
+    /// its shard).
+    pub fn write(&self, id: PageId, page: Page) {
+        assert_eq!(page.size(), self.page_size, "page size mismatch");
+        self.stats.record_write();
+        if self.capacity == 0 {
+            self.file
+                .write()
+                .expect("page file lock")
+                .write_page_uncounted(id, page);
+            return;
+        }
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        if let Some(&idx) = shard.map.get(&id) {
+            shard.frames[idx].page = page;
+            shard.frames[idx].dirty = true;
+            shard.touch(idx);
+            return;
+        }
+        shard.insert_frame(id, page, true, &self.file);
+    }
+
+    /// Writes every dirty frame back to the file (frames stay cached,
+    /// now clean).
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").flush(&self.file);
+        }
+    }
+
+    /// Flushes and returns the backing file.
+    pub fn into_file(self) -> PageFile {
+        self.flush();
+        self.file.into_inner().expect("page file lock")
+    }
+
+    /// Runs `f` against the backing file's durable contents (dirty frames
+    /// are flushed first so the file is current).
+    pub fn with_file<R>(&self, f: impl FnOnce(&PageFile) -> R) -> R {
+        self.flush();
+        f(&self.file.read().expect("page file lock"))
+    }
+
+    /// Drops every cached frame after flushing — subsequent reads are cold.
+    /// Used between benchmark queries to reproduce the paper's per-query
+    /// accounting.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            shard.flush(&self.file);
+            shard.clear();
         }
     }
 }
@@ -300,8 +414,14 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+    }
+
+    #[test]
     fn unbuffered_pool_counts_every_read_as_miss() {
-        let (mut pool, ids) = pool(0);
+        let (pool, ids) = pool(0);
         for _ in 0..3 {
             let p = pool.read(ids[0]);
             assert_eq!(p.get_u64(0), 100);
@@ -314,7 +434,7 @@ mod tests {
 
     #[test]
     fn repeated_reads_hit_the_cache() {
-        let (mut pool, ids) = pool(4);
+        let (pool, ids) = pool(4);
         let _ = pool.read(ids[0]);
         let _ = pool.read(ids[0]);
         let _ = pool.read(ids[0]);
@@ -326,21 +446,21 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let (mut pool, ids) = pool(2);
+        // Capacity 1 → a single shard with one frame, so LRU behaviour is
+        // directly observable regardless of page→shard hashing.
+        let (pool, ids) = pool(1);
         let _ = pool.read(ids[0]); // miss
-        let _ = pool.read(ids[1]); // miss
-        let _ = pool.read(ids[0]); // hit, 0 becomes MRU
-        let _ = pool.read(ids[2]); // miss, evicts 1
-        let _ = pool.read(ids[0]); // hit (still cached)
-        let _ = pool.read(ids[1]); // miss (was evicted)
+        let _ = pool.read(ids[0]); // hit
+        let _ = pool.read(ids[1]); // miss, evicts 0
+        let _ = pool.read(ids[0]); // miss again
         let s = pool.stats();
-        assert_eq!(s.misses(), 4);
-        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.hits(), 1);
     }
 
     #[test]
     fn writes_are_cached_and_flushed_back() {
-        let (mut pool, ids) = pool(2);
+        let (pool, ids) = pool(2);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 777);
         pool.write(ids[3], p);
@@ -352,7 +472,7 @@ mod tests {
 
     #[test]
     fn dirty_eviction_writes_back() {
-        let (mut pool, ids) = pool(1);
+        let (pool, ids) = pool(1);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 555);
         pool.write(ids[0], p); // dirty frame for 0
@@ -362,7 +482,7 @@ mod tests {
 
     #[test]
     fn unbuffered_write_goes_straight_through() {
-        let (mut pool, ids) = pool(0);
+        let (pool, ids) = pool(0);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 42);
         pool.write(ids[5], p);
@@ -372,7 +492,7 @@ mod tests {
 
     #[test]
     fn clear_cache_makes_reads_cold_again() {
-        let (mut pool, ids) = pool(4);
+        let (pool, ids) = pool(4);
         let _ = pool.read(ids[0]);
         let _ = pool.read(ids[0]);
         pool.clear_cache();
@@ -392,13 +512,25 @@ mod tests {
     }
 
     #[test]
+    fn with_file_sees_flushed_contents() {
+        let (pool, ids) = pool(4);
+        let mut p = Page::zeroed(64);
+        p.put_u64(0, 909);
+        pool.write(ids[2], p);
+        let v = pool.with_file(|f| f.read_page_uncounted(ids[2]).get_u64(0));
+        assert_eq!(v, 909);
+    }
+
+    #[test]
     fn heavy_mixed_workload_stays_consistent() {
         // Deterministic pseudo-random access pattern; validates LRU's
         // swap-remove bookkeeping under churn by checking every read value.
-        let (mut pool, ids) = pool(3);
+        let (pool, ids) = pool(3);
         let mut x = 12345u64;
         for step in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % ids.len();
             if step % 5 == 0 {
                 let mut p = Page::zeroed(64);
@@ -416,6 +548,32 @@ mod tests {
                 }
             }
             assert!(pool.cached() <= 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_agree_with_the_file() {
+        for capacity in [0usize, 1, 4, 8] {
+            let (pool, ids) = pool(capacity);
+            std::thread::scope(|sc| {
+                for t in 0..4u64 {
+                    let pool = &pool;
+                    let ids = &ids;
+                    sc.spawn(move || {
+                        let mut x = t + 1;
+                        for _ in 0..500 {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let i = (x >> 33) as usize % ids.len();
+                            assert_eq!(pool.read(ids[i]).get_u64(0), 100 + i as u64);
+                        }
+                    });
+                }
+            });
+            let s = pool.stats();
+            assert_eq!(s.reads(), 2000, "capacity {capacity}");
+            assert_eq!(s.hits() + s.misses(), 2000, "capacity {capacity}");
         }
     }
 }

@@ -6,7 +6,7 @@
 //! benchmark harness measures precisely what the paper's Figure 5 measures —
 //! pages touched, not wall-clock I/O.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::page::Page;
 use crate::stats::AccessStats;
@@ -39,14 +39,14 @@ impl std::fmt::Display for PageId {
 ///
 /// All pages share one size, fixed at construction. Deallocated pages go on
 /// a free list and are reused by later allocations. The access counters are
-/// shared (`Rc`) so a buffer pool and its backing file report into the same
+/// shared (`Arc`) so a buffer pool and its backing file report into the same
 /// [`AccessStats`].
 #[derive(Debug)]
 pub struct PageFile {
     page_size: usize,
     pages: Vec<Page>,
     free: Vec<PageId>,
-    stats: Rc<AccessStats>,
+    stats: Arc<AccessStats>,
 }
 
 impl PageFile {
@@ -60,7 +60,7 @@ impl PageFile {
             page_size,
             pages: Vec::new(),
             free: Vec::new(),
-            stats: Rc::new(AccessStats::new()),
+            stats: Arc::new(AccessStats::new()),
         }
     }
 
@@ -80,8 +80,8 @@ impl PageFile {
     }
 
     /// Shared handle to the access counters.
-    pub fn stats(&self) -> Rc<AccessStats> {
-        Rc::clone(&self.stats)
+    pub fn stats(&self) -> Arc<AccessStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Allocates a zeroed page, reusing a freed slot when available.
@@ -189,7 +189,7 @@ impl PageFile {
             page_size,
             pages,
             free,
-            stats: Rc::new(AccessStats::new()),
+            stats: Arc::new(AccessStats::new()),
         })
     }
 

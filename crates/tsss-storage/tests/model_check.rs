@@ -1,9 +1,12 @@
-//! Model-based property test: the buffer pool over a simulated disk must be
-//! observationally equivalent to a plain `HashMap<PageId, Vec<u8>>`,
+//! Model-based randomised test: the buffer pool over a simulated disk must
+//! be observationally equivalent to a plain `HashMap<PageId, Vec<u8>>`,
 //! regardless of pool capacity, operation order, or eviction churn.
+//!
+//! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
+//! former proptest strategies so the workspace builds offline.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use tsss_rand::Rng;
 use tsss_storage::{BufferPool, Page, PageFile, PageId};
 
 #[derive(Debug, Clone)]
@@ -14,30 +17,34 @@ enum Op {
     ClearCache,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0usize..16, any::<u64>()).prop_map(|(slot, value)| Op::Write { slot, value }),
-        4 => (0usize..16).prop_map(|slot| Op::Read { slot }),
-        1 => Just(Op::Flush),
-        1 => Just(Op::ClearCache),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.usize_below(10) {
+        0..=3 => Op::Write {
+            slot: rng.usize_below(16),
+            value: rng.next_u64(),
+        },
+        4..=7 => Op::Read {
+            slot: rng.usize_below(16),
+        },
+        8 => Op::Flush,
+        _ => Op::ClearCache,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn pool_is_equivalent_to_a_hashmap() {
+    let mut rng = Rng::seed_from_u64(0x5EED_0001);
+    for case in 0..128 {
+        let capacity = rng.usize_below(6);
+        let n_ops = 1 + rng.usize_below(199);
 
-    #[test]
-    fn pool_is_equivalent_to_a_hashmap(
-        capacity in 0usize..6,
-        ops in prop::collection::vec(op_strategy(), 1..200),
-    ) {
         let mut file = PageFile::new(32);
         let ids: Vec<PageId> = (0..16).map(|_| file.allocate()).collect();
-        let mut pool = BufferPool::new(file, capacity);
+        let pool = BufferPool::new(file, capacity);
         let mut model: HashMap<usize, u64> = HashMap::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Write { slot, value } => {
                     let mut p = Page::zeroed(32);
                     p.put_u64(0, value);
@@ -47,38 +54,53 @@ proptest! {
                 Op::Read { slot } => {
                     let got = pool.read(ids[slot]).get_u64(0);
                     let want = model.get(&slot).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "slot {} diverged", slot);
+                    assert_eq!(got, want, "case {case}: slot {slot} diverged");
                 }
                 Op::Flush => pool.flush(),
                 Op::ClearCache => pool.clear_cache(),
             }
-            prop_assert!(pool.cached() <= capacity);
+            assert!(
+                pool.cached() <= capacity,
+                "case {case}: cache over capacity"
+            );
         }
 
         // After draining the pool, the file itself must agree with the model.
         let file = pool.into_file();
         for (slot, want) in model {
-            prop_assert_eq!(file.read_page_uncounted(ids[slot]).get_u64(0), want);
+            assert_eq!(
+                file.read_page_uncounted(ids[slot]).get_u64(0),
+                want,
+                "case {case}: slot {slot} wrong after drain"
+            );
         }
     }
+}
 
-    #[test]
-    fn logical_read_count_is_exact(
-        capacity in 0usize..6,
-        slots in prop::collection::vec(0usize..8, 1..100),
-    ) {
+#[test]
+fn logical_read_count_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x5EED_0002);
+    for case in 0..128 {
+        let capacity = rng.usize_below(6);
+        let n_reads = 1 + rng.usize_below(99);
+        let slots: Vec<usize> = (0..n_reads).map(|_| rng.usize_below(8)).collect();
+
         let mut file = PageFile::new(32);
         let ids: Vec<PageId> = (0..8).map(|_| file.allocate()).collect();
         file.stats().reset();
-        let mut pool = BufferPool::new(file, capacity);
+        let pool = BufferPool::new(file, capacity);
         for &s in &slots {
             let _ = pool.read(ids[s]);
         }
         let stats = pool.stats();
-        prop_assert_eq!(stats.reads(), slots.len() as u64);
-        prop_assert_eq!(stats.hits() + stats.misses(), slots.len() as u64);
+        assert_eq!(stats.reads(), slots.len() as u64, "case {case}");
+        assert_eq!(
+            stats.hits() + stats.misses(),
+            slots.len() as u64,
+            "case {case}"
+        );
         if capacity == 0 {
-            prop_assert_eq!(stats.misses(), slots.len() as u64);
+            assert_eq!(stats.misses(), slots.len() as u64, "case {case}");
         }
     }
 }

@@ -45,7 +45,7 @@ fn main() {
 
     let mut cfg = EngineConfig::small(WINDOW);
     cfg.fc = Some(3);
-    let mut engine = SearchEngine::build(&history, cfg);
+    let mut engine = SearchEngine::build(&history, cfg).expect("data set fits the u32 window ids");
     println!(
         "monitoring {} stocks; {} historical windows indexed",
         history.len(),
@@ -89,9 +89,7 @@ fn main() {
         }
 
         // 3. Query for the pattern. Only alert on windows ending today.
-        let result = engine
-            .search(&pattern, eps, opts)
-            .expect("pattern query");
+        let result = engine.search(&pattern, eps, opts).expect("pattern query");
         for m in &result.matches {
             let ends_today = m.id.offset as usize + WINDOW == today + 1;
             if ends_today && alerted.insert(m.id) {

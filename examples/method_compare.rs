@@ -24,7 +24,7 @@ fn main() {
     cfg.min_entries = 8;
     cfg.reinsert_count = 6;
     let t0 = Instant::now();
-    let mut engine = SearchEngine::build(&market, cfg);
+    let engine = SearchEngine::build(&market, cfg).expect("data set fits the u32 window ids");
     println!(
         "built index over {} windows ({} data pages) in {:.2?}\n",
         engine.num_windows(),
@@ -92,7 +92,5 @@ fn main() {
             row[5] / n
         );
     }
-    println!(
-        "\nall three methods returned identical match sets for every query ✓"
-    );
+    println!("\nall three methods returned identical match sets for every query ✓");
 }

@@ -29,14 +29,17 @@ fn main() {
     );
     let flat = Series::new(
         "FLAT",
-        (0..200).map(|i| 50.0 + 0.01 * (i as f64 * 0.4).sin()).collect(),
+        (0..200)
+            .map(|i| 50.0 + 0.01 * (i as f64 * 0.4).sin())
+            .collect(),
     );
     let mirror_idx = market.len();
     let flat_idx = market.len() + 1;
     market.push(mirror);
     market.push(flat);
 
-    let mut engine = SearchEngine::build(&market, EngineConfig::small(WINDOW));
+    let engine = SearchEngine::build(&market, EngineConfig::small(WINDOW))
+        .expect("data set fits the u32 window ids");
     println!(
         "indexed {} windows from {} series\n",
         engine.num_windows(),
@@ -50,7 +53,10 @@ fn main() {
     let ss = engine
         .search(&query, eps, SearchOptions::default())
         .expect("valid query");
-    let ss_has_mirror = ss.matches.iter().any(|m| m.id.series as usize == mirror_idx);
+    let ss_has_mirror = ss
+        .matches
+        .iter()
+        .any(|m| m.id.series as usize == mirror_idx);
     let ss_has_flat = ss.matches.iter().any(|m| m.id.series as usize == flat_idx);
     println!(
         "scale-shift model (ε = {eps:.2}): {} matches — mirror matched: {}, \
@@ -71,9 +77,7 @@ fn main() {
     }
 
     // Modern model, same index.
-    let z = engine
-        .search_znormalized(&query, 2.0)
-        .expect("valid query");
+    let z = engine.search_znormalized(&query, 2.0).expect("valid query");
     let z_has_mirror = z.matches.iter().any(|m| m.id.series as usize == mirror_idx);
     let z_has_flat = z.matches.iter().any(|m| m.id.series as usize == flat_idx);
     println!(
@@ -91,14 +95,16 @@ fn main() {
     // identically.
     let path = std::env::temp_dir().join("models_compared.tsss");
     engine.save_to_path(&path).expect("save engine");
-    let mut reloaded = SearchEngine::load_from_path(&path).expect("load engine");
+    let reloaded = SearchEngine::load_from_path(&path).expect("load engine");
     let again = reloaded
         .search(&query, eps, SearchOptions::default())
         .expect("valid query");
     assert_eq!(ss.id_set(), again.id_set());
     println!(
         "\nsaved + reloaded the engine ({} KiB) — identical answers ✓",
-        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0)
+        std::fs::metadata(&path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
     );
     std::fs::remove_file(&path).ok();
 }

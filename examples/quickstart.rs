@@ -20,7 +20,7 @@ fn main() {
     // 2. Engine: window 32, 3 Fourier coefficients → a 6-d R*-tree.
     let mut cfg = EngineConfig::small(32);
     cfg.fc = Some(3);
-    let mut engine = SearchEngine::build(&market, cfg);
+    let engine = SearchEngine::build(&market, cfg).expect("data set fits the u32 window ids");
     println!(
         "indexed {} windows in an R*-tree of height {}",
         engine.num_windows(),

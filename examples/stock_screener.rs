@@ -24,7 +24,7 @@ fn main() {
     cfg.max_entries = 20;
     cfg.min_entries = 8;
     cfg.reinsert_count = 6;
-    let mut engine = SearchEngine::build(&market, cfg);
+    let engine = SearchEngine::build(&market, cfg).expect("data set fits the u32 window ids");
 
     // Reference: the last complete window of stock 0.
     let reference_series = 0usize;
@@ -78,7 +78,10 @@ fn main() {
         result.stats.candidates,
         result.stats.false_alarms
     );
-    println!("{:<8} {:>10} {:>9} {:>10}", "stock", "distance", "scale a", "shift b");
+    println!(
+        "{:<8} {:>10} {:>9} {:>10}",
+        "stock", "distance", "scale a", "shift b"
+    );
     for (series, (d, a, b)) in best_per_stock.iter().take(15) {
         println!(
             "{:<8} {:>10.3} {:>9.3} {:>10.2}",
@@ -101,11 +104,7 @@ fn main() {
     {
         println!(
             "  {} ({}) · distance {:.3} · a = {:.3}, b = {:+.2}",
-            m.id,
-            market[m.id.series as usize].name,
-            m.distance,
-            m.transform.a,
-            m.transform.b
+            m.id, market[m.id.series as usize].name, m.distance, m.transform.a, m.transform.b
         );
     }
 }

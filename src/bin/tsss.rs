@@ -6,12 +6,14 @@
 //! tsss build    --data market.csv --window 128 --fc 3 --out engine.tsss
 //! tsss info     --engine engine.tsss
 //! tsss query    --engine engine.tsss --query q.csv --epsilon 0.5 [--min-scale A] [--max-scale B] [--limit N]
+//! tsss batch    --engine engine.tsss --queries qs.csv --epsilon 0.5 [--workers N]
 //! tsss nn       --engine engine.tsss --query q.csv --k 10
 //! tsss demo
 //! ```
 //!
 //! Queries are CSV files in the same long format as `generate`'s output
-//! (`name,index,value`); the first series in the file is the query.
+//! (`name,index,value`); `query`/`nn` use the first series in the file,
+//! `batch` runs every series as one query each, in parallel.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -135,6 +137,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&parsed),
         "info" => cmd_info(&parsed),
         "query" => cmd_query(&parsed),
+        "batch" => cmd_batch(&parsed),
         "nn" => cmd_nn(&parsed),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
@@ -161,6 +164,7 @@ fn usage() {
          info     --engine ENGINE.tsss\n  \
          query    --engine ENGINE.tsss --query Q.csv --epsilon E\n           \
          [--min-scale A] [--max-scale B] [--limit N]\n  \
+         batch    --engine ENGINE.tsss --queries QS.csv --epsilon E [--workers N]\n  \
          nn       --engine ENGINE.tsss --query Q.csv [--k K]\n  \
          demo"
     );
@@ -214,7 +218,7 @@ fn cmd_build(a: &Args) -> Result<(), String> {
     cfg.window_len = window;
     cfg.fc = Some(fc);
     let t0 = std::time::Instant::now();
-    let mut engine = SearchEngine::build(&series, cfg);
+    let engine = SearchEngine::build(&series, cfg).expect("data set fits the u32 window ids");
     println!(
         "indexed {} windows from {} series in {:.2?} (tree height {})",
         engine.num_windows(),
@@ -231,8 +235,8 @@ fn cmd_build(a: &Args) -> Result<(), String> {
 
 fn cmd_info(a: &Args) -> Result<(), String> {
     let path = a.require("engine")?;
-    let engine =
-        SearchEngine::load_from_path(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
     let cfg = engine.config();
     println!("engine: {path}");
     println!("  series:        {}", engine.num_series());
@@ -250,8 +254,8 @@ fn cmd_info(a: &Args) -> Result<(), String> {
 
 fn cmd_query(a: &Args) -> Result<(), String> {
     let path = a.require("engine")?;
-    let mut engine =
-        SearchEngine::load_from_path(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
     let query = load_query(a.require("query")?, engine.config().window_len)?;
     let epsilon: f64 = a.require_parsed("epsilon")?;
     let limit: usize = a.get_parsed("limit", 20)?;
@@ -287,10 +291,64 @@ fn cmd_query(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_batch(a: &Args) -> Result<(), String> {
+    let path = a.require("engine")?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let window = engine.config().window_len;
+    let queries_path = a.require("queries")?;
+    let series =
+        csv::load(Path::new(queries_path)).map_err(|e| format!("reading {queries_path}: {e}"))?;
+    if series.is_empty() {
+        return Err(format!("{queries_path} holds no series"));
+    }
+    let mut names = Vec::with_capacity(series.len());
+    let mut queries = Vec::with_capacity(series.len());
+    for s in &series {
+        if s.len() < window {
+            return Err(format!(
+                "query series {:?} has {} values; the engine window is {window}",
+                s.name,
+                s.len()
+            ));
+        }
+        names.push(s.name.clone());
+        queries.push(s.values[..window].to_vec());
+    }
+    let epsilon: f64 = a.require_parsed("epsilon")?;
+    let workers: usize = a.get_parsed(
+        "workers",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    let t0 = std::time::Instant::now();
+    let results = engine
+        .search_batch(&queries, epsilon, SearchOptions::default(), workers)
+        .map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    let mut total_matches = 0usize;
+    let mut total_pages = 0u64;
+    for (name, res) in names.iter().zip(&results) {
+        total_matches += res.matches.len();
+        total_pages += res.stats.total_pages();
+        println!(
+            "{name}: {} match(es), {} candidates, {} pages",
+            res.matches.len(),
+            res.stats.candidates,
+            res.stats.total_pages()
+        );
+    }
+    println!(
+        "\n{} queries on {} worker(s) in {wall:.2?}: {total_matches} match(es), {total_pages} pages",
+        results.len(),
+        workers.max(1).min(queries.len())
+    );
+    Ok(())
+}
+
 fn cmd_nn(a: &Args) -> Result<(), String> {
     let path = a.require("engine")?;
-    let mut engine =
-        SearchEngine::load_from_path(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
     let query = load_query(a.require("query")?, engine.config().window_len)?;
     let k: usize = a.get_parsed("k", 10)?;
     let hits = engine.nearest(&query, k).map_err(|e| e.to_string())?;
@@ -307,7 +365,8 @@ fn cmd_nn(a: &Args) -> Result<(), String> {
 fn cmd_demo() -> Result<(), String> {
     println!("tsss demo: generate → build → disguise → recover\n");
     let market = MarketSimulator::new(MarketConfig::small(40, 200, 1)).generate();
-    let mut engine = SearchEngine::build(&market, EngineConfig::small(32));
+    let engine = SearchEngine::build(&market, EngineConfig::small(32))
+        .expect("data set fits the u32 window ids");
     println!(
         "built an index over {} windows of {} synthetic stocks",
         engine.num_windows(),

@@ -25,7 +25,7 @@
 //!
 //! // 20 synthetic stocks, 100 observations each.
 //! let market = MarketSimulator::new(MarketConfig::small(20, 100, 7)).generate();
-//! let mut engine = SearchEngine::build(&market, EngineConfig::small(16));
+//! let engine = SearchEngine::build(&market, EngineConfig::small(16)).unwrap();
 //!
 //! // Disguise a real window with a scale and a shift…
 //! let secret = tsss::geometry::scale_shift::ScaleShift { a: 2.0, b: -30.0 };

@@ -40,7 +40,15 @@ fn full_pipeline_generate_build_query_nn() {
     let query = dir.join("query.csv");
 
     let (ok, out, err) = run(&[
-        "generate", "--companies", "12", "--days", "120", "--seed", "5", "--out", &market,
+        "generate",
+        "--companies",
+        "12",
+        "--days",
+        "120",
+        "--seed",
+        "5",
+        "--out",
+        &market,
     ]);
     assert!(ok, "generate failed: {err}");
     assert!(out.contains("12 series"), "unexpected: {out}");
@@ -79,7 +87,13 @@ fn full_pipeline_generate_build_query_nn() {
     let qpath = query.display().to_string();
 
     let (ok, out, err) = run(&[
-        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
+        "query",
+        "--engine",
+        &engine,
+        "--query",
+        &qpath,
+        "--epsilon",
+        "0.0001",
     ]);
     assert!(ok, "query failed: {err}");
     assert!(
@@ -99,8 +113,18 @@ fn query_respects_scale_limits() {
     let dir = workdir("limits");
     let market = dir.join("m.csv").display().to_string();
     let engine = dir.join("e.tsss").display().to_string();
-    run(&["generate", "--companies", "5", "--days", "80", "--out", &market]);
-    run(&["build", "--data", &market, "--window", "16", "--out", &engine]);
+    run(&[
+        "generate",
+        "--companies",
+        "5",
+        "--days",
+        "80",
+        "--out",
+        &market,
+    ]);
+    run(&[
+        "build", "--data", &market, "--window", "16", "--out", &engine,
+    ]);
 
     // Query = series HK0000 offset 0, scaled ×4 ⇒ recovery needs a = 0.25.
     let text = std::fs::read_to_string(&market).unwrap();
@@ -122,15 +146,28 @@ fn query_respects_scale_limits() {
     let qpath = q.display().to_string();
 
     let (ok, out, _) = run(&[
-        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
+        "query",
+        "--engine",
+        &engine,
+        "--query",
+        &qpath,
+        "--epsilon",
+        "0.0001",
     ]);
     assert!(ok);
     assert!(out.contains("series 0 @ 0"), "{out}");
 
     // A min-scale above 0.25 must reject that recovery.
     let (ok, out, _) = run(&[
-        "query", "--engine", &engine, "--query", &qpath, "--epsilon", "0.0001",
-        "--min-scale", "0.5",
+        "query",
+        "--engine",
+        &engine,
+        "--query",
+        &qpath,
+        "--epsilon",
+        "0.0001",
+        "--min-scale",
+        "0.5",
     ]);
     assert!(ok);
     assert!(!out.contains("series 0 @ 0"), "cost limit ignored: {out}");
@@ -142,12 +179,31 @@ fn query_respects_scale_limits() {
 fn malformed_invocations_fail_cleanly() {
     for args in [
         vec!["unknown-subcommand"],
-        vec!["build"],                        // missing required options
-        vec!["query", "--engine", "/nonexistent", "--query", "/x", "--epsilon", "1"],
-        vec!["generate", "--companies", "NaN", "--days", "5", "--out", "/tmp/x.csv"],
+        vec!["build"], // missing required options
+        vec![
+            "query",
+            "--engine",
+            "/nonexistent",
+            "--query",
+            "/x",
+            "--epsilon",
+            "1",
+        ],
+        vec![
+            "generate",
+            "--companies",
+            "NaN",
+            "--days",
+            "5",
+            "--out",
+            "/tmp/x.csv",
+        ],
     ] {
         let (ok, _, err) = run(&args);
         assert!(!ok, "{args:?} should fail");
-        assert!(err.contains("error:"), "{args:?} gave no error message: {err}");
+        assert!(
+            err.contains("error:"),
+            "{args:?} gave no error message: {err}"
+        );
     }
 }

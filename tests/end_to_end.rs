@@ -16,7 +16,7 @@ fn market() -> Vec<Series> {
 fn engine(data: &[Series]) -> SearchEngine {
     let mut cfg = EngineConfig::small(WINDOW);
     cfg.fc = Some(3);
-    SearchEngine::build(data, cfg)
+    SearchEngine::build(data, cfg).unwrap()
 }
 
 #[test]
@@ -25,7 +25,7 @@ fn recall_is_exactly_one_for_every_epsilon_and_method() {
     // match the sequential scan finds (Theorems 1–3 + DFT contraction), and
     // never reports anything extra after verification.
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let queries = QueryWorkload::generate(
         &data,
         WorkloadConfig {
@@ -64,7 +64,7 @@ fn recall_is_exactly_one_for_every_epsilon_and_method() {
 #[test]
 fn workload_queries_recover_their_disguised_sources() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let queries = QueryWorkload::generate(
         &data,
         WorkloadConfig {
@@ -82,8 +82,7 @@ fn workload_queries_recover_their_disguised_sources() {
             .matches
             .iter()
             .find(|m| {
-                m.id.series as usize == q.source_series
-                    && m.id.offset as usize == q.source_offset
+                m.id.series as usize == q.source_series && m.id.offset as usize == q.source_offset
             })
             .unwrap_or_else(|| panic!("source {}@{} lost", q.source_series, q.source_offset));
         // The recovered transform must invert the disguise.
@@ -103,7 +102,7 @@ fn index_pruning_skips_most_of_the_database_at_small_epsilon() {
     // Fat leaves (73 entries at dim 6) need enough windows for the
     // fraction to be meaningful.
     let data = MarketSimulator::new(MarketConfig::small(60, 300, 4)).generate();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let q = data[5].window(60, WINDOW).unwrap().to_vec();
     let tree = e.search(&q, 0.0, SearchOptions::default()).unwrap();
     let seq = e.sequential_search(&q, 0.0, CostLimit::UNLIMITED).unwrap();
@@ -122,7 +121,7 @@ fn index_pruning_skips_most_of_the_database_at_small_epsilon() {
 #[test]
 fn transformation_cost_limits_are_honoured_end_to_end() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let q = data[2].window(10, WINDOW).unwrap().to_vec();
     let opts = SearchOptions {
         cost: CostLimit {
@@ -154,7 +153,7 @@ fn dynamic_growth_keeps_the_index_consistent() {
         .collect();
     let mut cfg = EngineConfig::small(WINDOW);
     cfg.fc = Some(3);
-    let mut e = SearchEngine::build(&data, cfg);
+    let mut e = SearchEngine::build(&data, cfg).unwrap();
     let base_windows = e.num_windows();
 
     // Feed ten days at a time.
@@ -189,7 +188,7 @@ fn dynamic_growth_keeps_the_index_consistent() {
 #[test]
 fn nearest_neighbour_agrees_with_the_distance_oracle() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let q: Vec<f64> = data[9]
         .window(70, WINDOW)
         .unwrap()
@@ -208,13 +207,16 @@ fn nearest_neighbour_agrees_with_the_distance_oracle() {
     for (g, want) in got.iter().zip(&all) {
         assert!((g.distance - want).abs() < 1e-7);
     }
-    assert!(got[0].distance < 1e-6, "the (rescaled) source is distance 0");
+    assert!(
+        got[0].distance < 1e-6,
+        "the (rescaled) source is distance 0"
+    );
 }
 
 #[test]
 fn long_queries_match_their_oracle_via_facade() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let q = data[7].window(20, 80).unwrap().to_vec();
     let fast = e.search_long(&q, 3.0, SearchOptions::default()).unwrap();
     let brute = e.sequential_search_long(&q, 3.0).unwrap();
@@ -226,8 +228,8 @@ fn csv_roundtrip_feeds_an_identical_engine() {
     let data = market();
     let text = tsss::data::csv::to_csv(&data);
     let reloaded = tsss::data::csv::from_csv(&text).unwrap();
-    let mut a = engine(&data);
-    let mut b = engine(&reloaded);
+    let a = engine(&data);
+    let b = engine(&reloaded);
     let q = data[1].window(33, WINDOW).unwrap().to_vec();
     let ra = a.search(&q, 4.0, SearchOptions::default()).unwrap();
     let rb = b.search(&q, 4.0, SearchOptions::default()).unwrap();

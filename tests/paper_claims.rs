@@ -15,7 +15,7 @@ fn market() -> Vec<Series> {
 fn engine(data: &[Series]) -> SearchEngine {
     let mut cfg = EngineConfig::small(WINDOW);
     cfg.fc = Some(3);
-    SearchEngine::build(data, cfg)
+    SearchEngine::build(data, cfg).unwrap()
 }
 
 fn workload(data: &[Series], n: usize) -> Vec<Vec<f64>> {
@@ -40,7 +40,7 @@ fn workload(data: &[Series], n: usize) -> Vec<Vec<f64>> {
 #[test]
 fn sequential_scan_page_cost_is_the_file_size() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let total_values: usize = data.iter().map(|s| s.len()).sum();
     let expect = total_values.div_ceil(e.config().page_size / 8) as u64;
     let q = &workload(&data, 1)[0];
@@ -58,7 +58,7 @@ fn sequential_scan_page_cost_is_the_file_size() {
 #[test]
 fn exact_search_is_far_cheaper_than_the_scan() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let queries = workload(&data, 10);
     let mut tree_checked = 0u64;
     let mut seq_checked = 0u64;
@@ -89,9 +89,9 @@ fn exact_search_is_far_cheaper_than_the_scan() {
 #[test]
 fn tree_cost_grows_with_epsilon() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let queries = workload(&data, 8);
-    let cost_at = |e: &mut SearchEngine, eps: f64| -> u64 {
+    let cost_at = |e: &SearchEngine, eps: f64| -> u64 {
         queries
             .iter()
             .map(|q| {
@@ -102,9 +102,9 @@ fn tree_cost_grows_with_epsilon() {
             })
             .sum()
     };
-    let lo = cost_at(&mut e, 0.0);
-    let mid = cost_at(&mut e, 5.0);
-    let hi = cost_at(&mut e, 40.0);
+    let lo = cost_at(&e, 0.0);
+    let mid = cost_at(&e, 5.0);
+    let hi = cost_at(&e, 40.0);
     assert!(lo <= mid && mid <= hi, "not monotone: {lo}, {mid}, {hi}");
     assert!(hi > lo, "epsilon had no effect at all");
 }
@@ -115,7 +115,7 @@ fn tree_cost_grows_with_epsilon() {
 #[test]
 fn sphere_heuristic_mostly_falls_through_to_the_slab_test() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let queries = workload(&data, 8);
     let mut total = 0u64;
     let mut fallback = 0u64;
@@ -146,13 +146,10 @@ fn sphere_heuristic_mostly_falls_through_to_the_slab_test() {
 #[test]
 fn sets_two_and_three_return_identical_answers() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     for q in &workload(&data, 6) {
         for eps in [0.0, 3.0, 25.0] {
-            let a = e
-                .search(q, eps, SearchOptions::default())
-                .unwrap()
-                .id_set();
+            let a = e.search(q, eps, SearchOptions::default()).unwrap().id_set();
             let b = e
                 .search(
                     q,
@@ -181,7 +178,7 @@ fn more_coefficients_mean_fewer_false_alarms() {
     for fc in [1usize, 3, 5] {
         let mut cfg = EngineConfig::small(WINDOW);
         cfg.fc = Some(fc);
-        let mut e = SearchEngine::build(&data, cfg);
+        let e = SearchEngine::build(&data, cfg).unwrap();
         let fa: u64 = queries
             .iter()
             .map(|q| {
@@ -205,7 +202,7 @@ fn more_coefficients_mean_fewer_false_alarms() {
 #[test]
 fn reported_transforms_beat_grid_search() {
     let data = market();
-    let mut e = engine(&data);
+    let e = engine(&data);
     let q = data[3].window(50, WINDOW).unwrap().to_vec();
     let res = e.search(&q, 15.0, SearchOptions::default()).unwrap();
     assert!(!res.matches.is_empty());
