@@ -110,21 +110,24 @@ fn bench_rtree() {
         .collect();
 
     bench("rtree/insert_20k_rstar", 1, || {
-        let mut t = RTree::new(TreeConfig::paper(6));
+        let mut t = RTree::new(TreeConfig::paper(6)).expect("valid config");
         for e in &points {
-            t.insert(e.point.to_vec(), e.id);
+            t.insert(e.point.to_vec(), e.id).expect("healthy store");
         }
         t.len()
     });
     bench("rtree/bulk_load_20k", 1, || {
-        let t = tsss_index::bulk::bulk_load(TreeConfig::paper(6), points.clone());
+        let t = tsss_index::bulk::bulk_load(TreeConfig::paper(6), points.clone())
+            .expect("valid config");
         t.len()
     });
 
-    let tree = tsss_index::bulk::bulk_load(TreeConfig::paper(6), points.clone());
+    let tree =
+        tsss_index::bulk::bulk_load(TreeConfig::paper(6), points.clone()).expect("valid config");
     let line = Line::scaling(&pseudo_series(6, 77));
     bench("rtree/line_query_20k", 100, || {
         tree.line_query(&line, 1.0, PenetrationMethod::EnteringExiting)
+            .expect("healthy store")
             .matches
             .len()
     });

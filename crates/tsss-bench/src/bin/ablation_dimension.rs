@@ -60,7 +60,7 @@ fn main() {
 
         // Mean pairwise overlap fraction among sibling directory boxes —
         // the quantity the paper says explodes past ~10 dimensions.
-        let boxes = engine.tree().directory_mbrs();
+        let boxes = engine.tree().directory_mbrs().expect("healthy store");
         let sample = &boxes[..boxes.len().min(400)];
         let mut overlap_frac = 0.0;
         let mut pairs = 0u64;

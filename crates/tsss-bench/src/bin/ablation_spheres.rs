@@ -26,6 +26,7 @@ fn main() {
         .engine
         .tree()
         .directory_mbrs()
+        .expect("healthy store")
         .iter()
         .map(|m| {
             let min_side = (0..m.dim())

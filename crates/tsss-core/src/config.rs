@@ -124,22 +124,47 @@ impl EngineConfig {
         }
     }
 
+    /// Validates the configuration without panicking — the form used on
+    /// untrusted (persisted) configurations, where a bad value is data
+    /// corruption, not a programming error.
+    ///
+    /// # Errors
+    /// A descriptive message for the first violated constraint.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.window_len < 2 {
+            return Err("window length must be at least 2".to_string());
+        }
+        if self.window_len > (1 << 30) {
+            return Err(format!("window length {} is implausible", self.window_len));
+        }
+        if self.stride < 1 {
+            return Err("stride must be at least 1".to_string());
+        }
+        if let Some(fc) = self.fc {
+            if !(fc >= 1 && 2 * fc < self.window_len) {
+                return Err(format!(
+                    "fc = {fc} invalid for window length {} (need 1 <= fc, 2·fc + 1 <= n)",
+                    self.window_len
+                ));
+            }
+        }
+        // Guard the fanout arithmetic in `tree_config` itself: a hostile
+        // page size would underflow `page_size - NODE_HEADER_BYTES` there.
+        if self.page_size <= tsss_index::node::NODE_HEADER_BYTES || self.page_size > (1 << 30) {
+            return Err(format!("page size {} is out of range", self.page_size));
+        }
+        self.tree_config().try_validate()
+    }
+
     /// Validates the configuration (delegating tree checks to
     /// [`TreeConfig::validate`]).
     ///
     /// # Panics
     /// Panics on invalid settings with a descriptive message.
     pub fn validate(&self) {
-        assert!(self.window_len >= 2, "window length must be at least 2");
-        assert!(self.stride >= 1, "stride must be at least 1");
-        if let Some(fc) = self.fc {
-            assert!(
-                fc >= 1 && 2 * fc < self.window_len,
-                "fc = {fc} invalid for window length {} (need 1 <= fc, 2·fc + 1 <= n)",
-                self.window_len
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        self.tree_config().validate();
     }
 }
 
@@ -178,6 +203,23 @@ impl CostLimit {
     }
 }
 
+/// What [`crate::SearchEngine::search`] does when the index turns out to be
+/// corrupt mid-query (a page fails its checksum, a node does not decode, an
+/// entry points at data that does not exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Degrade gracefully: answer the query with the exact sequential scan
+    /// over the raw data file instead, and flag the result as degraded
+    /// ([`crate::SearchStats::degraded`]). The match set is identical to a
+    /// healthy index's (the scan is the engine's recall oracle); only the
+    /// page cost changes. The default.
+    #[default]
+    SeqScanFallback,
+    /// Surface the corruption to the caller as
+    /// [`crate::EngineError::Corrupt`].
+    Error,
+}
+
 /// Per-query options.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SearchOptions {
@@ -185,6 +227,14 @@ pub struct SearchOptions {
     pub method: PenetrationMethod,
     /// Transformation-cost limits.
     pub cost: CostLimit,
+    /// Optional cap on index page accesses for this query. When the
+    /// traversal would visit page `budget + 1` it aborts with
+    /// [`crate::EngineError::PageBudgetExceeded`] — a hard error, never
+    /// degraded around (the budget bounds total work; the sequential
+    /// fallback reads the whole file). `None` means unlimited.
+    pub page_budget: Option<u64>,
+    /// What to do when index corruption is detected mid-query.
+    pub degradation: DegradationPolicy,
 }
 
 #[cfg(test)]
@@ -221,6 +271,23 @@ mod tests {
         let mut c = EngineConfig::small(8);
         c.stride = 0;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let mut c = EngineConfig::small(8);
+        c.stride = 0;
+        assert!(c.try_validate().unwrap_err().contains("stride"));
+        // Hostile persisted values must not panic (underflow in the fanout
+        // arithmetic, absurd window lengths, …).
+        let mut c = EngineConfig::small(8);
+        c.page_size = 2;
+        assert!(c.try_validate().unwrap_err().contains("page size"));
+        let mut c = EngineConfig::small(8);
+        c.window_len = usize::MAX;
+        c.fc = None;
+        assert!(c.try_validate().is_err());
+        assert!(EngineConfig::paper().try_validate().is_ok());
     }
 
     #[test]

@@ -12,10 +12,29 @@
 //! All reads go through the buffer pool, so the post-processing
 //! (verification) I/O of the tree search and the full-file I/O of the
 //! sequential scan are both measured in real page accesses.
+//!
+//! Persistence uses format `TSSSDF02`: an 8-byte versioned magic, a
+//! CRC-checked metadata block (catalogue, extent tables, page ids), then the
+//! page file with its own per-page checksums. Loading re-validates every
+//! structural invariant the read path relies on — extent contiguity, page-id
+//! range, page/value arithmetic — so a corrupt file surfaces as
+//! `InvalidData`, never as a panic or a wrong answer.
 
+use tsss_storage::codec::{
+    expect_versioned_magic, get_checked_block, get_string, get_u32, get_usize, put_checked_block,
+    put_magic, put_string, put_u32, put_usize, versioned_magic,
+};
 use tsss_storage::{BufferPool, Page, PageFile, PageId};
 
 use crate::error::EngineError;
+
+/// Magic prefix of the persisted data-file format.
+const MAGIC_PREFIX: &[u8; 6] = b"TSSSDF";
+/// Current format version (`TSSSDF02`).
+const VERSION: u8 = 2;
+/// Upper bound on the metadata block (catalogue + extent tables); sized for
+/// heavily fragmented multi-series data sets.
+const MAX_META_BYTES: usize = 1 << 26;
 
 /// One contiguous run of a series' values in the global log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +69,7 @@ impl PagedSeriesStore {
             page_size >= 8 && page_size.is_multiple_of(8),
             "page size must be a positive multiple of 8 bytes"
         );
-        let file = PageFile::new(page_size);
+        let file = PageFile::new(page_size).expect("page size was just validated");
         Self {
             pool: BufferPool::new(file, buffer_frames),
             pages: Vec::new(),
@@ -106,8 +125,39 @@ impl PagedSeriesStore {
     }
 
     /// Drops buffered frames so the next access pattern starts cold.
-    pub fn clear_cache(&self) {
-        self.pool.clear_cache();
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when flushing a dirty frame fails.
+    pub fn clear_cache(&self) -> Result<(), EngineError> {
+        self.pool.clear_cache()?;
+        Ok(())
+    }
+
+    /// Wraps the underlying page store — the hook the fault-injection layer
+    /// uses to interpose on data-file I/O.
+    pub fn wrap_store(
+        &mut self,
+        wrap: impl FnOnce(Box<dyn tsss_storage::PageStore>) -> Box<dyn tsss_storage::PageStore>,
+    ) {
+        self.pool.wrap_store(wrap);
+    }
+
+    /// Mutates the raw bytes of the `nth` data page in place, bypassing the
+    /// checksum layer — corruption-testing hook.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`]-style range errors surface as
+    /// [`EngineError::Corrupt`] via the storage layer.
+    pub fn corrupt_page(
+        &mut self,
+        nth: usize,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<(), EngineError> {
+        let &pid = self.pages.get(nth).ok_or(EngineError::Corrupt {
+            detail: format!("data page index {nth} out of range"),
+        })?;
+        self.pool.corrupt_page(pid, f)?;
+        Ok(())
     }
 
     /// Registers a new, empty series and returns its index.
@@ -122,7 +172,8 @@ impl PagedSeriesStore {
     /// collected regularly").
     ///
     /// # Errors
-    /// [`EngineError::UnknownSeries`] for an out-of-range index.
+    /// [`EngineError::UnknownSeries`] for an out-of-range index;
+    /// [`EngineError::Corrupt`] when the storage layer fails mid-append.
     pub fn append(&mut self, series: usize, values: &[f64]) -> Result<(), EngineError> {
         if series >= self.names.len() {
             return Err(EngineError::UnknownSeries(series));
@@ -130,7 +181,7 @@ impl PagedSeriesStore {
         if values.is_empty() {
             return Ok(());
         }
-        let global_start = self.append_globally(values);
+        let global_start = self.append_globally(values)?;
         let series_offset = self.lengths[series];
         // Merge with the previous extent when the run is contiguous both in
         // the series and in the log (the common build-time case).
@@ -154,13 +205,20 @@ impl PagedSeriesStore {
     }
 
     /// Convenience: add a named series with initial contents.
-    pub fn add_series_with_values(&mut self, name: impl Into<String>, values: &[f64]) -> usize {
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when the storage layer fails mid-append.
+    pub fn add_series_with_values(
+        &mut self,
+        name: impl Into<String>,
+        values: &[f64],
+    ) -> Result<usize, EngineError> {
         let s = self.add_series(name);
-        self.append(s, values).expect("fresh series exists");
-        s
+        self.append(s, values)?;
+        Ok(s)
     }
 
-    fn append_globally(&mut self, values: &[f64]) -> usize {
+    fn append_globally(&mut self, values: &[f64]) -> Result<usize, EngineError> {
         let start = self.total;
         let vpp = self.values_per_page;
         let mut pos = start;
@@ -169,7 +227,7 @@ impl PagedSeriesStore {
             let page_idx = pos / vpp;
             let slot = pos % vpp;
             if page_idx == self.pages.len() {
-                self.pages.push(self.pool.allocate());
+                self.pages.push(self.pool.allocate()?);
             }
             let page_id = self.pages[page_idx];
             let take = (vpp - slot).min(remaining.len());
@@ -178,27 +236,26 @@ impl PagedSeriesStore {
             let mut page = if slot == 0 {
                 Page::zeroed(vpp * 8)
             } else {
-                self.pool.read(page_id)
+                self.pool.read(page_id)?
             };
             page.put_f64_slice(slot * 8, &remaining[..take]);
-            self.pool.write(page_id, page);
+            self.pool.write(page_id, page)?;
             pos += take;
             remaining = &remaining[take..];
         }
         self.total = pos;
-        start
+        Ok(start)
     }
 
     /// Fetches the window `series[offset .. offset + len]`, charging one read
     /// per distinct page touched.
     ///
     /// # Errors
-    /// [`EngineError::UnknownSeries`] for a bad series index.
-    ///
-    /// # Panics
-    /// Panics when the window runs past the end of a known series — the
-    /// engine only requests windows it indexed, so that is a bug, not a data
-    /// condition.
+    /// [`EngineError::UnknownSeries`] for a bad series index;
+    /// [`EngineError::Corrupt`] when the window runs past the end of the
+    /// series or the extent table does not cover it (a corrupt index can
+    /// request windows that were never appended), or when the storage layer
+    /// detects page damage.
     pub fn fetch_window(
         &self,
         series: usize,
@@ -208,33 +265,56 @@ impl PagedSeriesStore {
         if series >= self.names.len() {
             return Err(EngineError::UnknownSeries(series));
         }
-        assert!(
-            offset + len <= self.lengths[series],
-            "window [{offset}, {}) exceeds series {series} of length {}",
-            offset + len,
-            self.lengths[series]
-        );
+        let corrupt = |detail: String| EngineError::Corrupt { detail };
+        let end = offset.saturating_add(len);
+        if end > self.lengths[series] {
+            return Err(corrupt(format!(
+                "window [{offset}, {end}) exceeds series {series} of length {}",
+                self.lengths[series]
+            )));
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
         let mut out = Vec::with_capacity(len);
         let extents = &self.extents[series];
         // Locate the first extent containing `offset`.
         let mut idx = match extents.binary_search_by(|e| e.series_offset.cmp(&offset)) {
             Ok(i) => i,
+            Err(0) => {
+                return Err(corrupt(format!(
+                    "no extent covers offset {offset} of series {series}"
+                )))
+            }
             Err(i) => i - 1, // the extent starting before `offset`
         };
         let mut want = offset;
-        let end = offset + len;
         let mut last_page: Option<usize> = None;
         let mut cached_page: Option<Page> = None;
         while want < end {
-            let e = &extents[idx];
-            debug_assert!(e.series_offset <= want && want < e.series_offset + e.len);
+            let e = extents.get(idx).ok_or_else(|| {
+                corrupt(format!(
+                    "extent table of series {series} ends before offset {want}"
+                ))
+            })?;
+            if !(e.series_offset <= want && want < e.series_offset + e.len) {
+                return Err(corrupt(format!(
+                    "extent table of series {series} is not contiguous at offset {want}"
+                )));
+            }
             let within = want - e.series_offset;
             let run = (e.len - within).min(end - want);
             let gstart = e.global_start + within;
             for g in gstart..gstart + run {
                 let page_idx = g / self.values_per_page;
                 if last_page != Some(page_idx) {
-                    cached_page = Some(self.pool.read(self.pages[page_idx]));
+                    let &pid = self.pages.get(page_idx).ok_or_else(|| {
+                        corrupt(format!(
+                            "global position {g} lies past the data file's {} pages",
+                            self.pages.len()
+                        ))
+                    })?;
+                    cached_page = Some(self.pool.read(pid)?);
                     last_page = Some(page_idx);
                 }
                 let page = cached_page.as_ref().expect("just cached");
@@ -249,75 +329,127 @@ impl PagedSeriesStore {
     /// Serialises the store (catalogue + page file) to a writer.
     ///
     /// # Errors
-    /// Propagates I/O errors.
-    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        use tsss_storage::codec::*;
-        put_magic(w, b"TSSSDF01")?;
-        put_usize(w, self.values_per_page)?;
-        put_usize(w, self.total)?;
-        put_usize(w, self.names.len())?;
+    /// Propagates I/O errors; storage-layer failures (a dirty frame that no
+    /// longer verifies) surface as `InvalidData`.
+    pub fn write_to<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        put_magic(w, &versioned_magic(MAGIC_PREFIX, VERSION))?;
+        let mut meta = Vec::new();
+        put_usize(&mut meta, self.values_per_page)?;
+        put_usize(&mut meta, self.total)?;
+        put_usize(&mut meta, self.names.len())?;
         for i in 0..self.names.len() {
-            put_string(w, &self.names[i])?;
-            put_usize(w, self.lengths[i])?;
-            put_usize(w, self.extents[i].len())?;
+            put_string(&mut meta, &self.names[i])?;
+            put_usize(&mut meta, self.lengths[i])?;
+            put_usize(&mut meta, self.extents[i].len())?;
             for e in &self.extents[i] {
-                put_usize(w, e.series_offset)?;
-                put_usize(w, e.global_start)?;
-                put_usize(w, e.len)?;
+                put_usize(&mut meta, e.series_offset)?;
+                put_usize(&mut meta, e.global_start)?;
+                put_usize(&mut meta, e.len)?;
             }
         }
-        put_usize(w, self.pages.len())?;
+        put_usize(&mut meta, self.pages.len())?;
         for p in &self.pages {
-            put_u32(w, p.0)?;
+            put_u32(&mut meta, p.0)?;
         }
-        // `with_file` flushes dirty frames before exposing the file.
-        self.pool.with_file(|file| file.write_to(w))
+        put_checked_block(w, &meta)?;
+        // `&mut W` is itself a sized `Write`, which is what lets a
+        // possibly-unsized `W` reach `persist(&mut dyn Write)`.
+        let mut sink: &mut W = w;
+        self.pool
+            .with_store(|s| s.persist(&mut sink))
+            .map_err(std::io::Error::from)?
     }
 
     /// Reads a store previously written by [`PagedSeriesStore::write_to`].
     ///
+    /// Every structural invariant the read path relies on is re-validated:
+    /// extent tables must tile each series contiguously and stay inside the
+    /// global log, page ids must be distinct and in range, and the page /
+    /// value arithmetic must agree with the page file.
+    ///
     /// # Errors
-    /// `InvalidData` on malformed input; propagates I/O errors.
-    pub fn read_from<R: std::io::Read>(r: &mut R, buffer_frames: usize) -> std::io::Result<Self> {
-        use tsss_storage::codec::*;
-        expect_magic(r, b"TSSSDF01")?;
-        let values_per_page = get_usize(r)?;
-        let total = get_usize(r)?;
-        let n_series = get_usize(r)?;
-        let mut names = Vec::with_capacity(n_series);
-        let mut lengths = Vec::with_capacity(n_series);
-        let mut extents = Vec::with_capacity(n_series);
+    /// `InvalidData` on malformed or corrupt input; propagates I/O errors.
+    pub fn read_from<R: std::io::Read + ?Sized>(
+        r: &mut R,
+        buffer_frames: usize,
+    ) -> std::io::Result<Self> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        expect_versioned_magic(r, MAGIC_PREFIX, VERSION)?;
+        let meta = get_checked_block(r, MAX_META_BYTES)?;
+        let m = &mut std::io::Cursor::new(meta);
+        let values_per_page = get_usize(m)?;
+        let total = get_usize(m)?;
+        let n_series = get_usize(m)?;
+        let mut names = Vec::new();
+        let mut lengths = Vec::new();
+        let mut extents = Vec::new();
         for _ in 0..n_series {
-            names.push(get_string(r)?);
-            lengths.push(get_usize(r)?);
-            let n_ext = get_usize(r)?;
-            let mut es = Vec::with_capacity(n_ext);
+            names.push(get_string(m)?);
+            lengths.push(get_usize(m)?);
+            let n_ext = get_usize(m)?;
+            let mut es = Vec::new();
             for _ in 0..n_ext {
                 es.push(Extent {
-                    series_offset: get_usize(r)?,
-                    global_start: get_usize(r)?,
-                    len: get_usize(r)?,
+                    series_offset: get_usize(m)?,
+                    global_start: get_usize(m)?,
+                    len: get_usize(m)?,
                 });
             }
             extents.push(es);
         }
-        let n_pages = get_usize(r)?;
-        let mut pages = Vec::with_capacity(n_pages);
+        let n_pages = get_usize(m)?;
+        let mut pages = Vec::new();
         for _ in 0..n_pages {
-            pages.push(PageId(get_u32(r)?));
+            pages.push(PageId(get_u32(m)?));
         }
         let file = PageFile::read_from(r)?;
-        if file.page_size() / 8 != values_per_page {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "page size disagrees with values-per-page",
+        if file.page_size() < 8
+            || !file.page_size().is_multiple_of(8)
+            || file.page_size() / 8 != values_per_page
+        {
+            return Err(invalid(
+                "page size disagrees with values-per-page".to_string(),
             ));
         }
-        if total.div_ceil(values_per_page.max(1)) != pages.len() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "page count disagrees with value count",
-            ));
+        if total.div_ceil(values_per_page) != pages.len() {
+            return Err(invalid("page count disagrees with value count".to_string()));
+        }
+        let mut seen = vec![false; file.extent()];
+        for &p in &pages {
+            let i = p.0 as usize;
+            if p == PageId::INVALID || i >= file.extent() {
+                return Err(invalid(format!("data page id {} is out of range", p.0)));
+            }
+            if std::mem::replace(&mut seen[i], true) {
+                return Err(invalid(format!("data page id {} appears twice", p.0)));
+            }
+        }
+        for (s, (es, &len)) in extents.iter().zip(&lengths).enumerate() {
+            let mut run = 0usize;
+            for e in es {
+                if e.len == 0 || e.series_offset != run {
+                    return Err(invalid(format!(
+                        "extent table of series {s} is not contiguous"
+                    )));
+                }
+                let gend = e
+                    .global_start
+                    .checked_add(e.len)
+                    .ok_or_else(|| invalid(format!("extent of series {s} overflows")))?;
+                if gend > total {
+                    return Err(invalid(format!(
+                        "extent of series {s} runs past the global log"
+                    )));
+                }
+                run = run
+                    .checked_add(e.len)
+                    .ok_or_else(|| invalid(format!("extent table of series {s} overflows")))?;
+            }
+            if run != len {
+                return Err(invalid(format!(
+                    "series {s} length {len} disagrees with its extent table"
+                )));
+            }
         }
         Ok(Self {
             pool: BufferPool::new(file, buffer_frames),
@@ -333,11 +465,14 @@ impl PagedSeriesStore {
     /// Reads the whole file page by page — exactly once per page — and
     /// reassembles every series. This is the I/O pattern of the sequential
     /// scan baseline (paper experiment set 1).
-    pub fn read_everything(&self) -> Vec<Vec<f64>> {
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when the storage layer detects page damage.
+    pub fn read_everything(&self) -> Result<Vec<Vec<f64>>, EngineError> {
         // One pass over the global log.
         let mut global = Vec::with_capacity(self.total);
         for (i, &pid) in self.pages.iter().enumerate() {
-            let page = self.pool.read(pid);
+            let page = self.pool.read(pid)?;
             let in_page = (self.total - i * self.values_per_page).min(self.values_per_page);
             for slot in 0..in_page {
                 global.push(page.get_f64(slot * 8));
@@ -347,13 +482,21 @@ impl PagedSeriesStore {
         self.extents
             .iter()
             .zip(&self.lengths)
-            .map(|(extents, &len)| {
+            .enumerate()
+            .map(|(s, (extents, &len))| {
                 let mut v = Vec::with_capacity(len);
                 for e in extents {
-                    v.extend_from_slice(&global[e.global_start..e.global_start + e.len]);
+                    let gend = e
+                        .global_start
+                        .checked_add(e.len)
+                        .filter(|&gend| gend <= global.len())
+                        .ok_or_else(|| EngineError::Corrupt {
+                            detail: format!("extent of series {s} runs past the global log"),
+                        })?;
+                    v.extend_from_slice(&global[e.global_start..gend]);
                 }
                 debug_assert_eq!(v.len(), len);
-                v
+                Ok(v)
             })
             .collect()
     }
@@ -378,7 +521,9 @@ mod tests {
     #[test]
     fn add_and_fetch_within_one_page() {
         let mut s = store();
-        let a = s.add_series_with_values("a", &[1.0, 2.0, 3.0, 4.0]);
+        let a = s
+            .add_series_with_values("a", &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
         assert_eq!(s.fetch_window(a, 1, 2).unwrap(), vec![2.0, 3.0]);
         assert_eq!(s.series_len(a).unwrap(), 4);
         assert_eq!(s.series_name(a).unwrap(), "a");
@@ -388,7 +533,7 @@ mod tests {
     fn windows_spanning_pages() {
         let mut s = store();
         let vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let a = s.add_series_with_values("a", &vals);
+        let a = s.add_series_with_values("a", &vals).unwrap();
         assert_eq!(s.page_count(), 4); // 30 values / 8 per page
         for off in 0..=20 {
             assert_eq!(s.fetch_window(a, off, 10).unwrap(), vals[off..off + 10]);
@@ -434,7 +579,7 @@ mod tests {
         s.append(a, &(13..20).map(|i| i as f64).collect::<Vec<_>>())
             .unwrap();
         s.stats().reset();
-        let all = s.read_everything();
+        let all = s.read_everything().unwrap();
         assert_eq!(s.stats().reads(), s.page_count() as u64);
         assert_eq!(all[a], (0..20).map(|i| i as f64).collect::<Vec<_>>());
         assert_eq!(all[b], (100..120).map(|i| i as f64).collect::<Vec<_>>());
@@ -444,7 +589,7 @@ mod tests {
     fn fetch_window_charges_distinct_pages() {
         let mut s = store();
         let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let a = s.add_series_with_values("a", &vals);
+        let a = s.add_series_with_values("a", &vals).unwrap();
         s.stats().reset();
         // Window of 10 values starting at 6 spans pages 0 and 1 (8 values per page).
         let _ = s.fetch_window(a, 6, 10).unwrap();
@@ -466,11 +611,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds series")]
-    fn overlong_window_panics() {
+    fn overlong_window_is_a_typed_error() {
         let mut s = store();
-        let a = s.add_series_with_values("a", &[1.0, 2.0]);
-        let _ = s.fetch_window(a, 1, 5);
+        let a = s.add_series_with_values("a", &[1.0, 2.0]).unwrap();
+        let err = s.fetch_window(a, 1, 5).unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+        assert!(err.to_string().contains("exceeds series"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_data_page_is_detected_at_read_time() {
+        let mut s = store();
+        let a = s
+            .add_series_with_values("a", &(0..20).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.corrupt_page(1, &mut |bytes| bytes[3] ^= 0x40).unwrap();
+        // Page 0 still reads fine; page 1 fails the checksum.
+        assert!(s.fetch_window(a, 0, 8).is_ok());
+        let err = s.fetch_window(a, 8, 8).unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+        assert!(s.read_everything().unwrap_err().is_corruption());
     }
 
     #[test]
@@ -486,5 +646,130 @@ mod tests {
         assert_eq!(s.total_values(), 650_000);
         assert_eq!(s.page_count(), 650_000usize.div_ceil(512));
         assert_eq!(s.page_count(), 1270);
+    }
+
+    fn sample() -> PagedSeriesStore {
+        let mut s = store();
+        let a = s.add_series("alpha");
+        let b = s.add_series("beta");
+        s.append(a, &(0..13).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.append(b, &(100..120).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.append(a, &(13..20).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        let back = PagedSeriesStore::read_from(&mut std::io::Cursor::new(buf), 0).unwrap();
+        assert_eq!(back.num_series(), 2);
+        assert_eq!(back.series_name(0).unwrap(), "alpha");
+        assert_eq!(
+            back.read_everything().unwrap(),
+            s.read_everything().unwrap()
+        );
+    }
+
+    #[test]
+    fn old_version_is_rejected_with_a_version_message() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        buf[6] = b'0';
+        buf[7] = b'1';
+        let err = PagedSeriesStore::read_from(&mut std::io::Cursor::new(buf), 0).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        for cut in [0, 3, 8, 20, 100, buf.len() / 2, buf.len() - 1] {
+            let short = buf[..cut].to_vec();
+            assert!(
+                PagedSeriesStore::read_from(&mut std::io::Cursor::new(short), 0).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_bit_flips_anywhere_in_the_stream_are_rejected() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        for pos in (0..buf.len()).step_by(37) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 1 << (pos % 8);
+            assert!(
+                PagedSeriesStore::read_from(&mut std::io::Cursor::new(bad), 0).is_err(),
+                "bit flip at byte {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_page_table_is_rejected() {
+        let s = sample();
+        // Re-encode with an out-of-range page id but a valid block CRC —
+        // the structural validation, not the checksum, must catch it.
+        let mut buf = Vec::new();
+        put_magic(&mut buf, &versioned_magic(MAGIC_PREFIX, VERSION)).unwrap();
+        let mut meta = Vec::new();
+        put_usize(&mut meta, s.values_per_page).unwrap();
+        put_usize(&mut meta, 8).unwrap(); // one page worth of values
+        put_usize(&mut meta, 1).unwrap();
+        put_string(&mut meta, "alpha").unwrap();
+        put_usize(&mut meta, 8).unwrap();
+        put_usize(&mut meta, 1).unwrap();
+        for v in [0usize, 0, 8] {
+            put_usize(&mut meta, v).unwrap();
+        }
+        put_usize(&mut meta, 1).unwrap();
+        put_u32(&mut meta, 999).unwrap(); // page id far past the file extent
+        put_checked_block(&mut buf, &meta).unwrap();
+        s.pool
+            .with_store(|st| st.persist(&mut buf))
+            .unwrap()
+            .unwrap();
+        let err = PagedSeriesStore::read_from(&mut std::io::Cursor::new(buf), 0).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_extent_table_is_rejected() {
+        let s = sample();
+        let mut buf = Vec::new();
+        put_magic(&mut buf, &versioned_magic(MAGIC_PREFIX, VERSION)).unwrap();
+        let mut meta = Vec::new();
+        put_usize(&mut meta, s.values_per_page).unwrap();
+        put_usize(&mut meta, 8).unwrap();
+        put_usize(&mut meta, 1).unwrap();
+        put_string(&mut meta, "alpha").unwrap();
+        put_usize(&mut meta, 8).unwrap();
+        put_usize(&mut meta, 1).unwrap();
+        // Extent starts at series offset 4, so [0, 4) is uncovered.
+        for v in [4usize, 0, 4] {
+            put_usize(&mut meta, v).unwrap();
+        }
+        put_usize(&mut meta, 1).unwrap();
+        put_u32(&mut meta, 0).unwrap();
+        put_checked_block(&mut buf, &meta).unwrap();
+        s.pool
+            .with_store(|st| st.persist(&mut buf))
+            .unwrap()
+            .unwrap();
+        let err = PagedSeriesStore::read_from(&mut std::io::Cursor::new(buf), 0).unwrap_err();
+        assert!(
+            err.to_string().contains("not contiguous") || err.to_string().contains("disagrees"),
+            "{err}"
+        );
     }
 }

@@ -67,7 +67,7 @@ impl SearchEngine {
         let mut se_buf = vec![0.0; cfg.window_len];
         let mut max_se_norm = 0.0f64;
         for (si, s) in data.iter().enumerate() {
-            store.add_series_with_values(s.name.clone(), &s.values);
+            store.add_series_with_values(s.name.clone(), &s.values)?;
             for off in window_offsets(s.values.len(), cfg.window_len, cfg.stride) {
                 let window = &s.values[off..off + cfg.window_len];
                 max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
@@ -78,12 +78,12 @@ impl SearchEngine {
         }
 
         let tree = match cfg.build {
-            crate::config::BuildMethod::BulkStr => bulk_load(cfg.tree_config(), entries),
-            crate::config::BuildMethod::BulkPolar => bulk_load_polar(cfg.tree_config(), entries),
+            crate::config::BuildMethod::BulkStr => bulk_load(cfg.tree_config(), entries)?,
+            crate::config::BuildMethod::BulkPolar => bulk_load_polar(cfg.tree_config(), entries)?,
             crate::config::BuildMethod::Insert => {
-                let mut t = RTree::new(cfg.tree_config());
+                let mut t = RTree::new(cfg.tree_config())?;
                 for e in entries {
-                    t.insert(e.point.into_vec(), e.id);
+                    t.insert(e.point.into_vec(), e.id)?;
                 }
                 t
             }
@@ -163,9 +163,77 @@ impl SearchEngine {
     }
 
     /// Drops both buffer pools' cached frames.
-    pub fn clear_caches(&self) {
-        self.tree.clear_cache();
-        self.store.clear_cache();
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when flushing a dirty frame fails.
+    pub fn clear_caches(&self) -> Result<(), EngineError> {
+        self.tree.clear_cache()?;
+        self.store.clear_cache()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & corruption hooks (chaos tests, resilience drills)
+    // ------------------------------------------------------------------
+
+    /// Wraps the index's page store in a deterministic fault-injecting
+    /// decorator (seeded by `cfg.seed`). Returns the shared counters
+    /// recording every fault fired. Cached index frames are dropped so the
+    /// faults apply immediately.
+    pub fn inject_index_faults(
+        &mut self,
+        cfg: tsss_storage::FaultConfig,
+    ) -> std::sync::Arc<tsss_storage::FaultCounters> {
+        let mut counters = None;
+        self.tree.wrap_store(|inner| {
+            let faulty = tsss_storage::FaultyStore::new(inner, cfg);
+            counters = Some(faulty.counters());
+            Box::new(faulty)
+        });
+        counters.expect("wrap_store runs the closure")
+    }
+
+    /// Like [`SearchEngine::inject_index_faults`], for the raw-data file.
+    pub fn inject_data_faults(
+        &mut self,
+        cfg: tsss_storage::FaultConfig,
+    ) -> std::sync::Arc<tsss_storage::FaultCounters> {
+        let mut counters = None;
+        self.store.wrap_store(|inner| {
+            let faulty = tsss_storage::FaultyStore::new(inner, cfg);
+            counters = Some(faulty.counters());
+            Box::new(faulty)
+        });
+        counters.expect("wrap_store runs the closure")
+    }
+
+    /// Mutates the raw bytes of index page `page` in place, beneath the
+    /// checksum layer — the next read of that page fails verification.
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when the page does not exist.
+    pub fn corrupt_index_page(
+        &mut self,
+        page: u32,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<(), EngineError> {
+        self.tree.corrupt_page(tsss_storage::PageId(page), f)?;
+        Ok(())
+    }
+
+    /// Number of pages in the index file (for picking corruption targets).
+    pub fn index_extent(&self) -> usize {
+        self.tree.extent()
+    }
+
+    /// Reads every stored series back through the checksummed page path —
+    /// a full data-file scrub that surfaces any latent page corruption as
+    /// [`EngineError::Corrupt`].
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when any data page fails verification.
+    pub fn read_everything(&self) -> Result<Vec<Vec<f64>>, EngineError> {
+        self.store.read_everything()
     }
 
     /// Read access to the underlying tree (queries, white-box tests).
@@ -250,7 +318,7 @@ impl SearchEngine {
                 self.max_se_norm = self.max_se_norm.max(tsss_geometry::se::se_norm(&window));
                 let feat = feature_of(&self.extractor, &window, &mut se_buf);
                 let id = SubseqId::try_new(series, off)?;
-                self.tree.insert(feat, id.pack());
+                self.tree.insert(feat, id.pack())?;
             }
             off += self.cfg.stride;
         }
@@ -294,7 +362,7 @@ impl SearchEngine {
             .fetch_window(id.series as usize, id.offset as usize, n)?;
         let mut se_buf = vec![0.0; n];
         let feat = feature_of(&self.extractor, &window, &mut se_buf);
-        Ok(self.tree.delete(&feat, id.pack()))
+        Ok(self.tree.delete(&feat, id.pack())?)
     }
 
     // ------------------------------------------------------------------
@@ -309,10 +377,48 @@ impl SearchEngine {
     /// page counts in [`SearchStats`] are exact even when other queries run
     /// concurrently (see [`SearchEngine::search_batch`]).
     ///
+    /// When corruption is detected mid-query (a page fails its checksum, a
+    /// node does not decode, an index entry points at data that does not
+    /// exist), the behaviour follows `opts.degradation`: by default the
+    /// query is re-answered by the exact sequential scan and the result is
+    /// flagged [`SearchStats::degraded`]; under
+    /// [`crate::DegradationPolicy::Error`] the typed error surfaces instead.
+    /// A [`EngineError::PageBudgetExceeded`] abort is always a hard error —
+    /// the budget bounds total work, which the full-file fallback would not.
+    ///
     /// # Errors
     /// [`EngineError::QueryLength`] or [`EngineError::InvalidEpsilon`] on
-    /// malformed input.
+    /// malformed input; [`EngineError::PageBudgetExceeded`] when
+    /// `opts.page_budget` runs out; [`EngineError::Corrupt`] on detected
+    /// corruption under [`crate::DegradationPolicy::Error`], or when the
+    /// fallback scan itself hits corrupt data pages.
     pub fn search(
+        &self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        match self.search_indexed(query, epsilon, opts) {
+            Err(e)
+                if e.is_corruption()
+                    && opts.degradation == crate::config::DegradationPolicy::SeqScanFallback =>
+            {
+                let mut res = self.sequential_search(query, epsilon, opts.cost)?;
+                res.stats.degraded = true;
+                res.stats.degraded_reason = Some(e.to_string());
+                Ok(res)
+            }
+            other => other,
+        }
+    }
+
+    /// The indexed path of [`SearchEngine::search`], with no degradation:
+    /// detected corruption always surfaces as [`EngineError::Corrupt`].
+    ///
+    /// # Errors
+    /// As [`SearchEngine::search`] under
+    /// [`crate::DegradationPolicy::Error`].
+    pub fn search_indexed(
         &self,
         query: &[f64],
         epsilon: f64,
@@ -345,11 +451,15 @@ impl SearchEngine {
         // false dismissals). Verification below agrees because
         // `optimal_scale_shift` applies the same degeneracy test.
         let outcome = if is_numerically_constant(query) {
-            self.tree
-                .radius_query(&vec![0.0; self.cfg.feature_dim()], epsilon)
+            self.tree.radius_query_with_budget(
+                &vec![0.0; self.cfg.feature_dim()],
+                epsilon,
+                opts.page_budget,
+            )?
         } else {
             let line = self.query_line(query);
-            self.tree.line_query(&line, epsilon, opts.method)
+            self.tree
+                .line_query_with_budget(&line, epsilon, opts.method, opts.page_budget)?
         };
 
         // Post-processing step: verify candidates on the raw data, compute
@@ -682,7 +792,7 @@ mod tests {
             let mut cfg = EngineConfig::small(16);
             cfg.build = build;
             let mut e = SearchEngine::build(&data, cfg).unwrap();
-            e.tree_mut().check_invariants();
+            e.tree_mut().check_invariants().unwrap();
             e
         })
         .collect();
@@ -736,7 +846,7 @@ mod tests {
         let q = full[12..28].to_vec();
         let res = e.search(&q, 1e-7, SearchOptions::default()).unwrap();
         assert!(res.matches.iter().any(|m| m.id.offset == 12));
-        e.tree_mut().check_invariants();
+        e.tree_mut().check_invariants().unwrap();
     }
 
     #[test]
@@ -754,7 +864,7 @@ mod tests {
         // Removing again is a no-op; other series still searchable.
         assert_eq!(e.remove_series_windows(1).unwrap(), 0);
         assert!(e.remove_series_windows(99).is_err());
-        e.tree_mut().check_invariants();
+        e.tree_mut().check_invariants().unwrap();
     }
 
     #[test]
@@ -874,6 +984,90 @@ mod tests {
         let data_sum: u64 = batch.iter().map(|r| r.stats.data_pages).sum();
         assert_eq!(index_sum, e.index_stats().total_accesses());
         assert_eq!(data_sum, e.data_stats().total_accesses());
+    }
+
+    #[test]
+    fn corrupt_index_degrades_to_sequential_scan_with_flag() {
+        let (mut e, data) = engine();
+        let q = data[2].window(10, 16).unwrap().to_vec();
+        let healthy = e.search(&q, 2.0, SearchOptions::default()).unwrap();
+        assert!(!healthy.stats.degraded);
+        // Smash every live index page: the traversal hits corruption at the
+        // root. (Free pages reject corruption with a typed error — ignore.)
+        for p in 0..e.index_extent() as u32 {
+            let _ = e.corrupt_index_page(p, &mut |b| b[0] ^= 0xFF);
+        }
+        let degraded = e.search(&q, 2.0, SearchOptions::default()).unwrap();
+        assert!(degraded.stats.degraded, "fallback must be flagged");
+        assert!(degraded.stats.degraded_reason.is_some());
+        assert_eq!(degraded.id_set(), healthy.id_set());
+        let oracle = e
+            .sequential_search(&q, 2.0, crate::config::CostLimit::UNLIMITED)
+            .unwrap();
+        assert_eq!(degraded.matches, oracle.matches);
+        // Under the Error policy the same damage surfaces as a typed error.
+        let err = e
+            .search(
+                &q,
+                2.0,
+                SearchOptions {
+                    degradation: crate::config::DegradationPolicy::Error,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+    }
+
+    #[test]
+    fn page_budget_is_a_hard_error_never_degraded() {
+        let (e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        // Zero budget rejects even the root visit — and must NOT fall back
+        // to the scan, whose whole point the budget would defeat.
+        let err = e
+            .search(
+                &q,
+                2.0,
+                SearchOptions {
+                    page_budget: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, EngineError::PageBudgetExceeded { budget: 0 });
+        // A generous budget answers identically to unlimited.
+        let capped = e
+            .search(
+                &q,
+                2.0,
+                SearchOptions {
+                    page_budget: Some(1_000_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let free = e.search(&q, 2.0, SearchOptions::default()).unwrap();
+        assert_eq!(capped.matches, free.matches);
+        assert!(!capped.stats.degraded);
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_exactly_and_never_panic() {
+        let (mut e, data) = engine();
+        let q = data[1].window(6, 16).unwrap().to_vec();
+        let oracle = e
+            .sequential_search(&q, 2.0, crate::config::CostLimit::UNLIMITED)
+            .unwrap();
+        let counters = e.inject_index_faults(tsss_storage::FaultConfig::read_errors(7, 0.3));
+        let mut degraded_seen = false;
+        for _ in 0..20 {
+            let res = e.search(&q, 2.0, SearchOptions::default()).unwrap();
+            assert_eq!(res.id_set(), oracle.id_set());
+            degraded_seen |= res.stats.degraded;
+        }
+        assert!(degraded_seen, "30 % read faults over 20 queries must fire");
+        assert!(counters.read_errors() > 0);
     }
 
     #[test]

@@ -39,6 +39,53 @@ pub enum EngineError {
         /// The offending value.
         value: usize,
     },
+    /// Stored data failed verification: a page checksum mismatch, an
+    /// injected read fault, a node that does not decode, or an index entry
+    /// referencing data that does not exist. The engine may degrade to the
+    /// sequential scan when this arises mid-search (see
+    /// [`crate::DegradationPolicy`]).
+    Corrupt {
+        /// Human-readable diagnosis of the damage.
+        detail: String,
+    },
+    /// The per-query page-access budget ([`crate::SearchOptions`]
+    /// `page_budget`) ran out mid-traversal — the guard against runaway
+    /// queries over a damaged or degenerate index. Never degraded around:
+    /// the budget bounds total work, so the (full-file) sequential fallback
+    /// must not run.
+    PageBudgetExceeded {
+        /// The exhausted budget, in index page accesses.
+        budget: u64,
+    },
+}
+
+impl EngineError {
+    /// True when the error indicates damaged stored data — the condition
+    /// [`crate::DegradationPolicy::SeqScanFallback`] degrades on.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, EngineError::Corrupt { .. })
+    }
+}
+
+impl From<tsss_storage::StorageError> for EngineError {
+    fn from(e: tsss_storage::StorageError) -> Self {
+        EngineError::Corrupt {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<tsss_index::IndexError> for EngineError {
+    fn from(e: tsss_index::IndexError) -> Self {
+        match e {
+            tsss_index::IndexError::BudgetExhausted { budget } => {
+                EngineError::PageBudgetExceeded { budget }
+            }
+            other => EngineError::Corrupt {
+                detail: other.to_string(),
+            },
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -61,6 +108,12 @@ impl fmt::Display for EngineError {
             EngineError::UnknownSeries(i) => write!(f, "series index {i} does not exist"),
             EngineError::TooLarge { what, value } => {
                 write!(f, "{what} {value} exceeds the engine's u32 window-id range")
+            }
+            EngineError::Corrupt { detail } => {
+                write!(f, "corrupt stored data: {detail}")
+            }
+            EngineError::PageBudgetExceeded { budget } => {
+                write!(f, "page budget of {budget} accesses exhausted mid-query")
             }
         }
     }
@@ -96,6 +149,16 @@ mod tests {
                 },
                 "window offset 5000000000",
             ),
+            (
+                EngineError::Corrupt {
+                    detail: "page 7 checksum mismatch".into(),
+                },
+                "corrupt stored data: page 7",
+            ),
+            (
+                EngineError::PageBudgetExceeded { budget: 64 },
+                "budget of 64",
+            ),
         ];
         for (err, frag) in cases {
             assert!(
@@ -103,5 +166,18 @@ mod tests {
                 "{err} missing fragment {frag:?}"
             );
         }
+    }
+
+    #[test]
+    fn storage_and_index_errors_convert_to_corrupt() {
+        let s = tsss_storage::StorageError::ReadFailed {
+            page: tsss_storage::PageId(3),
+        };
+        let e: EngineError = s.into();
+        assert!(e.is_corruption(), "{e:?}");
+
+        let b: EngineError = tsss_index::IndexError::BudgetExhausted { budget: 9 }.into();
+        assert_eq!(b, EngineError::PageBudgetExceeded { budget: 9 });
+        assert!(!b.is_corruption());
     }
 }

@@ -45,7 +45,7 @@ pub mod result;
 pub mod seqscan;
 pub mod window;
 
-pub use config::{BuildMethod, CostLimit, EngineConfig, SearchOptions};
+pub use config::{BuildMethod, CostLimit, DegradationPolicy, EngineConfig, SearchOptions};
 pub use engine::SearchEngine;
 pub use error::EngineError;
 pub use id::SubseqId;

@@ -71,7 +71,7 @@ impl SearchEngine {
         for (pi, &poff) in piece_offsets.iter().enumerate() {
             let piece = &query[poff..poff + n];
             let line = self.query_line(piece);
-            let outcome = self.tree().line_query(&line, epsilon, opts.method);
+            let outcome = self.tree().line_query(&line, epsilon, opts.method)?;
             stats.index.internal_visited += outcome.stats.internal_visited;
             stats.index.leaves_visited += outcome.stats.leaves_visited;
             stats.index.candidates_checked += outcome.stats.candidates_checked;
@@ -161,7 +161,7 @@ impl SearchEngine {
         }
         let t0 = Instant::now();
         let total_len = query.len();
-        let all = self.store().read_everything();
+        let all = self.store().read_everything()?;
         let mut stats = SearchStats::default();
         let mut matches = Vec::new();
         for (si, values) in all.iter().enumerate() {

@@ -61,7 +61,7 @@ impl SearchEngine {
 
         let mut fetch = (2 * k).max(8);
         loop {
-            let candidates = self.tree().nearest_to_line(&line, fetch);
+            let candidates = self.tree().nearest_to_line(&line, fetch)?;
             // Exhausted: we have already pulled every window — exact answers
             // are final regardless of bounds.
             let exhausted = candidates.len() < fetch || fetch >= self.num_windows();

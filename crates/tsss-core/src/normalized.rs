@@ -231,7 +231,7 @@ impl SearchEngine {
             &line,
             eps_abs,
             tsss_geometry::penetration::PenetrationMethod::EnteringExiting,
-        );
+        )?;
 
         let mut stats = crate::result::SearchStats {
             candidates: outcome.matches.len() as u64,

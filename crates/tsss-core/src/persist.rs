@@ -17,7 +17,14 @@ use crate::config::{BuildMethod, EngineConfig};
 use crate::datafile::PagedSeriesStore;
 use crate::engine::SearchEngine;
 
-const MAGIC: &[u8; 8] = b"TSSSEN01";
+/// Magic prefix of the persisted engine format.
+const MAGIC_PREFIX: &[u8; 6] = b"TSSSEN";
+/// Current format version (`TSSSEN02`): versioned magic + CRC-checked
+/// configuration block, followed by the (self-checking) data file and index
+/// streams.
+const VERSION: u8 = 2;
+/// Upper bound on the configuration block; a real one is under 200 bytes.
+const MAX_META_BYTES: usize = 1 << 16;
 
 fn build_tag(b: BuildMethod) -> u8 {
     match b {
@@ -111,22 +118,36 @@ impl SearchEngine {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        put_magic(w, MAGIC)?;
-        write_engine_config(w, self.config())?;
-        put_f64(w, self.max_se_norm())?;
+    pub fn save_to<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        put_magic(w, &versioned_magic(MAGIC_PREFIX, VERSION))?;
+        let mut meta = Vec::new();
+        write_engine_config(&mut meta, self.config())?;
+        put_f64(&mut meta, self.max_se_norm())?;
+        put_checked_block(w, &meta)?;
         self.store().write_to(w)?;
         self.tree().save_to(w)
     }
 
     /// Loads an engine previously written by [`SearchEngine::save_to`].
     ///
+    /// The configuration block is CRC-checked and re-validated (a hostile or
+    /// rotten config must not panic downstream arithmetic), and the data and
+    /// index streams carry their own checksums, so any corruption anywhere
+    /// in the stream surfaces here as `InvalidData`.
+    ///
     /// # Errors
     /// `InvalidData` on malformed input; propagates I/O errors.
-    pub fn load_from<R: Read>(r: &mut R) -> io::Result<Self> {
-        expect_magic(r, MAGIC)?;
-        let cfg = read_engine_config(r)?;
-        let max_se_norm = get_f64(r)?;
+    pub fn load_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        expect_versioned_magic(r, MAGIC_PREFIX, VERSION)?;
+        let meta = get_checked_block(r, MAX_META_BYTES)?;
+        let m = &mut io::Cursor::new(meta);
+        let cfg = read_engine_config(m)?;
+        cfg.try_validate().map_err(invalid)?;
+        let max_se_norm = get_f64(m)?;
+        if !max_se_norm.is_finite() || max_se_norm < 0.0 {
+            return Err(invalid(format!("implausible max SE-norm {max_se_norm}")));
+        }
         let store = PagedSeriesStore::read_from(r, cfg.data_buffer_frames)?;
         let tree = RTree::load_from(r)?;
         if tree.config().dim != cfg.feature_dim() {
@@ -138,15 +159,15 @@ impl SearchEngine {
         Ok(SearchEngine::from_parts(cfg, tree, store, max_se_norm))
     }
 
-    /// Saves the engine to a filesystem path (buffered).
+    /// Saves the engine to a filesystem path **atomically**: the stream is
+    /// written to a temporary sibling, synced, and renamed over `path` only
+    /// on success — a crash or failure mid-write leaves any previous engine
+    /// file intact.
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn save_to_path(&self, path: &Path) -> io::Result<()> {
-        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
-        self.save_to(&mut w)?;
-        use io::Write as _;
-        w.flush()
+        tsss_storage::atomic_write(path, |w| self.save_to(w))
     }
 
     /// Loads an engine from a filesystem path (buffered).
@@ -187,7 +208,7 @@ mod tests {
         assert_eq!(l.num_windows(), e.num_windows());
         assert_eq!(l.data_page_count(), e.data_page_count());
         assert_eq!(l.config(), e.config());
-        l.tree_mut().check_invariants();
+        l.tree_mut().check_invariants().unwrap();
     }
 
     #[test]
@@ -217,7 +238,7 @@ mod tests {
             .matches
             .iter()
             .any(|m| m.id.series as usize == si && m.id.offset == 10));
-        l.tree_mut().check_invariants();
+        l.tree_mut().check_invariants().unwrap();
     }
 
     #[test]
@@ -247,6 +268,52 @@ mod tests {
         e.save_to(&mut buf).unwrap();
         buf[5] ^= 0xFF;
         assert!(SearchEngine::load_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn zero_length_and_wrong_version_inputs_are_rejected() {
+        assert!(SearchEngine::load_from(&mut std::io::Cursor::new(Vec::<u8>::new())).is_err());
+        let (e, _) = build_engine();
+        let mut buf = Vec::new();
+        e.save_to(&mut buf).unwrap();
+        buf[6] = b'0';
+        buf[7] = b'1';
+        let err = SearchEngine::load_from(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn failed_save_leaves_the_previous_file_intact() {
+        let (e, data) = build_engine();
+        let dir = std::env::temp_dir().join(format!("tsss-engine-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.tsss");
+        e.save_to_path(&path).unwrap();
+        // A save that dies mid-stream (simulated torn write) must not
+        // clobber the good file — atomic_write renames only on success.
+        let mut stream = Vec::new();
+        e.save_to(&mut stream).unwrap();
+        let err = tsss_storage::atomic_write(&path, |w| {
+            w.write_all(&stream[..stream.len() / 2])?;
+            Err(std::io::Error::other("simulated crash mid-write"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert!(
+            !dir.join("engine.tsss.tmp").exists(),
+            "failed temporary must be cleaned up"
+        );
+        let l = SearchEngine::load_from_path(&path).unwrap();
+        let q = data[1].window(4, 16).unwrap().to_vec();
+        assert_eq!(
+            e.search(&q, 2.0, SearchOptions::default())
+                .unwrap()
+                .id_set(),
+            l.search(&q, 2.0, SearchOptions::default())
+                .unwrap()
+                .id_set()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct SearchStats {
     /// Data-file page accesses (candidate verification, or the full scan for
     /// the sequential baseline).
     pub data_pages: u64,
+    /// True when index corruption was detected mid-query and the answer was
+    /// produced by the sequential-scan fallback instead
+    /// ([`crate::DegradationPolicy::SeqScanFallback`]). The match set is
+    /// still exact; only the page cost differs from the indexed path.
+    pub degraded: bool,
+    /// The corruption diagnosis that triggered the fallback.
+    pub degraded_reason: Option<String>,
     /// Wall-clock search time.
     pub elapsed: std::time::Duration,
 }

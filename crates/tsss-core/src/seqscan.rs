@@ -46,7 +46,7 @@ impl SearchEngine {
         let data_scope = data_stats.local_scope();
 
         // One sequential pass over the raw pages.
-        let all = self.store().read_everything();
+        let all = self.store().read_everything()?;
 
         let mut stats = SearchStats::default();
         let mut matches = Vec::new();

@@ -67,7 +67,7 @@ fn store_matches_vec_model() {
 
         // read_everything reproduces the model, one page read each.
         store.stats().reset();
-        let all = store.read_everything();
+        let all = store.read_everything().unwrap();
         assert_eq!(
             store.stats().reads(),
             store.page_count() as u64,

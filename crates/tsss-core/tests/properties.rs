@@ -63,6 +63,7 @@ fn index_equals_oracle() {
                 PenetrationMethod::EnteringExiting
             },
             cost,
+            ..Default::default()
         };
         let fast = e.search(&query, eps, opts).unwrap();
         let slow = e.sequential_search(&query, eps, cost).unwrap();
@@ -154,7 +155,7 @@ fn dynamic_updates_preserve_oracle_equality() {
         let mut slow_ids = slow.id_set();
         slow_ids.remove(&victim);
         assert_eq!(fast.id_set(), slow_ids);
-        e.tree_mut().check_invariants();
+        e.tree_mut().check_invariants().unwrap();
     }
 }
 

@@ -12,15 +12,19 @@
 use tsss_geometry::Mbr;
 use tsss_storage::{BufferPool, PageFile, PageId};
 
+use crate::error::IndexError;
 use crate::node::{ChildEntry, DataEntry, Node};
 use crate::tree::{RTree, TreeConfig};
 
 /// Bulk loads `entries` into a fresh tree with configuration `cfg`, using
 /// coordinate-space STR tiling.
 ///
+/// # Errors
+/// Any storage failure while writing the packed pages.
+///
 /// # Panics
 /// Panics when any entry's dimension disagrees with `cfg.dim`.
-pub fn bulk_load(cfg: TreeConfig, entries: Vec<DataEntry>) -> RTree {
+pub fn bulk_load(cfg: TreeConfig, entries: Vec<DataEntry>) -> Result<RTree, IndexError> {
     let keys: Vec<Vec<f64>> = entries.iter().map(|e| e.point.to_vec()).collect();
     bulk_load_keyed(cfg, entries, keys)
 }
@@ -36,9 +40,12 @@ pub fn bulk_load(cfg: TreeConfig, entries: Vec<DataEntry>) -> RTree {
 /// the whole cloud" into "walk one narrow sector", cutting node accesses by
 /// an order of magnitude (see the `ablation_build` bench).
 ///
+/// # Errors
+/// Any storage failure while writing the packed pages.
+///
 /// # Panics
 /// Panics when any entry's dimension disagrees with `cfg.dim`.
-pub fn bulk_load_polar(cfg: TreeConfig, entries: Vec<DataEntry>) -> RTree {
+pub fn bulk_load_polar(cfg: TreeConfig, entries: Vec<DataEntry>) -> Result<RTree, IndexError> {
     let keys: Vec<Vec<f64>> = entries
         .iter()
         .map(|e| {
@@ -68,22 +75,26 @@ pub fn bulk_load_polar(cfg: TreeConfig, entries: Vec<DataEntry>) -> RTree {
 
 /// Shared loader: orders `entries` by recursive STR tiling over the given
 /// per-entry `keys` (any dimensionality), then packs levels bottom-up.
-fn bulk_load_keyed(cfg: TreeConfig, entries: Vec<DataEntry>, keys: Vec<Vec<f64>>) -> RTree {
+fn bulk_load_keyed(
+    cfg: TreeConfig,
+    entries: Vec<DataEntry>,
+    keys: Vec<Vec<f64>>,
+) -> Result<RTree, IndexError> {
     cfg.validate();
     assert_eq!(entries.len(), keys.len(), "one key per entry");
     for e in &entries {
         assert_eq!(e.point.len(), cfg.dim, "entry dimension mismatch");
     }
-    let file = PageFile::new(cfg.page_size);
+    let file = PageFile::new(cfg.page_size)?;
     let mut pool = BufferPool::new(file, cfg.buffer_frames);
     let len = entries.len();
 
     if entries.is_empty() {
-        let root = pool.allocate();
+        let root = pool.allocate()?;
         let mut page = tsss_storage::Page::zeroed(cfg.page_size);
         Node::Leaf(Vec::new()).encode(&mut page, cfg.dim);
-        pool.write(root, page);
-        return RTree::from_parts(cfg, pool, root, 1, 0);
+        pool.write(root, page)?;
+        return Ok(RTree::from_parts(cfg, pool, root, 1, 0));
     }
 
     // Order points by STR tiling over the keys, then pack sequentially.
@@ -94,12 +105,12 @@ fn bulk_load_keyed(cfg: TreeConfig, entries: Vec<DataEntry>, keys: Vec<Vec<f64>>
     let entries: Vec<DataEntry> = keyed.into_iter().map(|(_, e)| e).collect();
     let chunks = chunk_sizes(entries.len(), cfg.leaf_max_entries, cfg.leaf_min_entries);
 
-    let write_node = |pool: &mut BufferPool, node: &Node| -> PageId {
-        let id = pool.allocate();
+    let write_node = |pool: &mut BufferPool, node: &Node| -> Result<PageId, IndexError> {
+        let id = pool.allocate()?;
         let mut page = tsss_storage::Page::zeroed(cfg.page_size);
         node.encode(&mut page, cfg.dim);
-        pool.write(id, page);
-        id
+        pool.write(id, page)?;
+        Ok(id)
     };
 
     // Leaves.
@@ -109,7 +120,7 @@ fn bulk_load_keyed(cfg: TreeConfig, entries: Vec<DataEntry>, keys: Vec<Vec<f64>>
         let tail = rest.split_off(size);
         let node = Node::Leaf(rest);
         let mbr = node.mbr().expect("non-empty leaf");
-        let page = write_node(&mut pool, &node);
+        let page = write_node(&mut pool, &node)?;
         level.push(ChildEntry { mbr, page });
         rest = tail;
     }
@@ -126,7 +137,7 @@ fn bulk_load_keyed(cfg: TreeConfig, entries: Vec<DataEntry>, keys: Vec<Vec<f64>>
             let tail = rest.split_off(size);
             let node = Node::Internal(rest);
             let mbr = node.mbr().expect("non-empty internal node");
-            let page = write_node(&mut pool, &node);
+            let page = write_node(&mut pool, &node)?;
             next.push(ChildEntry { mbr, page });
             rest = tail;
         }
@@ -135,7 +146,7 @@ fn bulk_load_keyed(cfg: TreeConfig, entries: Vec<DataEntry>, keys: Vec<Vec<f64>>
     }
 
     let root = level[0].page;
-    RTree::from_parts(cfg, pool, root, height, len)
+    Ok(RTree::from_parts(cfg, pool, root, height, len))
 }
 
 /// Splits `n` items into chunks of at most `max` while keeping every chunk
@@ -257,25 +268,26 @@ mod tests {
 
     #[test]
     fn empty_bulk_load_gives_empty_tree() {
-        let t = bulk_load(cfg(), vec![]);
+        let t = bulk_load(cfg(), vec![]).unwrap();
         assert!(t.is_empty());
-        assert_eq!(t.check_invariants(), 0);
+        assert_eq!(t.check_invariants().unwrap(), 0);
     }
 
     #[test]
     fn single_entry_bulk_load() {
-        let t = bulk_load(cfg(), points(1));
+        let t = bulk_load(cfg(), points(1)).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
-        t.check_invariants();
+        t.check_invariants().unwrap();
     }
 
     #[test]
     fn bulk_load_preserves_every_entry() {
-        let t = bulk_load(cfg(), points(777));
+        let t = bulk_load(cfg(), points(777)).unwrap();
         assert_eq!(t.len(), 777);
-        t.check_invariants();
-        let ids: std::collections::BTreeSet<u64> = t.dump().into_iter().map(|(_, id)| id).collect();
+        t.check_invariants().unwrap();
+        let ids: std::collections::BTreeSet<u64> =
+            t.dump().unwrap().into_iter().map(|(_, id)| id).collect();
         assert_eq!(ids.len(), 777);
         assert_eq!(*ids.iter().next().unwrap(), 0);
         assert_eq!(*ids.iter().last().unwrap(), 776);
@@ -284,21 +296,23 @@ mod tests {
     #[test]
     fn bulk_loaded_tree_answers_like_incremental_tree() {
         let entries = points(400);
-        let bulk = bulk_load(cfg(), entries.clone());
-        let mut incr = RTree::new(cfg());
+        let bulk = bulk_load(cfg(), entries.clone()).unwrap();
+        let mut incr = RTree::new(cfg()).unwrap();
         for e in &entries {
-            incr.insert(e.point.to_vec(), e.id);
+            incr.insert(e.point.to_vec(), e.id).unwrap();
         }
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.1]).unwrap();
         for eps in [0.0, 2.0, 10.0] {
             let a: std::collections::BTreeSet<u64> = bulk
                 .line_query(&line, eps, PenetrationMethod::EnteringExiting)
+                .unwrap()
                 .matches
                 .iter()
                 .map(|m| m.id)
                 .collect();
             let b: std::collections::BTreeSet<u64> = incr
                 .line_query(&line, eps, PenetrationMethod::EnteringExiting)
+                .unwrap()
                 .matches
                 .iter()
                 .map(|m| m.id)
@@ -309,25 +323,25 @@ mod tests {
 
     #[test]
     fn bulk_load_supports_subsequent_inserts_and_deletes() {
-        let mut t = bulk_load(cfg(), points(100));
-        t.insert(vec![500.0, 500.0], 9999);
+        let mut t = bulk_load(cfg(), points(100)).unwrap();
+        t.insert(vec![500.0, 500.0], 9999).unwrap();
         assert_eq!(t.len(), 101);
-        t.check_invariants();
-        assert!(t.delete(&[500.0, 500.0], 9999));
+        t.check_invariants().unwrap();
+        assert!(t.delete(&[500.0, 500.0], 9999).unwrap());
         // Delete a bulk-loaded point too.
         let victim = points(100)[42].clone();
-        assert!(t.delete(&victim.point, victim.id));
+        assert!(t.delete(&victim.point, victim.id).unwrap());
         assert_eq!(t.len(), 99);
-        t.check_invariants();
+        t.check_invariants().unwrap();
     }
 
     #[test]
     fn bulk_load_is_denser_than_incremental() {
         let entries = points(600);
-        let bulk = bulk_load(cfg(), entries.clone());
-        let mut incr = RTree::new(cfg());
+        let bulk = bulk_load(cfg(), entries.clone()).unwrap();
+        let mut incr = RTree::new(cfg()).unwrap();
         for e in &entries {
-            incr.insert(e.point.to_vec(), e.id);
+            incr.insert(e.point.to_vec(), e.id).unwrap();
         }
         // A packed tree can never be taller than the incremental one.
         assert!(bulk.height() <= incr.height());
@@ -347,8 +361,8 @@ mod tests {
                 )
             })
             .collect();
-        let t = bulk_load(c, entries);
+        let t = bulk_load(c, entries).unwrap();
         assert_eq!(t.len(), 5000);
-        t.check_invariants();
+        t.check_invariants().unwrap();
     }
 }

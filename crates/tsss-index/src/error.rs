@@ -1,0 +1,110 @@
+//! Typed index failures.
+//!
+//! Everything that can go wrong while the R-tree touches its pages is
+//! funnelled into [`IndexError`], so the engine above can tell *damaged
+//! index* (fall back to the sequential scan) from *runaway traversal*
+//! (abort with a budget error) without string matching.
+
+use tsss_storage::{PageId, StorageError};
+
+/// Errors surfaced by the R-tree's fallible operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexError {
+    /// The storage layer failed — a checksum mismatch, an injected read
+    /// error, or an invalid page reference.
+    Storage(StorageError),
+    /// A page read back cleanly but does not decode as a well-formed node:
+    /// unknown kind byte, impossible entry count, non-finite coordinates,
+    /// or an inverted MBR. Defence in depth behind the page checksum.
+    CorruptNode {
+        /// The page holding the malformed node.
+        page: PageId,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A traversal touched more pages than the caller's per-query budget
+    /// allows — the guard against runaway queries over a damaged or
+    /// degenerate tree.
+    BudgetExhausted {
+        /// The exhausted budget (pages).
+        budget: u64,
+    },
+}
+
+impl IndexError {
+    /// True when the error indicates damaged index data (as opposed to an
+    /// exhausted budget) — the condition the engine may degrade on.
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, Self::BudgetExhausted { .. })
+    }
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "index storage failure: {e}"),
+            Self::CorruptNode { page, detail } => {
+                write!(f, "corrupt node on {page}: {detail}")
+            }
+            Self::BudgetExhausted { budget } => {
+                write!(f, "page budget of {budget} accesses exhausted mid-query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let cases: Vec<(IndexError, &str)> = vec![
+            (
+                IndexError::Storage(StorageError::ReadFailed { page: PageId(3) }),
+                "index storage failure",
+            ),
+            (
+                IndexError::CorruptNode {
+                    page: PageId(5),
+                    detail: "unknown kind byte 9".into(),
+                },
+                "corrupt node on page#5",
+            ),
+            (IndexError::BudgetExhausted { budget: 64 }, "budget of 64"),
+        ];
+        for (err, fragment) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(fragment),
+                "{msg:?} should contain {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(IndexError::Storage(StorageError::InvalidPageId).is_corruption());
+        assert!(IndexError::CorruptNode {
+            page: PageId(0),
+            detail: String::new()
+        }
+        .is_corruption());
+        assert!(!IndexError::BudgetExhausted { budget: 1 }.is_corruption());
+    }
+}

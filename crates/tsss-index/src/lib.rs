@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
+pub mod error;
 pub mod nn;
 pub mod node;
 pub mod persist;
@@ -31,6 +32,7 @@ pub mod query;
 pub mod split;
 pub mod tree;
 
+pub use error::IndexError;
 pub use node::{ChildEntry, DataEntry, Node};
 pub use query::{LineQueryStats, QueryOutcome};
 pub use tree::{RTree, SplitPolicy, TreeConfig};

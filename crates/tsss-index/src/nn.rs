@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 use tsss_geometry::line::{pld_sq, Line};
 use tsss_geometry::Mbr;
 
+use crate::error::IndexError;
 use crate::node::Node;
 use crate::query::Match;
 use crate::tree::RTree;
@@ -153,11 +154,14 @@ impl RTree {
     ///
     /// Ties at equal distance are broken arbitrarily. Returns fewer than `k`
     /// matches when the tree holds fewer points.
-    pub fn nearest_to_line(&self, line: &Line, k: usize) -> Vec<Match> {
+    ///
+    /// # Errors
+    /// Any storage or decoding failure met during the traversal.
+    pub fn nearest_to_line(&self, line: &Line, k: usize) -> Result<Vec<Match>, IndexError> {
         assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
         let mut out = Vec::with_capacity(k.min(self.len()));
         if k == 0 || self.is_empty() {
-            return out;
+            return Ok(out);
         }
         let mut heap = BinaryHeap::new();
         heap.push(HeapItem::Node {
@@ -172,7 +176,7 @@ impl RTree {
                         break;
                     }
                 }
-                HeapItem::Node { page, .. } => match self.read_node(page) {
+                HeapItem::Node { page, .. } => match self.read_node(page)? {
                     Node::Leaf(entries) => {
                         for e in entries {
                             let d = pld_sq(&e.point, line).sqrt();
@@ -196,7 +200,7 @@ impl RTree {
                 },
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -210,12 +214,12 @@ mod tests {
     }
 
     fn build(n: usize) -> (RTree, Vec<Vec<f64>>) {
-        let mut t = RTree::new(cfg());
+        let mut t = RTree::new(cfg()).unwrap();
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
             .collect();
         for (i, p) in pts.iter().enumerate() {
-            t.insert(p.clone(), i as u64);
+            t.insert(p.clone(), i as u64).unwrap();
         }
         (t, pts)
     }
@@ -254,7 +258,7 @@ mod tests {
     fn nearest_one_matches_brute_force() {
         let (t, pts) = build(300);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.85]).unwrap();
-        let got = t.nearest_to_line(&line, 1);
+        let got = t.nearest_to_line(&line, 1).unwrap();
         assert_eq!(got.len(), 1);
         let best_brute = pts
             .iter()
@@ -268,7 +272,7 @@ mod tests {
         let (t, pts) = build(250);
         let line = Line::new(vec![10.0, -5.0], vec![0.3, 1.0]).unwrap();
         let k = 10;
-        let got = t.nearest_to_line(&line, k);
+        let got = t.nearest_to_line(&line, k).unwrap();
         assert_eq!(got.len(), k);
         for w in got.windows(2) {
             assert!(w[0].distance <= w[1].distance + 1e-12);
@@ -284,7 +288,7 @@ mod tests {
     fn k_larger_than_tree_returns_everything() {
         let (t, pts) = build(20);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        let got = t.nearest_to_line(&line, 100);
+        let got = t.nearest_to_line(&line, 100).unwrap();
         assert_eq!(got.len(), pts.len());
     }
 
@@ -292,9 +296,9 @@ mod tests {
     fn k_zero_and_empty_tree() {
         let (t, _) = build(20);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        assert!(t.nearest_to_line(&line, 0).is_empty());
-        let empty = RTree::new(cfg());
-        assert!(empty.nearest_to_line(&line, 3).is_empty());
+        assert!(t.nearest_to_line(&line, 0).unwrap().is_empty());
+        let empty = RTree::new(cfg()).unwrap();
+        assert!(empty.nearest_to_line(&line, 3).unwrap().is_empty());
     }
 
     #[test]
@@ -302,10 +306,10 @@ mod tests {
         let (t, _) = build(600);
         t.stats().reset();
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        let _ = t.nearest_to_line(&line, 1);
+        let _ = t.nearest_to_line(&line, 1).unwrap();
         let nn_reads = t.stats().reads();
         t.stats().reset();
-        let _ = t.dump();
+        let _ = t.dump().unwrap();
         let full_reads = t.stats().reads();
         assert!(
             nn_reads < full_reads,

@@ -159,45 +159,79 @@ impl Node {
         }
     }
 
-    /// Deserialises a node of dimension `dim` from `page`.
+    /// Deserialises a node of dimension `dim` from `page`, validating the
+    /// layout as it goes.
     ///
-    /// # Panics
-    /// Panics on a corrupt kind byte — pages holding nodes are only ever
-    /// written by [`Node::encode`], so corruption is a program error.
-    pub fn decode(page: &Page, dim: usize) -> Node {
+    /// Defence in depth behind the page checksum: even bytes that verified
+    /// (or arrived through an unchecked channel) are refused unless they
+    /// form a well-shaped node — known kind byte, entry count within the
+    /// page's fanout, finite coordinates, ordered MBRs, and no sentinel
+    /// child pages.
+    ///
+    /// # Errors
+    /// A human-readable diagnosis of the first malformation found; callers
+    /// (`RTree::read_node`) wrap it with the page id.
+    pub fn decode(page: &Page, dim: usize) -> Result<Node, String> {
+        if page.size() < NODE_HEADER_BYTES {
+            return Err(format!("page of {} bytes cannot hold a node", page.size()));
+        }
         let kind = page.get_u8(0);
         let count = page.get_u16(1) as usize;
         let mut off = NODE_HEADER_BYTES;
         match kind {
             0 => {
+                let max = Self::max_leaf_fanout(page.size(), dim);
+                if count > max {
+                    return Err(format!(
+                        "leaf entry count {count} exceeds page fanout {max}"
+                    ));
+                }
                 let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
+                for i in 0..count {
                     let id = page.get_u64(off);
                     let mut point = vec![0.0; dim];
                     off = page.get_f64_slice(off + 8, &mut point);
+                    if point.iter().any(|v| !v.is_finite()) {
+                        return Err(format!("leaf entry {i} has a non-finite coordinate"));
+                    }
                     entries.push(DataEntry {
                         point: point.into_boxed_slice(),
                         id,
                     });
                 }
-                Node::Leaf(entries)
+                Ok(Node::Leaf(entries))
             }
             1 => {
+                let max = Self::max_internal_fanout(page.size(), dim);
+                if count > max {
+                    return Err(format!(
+                        "internal entry count {count} exceeds page fanout {max}"
+                    ));
+                }
                 let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
+                for i in 0..count {
                     let child = PageId(page.get_u32(off));
+                    if !child.is_valid() {
+                        return Err(format!("internal entry {i} points at the sentinel page"));
+                    }
                     let mut low = vec![0.0; dim];
                     let mut high = vec![0.0; dim];
                     off = page.get_f64_slice(off + 4, &mut low);
                     off = page.get_f64_slice(off, &mut high);
-                    entries.push(ChildEntry {
-                        mbr: Mbr::new(low, high).expect("stored MBR is well-formed"),
-                        page: child,
-                    });
+                    if low.iter().chain(&high).any(|v| !v.is_finite()) {
+                        return Err(format!("internal entry {i} has a non-finite coordinate"));
+                    }
+                    // Pre-check the ordering: `Mbr::new` asserts it.
+                    if low.iter().zip(&high).any(|(l, h)| l > h) {
+                        return Err(format!("internal entry {i} has an inverted MBR"));
+                    }
+                    let mbr =
+                        Mbr::new(low, high).map_err(|e| format!("internal entry {i}: {e}"))?;
+                    entries.push(ChildEntry { mbr, page: child });
                 }
-                Node::Internal(entries)
+                Ok(Node::Internal(entries))
             }
-            k => panic!("corrupt node page: unknown kind byte {k}"),
+            k => Err(format!("unknown kind byte {k}")),
         }
     }
 }
@@ -240,7 +274,7 @@ mod tests {
         let node = leaf_fixture(6, 20);
         let mut page = Page::zeroed(DEFAULT_PAGE_SIZE);
         node.encode(&mut page, 6);
-        assert_eq!(Node::decode(&page, 6), node);
+        assert_eq!(Node::decode(&page, 6).unwrap(), node);
     }
 
     #[test]
@@ -248,16 +282,16 @@ mod tests {
         let node = internal_fixture(6, 20);
         let mut page = Page::zeroed(DEFAULT_PAGE_SIZE);
         node.encode(&mut page, 6);
-        assert_eq!(Node::decode(&page, 6), node);
+        assert_eq!(Node::decode(&page, 6).unwrap(), node);
     }
 
     #[test]
     fn empty_nodes_roundtrip() {
         let mut page = Page::zeroed(64);
         Node::Leaf(vec![]).encode(&mut page, 3);
-        assert_eq!(Node::decode(&page, 3), Node::Leaf(vec![]));
+        assert_eq!(Node::decode(&page, 3).unwrap(), Node::Leaf(vec![]));
         Node::Internal(vec![]).encode(&mut page, 3);
-        assert_eq!(Node::decode(&page, 3), Node::Internal(vec![]));
+        assert_eq!(Node::decode(&page, 3).unwrap(), Node::Internal(vec![]));
     }
 
     #[test]
@@ -310,11 +344,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown kind byte")]
-    fn corrupt_kind_byte_panics() {
+    fn corrupt_kind_byte_is_a_typed_error() {
         let mut page = Page::zeroed(64);
         page.put_u8(0, 9);
-        let _ = Node::decode(&page, 2);
+        let err = Node::decode(&page, 2).unwrap_err();
+        assert!(err.contains("unknown kind byte 9"), "{err}");
+    }
+
+    #[test]
+    fn oversized_entry_count_is_a_typed_error() {
+        let mut page = Page::zeroed(64);
+        Node::Leaf(vec![]).encode(&mut page, 2);
+        page.put_u16(1, u16::MAX);
+        let err = Node::decode(&page, 2).unwrap_err();
+        assert!(err.contains("exceeds page fanout"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_a_typed_error() {
+        let node = Node::Leaf(vec![DataEntry::new(vec![1.0, 2.0], 5)]);
+        let mut page = Page::zeroed(64);
+        node.encode(&mut page, 2);
+        page.put_f64(NODE_HEADER_BYTES + 8, f64::NAN);
+        let err = Node::decode(&page, 2).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn inverted_mbr_is_a_typed_error() {
+        let node = internal_fixture(2, 1);
+        let mut page = Page::zeroed(128);
+        node.encode(&mut page, 2);
+        // Swap low/high of the first dimension: low becomes 9, high stays 1.5.
+        page.put_f64(NODE_HEADER_BYTES + 4, 9.0);
+        let err = Node::decode(&page, 2).unwrap_err();
+        assert!(err.contains("inverted MBR"), "{err}");
+    }
+
+    #[test]
+    fn sentinel_child_page_is_a_typed_error() {
+        let node = internal_fixture(2, 1);
+        let mut page = Page::zeroed(128);
+        node.encode(&mut page, 2);
+        page.put_u32(NODE_HEADER_BYTES, u32::MAX);
+        let err = Node::decode(&page, 2).unwrap_err();
+        assert!(err.contains("sentinel"), "{err}");
     }
 
     #[test]
@@ -325,6 +399,6 @@ mod tests {
         ]);
         let mut page = Page::zeroed(256);
         node.encode(&mut page, 3);
-        assert_eq!(Node::decode(&page, 3), node);
+        assert_eq!(Node::decode(&page, 3).unwrap(), node);
     }
 }

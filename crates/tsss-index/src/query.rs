@@ -15,6 +15,7 @@ use tsss_geometry::line::{pld_sq, Line};
 use tsss_geometry::penetration::{penetrates, PenetrationMethod, SphereStats};
 use tsss_geometry::Mbr;
 
+use crate::error::IndexError;
 use crate::node::Node;
 use crate::tree::RTree;
 
@@ -56,21 +57,62 @@ pub struct QueryOutcome {
 }
 
 impl RTree {
+    /// Fails the traversal once it has already visited `budget` pages and
+    /// is about to visit one more.
+    fn charge(budget: Option<u64>, stats: &LineQueryStats) -> Result<(), IndexError> {
+        match budget {
+            Some(b) if stats.internal_visited + stats.leaves_visited >= b => {
+                Err(IndexError::BudgetExhausted { budget: b })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// The paper's search (§6): every indexed point within `epsilon` of
     /// `line`, pruned by ε-MBR penetration (Theorem 3).
     ///
+    /// # Errors
+    /// Any storage or decoding failure met during the traversal.
+    ///
     /// # Panics
     /// Panics when the line's dimension differs from the tree's.
-    pub fn line_query(&self, line: &Line, epsilon: f64, method: PenetrationMethod) -> QueryOutcome {
+    pub fn line_query(
+        &self,
+        line: &Line,
+        epsilon: f64,
+        method: PenetrationMethod,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.line_query_with_budget(line, epsilon, method, None)
+    }
+
+    /// [`RTree::line_query`] with an optional per-query page-access budget:
+    /// the traversal aborts with [`IndexError::BudgetExhausted`] before
+    /// visiting page `budget + 1` — the guard against runaway queries over
+    /// a damaged or degenerate tree.
+    ///
+    /// # Errors
+    /// [`IndexError::BudgetExhausted`] when the budget runs out, or any
+    /// storage/decoding failure.
+    ///
+    /// # Panics
+    /// Panics when the line's dimension differs from the tree's.
+    pub fn line_query_with_budget(
+        &self,
+        line: &Line,
+        epsilon: f64,
+        method: PenetrationMethod,
+        budget: Option<u64>,
+    ) -> Result<QueryOutcome, IndexError> {
         assert_eq!(line.dim(), self.config().dim, "line dimension mismatch");
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
         let mut out = QueryOutcome::default();
         let eps_sq = epsilon * epsilon;
         let root = self.root_page();
-        self.line_query_node(root, line, epsilon, eps_sq, method, &mut out);
-        out
+        self.line_query_node(root, line, epsilon, eps_sq, method, budget, &mut out)?;
+        Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn line_query_node(
         &self,
         page: tsss_storage::PageId,
@@ -78,9 +120,11 @@ impl RTree {
         epsilon: f64,
         eps_sq: f64,
         method: PenetrationMethod,
+        budget: Option<u64>,
         out: &mut QueryOutcome,
-    ) {
-        match self.read_node(page) {
+    ) -> Result<(), IndexError> {
+        Self::charge(budget, &out.stats)?;
+        match self.read_node(page)? {
             Node::Leaf(entries) => {
                 out.stats.leaves_visited += 1;
                 for e in entries {
@@ -101,24 +145,33 @@ impl RTree {
                     out.stats.penetration_tests += 1;
                     let enlarged = e.mbr.enlarged(epsilon);
                     if penetrates(line, &enlarged, method, &mut out.stats.sphere) {
-                        self.line_query_node(e.page, line, epsilon, eps_sq, method, out);
+                        self.line_query_node(e.page, line, epsilon, eps_sq, method, budget, out)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// All points contained in `query_box` (a classic R-tree window query).
-    pub fn box_query(&self, query_box: &Mbr) -> QueryOutcome {
+    ///
+    /// # Errors
+    /// Any storage or decoding failure met during the traversal.
+    pub fn box_query(&self, query_box: &Mbr) -> Result<QueryOutcome, IndexError> {
         assert_eq!(query_box.dim(), self.config().dim, "box dimension mismatch");
         let mut out = QueryOutcome::default();
         let root = self.root_page();
-        self.box_query_node(root, query_box, &mut out);
-        out
+        self.box_query_node(root, query_box, &mut out)?;
+        Ok(out)
     }
 
-    fn box_query_node(&self, page: tsss_storage::PageId, query_box: &Mbr, out: &mut QueryOutcome) {
-        match self.read_node(page) {
+    fn box_query_node(
+        &self,
+        page: tsss_storage::PageId,
+        query_box: &Mbr,
+        out: &mut QueryOutcome,
+    ) -> Result<(), IndexError> {
+        match self.read_node(page)? {
             Node::Leaf(entries) => {
                 out.stats.leaves_visited += 1;
                 for e in entries {
@@ -136,22 +189,41 @@ impl RTree {
                 out.stats.internal_visited += 1;
                 for e in entries {
                     if e.mbr.intersects(query_box) {
-                        self.box_query_node(e.page, query_box, out);
+                        self.box_query_node(e.page, query_box, out)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// All points within Euclidean distance `radius` of `center` — the
     /// F-index style range query, used by baselines and tests.
-    pub fn radius_query(&self, center: &[f64], radius: f64) -> QueryOutcome {
+    ///
+    /// # Errors
+    /// Any storage or decoding failure met during the traversal.
+    pub fn radius_query(&self, center: &[f64], radius: f64) -> Result<QueryOutcome, IndexError> {
+        self.radius_query_with_budget(center, radius, None)
+    }
+
+    /// [`RTree::radius_query`] with an optional per-query page-access
+    /// budget (see [`RTree::line_query_with_budget`]).
+    ///
+    /// # Errors
+    /// [`IndexError::BudgetExhausted`] when the budget runs out, or any
+    /// storage/decoding failure.
+    pub fn radius_query_with_budget(
+        &self,
+        center: &[f64],
+        radius: f64,
+        budget: Option<u64>,
+    ) -> Result<QueryOutcome, IndexError> {
         assert_eq!(center.len(), self.config().dim, "center dimension mismatch");
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut out = QueryOutcome::default();
         let root = self.root_page();
-        self.radius_query_node(root, center, radius * radius, &mut out);
-        out
+        self.radius_query_node(root, center, radius * radius, budget, &mut out)?;
+        Ok(out)
     }
 
     fn radius_query_node(
@@ -159,9 +231,11 @@ impl RTree {
         page: tsss_storage::PageId,
         center: &[f64],
         radius_sq: f64,
+        budget: Option<u64>,
         out: &mut QueryOutcome,
-    ) {
-        match self.read_node(page) {
+    ) -> Result<(), IndexError> {
+        Self::charge(budget, &out.stats)?;
+        match self.read_node(page)? {
             Node::Leaf(entries) => {
                 out.stats.leaves_visited += 1;
                 for e in entries {
@@ -180,11 +254,12 @@ impl RTree {
                 out.stats.internal_visited += 1;
                 for e in entries {
                     if e.mbr.min_dist_sq_to_point(center) <= radius_sq {
-                        self.radius_query_node(e.page, center, radius_sq, out);
+                        self.radius_query_node(e.page, center, radius_sq, budget, out)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -198,12 +273,12 @@ mod tests {
     }
 
     fn build(n: usize) -> (RTree, Vec<Vec<f64>>) {
-        let mut t = RTree::new(cfg());
+        let mut t = RTree::new(cfg()).unwrap();
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
             .collect();
         for (i, p) in pts.iter().enumerate() {
-            t.insert(p.clone(), i as u64);
+            t.insert(p.clone(), i as u64).unwrap();
         }
         (t, pts)
     }
@@ -212,8 +287,13 @@ mod tests {
     fn box_query_matches_linear_filter() {
         let (t, pts) = build(200);
         let qb = Mbr::new(vec![20.0, 10.0], vec![60.0, 50.0]).unwrap();
-        let got: std::collections::BTreeSet<u64> =
-            t.box_query(&qb).matches.iter().map(|m| m.id).collect();
+        let got: std::collections::BTreeSet<u64> = t
+            .box_query(&qb)
+            .unwrap()
+            .matches
+            .iter()
+            .map(|m| m.id)
+            .collect();
         let want: std::collections::BTreeSet<u64> = pts
             .iter()
             .enumerate()
@@ -231,6 +311,7 @@ mod tests {
         let r = 25.0;
         let got: std::collections::BTreeSet<u64> = t
             .radius_query(&center, r)
+            .unwrap()
             .matches
             .iter()
             .map(|m| m.id)
@@ -256,6 +337,7 @@ mod tests {
             for eps in [0.0, 1.0, 5.0, 20.0] {
                 let got: std::collections::BTreeSet<u64> = t
                     .line_query(&line, eps, method)
+                    .unwrap()
                     .matches
                     .iter()
                     .map(|m| m.id)
@@ -275,7 +357,9 @@ mod tests {
     fn line_query_reports_distances() {
         let (t, _) = build(100);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        let out = t.line_query(&line, 10.0, PenetrationMethod::EnteringExiting);
+        let out = t
+            .line_query(&line, 10.0, PenetrationMethod::EnteringExiting)
+            .unwrap();
         for m in &out.matches {
             let expect = pld_sq(&m.point, &line).sqrt();
             assert!((m.distance - expect).abs() < 1e-9);
@@ -287,10 +371,14 @@ mod tests {
     fn pruning_visits_fewer_leaves_than_full_scan() {
         let (t, _) = build(500);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 0.0]).unwrap();
-        let out = t.line_query(&line, 1.0, PenetrationMethod::EnteringExiting);
+        let out = t
+            .line_query(&line, 1.0, PenetrationMethod::EnteringExiting)
+            .unwrap();
         // A thin strip query should not need every leaf.
         let total_leaves = {
-            let full = t.box_query(&Mbr::new(vec![-1e9, -1e9], vec![1e9, 1e9]).unwrap());
+            let full = t
+                .box_query(&Mbr::new(vec![-1e9, -1e9], vec![1e9, 1e9]).unwrap())
+                .unwrap();
             full.stats.leaves_visited
         };
         assert!(
@@ -305,9 +393,13 @@ mod tests {
     fn sphere_stats_populated_only_for_sphere_method() {
         let (t, _) = build(300);
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap();
-        let plain = t.line_query(&line, 2.0, PenetrationMethod::EnteringExiting);
+        let plain = t
+            .line_query(&line, 2.0, PenetrationMethod::EnteringExiting)
+            .unwrap();
         assert_eq!(plain.stats.sphere.total(), 0);
-        let sph = t.line_query(&line, 2.0, PenetrationMethod::BoundingSpheres);
+        let sph = t
+            .line_query(&line, 2.0, PenetrationMethod::BoundingSpheres)
+            .unwrap();
         assert_eq!(
             sph.stats.sphere.total(),
             sph.stats.penetration_tests,
@@ -317,24 +409,31 @@ mod tests {
 
     #[test]
     fn empty_tree_queries_return_nothing() {
-        let t = RTree::new(cfg());
+        let t = RTree::new(cfg()).unwrap();
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         assert!(t
             .line_query(&line, 100.0, PenetrationMethod::EnteringExiting)
+            .unwrap()
             .matches
             .is_empty());
-        assert!(t.radius_query(&[0.0, 0.0], 100.0).matches.is_empty());
+        assert!(t
+            .radius_query(&[0.0, 0.0], 100.0)
+            .unwrap()
+            .matches
+            .is_empty());
     }
 
     #[test]
     fn zero_epsilon_line_query_finds_points_on_the_line() {
-        let mut t = RTree::new(cfg());
+        let mut t = RTree::new(cfg()).unwrap();
         for i in 0..50 {
-            t.insert(vec![i as f64, i as f64], i); // on the diagonal
-            t.insert(vec![i as f64, i as f64 + 5.0], 100 + i); // off it
+            t.insert(vec![i as f64, i as f64], i).unwrap(); // on the diagonal
+            t.insert(vec![i as f64, i as f64 + 5.0], 100 + i).unwrap(); // off it
         }
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-        let out = t.line_query(&line, 0.0, PenetrationMethod::EnteringExiting);
+        let out = t
+            .line_query(&line, 0.0, PenetrationMethod::EnteringExiting)
+            .unwrap();
         assert_eq!(out.matches.len(), 50);
         assert!(out.matches.iter().all(|m| m.id < 100));
     }
@@ -344,12 +443,54 @@ mod tests {
         let (t, _) = build(400);
         t.stats().reset();
         let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.3]).unwrap();
-        let out = t.line_query(&line, 3.0, PenetrationMethod::EnteringExiting);
+        let out = t
+            .line_query(&line, 3.0, PenetrationMethod::EnteringExiting)
+            .unwrap();
         assert_eq!(
             t.stats().reads(),
             out.stats.internal_visited + out.stats.leaves_visited,
             "every visited node is exactly one page read"
         );
         assert_eq!(t.stats().writes(), 0, "queries never write");
+    }
+
+    #[test]
+    fn budget_aborts_with_a_typed_error_and_counts_pages_exactly() {
+        let (t, _) = build(500);
+        let line = Line::new(vec![0.0, 0.0], vec![1.0, 1.3]).unwrap();
+        let full = t
+            .line_query_with_budget(&line, 3.0, PenetrationMethod::EnteringExiting, None)
+            .unwrap();
+        let needed = full.stats.internal_visited + full.stats.leaves_visited;
+        assert!(needed > 1);
+        // One page short of enough: must abort with BudgetExhausted.
+        t.stats().reset();
+        let err = t
+            .line_query_with_budget(
+                &line,
+                3.0,
+                PenetrationMethod::EnteringExiting,
+                Some(needed - 1),
+            )
+            .unwrap_err();
+        assert_eq!(err, IndexError::BudgetExhausted { budget: needed - 1 });
+        assert!(
+            t.stats().reads() < needed,
+            "budget must bound actual page reads"
+        );
+        // Exactly enough: same answer as unbudgeted.
+        let again = t
+            .line_query_with_budget(&line, 3.0, PenetrationMethod::EnteringExiting, Some(needed))
+            .unwrap();
+        assert_eq!(again.matches.len(), full.matches.len());
+    }
+
+    #[test]
+    fn zero_budget_rejects_even_the_root_visit() {
+        let (t, _) = build(50);
+        let err = t
+            .radius_query_with_budget(&[0.0, 0.0], 10.0, Some(0))
+            .unwrap_err();
+        assert_eq!(err, IndexError::BudgetExhausted { budget: 0 });
     }
 }

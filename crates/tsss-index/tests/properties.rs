@@ -53,14 +53,14 @@ fn tree_matches_model_under_churn() {
         let line_dir = point(&mut rng);
         let eps = rng.f64_range(0.0, 30.0);
 
-        let mut tree = RTree::new(cfg(split));
+        let mut tree = RTree::new(cfg(split)).unwrap();
         let mut model: Vec<(Vec<f64>, u64)> = Vec::new();
         let mut next_id = 0u64;
 
         for _ in 0..n_ops {
             match random_op(&mut rng) {
                 Op::Insert(p) => {
-                    tree.insert(p.clone(), next_id);
+                    tree.insert(p.clone(), next_id).unwrap();
                     model.push((p, next_id));
                     next_id += 1;
                 }
@@ -71,13 +71,13 @@ fn tree_matches_model_under_churn() {
                     let i = raw % model.len();
                     let (p, id) = model.swap_remove(i);
                     assert!(
-                        tree.delete(&p, id),
+                        tree.delete(&p, id).unwrap(),
                         "case {case}: existing entry not deleted"
                     );
                 }
                 Op::DeleteMissing(p) => {
                     assert!(
-                        !tree.delete(&p, 999_999),
+                        !tree.delete(&p, 999_999).unwrap(),
                         "case {case}: phantom delete succeeded"
                     );
                 }
@@ -85,10 +85,10 @@ fn tree_matches_model_under_churn() {
         }
 
         assert_eq!(tree.len(), model.len());
-        tree.check_invariants();
+        tree.check_invariants().unwrap();
 
         // Full content equality.
-        let mut dumped: Vec<(Vec<f64>, u64)> = tree.dump();
+        let mut dumped: Vec<(Vec<f64>, u64)> = tree.dump().unwrap();
         dumped.sort_by_key(|(_, id)| *id);
         let mut want = model.clone();
         want.sort_by_key(|(_, id)| *id);
@@ -102,6 +102,7 @@ fn tree_matches_model_under_churn() {
         ] {
             let got: BTreeSet<u64> = tree
                 .line_query(&line, eps, method)
+                .unwrap()
                 .matches
                 .iter()
                 .map(|m| m.id)
@@ -134,20 +135,22 @@ fn bulk_load_equals_incremental_build() {
             .enumerate()
             .map(|(i, p)| DataEntry::new(p.clone(), i as u64))
             .collect();
-        let bulk = bulk_load(cfg(split), entries.clone());
-        bulk.check_invariants();
-        let mut incr = RTree::new(cfg(split));
+        let bulk = bulk_load(cfg(split), entries.clone()).unwrap();
+        bulk.check_invariants().unwrap();
+        let mut incr = RTree::new(cfg(split)).unwrap();
         for e in &entries {
-            incr.insert(e.point.to_vec(), e.id);
+            incr.insert(e.point.to_vec(), e.id).unwrap();
         }
         let a: BTreeSet<u64> = bulk
             .radius_query(&center, radius)
+            .unwrap()
             .matches
             .iter()
             .map(|m| m.id)
             .collect();
         let b: BTreeSet<u64> = incr
             .radius_query(&center, radius)
+            .unwrap()
             .matches
             .iter()
             .map(|m| m.id)
@@ -165,13 +168,19 @@ fn box_query_equals_linear_filter() {
         let low = point(&mut rng);
         let ext = rng.f64_vec(3, 0.0, 80.0);
 
-        let mut tree = RTree::new(cfg(SplitPolicy::RStar));
+        let mut tree = RTree::new(cfg(SplitPolicy::RStar)).unwrap();
         for (i, p) in points.iter().enumerate() {
-            tree.insert(p.clone(), i as u64);
+            tree.insert(p.clone(), i as u64).unwrap();
         }
         let high: Vec<f64> = low.iter().zip(&ext).map(|(l, e)| l + e).collect();
         let qb = Mbr::new(low, high).unwrap();
-        let got: BTreeSet<u64> = tree.box_query(&qb).matches.iter().map(|m| m.id).collect();
+        let got: BTreeSet<u64> = tree
+            .box_query(&qb)
+            .unwrap()
+            .matches
+            .iter()
+            .map(|m| m.id)
+            .collect();
         let want: BTreeSet<u64> = points
             .iter()
             .enumerate()
@@ -191,12 +200,12 @@ fn nn_matches_brute_force() {
         let dir = point(&mut rng);
         let k = 1 + rng.usize_below(7);
 
-        let mut tree = RTree::new(cfg(SplitPolicy::RStar));
+        let mut tree = RTree::new(cfg(SplitPolicy::RStar)).unwrap();
         for (i, p) in points.iter().enumerate() {
-            tree.insert(p.clone(), i as u64);
+            tree.insert(p.clone(), i as u64).unwrap();
         }
         let line = Line::new(vec![0.0; 3], dir).unwrap();
-        let got = tree.nearest_to_line(&line, k);
+        let got = tree.nearest_to_line(&line, k).unwrap();
         let mut brute: Vec<f64> = points.iter().map(|p| pld_sq(p, &line).sqrt()).collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(got.len(), k.min(points.len()));

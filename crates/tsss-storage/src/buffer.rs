@@ -1,4 +1,4 @@
-//! A thread-safe LRU buffer pool in front of a [`PageFile`].
+//! A thread-safe LRU buffer pool in front of a [`PageStore`].
 //!
 //! The paper's Figure 5 counts raw (unbuffered) page accesses, so the
 //! reproduction engine defaults to `capacity = 0` — every logical access is
@@ -14,7 +14,7 @@
 //! * [`AccessStats::hits`]/[`AccessStats::misses`] — how the pool served the
 //!   logical reads. With `capacity = 0`, `misses == reads`.
 //!
-//! Evictions write dirty frames back to the file; those write-backs are
+//! Evictions write dirty frames back to the store; those write-backs are
 //! physical artefacts of caching and are *not* added to the logical
 //! counters.
 //!
@@ -23,26 +23,34 @@
 //! The pool has interior mutability so the whole read path can run on
 //! `&self` from many threads at once:
 //!
-//! * The backing [`PageFile`] sits behind an `RwLock`. In the paper's
+//! * The backing [`PageStore`] sits behind an `RwLock`. In the paper's
 //!   unbuffered regime (`capacity = 0`) reads only ever take the shared
 //!   lock, so concurrent queries proceed in parallel.
 //! * Cached frames live in **shards**, each its own `Mutex`-protected LRU
 //!   (pages hash to shards by id). Hit/miss accounting stays exact: the
 //!   shard lock is held from lookup to frame insertion, so every logical
 //!   read is classified exactly once.
-//! * Lock order is always shard → file; shards are never nested, so the
+//! * Lock order is always shard → store; shards are never nested, so the
 //!   pool cannot deadlock against itself.
 //!
-//! Structural operations (allocate/deallocate/flush-into) take `&mut self` —
+//! Structural operations (allocate/deallocate/wrap-store) take `&mut self` —
 //! they are build/maintenance-time operations and the exclusive borrow makes
 //! the single-writer discipline explicit in the API.
+//!
+//! # Fallibility
+//!
+//! Every path that touches the store propagates [`StorageError`], so
+//! checksum failures and injected faults in the medium surface to the
+//! R-tree and engine as typed errors instead of panics.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::disk::{PageFile, PageId};
+use crate::error::StorageError;
 use crate::page::Page;
 use crate::stats::AccessStats;
+use crate::store::PageStore;
 
 const NIL: usize = usize::MAX;
 
@@ -118,14 +126,20 @@ impl Shard {
     }
 
     /// Inserts a frame, evicting the LRU victim first when full. A dirty
-    /// victim is written back to `file` (uncounted — caching artefact).
-    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool, file: &RwLock<PageFile>) {
+    /// victim is written back to the store (uncounted — caching artefact).
+    fn insert_frame(
+        &mut self,
+        id: PageId,
+        page: Page,
+        dirty: bool,
+        store: &RwLock<Box<dyn PageStore>>,
+    ) -> Result<(), StorageError> {
         debug_assert!(self.capacity > 0);
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "evict on empty shard");
             self.unlink(victim);
-            self.remove_frame(victim, file);
+            self.remove_frame(victim, store)?;
         }
         let idx = self.frames.len();
         self.frames.push(Frame {
@@ -137,19 +151,20 @@ impl Shard {
         });
         self.map.insert(id, idx);
         self.push_front(idx);
+        Ok(())
     }
 
     /// Removes the frame at `idx` (which must already be unlinked from the
     /// LRU list), writing it back if dirty. Uses swap-remove to keep the
     /// frame vector dense, then repairs the pointers of the frame that moved
-    /// into `idx`.
-    fn remove_frame(&mut self, idx: usize, file: &RwLock<PageFile>) {
+    /// into `idx`. The frame is dropped even when the write-back fails —
+    /// the error is reported, but the cache stays consistent.
+    fn remove_frame(
+        &mut self,
+        idx: usize,
+        store: &RwLock<Box<dyn PageStore>>,
+    ) -> Result<(), StorageError> {
         let frame = self.frames.swap_remove(idx);
-        if frame.dirty {
-            file.write()
-                .expect("page file lock")
-                .write_page_uncounted(frame.id, frame.page);
-        }
         self.map.remove(&frame.id);
         if idx < self.frames.len() {
             // The frame formerly at the end now lives at `idx`. Nothing in
@@ -169,16 +184,24 @@ impl Shard {
                 self.tail = idx;
             }
         }
+        if frame.dirty {
+            store
+                .write()
+                .expect("page store lock")
+                .write_uncounted(frame.id, frame.page)?;
+        }
+        Ok(())
     }
 
-    fn flush(&mut self, file: &RwLock<PageFile>) {
-        let mut file = file.write().expect("page file lock");
+    fn flush(&mut self, store: &RwLock<Box<dyn PageStore>>) -> Result<(), StorageError> {
+        let mut store = store.write().expect("page store lock");
         for f in &mut self.frames {
             if f.dirty {
-                file.write_page_uncounted(f.id, f.page.clone());
+                store.write_uncounted(f.id, f.page.clone())?;
                 f.dirty = false;
             }
         }
+        Ok(())
     }
 
     fn clear(&mut self) {
@@ -189,23 +212,23 @@ impl Shard {
     }
 }
 
-/// A sharded LRU page cache with write-back semantics over a [`PageFile`],
+/// A sharded LRU page cache with write-back semantics over a [`PageStore`],
 /// safe for concurrent readers.
 ///
 /// ```
 /// use tsss_storage::{BufferPool, Page, PageFile};
-/// let mut file = PageFile::new(64);
-/// let id = file.allocate();
+/// let mut file = PageFile::new(64).unwrap();
+/// let id = file.allocate().unwrap();
 /// let pool = BufferPool::new(file, 4);
 /// let mut page = Page::zeroed(64);
 /// page.put_u64(0, 42);
-/// pool.write(id, page);
-/// assert_eq!(pool.read(id).get_u64(0), 42);
+/// pool.write(id, page).unwrap();
+/// assert_eq!(pool.read(id).unwrap().get_u64(0), 42);
 /// assert_eq!(pool.stats().hits(), 1); // served from the cached frame
 /// ```
 #[derive(Debug)]
 pub struct BufferPool {
-    file: RwLock<PageFile>,
+    store: RwLock<Box<dyn PageStore>>,
     capacity: usize,
     page_size: usize,
     shards: Vec<Mutex<Shard>>,
@@ -216,11 +239,17 @@ impl BufferPool {
     /// Wraps `file` in a pool holding at most `capacity` frames.
     ///
     /// `capacity = 0` disables caching entirely (the paper's measurement
-    /// regime): reads and writes go straight to the file and every read is a
-    /// miss.
+    /// regime): reads and writes go straight to the store and every read is
+    /// a miss.
     pub fn new(file: PageFile, capacity: usize) -> Self {
-        let stats = file.stats();
-        let page_size = file.page_size();
+        Self::from_store(Box::new(file), capacity)
+    }
+
+    /// Wraps an arbitrary [`PageStore`] (e.g. a [`crate::FaultyStore`]) in
+    /// a pool holding at most `capacity` frames.
+    pub fn from_store(store: Box<dyn PageStore>, capacity: usize) -> Self {
+        let stats = store.stats();
+        let page_size = store.page_size();
         let n_shards = capacity.clamp(0, MAX_SHARDS);
         let shards = (0..n_shards)
             .map(|i| {
@@ -231,12 +260,29 @@ impl BufferPool {
             })
             .collect();
         Self {
-            file: RwLock::new(file),
+            store: RwLock::new(store),
             capacity,
             page_size,
             shards,
             stats,
         }
+    }
+
+    /// Replaces the backing store with `wrap(old_store)` — the hook chaos
+    /// tests use to slide a [`crate::FaultyStore`] underneath a live tree.
+    /// Cached frames are dropped (without write-back) so every subsequent
+    /// access goes through the new store.
+    pub fn wrap_store(&mut self, wrap: impl FnOnce(Box<dyn PageStore>) -> Box<dyn PageStore>) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("shard lock").clear();
+        }
+        let slot = self.store.get_mut().expect("page store lock");
+        // Temporarily park a 1-byte placeholder while `wrap` consumes the
+        // real store (`PageFile::new(1)` cannot fail).
+        let placeholder: Box<dyn PageStore> =
+            Box::new(PageFile::new(1).expect("placeholder page file"));
+        let old = std::mem::replace(slot, placeholder);
+        *slot = wrap(old);
     }
 
     /// Frame capacity.
@@ -252,18 +298,24 @@ impl BufferPool {
             .sum()
     }
 
-    /// Shared access counters (same object the underlying file reports to).
+    /// Shared access counters (same object the underlying store reports to).
     pub fn stats(&self) -> Arc<AccessStats> {
         Arc::clone(&self.stats)
     }
 
-    /// Allocates a fresh page in the backing file.
-    pub fn allocate(&mut self) -> PageId {
-        self.file.get_mut().expect("page file lock").allocate()
+    /// Allocates a fresh page in the backing store.
+    ///
+    /// # Errors
+    /// Propagates the store's typed errors.
+    pub fn allocate(&mut self) -> Result<PageId, StorageError> {
+        self.store.get_mut().expect("page store lock").allocate()
     }
 
     /// Frees a page, dropping any cached frame for it (dirty or not).
-    pub fn deallocate(&mut self, id: PageId) {
+    ///
+    /// # Errors
+    /// Propagates the store's typed errors (double free, bad ids).
+    pub fn deallocate(&mut self, id: PageId) -> Result<(), StorageError> {
         if !self.shards.is_empty() {
             let mut shard = self.shard(id).lock().expect("shard lock");
             if let Some(&idx) = shard.map.get(&id) {
@@ -288,12 +340,20 @@ impl BufferPool {
                 }
             }
         }
-        self.file.get_mut().expect("page file lock").deallocate(id);
+        self.store
+            .get_mut()
+            .expect("page store lock")
+            .deallocate(id)
     }
 
-    /// Page size of the backing file.
+    /// Page size of the backing store.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Physical extent (pages ever allocated) of the backing store.
+    pub fn extent(&self) -> usize {
+        self.store.read().expect("page store lock").extent()
     }
 
     fn shard(&self, id: PageId) -> &Mutex<Shard> {
@@ -302,97 +362,154 @@ impl BufferPool {
 
     /// Reads a page through the cache. Counts one logical read, plus a hit
     /// or a miss. Safe to call from many threads at once.
-    pub fn read(&self, id: PageId) -> Page {
+    ///
+    /// # Errors
+    /// Propagates the store's typed errors — notably
+    /// [`StorageError::Corrupt`] on a checksum mismatch.
+    pub fn read(&self, id: PageId) -> Result<Page, StorageError> {
         self.stats.record_read();
         if self.capacity == 0 {
             self.stats.record_miss();
             return self
-                .file
+                .store
                 .read()
-                .expect("page file lock")
-                .read_page_uncounted(id)
-                .clone();
+                .expect("page store lock")
+                .read_uncounted(id);
         }
         let mut shard = self.shard(id).lock().expect("shard lock");
         if let Some(&idx) = shard.map.get(&id) {
             self.stats.record_hit();
             shard.touch(idx);
-            return shard.frames[idx].page.clone();
+            return Ok(shard.frames[idx].page.clone());
         }
         self.stats.record_miss();
         let page = self
-            .file
+            .store
             .read()
-            .expect("page file lock")
-            .read_page_uncounted(id)
-            .clone();
-        shard.insert_frame(id, page.clone(), false, &self.file);
-        page
+            .expect("page store lock")
+            .read_uncounted(id)?;
+        shard.insert_frame(id, page.clone(), false, &self.store)?;
+        Ok(page)
     }
 
     /// Writes a page through the cache. Counts one logical write. Safe to
     /// call concurrently with reads (writers of the *same* page serialise on
     /// its shard).
-    pub fn write(&self, id: PageId, page: Page) {
-        assert_eq!(page.size(), self.page_size, "page size mismatch");
+    ///
+    /// # Errors
+    /// Propagates the store's typed errors; rejects wrong-size pages.
+    pub fn write(&self, id: PageId, page: Page) -> Result<(), StorageError> {
+        if page.size() != self.page_size {
+            return Err(StorageError::PageSizeMismatch {
+                expected: self.page_size,
+                got: page.size(),
+            });
+        }
         self.stats.record_write();
         if self.capacity == 0 {
-            self.file
+            return self
+                .store
                 .write()
-                .expect("page file lock")
-                .write_page_uncounted(id, page);
-            return;
+                .expect("page store lock")
+                .write_uncounted(id, page);
         }
         let mut shard = self.shard(id).lock().expect("shard lock");
         if let Some(&idx) = shard.map.get(&id) {
             shard.frames[idx].page = page;
             shard.frames[idx].dirty = true;
             shard.touch(idx);
-            return;
+            return Ok(());
         }
-        shard.insert_frame(id, page, true, &self.file);
+        shard.insert_frame(id, page, true, &self.store)
     }
 
-    /// Writes every dirty frame back to the file (frames stay cached,
+    /// Writes every dirty frame back to the store (frames stay cached,
     /// now clean).
-    pub fn flush(&self) {
+    ///
+    /// # Errors
+    /// Propagates write-back failures.
+    pub fn flush(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
-            shard.lock().expect("shard lock").flush(&self.file);
+            shard.lock().expect("shard lock").flush(&self.store)?;
         }
+        Ok(())
     }
 
-    /// Flushes and returns the backing file.
-    pub fn into_file(self) -> PageFile {
-        self.flush();
-        self.file.into_inner().expect("page file lock")
+    /// Flushes and returns the backing store.
+    ///
+    /// # Errors
+    /// Propagates write-back failures (the store is lost in that case —
+    /// callers needing the bytes regardless should `flush` first and
+    /// inspect the error).
+    pub fn into_store(self) -> Result<Box<dyn PageStore>, StorageError> {
+        self.flush()?;
+        Ok(self.store.into_inner().expect("page store lock"))
     }
 
-    /// Runs `f` against the backing file's durable contents (dirty frames
-    /// are flushed first so the file is current).
-    pub fn with_file<R>(&self, f: impl FnOnce(&PageFile) -> R) -> R {
-        self.flush();
-        f(&self.file.read().expect("page file lock"))
+    /// Runs `f` against the backing store's durable contents (dirty frames
+    /// are flushed first so the store is current).
+    ///
+    /// # Errors
+    /// Propagates flush failures.
+    pub fn with_store<R>(&self, f: impl FnOnce(&dyn PageStore) -> R) -> Result<R, StorageError> {
+        self.flush()?;
+        Ok(f(self.store.read().expect("page store lock").as_ref()))
+    }
+
+    /// Damages the stored bytes of `id` via `f` without refreshing its
+    /// checksum (see [`PageStore::corrupt_raw`]); any cached frame for the
+    /// page is dropped so the damage is visible to the next read. Chaos
+    /// test hook.
+    ///
+    /// # Errors
+    /// Propagates the store's typed errors on bad ids.
+    pub fn corrupt_page(
+        &mut self,
+        id: PageId,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<(), StorageError> {
+        if !self.shards.is_empty() {
+            let mut shard = self.shard(id).lock().expect("shard lock");
+            if let Some(&idx) = shard.map.get(&id) {
+                shard.unlink(idx);
+                let frame = shard.frames.swap_remove(idx);
+                shard.map.remove(&frame.id);
+                if idx < shard.frames.len() {
+                    let moved_id = shard.frames[idx].id;
+                    *shard.map.get_mut(&moved_id).expect("moved frame in map") = idx;
+                    let (p, n) = (shard.frames[idx].prev, shard.frames[idx].next);
+                    if p != NIL {
+                        shard.frames[p].next = idx;
+                    } else {
+                        shard.head = idx;
+                    }
+                    if n != NIL {
+                        shard.frames[n].prev = idx;
+                    } else {
+                        shard.tail = idx;
+                    }
+                }
+            }
+        }
+        self.store
+            .get_mut()
+            .expect("page store lock")
+            .corrupt_raw(id, f)
     }
 
     /// Drops every cached frame after flushing — subsequent reads are cold.
     /// Used between benchmark queries to reproduce the paper's per-query
     /// accounting.
-    pub fn clear_cache(&self) {
+    ///
+    /// # Errors
+    /// Propagates flush failures.
+    pub fn clear_cache(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("shard lock");
-            shard.flush(&self.file);
+            shard.flush(&self.store)?;
             shard.clear();
         }
-    }
-}
-
-impl PageFile {
-    /// Writes a page without access accounting — the buffer pool's private
-    /// back door for evictions and flushes (logical counting already
-    /// happened at the pool boundary).
-    pub(crate) fn write_page_uncounted(&mut self, id: PageId, page: Page) {
-        assert_eq!(page.size(), self.page_size(), "page size mismatch");
-        self.write_raw(id, page);
+        Ok(())
     }
 }
 
@@ -401,13 +518,13 @@ mod tests {
     use super::*;
 
     fn pool(cap: usize) -> (BufferPool, Vec<PageId>) {
-        let mut file = PageFile::new(64);
-        let ids: Vec<PageId> = (0..8).map(|_| file.allocate()).collect();
+        let mut file = PageFile::new(64).unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| file.allocate().unwrap()).collect();
         // Seed each page with a recognisable value.
         for (i, &id) in ids.iter().enumerate() {
             let mut p = Page::zeroed(64);
             p.put_u64(0, i as u64 + 100);
-            file.write_page(id, p);
+            file.write_page(id, p).unwrap();
         }
         file.stats().reset();
         (BufferPool::new(file, cap), ids)
@@ -423,7 +540,7 @@ mod tests {
     fn unbuffered_pool_counts_every_read_as_miss() {
         let (pool, ids) = pool(0);
         for _ in 0..3 {
-            let p = pool.read(ids[0]);
+            let p = pool.read(ids[0]).unwrap();
             assert_eq!(p.get_u64(0), 100);
         }
         let s = pool.stats();
@@ -435,9 +552,9 @@ mod tests {
     #[test]
     fn repeated_reads_hit_the_cache() {
         let (pool, ids) = pool(4);
-        let _ = pool.read(ids[0]);
-        let _ = pool.read(ids[0]);
-        let _ = pool.read(ids[0]);
+        let _ = pool.read(ids[0]).unwrap();
+        let _ = pool.read(ids[0]).unwrap();
+        let _ = pool.read(ids[0]).unwrap();
         let s = pool.stats();
         assert_eq!(s.reads(), 3);
         assert_eq!(s.misses(), 1);
@@ -449,10 +566,10 @@ mod tests {
         // Capacity 1 → a single shard with one frame, so LRU behaviour is
         // directly observable regardless of page→shard hashing.
         let (pool, ids) = pool(1);
-        let _ = pool.read(ids[0]); // miss
-        let _ = pool.read(ids[0]); // hit
-        let _ = pool.read(ids[1]); // miss, evicts 0
-        let _ = pool.read(ids[0]); // miss again
+        let _ = pool.read(ids[0]).unwrap(); // miss
+        let _ = pool.read(ids[0]).unwrap(); // hit
+        let _ = pool.read(ids[1]).unwrap(); // miss, evicts 0
+        let _ = pool.read(ids[0]).unwrap(); // miss again
         let s = pool.stats();
         assert_eq!(s.misses(), 3);
         assert_eq!(s.hits(), 1);
@@ -463,11 +580,11 @@ mod tests {
         let (pool, ids) = pool(2);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 777);
-        pool.write(ids[3], p);
+        pool.write(ids[3], p).unwrap();
         // Read through the pool sees the new value even before flush.
-        assert_eq!(pool.read(ids[3]).get_u64(0), 777);
-        let file = pool.into_file();
-        assert_eq!(file.read_page_uncounted(ids[3]).get_u64(0), 777);
+        assert_eq!(pool.read(ids[3]).unwrap().get_u64(0), 777);
+        let store = pool.into_store().unwrap();
+        assert_eq!(store.read_uncounted(ids[3]).unwrap().get_u64(0), 777);
     }
 
     #[test]
@@ -475,9 +592,9 @@ mod tests {
         let (pool, ids) = pool(1);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 555);
-        pool.write(ids[0], p); // dirty frame for 0
-        let _ = pool.read(ids[1]); // evicts 0, must write it back
-        assert_eq!(pool.read(ids[0]).get_u64(0), 555);
+        pool.write(ids[0], p).unwrap(); // dirty frame for 0
+        let _ = pool.read(ids[1]).unwrap(); // evicts 0, must write it back
+        assert_eq!(pool.read(ids[0]).unwrap().get_u64(0), 555);
     }
 
     #[test]
@@ -485,18 +602,18 @@ mod tests {
         let (pool, ids) = pool(0);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 42);
-        pool.write(ids[5], p);
-        assert_eq!(pool.read(ids[5]).get_u64(0), 42);
+        pool.write(ids[5], p).unwrap();
+        assert_eq!(pool.read(ids[5]).unwrap().get_u64(0), 42);
         assert_eq!(pool.cached(), 0);
     }
 
     #[test]
     fn clear_cache_makes_reads_cold_again() {
         let (pool, ids) = pool(4);
-        let _ = pool.read(ids[0]);
-        let _ = pool.read(ids[0]);
-        pool.clear_cache();
-        let _ = pool.read(ids[0]);
+        let _ = pool.read(ids[0]).unwrap();
+        let _ = pool.read(ids[0]).unwrap();
+        pool.clear_cache().unwrap();
+        let _ = pool.read(ids[0]).unwrap();
         let s = pool.stats();
         assert_eq!(s.misses(), 2); // one before clear, one after
         assert_eq!(s.hits(), 1);
@@ -505,19 +622,70 @@ mod tests {
     #[test]
     fn deallocate_drops_cached_frame() {
         let (mut pool, ids) = pool(4);
-        let _ = pool.read(ids[0]);
+        let _ = pool.read(ids[0]).unwrap();
         assert_eq!(pool.cached(), 1);
-        pool.deallocate(ids[0]);
+        pool.deallocate(ids[0]).unwrap();
         assert_eq!(pool.cached(), 0);
     }
 
     #[test]
-    fn with_file_sees_flushed_contents() {
+    fn bad_ids_and_sizes_are_typed_errors() {
+        let (mut pool, _) = pool(0);
+        assert_eq!(
+            pool.read(PageId::INVALID).unwrap_err(),
+            StorageError::InvalidPageId
+        );
+        assert!(matches!(
+            pool.read(PageId(99)).unwrap_err(),
+            StorageError::OutOfRange { .. }
+        ));
+        assert!(matches!(
+            pool.write(PageId(0), Page::zeroed(32)).unwrap_err(),
+            StorageError::PageSizeMismatch { .. }
+        ));
+        assert!(matches!(
+            pool.deallocate(PageId::INVALID).unwrap_err(),
+            StorageError::InvalidPageId
+        ));
+    }
+
+    #[test]
+    fn corrupt_page_is_detected_through_the_cache() {
+        for cap in [0usize, 4] {
+            let (mut pool, ids) = pool(cap);
+            let _ = pool.read(ids[0]).unwrap(); // maybe cache the frame
+            pool.corrupt_page(ids[0], &mut |bytes| bytes[0] ^= 0xFF)
+                .unwrap();
+            assert!(
+                matches!(pool.read(ids[0]), Err(StorageError::Corrupt { .. })),
+                "capacity {cap}: corruption must not be masked by the cache"
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_store_slides_a_decorator_under_a_live_pool() {
+        use crate::fault::{FaultConfig, FaultyStore};
+        let (mut pool, ids) = pool(4);
+        let _ = pool.read(ids[0]).unwrap();
+        pool.wrap_store(|inner| {
+            Box::new(FaultyStore::new(inner, FaultConfig::read_errors(1, 1.0)))
+        });
+        assert!(
+            matches!(pool.read(ids[0]), Err(StorageError::ReadFailed { .. })),
+            "previously cached page must now go through the faulty store"
+        );
+    }
+
+    #[test]
+    fn with_store_sees_flushed_contents() {
         let (pool, ids) = pool(4);
         let mut p = Page::zeroed(64);
         p.put_u64(0, 909);
-        pool.write(ids[2], p);
-        let v = pool.with_file(|f| f.read_page_uncounted(ids[2]).get_u64(0));
+        pool.write(ids[2], p).unwrap();
+        let v = pool
+            .with_store(|s| s.read_uncounted(ids[2]).unwrap().get_u64(0))
+            .unwrap();
         assert_eq!(v, 909);
     }
 
@@ -536,9 +704,9 @@ mod tests {
                 let mut p = Page::zeroed(64);
                 p.put_u64(0, 1000 + step);
                 p.put_u64(8, i as u64);
-                pool.write(ids[i], p);
+                pool.write(ids[i], p).unwrap();
             } else {
-                let p = pool.read(ids[i]);
+                let p = pool.read(ids[i]).unwrap();
                 let v = p.get_u64(0);
                 // Either the seed value or some later write targeted at i.
                 if v >= 1000 {
@@ -566,7 +734,7 @@ mod tests {
                                 .wrapping_mul(6364136223846793005)
                                 .wrapping_add(1442695040888963407);
                             let i = (x >> 33) as usize % ids.len();
-                            assert_eq!(pool.read(ids[i]).get_u64(0), 100 + i as u64);
+                            assert_eq!(pool.read(ids[i]).unwrap().get_u64(0), 100 + i as u64);
                         }
                     });
                 }

@@ -1,0 +1,442 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultyStore`] decorates any [`PageStore`] and, with configurable
+//! probabilities drawn from a seeded [`tsss_rand::Rng`], injects the
+//! classic storage failure modes:
+//!
+//! * **read errors** — the medium refuses a read
+//!   ([`StorageError::ReadFailed`]);
+//! * **torn writes** — only a prefix of the page lands, the tail keeps its
+//!   old bytes (a truncated sector write);
+//! * **lost writes** — the write is acknowledged but never lands;
+//! * **bit flips** — the write lands, then one random bit rots.
+//!
+//! Faults are injected *beneath* the checksum layer: torn writes and bit
+//! flips go through [`PageStore::corrupt_raw`], which damages bytes without
+//! refreshing the page's CRC, so the honest store underneath reports
+//! [`StorageError::Corrupt`] on the next read — exactly how real media
+//! corruption meets real checksums. Lost writes are the one silent mode
+//! (detecting them needs external versioning, which the engine does not
+//! model); they are exercised by storage-level tests only.
+//!
+//! The fault stream is a pure function of [`FaultConfig::seed`] and the
+//! operation sequence, so any failure a chaos run finds is replayable from
+//! its seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tsss_rand::Rng;
+
+use crate::disk::PageId;
+use crate::error::StorageError;
+use crate::page::Page;
+use crate::stats::AccessStats;
+use crate::store::PageStore;
+
+/// Injection probabilities (each in `[0, 1]`) and the seed that makes the
+/// fault stream reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability a read fails with [`StorageError::ReadFailed`].
+    pub read_error: f64,
+    /// Probability a write applies only its first half (old tail kept,
+    /// checksum stale → detected on next read).
+    pub torn_write: f64,
+    /// Probability a write is acknowledged but dropped.
+    pub lost_write: f64,
+    /// Probability a successful write is followed by one random bit
+    /// rotting (checksum stale → detected on next read).
+    pub bit_flip: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the decorator becomes a transparent wrapper.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            read_error: 0.0,
+            torn_write: 0.0,
+            lost_write: 0.0,
+            bit_flip: 0.0,
+        }
+    }
+
+    /// A read-side-only profile: reads fail with probability `p`, writes
+    /// are honest. The profile chaos tests use against read-only query
+    /// workloads.
+    pub fn read_errors(seed: u64, p: f64) -> Self {
+        Self {
+            read_error: p,
+            ..Self::none(seed)
+        }
+    }
+}
+
+/// How many faults of each kind a [`FaultyStore`] has injected.
+///
+/// Shared (`Arc`) so tests keep a handle after the store disappears behind
+/// `Box<dyn PageStore>` — chaos assertions hinge on whether any fault
+/// actually fired during a query.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    read_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    lost_writes: AtomicU64,
+    bit_flips: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Injected read errors so far.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Injected torn writes so far.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes.load(Ordering::Relaxed)
+    }
+
+    /// Injected lost writes so far.
+    pub fn lost_writes(&self) -> u64 {
+        self.lost_writes.load(Ordering::Relaxed)
+    }
+
+    /// Injected bit flips so far.
+    pub fn bit_flips(&self) -> u64 {
+        self.bit_flips.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far.
+    pub fn total(&self) -> u64 {
+        self.read_errors() + self.torn_writes() + self.lost_writes() + self.bit_flips()
+    }
+}
+
+/// A [`PageStore`] decorator injecting deterministic faults; see the module
+/// docs.
+#[derive(Debug)]
+pub struct FaultyStore {
+    inner: Box<dyn PageStore>,
+    cfg: FaultConfig,
+    rng: Mutex<Rng>,
+    counters: Arc<FaultCounters>,
+}
+
+impl FaultyStore {
+    /// Wraps `inner`, injecting faults per `cfg`.
+    pub fn new(inner: Box<dyn PageStore>, cfg: FaultConfig) -> Self {
+        Self {
+            inner,
+            rng: Mutex::new(Rng::seed_from_u64(cfg.seed)),
+            cfg,
+            counters: Arc::new(FaultCounters::default()),
+        }
+    }
+
+    /// The injection configuration.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Shared handle to the injection counters (keep it before boxing the
+    /// store away).
+    pub fn counters(&self) -> Arc<FaultCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Unwraps the decorated store.
+    pub fn into_inner(self) -> Box<dyn PageStore> {
+        self.inner
+    }
+
+    /// One Bernoulli draw from the deterministic fault stream.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.rng.lock().expect("fault rng lock").f64() < p
+    }
+
+    /// Shared write path; `counted` distinguishes the pool-facing uncounted
+    /// variant (the pool already recorded the logical write) from the
+    /// direct one.
+    fn write_impl(&mut self, id: PageId, page: Page, counted: bool) -> Result<(), StorageError> {
+        // Validate the request before rolling, so invalid calls keep their
+        // typed errors regardless of the fault stream.
+        if page.size() != self.inner.page_size() {
+            return Err(StorageError::PageSizeMismatch {
+                expected: self.inner.page_size(),
+                got: page.size(),
+            });
+        }
+        if self.roll(self.cfg.lost_write) {
+            self.counters.lost_writes.fetch_add(1, Ordering::Relaxed);
+            // Probe the slot so bad ids still fail like an honest write.
+            self.inner.corrupt_raw(id, &mut |_| {})?;
+            if counted {
+                self.inner.stats().record_write();
+            }
+            return Ok(());
+        }
+        if self.roll(self.cfg.torn_write) {
+            self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+            let half = page.size() / 2;
+            let result = self.inner.corrupt_raw(id, &mut |bytes| {
+                bytes[..half].copy_from_slice(&page.bytes()[..half]);
+            });
+            if result.is_ok() && counted {
+                self.inner.stats().record_write();
+            }
+            return result;
+        }
+        let result = if counted {
+            self.inner.write(id, page)
+        } else {
+            self.inner.write_uncounted(id, page)
+        };
+        if result.is_ok() && self.roll(self.cfg.bit_flip) {
+            self.counters.bit_flips.fetch_add(1, Ordering::Relaxed);
+            let (byte, bit) = {
+                let mut rng = self.rng.lock().expect("fault rng lock");
+                (rng.usize_below(self.inner.page_size()), rng.usize_below(8))
+            };
+            self.inner
+                .corrupt_raw(id, &mut |bytes| bytes[byte] ^= 1 << bit)?;
+        }
+        result
+    }
+}
+
+impl PageStore for FaultyStore {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn extent(&self) -> usize {
+        self.inner.extent()
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn stats(&self) -> Arc<AccessStats> {
+        self.inner.stats()
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        self.inner.allocate()
+    }
+
+    fn deallocate(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.inner.deallocate(id)
+    }
+
+    fn read(&self, id: PageId) -> Result<Page, StorageError> {
+        if self.roll(self.cfg.read_error) {
+            self.counters.read_errors.fetch_add(1, Ordering::Relaxed);
+            // The logical access still happened from the caller's view.
+            self.inner.stats().record_read();
+            return Err(StorageError::ReadFailed { page: id });
+        }
+        self.inner.read(id)
+    }
+
+    fn write(&mut self, id: PageId, page: Page) -> Result<(), StorageError> {
+        self.write_impl(id, page, true)
+    }
+
+    fn read_uncounted(&self, id: PageId) -> Result<Page, StorageError> {
+        if self.roll(self.cfg.read_error) {
+            self.counters.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::ReadFailed { page: id });
+        }
+        self.inner.read_uncounted(id)
+    }
+
+    fn write_uncounted(&mut self, id: PageId, page: Page) -> Result<(), StorageError> {
+        self.write_impl(id, page, false)
+    }
+
+    fn corrupt_raw(
+        &mut self,
+        id: PageId,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<(), StorageError> {
+        self.inner.corrupt_raw(id, f)
+    }
+
+    fn persist(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        self.inner.persist(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::PageFile;
+
+    fn faulty(cfg: FaultConfig) -> (FaultyStore, Vec<PageId>) {
+        let mut file = PageFile::new(64).unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| file.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let mut p = Page::zeroed(64);
+            p.put_u64(0, 100 + i as u64);
+            file.write_page(id, p).unwrap();
+        }
+        (FaultyStore::new(Box::new(file), cfg), ids)
+    }
+
+    #[test]
+    fn no_faults_means_transparent_delegation() {
+        let (mut s, ids) = faulty(FaultConfig::none(1));
+        let mut p = Page::zeroed(64);
+        p.put_u64(0, 777);
+        s.write(ids[0], p).unwrap();
+        assert_eq!(s.read(ids[0]).unwrap().get_u64(0), 777);
+        assert_eq!(s.counters().total(), 0);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let (s, ids) = faulty(FaultConfig::read_errors(seed, 0.3));
+            (0..100)
+                .map(|i| s.read(ids[i % ids.len()]).is_err())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different streams");
+        assert!(run(42).iter().any(|&e| e), "p = 0.3 over 100 reads fires");
+        assert!(run(42).iter().any(|&e| !e), "and not always");
+    }
+
+    #[test]
+    fn read_errors_are_typed_and_counted() {
+        let (s, ids) = faulty(FaultConfig::read_errors(7, 1.0));
+        assert_eq!(
+            s.read(ids[0]).unwrap_err(),
+            StorageError::ReadFailed { page: ids[0] }
+        );
+        assert_eq!(s.counters().read_errors(), 1);
+        // The logical access is still charged.
+        assert_eq!(s.stats().reads(), 1);
+    }
+
+    #[test]
+    fn torn_write_is_detected_by_the_checksum() {
+        let cfg = FaultConfig {
+            torn_write: 1.0,
+            ..FaultConfig::none(3)
+        };
+        let (mut s, ids) = faulty(cfg);
+        let mut p = Page::zeroed(64);
+        p.put_u64(0, 1); // lands in the written prefix
+        p.put_u64(56, 2); // would land in the lost tail
+        s.write(ids[2], p).unwrap();
+        assert_eq!(s.counters().torn_writes(), 1);
+        assert!(
+            matches!(s.read(ids[2]), Err(StorageError::Corrupt { .. })),
+            "half-written page must fail verification"
+        );
+    }
+
+    #[test]
+    fn lost_write_keeps_the_old_consistent_content() {
+        let cfg = FaultConfig {
+            lost_write: 1.0,
+            ..FaultConfig::none(9)
+        };
+        let (mut s, ids) = faulty(cfg);
+        let mut p = Page::zeroed(64);
+        p.put_u64(0, 999);
+        s.write(ids[1], p).unwrap();
+        assert_eq!(s.counters().lost_writes(), 1);
+        // The old page is intact and verifies — the silent failure mode.
+        assert_eq!(s.read(ids[1]).unwrap().get_u64(0), 101);
+    }
+
+    #[test]
+    fn bit_flip_after_write_is_detected_on_read() {
+        let cfg = FaultConfig {
+            bit_flip: 1.0,
+            ..FaultConfig::none(5)
+        };
+        let (mut s, ids) = faulty(cfg);
+        s.write(ids[4], Page::zeroed(64)).unwrap();
+        assert_eq!(s.counters().bit_flips(), 1);
+        assert!(matches!(s.read(ids[4]), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn invalid_requests_stay_typed_even_under_full_fault_pressure() {
+        let cfg = FaultConfig {
+            read_error: 1.0,
+            torn_write: 1.0,
+            lost_write: 1.0,
+            bit_flip: 1.0,
+            seed: 11,
+        };
+        let (mut s, _) = faulty(cfg);
+        assert_eq!(
+            s.write(PageId(0), Page::zeroed(32)).unwrap_err(),
+            StorageError::PageSizeMismatch {
+                expected: 64,
+                got: 32
+            }
+        );
+        assert!(matches!(
+            s.write(PageId(99), Page::zeroed(64)).unwrap_err(),
+            StorageError::OutOfRange { .. } | StorageError::InvalidPageId
+        ));
+    }
+
+    #[test]
+    fn write_accounting_is_exact_under_faults() {
+        for (name, cfg) in [
+            (
+                "lost",
+                FaultConfig {
+                    lost_write: 1.0,
+                    ..FaultConfig::none(2)
+                },
+            ),
+            (
+                "torn",
+                FaultConfig {
+                    torn_write: 1.0,
+                    ..FaultConfig::none(2)
+                },
+            ),
+            (
+                "flip",
+                FaultConfig {
+                    bit_flip: 1.0,
+                    ..FaultConfig::none(2)
+                },
+            ),
+        ] {
+            let (mut s, ids) = faulty(cfg);
+            s.stats().reset();
+            for _ in 0..5 {
+                s.write(ids[0], Page::zeroed(64)).unwrap();
+            }
+            assert_eq!(s.stats().writes(), 5, "{name}: every logical write counted");
+        }
+    }
+
+    #[test]
+    fn persist_writes_the_underlying_state() {
+        let (mut s, ids) = faulty(FaultConfig::none(1));
+        let mut p = Page::zeroed(64);
+        p.put_u64(0, 4242);
+        s.write(ids[0], p).unwrap();
+        let mut buf = Vec::new();
+        s.persist(&mut buf).unwrap();
+        let g = PageFile::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g.read_page_uncounted(ids[0]).unwrap().get_u64(0), 4242);
+    }
+}

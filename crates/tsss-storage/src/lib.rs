@@ -20,17 +20,36 @@
 //! The R-tree / R*-tree in `tsss-index` serialise their nodes into these
 //! pages, so page-access counts fall directly out of the traversal — there
 //! is no side-channel estimate.
+//!
+//! # Fault model
+//!
+//! The medium behind the pool is abstracted as [`store::PageStore`], with
+//! per-page CRC32 checksums verified on every read: damage that bypasses
+//! the legitimate write path surfaces as a typed
+//! [`error::StorageError::Corrupt`], never a garbage decode.
+//! [`fault::FaultyStore`] decorates any store with deterministic,
+//! seed-reproducible fault injection (read errors, torn writes, lost
+//! writes, bit flips) for the chaos suite, and [`atomic::atomic_write`]
+//! makes file persistence crash-safe (temp file + rename).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod buffer;
 pub mod codec;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod page;
 pub mod stats;
+pub mod store;
 
+pub use atomic::atomic_write;
 pub use buffer::BufferPool;
 pub use disk::{PageFile, PageId};
+pub use error::StorageError;
+pub use fault::{FaultConfig, FaultCounters, FaultyStore};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use stats::AccessStats;
+pub use store::PageStore;

@@ -21,13 +21,27 @@ pub struct Page {
 impl Page {
     /// A zero-filled page of `size` bytes.
     ///
+    /// For hostile (user- or file-supplied) sizes use [`Page::try_zeroed`];
+    /// this variant is for sizes already validated upstream.
+    ///
     /// # Panics
     /// Panics when `size == 0`.
     pub fn zeroed(size: usize) -> Self {
-        assert!(size > 0, "page size must be positive");
-        Self {
-            bytes: vec![0u8; size].into_boxed_slice(),
+        Self::try_zeroed(size).expect("page size must be positive")
+    }
+
+    /// A zero-filled page of `size` bytes, rejecting hostile sizes with a
+    /// typed error instead of a panic.
+    ///
+    /// # Errors
+    /// [`crate::StorageError::BadPageSize`] when `size == 0`.
+    pub fn try_zeroed(size: usize) -> Result<Self, crate::error::StorageError> {
+        if size == 0 {
+            return Err(crate::error::StorageError::BadPageSize { size });
         }
+        Ok(Self {
+            bytes: vec![0u8; size].into_boxed_slice(),
+        })
     }
 
     /// Page capacity in bytes.
@@ -144,6 +158,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_size_page_panics() {
         let _ = Page::zeroed(0);
+    }
+
+    #[test]
+    fn try_zeroed_rejects_zero_size_with_typed_error() {
+        assert_eq!(
+            Page::try_zeroed(0).unwrap_err(),
+            crate::error::StorageError::BadPageSize { size: 0 }
+        );
+        assert_eq!(Page::try_zeroed(16).unwrap().size(), 16);
     }
 
     #[test]

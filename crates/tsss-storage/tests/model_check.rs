@@ -38,8 +38,8 @@ fn pool_is_equivalent_to_a_hashmap() {
         let capacity = rng.usize_below(6);
         let n_ops = 1 + rng.usize_below(199);
 
-        let mut file = PageFile::new(32);
-        let ids: Vec<PageId> = (0..16).map(|_| file.allocate()).collect();
+        let mut file = PageFile::new(32).unwrap();
+        let ids: Vec<PageId> = (0..16).map(|_| file.allocate().unwrap()).collect();
         let pool = BufferPool::new(file, capacity);
         let mut model: HashMap<usize, u64> = HashMap::new();
 
@@ -48,16 +48,16 @@ fn pool_is_equivalent_to_a_hashmap() {
                 Op::Write { slot, value } => {
                     let mut p = Page::zeroed(32);
                     p.put_u64(0, value);
-                    pool.write(ids[slot], p);
+                    pool.write(ids[slot], p).unwrap();
                     model.insert(slot, value);
                 }
                 Op::Read { slot } => {
-                    let got = pool.read(ids[slot]).get_u64(0);
+                    let got = pool.read(ids[slot]).unwrap().get_u64(0);
                     let want = model.get(&slot).copied().unwrap_or(0);
                     assert_eq!(got, want, "case {case}: slot {slot} diverged");
                 }
-                Op::Flush => pool.flush(),
-                Op::ClearCache => pool.clear_cache(),
+                Op::Flush => pool.flush().unwrap(),
+                Op::ClearCache => pool.clear_cache().unwrap(),
             }
             assert!(
                 pool.cached() <= capacity,
@@ -66,10 +66,10 @@ fn pool_is_equivalent_to_a_hashmap() {
         }
 
         // After draining the pool, the file itself must agree with the model.
-        let file = pool.into_file();
+        let store = pool.into_store().unwrap();
         for (slot, want) in model {
             assert_eq!(
-                file.read_page_uncounted(ids[slot]).get_u64(0),
+                store.read_uncounted(ids[slot]).unwrap().get_u64(0),
                 want,
                 "case {case}: slot {slot} wrong after drain"
             );
@@ -85,12 +85,12 @@ fn logical_read_count_is_exact() {
         let n_reads = 1 + rng.usize_below(99);
         let slots: Vec<usize> = (0..n_reads).map(|_| rng.usize_below(8)).collect();
 
-        let mut file = PageFile::new(32);
-        let ids: Vec<PageId> = (0..8).map(|_| file.allocate()).collect();
+        let mut file = PageFile::new(32).unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| file.allocate().unwrap()).collect();
         file.stats().reset();
         let pool = BufferPool::new(file, capacity);
         for &s in &slots {
-            let _ = pool.read(ids[s]);
+            let _ = pool.read(ids[s]).unwrap();
         }
         let stats = pool.stats();
         assert_eq!(stats.reads(), slots.len() as u64, "case {case}");

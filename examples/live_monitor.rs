@@ -109,7 +109,7 @@ fn main() {
         }
     }
 
-    engine.tree_mut().check_invariants();
+    engine.tree_mut().check_invariants().expect("index intact");
     println!(
         "\n{} alert(s) over {} live days; index now holds {} windows (invariants OK)",
         total_alerts,

@@ -8,6 +8,7 @@
 //! tsss query    --engine engine.tsss --query q.csv --epsilon 0.5 [--min-scale A] [--max-scale B] [--limit N]
 //! tsss batch    --engine engine.tsss --queries qs.csv --epsilon 0.5 [--workers N]
 //! tsss nn       --engine engine.tsss --query q.csv --k 10
+//! tsss scrub    --engine engine.tsss
 //! tsss demo
 //! ```
 //!
@@ -139,6 +140,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&parsed),
         "batch" => cmd_batch(&parsed),
         "nn" => cmd_nn(&parsed),
+        "scrub" => cmd_scrub(&parsed),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             usage();
@@ -166,6 +168,7 @@ fn usage() {
          [--min-scale A] [--max-scale B] [--limit N]\n  \
          batch    --engine ENGINE.tsss --queries QS.csv --epsilon E [--workers N]\n  \
          nn       --engine ENGINE.tsss --query Q.csv [--k K]\n  \
+         scrub    --engine ENGINE.tsss\n  \
          demo"
     );
 }
@@ -279,6 +282,15 @@ fn cmd_query(a: &Args) -> Result<(), String> {
         res.stats.total_pages(),
         res.stats.elapsed
     );
+    if res.stats.degraded {
+        println!(
+            "  warning: index corruption detected, answered by sequential scan ({})",
+            res.stats
+                .degraded_reason
+                .as_deref()
+                .unwrap_or("unknown cause")
+        );
+    }
     for m in res.matches.iter().take(limit) {
         println!(
             "  {} · a = {:.4}, b = {:+.4} · distance {:.6}",
@@ -359,6 +371,32 @@ fn cmd_nn(a: &Args) -> Result<(), String> {
             m.id, m.transform.a, m.transform.b, m.distance
         );
     }
+    Ok(())
+}
+
+fn cmd_scrub(a: &Args) -> Result<(), String> {
+    let path = a.require("engine")?;
+    let mut engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    println!("scrubbing {path} …");
+    let nodes = engine
+        .tree_mut()
+        .check_invariants()
+        .map_err(|e| format!("index scrub failed: {e}"))?;
+    println!(
+        "  index: {nodes} node(s) over {} page(s), all checksums and invariants OK",
+        engine.index_extent()
+    );
+    let all = engine
+        .read_everything()
+        .map_err(|e| format!("data scrub failed: {e}"))?;
+    let values: usize = all.iter().map(Vec::len).sum();
+    println!(
+        "  data:  {} series, {values} values over {} page(s), all checksums OK",
+        all.len(),
+        engine.data_page_count()
+    );
+    println!("scrub clean: every page verified");
     Ok(())
 }
 

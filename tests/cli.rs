@@ -176,6 +176,41 @@ fn query_respects_scale_limits() {
 }
 
 #[test]
+fn scrub_passes_on_a_clean_engine_and_rejects_a_corrupted_one() {
+    let dir = workdir("scrub");
+    let market = dir.join("m.csv").display().to_string();
+    let engine = dir.join("e.tsss").display().to_string();
+    run(&[
+        "generate",
+        "--companies",
+        "5",
+        "--days",
+        "80",
+        "--out",
+        &market,
+    ]);
+    run(&[
+        "build", "--data", &market, "--window", "16", "--out", &engine,
+    ]);
+
+    let (ok, out, err) = run(&["scrub", "--engine", &engine]);
+    assert!(ok, "clean scrub failed: {err}");
+    assert!(out.contains("scrub clean"), "unexpected: {out}");
+
+    // Flip one bit near the end of the file (inside an index page body).
+    let mut bytes = std::fs::read(&engine).unwrap();
+    let n = bytes.len();
+    bytes[n - 100] ^= 0x40;
+    std::fs::write(&engine, &bytes).unwrap();
+
+    let (ok, out, err) = run(&["scrub", "--engine", &engine]);
+    assert!(!ok, "scrub accepted a corrupted engine: {out}");
+    assert!(err.contains("error:"), "no error message: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn malformed_invocations_fail_cleanly() {
     for args in [
         vec!["unknown-subcommand"],

@@ -163,7 +163,7 @@ fn dynamic_growth_keeps_the_index_consistent() {
                 .unwrap();
         }
     }
-    e.tree_mut().check_invariants();
+    e.tree_mut().check_invariants().unwrap();
     assert_eq!(
         e.num_windows(),
         base_windows + data.len() * 60,
