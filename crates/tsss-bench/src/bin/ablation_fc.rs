@@ -41,13 +41,12 @@ fn main() {
         let h = Harness::build(companies, days, queries, cfg, 0x7555_1999);
         let eps = 0.002 * h.median_fluctuation;
         let cell = h.run_method(Method::TreeEnteringExiting, eps);
-        let fa = cell.candidates - cell.matches;
         println!(
             "{:>4} {:>10} {:>12.1} {:>14.1} {:>12.1} {:>12.1} {:>10.1}",
             fc,
             2 * fc,
             cell.candidates,
-            fa,
+            cell.false_alarms,
             cell.index_pages,
             cell.data_pages,
             cell.cpu_us

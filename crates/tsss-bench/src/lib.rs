@@ -79,6 +79,9 @@ pub struct Cell {
     pub candidates: f64,
     /// Mean verified matches.
     pub matches: f64,
+    /// Mean false alarms (candidates whose exact distance exceeded ε) — the
+    /// pipeline's own counter, not derived from `candidates - matches`.
+    pub false_alarms: f64,
     /// Mean sphere-test fallback rate (set 3 only; 0 otherwise).
     pub sphere_fallback_rate: f64,
 }
@@ -198,6 +201,7 @@ impl Harness {
         let mut data_pages = 0.0f64;
         let mut candidates = 0.0f64;
         let mut matches = 0.0f64;
+        let mut false_alarms = 0.0f64;
         let mut sphere_fallbacks = 0u64;
         let mut sphere_total = 0u64;
         let n = self.queries.len() as f64;
@@ -230,6 +234,7 @@ impl Harness {
             data_pages += result.stats.data_pages as f64;
             candidates += result.stats.candidates as f64;
             matches += result.stats.verified as f64;
+            false_alarms += result.stats.false_alarms as f64;
             sphere_fallbacks += result.stats.index.sphere.fallback;
             sphere_total += result.stats.index.sphere.total();
         }
@@ -241,6 +246,7 @@ impl Harness {
             data_pages: data_pages / n,
             candidates: candidates / n,
             matches: matches / n,
+            false_alarms: false_alarms / n,
             sphere_fallback_rate: if sphere_total == 0 {
                 0.0
             } else {
@@ -273,6 +279,7 @@ impl Harness {
             data_pages: 0.0,
             candidates: 0.0,
             matches: 0.0,
+            false_alarms: 0.0,
             sphere_fallback_rate: 0.0,
         };
         for r in &results {
@@ -282,6 +289,7 @@ impl Harness {
             cell.data_pages += r.stats.data_pages as f64 / n;
             cell.candidates += r.stats.candidates as f64 / n;
             cell.matches += r.stats.verified as f64 / n;
+            cell.false_alarms += r.stats.false_alarms as f64 / n;
         }
         (cell, wall)
     }
@@ -318,13 +326,13 @@ pub fn write_csv(path: &Path, rows: &[(Method, Cell)]) {
     let mut f = std::fs::File::create(path).expect("create csv");
     writeln!(
         f,
-        "method,epsilon,cpu_us,pages,index_pages,data_pages,candidates,matches,sphere_fallback_rate"
+        "method,epsilon,cpu_us,pages,index_pages,data_pages,candidates,matches,false_alarms,sphere_fallback_rate"
     )
     .unwrap();
     for (m, c) in rows {
         writeln!(
             f,
-            "{},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4}",
+            "{},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4}",
             m.label(),
             c.epsilon,
             c.cpu_us,
@@ -333,6 +341,7 @@ pub fn write_csv(path: &Path, rows: &[(Method, Cell)]) {
             c.data_pages,
             c.candidates,
             c.matches,
+            c.false_alarms,
             c.sphere_fallback_rate
         )
         .unwrap();
@@ -426,6 +435,10 @@ mod tests {
         assert_eq!(seq.candidates as usize, h.engine.num_windows());
         // Same matches from both methods.
         assert_eq!(seq.matches, tree.matches);
+        // The pipeline's stage identity holds in the averages too (no cost
+        // limit in these runs, so candidates = verified + false alarms).
+        assert!((seq.candidates - seq.matches - seq.false_alarms).abs() < 1e-9);
+        assert!((tree.candidates - tree.matches - tree.false_alarms).abs() < 1e-9);
     }
 
     #[test]
@@ -438,6 +451,7 @@ mod tests {
             data_pages: 0.5,
             candidates: 3.0,
             matches: 1.0,
+            false_alarms: 2.0,
             sphere_fallback_rate: 0.25,
         };
         let dir = std::env::temp_dir().join("tsss-bench-test");

@@ -1,11 +1,8 @@
 //! The indexed search engine — the paper's §6 algorithm end to end.
 
-use std::time::Instant;
-
 use tsss_data::Series;
 use tsss_dft::FeatureExtractor;
 use tsss_geometry::line::Line;
-use tsss_geometry::scale_shift::{is_numerically_constant, optimal_scale_shift};
 use tsss_geometry::se::se_transform_into;
 use tsss_index::bulk::{bulk_load, bulk_load_polar};
 use tsss_index::{DataEntry, RTree};
@@ -14,7 +11,7 @@ use crate::config::{EngineConfig, SearchOptions};
 use crate::datafile::PagedSeriesStore;
 use crate::error::EngineError;
 use crate::id::SubseqId;
-use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+use crate::result::SearchResult;
 use crate::window::window_offsets;
 
 /// The scale-shift similarity search engine.
@@ -374,14 +371,14 @@ impl SearchEngine {
     /// distance.
     ///
     /// Takes `&self`: the whole read path is thread-safe, and the per-query
-    /// page counts in [`SearchStats`] are exact even when other queries run
+    /// page counts in [`crate::result::SearchStats`] are exact even when other queries run
     /// concurrently (see [`SearchEngine::search_batch`]).
     ///
     /// When corruption is detected mid-query (a page fails its checksum, a
     /// node does not decode, an index entry points at data that does not
     /// exist), the behaviour follows `opts.degradation`: by default the
     /// query is re-answered by the exact sequential scan and the result is
-    /// flagged [`SearchStats::degraded`]; under
+    /// flagged [`crate::result::SearchStats::degraded`]; under
     /// [`crate::DegradationPolicy::Error`] the typed error surfaces instead.
     /// A [`EngineError::PageBudgetExceeded`] abort is always a hard error —
     /// the budget bounds total work, which the full-file fallback would not.
@@ -415,6 +412,13 @@ impl SearchEngine {
     /// The indexed path of [`SearchEngine::search`], with no degradation:
     /// detected corruption always surfaces as [`EngineError::Corrupt`].
     ///
+    /// A thin composition over the staged pipeline (see
+    /// [`crate::pipeline`]): plan the query (validation and the
+    /// constant-query degenerate case live in
+    /// [`crate::pipeline::QueryPlan::exact`]), probe the R-tree
+    /// ([`crate::pipeline::IndexProbe`]), and verify survivors through the
+    /// shared [`crate::pipeline::Verifier`].
+    ///
     /// # Errors
     /// As [`SearchEngine::search`] under
     /// [`crate::DegradationPolicy::Error`].
@@ -424,82 +428,8 @@ impl SearchEngine {
         epsilon: f64,
         opts: SearchOptions,
     ) -> Result<SearchResult, EngineError> {
-        if query.len() != self.cfg.window_len {
-            return Err(EngineError::QueryLength {
-                expected: self.cfg.window_len,
-                got: query.len(),
-            });
-        }
-        if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(EngineError::InvalidEpsilon(epsilon));
-        }
-        let t0 = Instant::now();
-        // Thread-local tally scopes: they see exactly the accesses *this*
-        // query performs, no matter how many queries run in parallel, and
-        // they still feed the global counters.
-        let index_stats = self.tree.stats();
-        let data_stats = self.store.stats();
-        let index_scope = index_stats.local_scope();
-        let data_scope = data_stats.local_scope();
-
-        // Searching step: feature-space SE-line vs the tree. A constant
-        // (zero-fluctuation) query is the degenerate case: its
-        // SE-transformation vanishes, so its "SE-line" direction is rounding
-        // noise. Only shift-only matches are possible — windows whose own
-        // fluctuation is within ε — so query the feature-space ball around
-        // the origin instead (feature norms never exceed SE-norms, hence no
-        // false dismissals). Verification below agrees because
-        // `optimal_scale_shift` applies the same degeneracy test.
-        let outcome = if is_numerically_constant(query) {
-            self.tree.radius_query_with_budget(
-                &vec![0.0; self.cfg.feature_dim()],
-                epsilon,
-                opts.page_budget,
-            )?
-        } else {
-            let line = self.query_line(query);
-            self.tree
-                .line_query_with_budget(&line, epsilon, opts.method, opts.page_budget)?
-        };
-
-        // Post-processing step: verify candidates on the raw data, compute
-        // (a, b), apply cost limits.
-        let mut stats = SearchStats {
-            candidates: outcome.matches.len() as u64,
-            index: outcome.stats,
-            ..Default::default()
-        };
-        let mut matches = Vec::new();
-        for cand in outcome.matches {
-            let id = SubseqId::unpack(cand.id);
-            let raw = self.fetch_raw(id, self.cfg.window_len)?;
-            let fit = optimal_scale_shift(query, &raw).expect("window length matches query");
-            if fit.distance > epsilon {
-                stats.false_alarms += 1;
-                continue;
-            }
-            if !opts.cost.accepts(fit.transform.a, fit.transform.b) {
-                stats.cost_rejected += 1;
-                continue;
-            }
-            stats.verified += 1;
-            matches.push(SubsequenceMatch {
-                id,
-                transform: fit.transform,
-                distance: fit.distance,
-            });
-        }
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-
-        stats.index_pages = index_scope.finish().total_accesses();
-        stats.data_pages = data_scope.finish().total_accesses();
-        stats.elapsed = t0.elapsed();
-        Ok(SearchResult { matches, stats })
+        let plan = crate::pipeline::QueryPlan::exact(self, query, epsilon, opts)?;
+        self.run_pipeline(&plan, &crate::pipeline::IndexProbe)
     }
 
     /// Answers a batch of queries, fanning them over `workers` scoped

@@ -41,6 +41,7 @@ pub mod longquery;
 pub mod nn;
 pub mod normalized;
 pub mod persist;
+pub mod pipeline;
 pub mod result;
 pub mod seqscan;
 pub mod window;
@@ -49,4 +50,8 @@ pub use config::{BuildMethod, CostLimit, DegradationPolicy, EngineConfig, Search
 pub use engine::SearchEngine;
 pub use error::EngineError;
 pub use id::SubseqId;
+pub use pipeline::{
+    CandidateSource, Candidates, IndexProbe, PieceStitchSource, QueryPlan, RawAccess,
+    SeqScanLongSource, SeqScanSource, Verifier, VerifyModel,
+};
 pub use result::{SearchResult, SearchStats, SubsequenceMatch};

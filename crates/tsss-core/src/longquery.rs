@@ -13,21 +13,20 @@
 //!
 //! Requires stride 1 (every offset indexed), which is the paper's setting.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
-
-use tsss_geometry::scale_shift::optimal_scale_shift;
-
 use crate::config::SearchOptions;
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
-use crate::id::SubseqId;
-use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+use crate::pipeline::{PieceStitchSource, QueryPlan, SeqScanLongSource};
+use crate::result::SearchResult;
 
 impl SearchEngine {
     /// Finds every data subsequence of length `query.len()` similar to the
     /// (long) query within ε. The query must be at least one window long;
     /// the engine must have been built with stride 1.
+    ///
+    /// A thin composition over the staged pipeline: a long plan (verified
+    /// at full query length) with [`PieceStitchSource`] generating
+    /// candidates by per-piece index probes and intersection.
     ///
     /// # Errors
     /// [`EngineError::QueryTooShort`] / [`EngineError::InvalidEpsilon`] on
@@ -42,105 +41,12 @@ impl SearchEngine {
         epsilon: f64,
         opts: SearchOptions,
     ) -> Result<SearchResult, EngineError> {
-        let n = self.config().window_len;
-        assert_eq!(
-            self.config().stride,
-            1,
-            "long-query search requires stride 1"
-        );
-        if query.len() < n {
-            return Err(EngineError::QueryTooShort {
-                min: n,
-                got: query.len(),
-            });
-        }
-        if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(EngineError::InvalidEpsilon(epsilon));
-        }
-        let t0 = Instant::now();
-        let index_stats = self.index_stats();
-        let data_stats = self.data_stats();
-        let index_scope = index_stats.local_scope();
-        let data_scope = data_stats.local_scope();
-        let total_len = query.len();
-        let piece_offsets: Vec<usize> = (0..=total_len - n).step_by(n).collect();
-
-        // Piece 0 establishes the candidate starts; later pieces prune them.
-        let mut stats = SearchStats::default();
-        let mut candidates: Option<BTreeSet<SubseqId>> = None;
-        for (pi, &poff) in piece_offsets.iter().enumerate() {
-            let piece = &query[poff..poff + n];
-            let line = self.query_line(piece);
-            let outcome = self.tree().line_query(&line, epsilon, opts.method)?;
-            stats.index.internal_visited += outcome.stats.internal_visited;
-            stats.index.leaves_visited += outcome.stats.leaves_visited;
-            stats.index.candidates_checked += outcome.stats.candidates_checked;
-            stats.index.penetration_tests += outcome.stats.penetration_tests;
-            stats.index.sphere.merge(&outcome.stats.sphere);
-
-            let mut starts = BTreeSet::new();
-            for m in outcome.matches {
-                let hit = SubseqId::unpack(m.id);
-                // The whole match would start `poff` values earlier.
-                if (hit.offset as usize) < poff {
-                    continue;
-                }
-                starts.insert(SubseqId {
-                    series: hit.series,
-                    offset: hit.offset - poff as u32,
-                });
-            }
-            candidates = Some(match candidates {
-                None => starts,
-                Some(prev) => {
-                    debug_assert!(pi > 0);
-                    prev.intersection(&starts).copied().collect()
-                }
-            });
-            if candidates.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
-                break;
-            }
-        }
-
-        // Verification on the full-length raw windows.
-        let mut matches = Vec::new();
-        for id in candidates.unwrap_or_default() {
-            let series_len = self.series_len(id.series as usize)?;
-            if id.offset as usize + total_len > series_len {
-                continue; // the long window runs off the series
-            }
-            stats.candidates += 1;
-            let raw = self.fetch_raw(id, total_len)?;
-            let fit = optimal_scale_shift(query, &raw).expect("lengths match");
-            if fit.distance > epsilon {
-                stats.false_alarms += 1;
-                continue;
-            }
-            if !opts.cost.accepts(fit.transform.a, fit.transform.b) {
-                stats.cost_rejected += 1;
-                continue;
-            }
-            stats.verified += 1;
-            matches.push(SubsequenceMatch {
-                id,
-                transform: fit.transform,
-                distance: fit.distance,
-            });
-        }
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        stats.index_pages = index_scope.finish().total_accesses();
-        stats.data_pages = data_scope.finish().total_accesses();
-        stats.elapsed = t0.elapsed();
-        Ok(SearchResult { matches, stats })
+        let plan = QueryPlan::long(self, query, epsilon, opts)?;
+        self.run_pipeline(&plan, &PieceStitchSource)
     }
 
     /// Brute-force oracle for long queries (test/verification facility):
-    /// scans every possible start position.
+    /// scans every possible start position, regardless of the stride grid.
     ///
     /// # Errors
     /// Same validation as [`SearchEngine::search_long`].
@@ -149,49 +55,8 @@ impl SearchEngine {
         query: &[f64],
         epsilon: f64,
     ) -> Result<SearchResult, EngineError> {
-        let n = self.config().window_len;
-        if query.len() < n {
-            return Err(EngineError::QueryTooShort {
-                min: n,
-                got: query.len(),
-            });
-        }
-        if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(EngineError::InvalidEpsilon(epsilon));
-        }
-        let t0 = Instant::now();
-        let total_len = query.len();
-        let all = self.store().read_everything()?;
-        let mut stats = SearchStats::default();
-        let mut matches = Vec::new();
-        for (si, values) in all.iter().enumerate() {
-            if values.len() < total_len {
-                continue;
-            }
-            for off in 0..=values.len() - total_len {
-                stats.candidates += 1;
-                let fit =
-                    optimal_scale_shift(query, &values[off..off + total_len]).expect("lengths");
-                if fit.distance <= epsilon {
-                    stats.verified += 1;
-                    matches.push(SubsequenceMatch {
-                        id: SubseqId::try_new(si, off)?,
-                        transform: fit.transform,
-                        distance: fit.distance,
-                    });
-                } else {
-                    stats.false_alarms += 1;
-                }
-            }
-        }
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        stats.elapsed = t0.elapsed();
-        Ok(SearchResult { matches, stats })
+        let plan = QueryPlan::long(self, query, epsilon, SearchOptions::default())?;
+        self.run_pipeline(&plan, &SeqScanLongSource)
     }
 }
 

@@ -11,12 +11,15 @@
 //! last unverified candidate — at which point no unseen candidate can
 //! improve the answer.
 
-use tsss_geometry::scale_shift::optimal_scale_shift;
+use std::collections::BTreeMap;
+
+use tsss_index::LineQueryStats;
 
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
 use crate::id::SubseqId;
-use crate::result::SubsequenceMatch;
+use crate::pipeline::{CandidateSource, Candidates, QueryPlan, RawAccess, SeqScanSource, Verifier};
+use crate::result::{SearchResult, SubsequenceMatch};
 
 impl SearchEngine {
     /// The `k` indexed subsequences nearest to `query` under the paper's
@@ -46,18 +49,74 @@ impl SearchEngine {
         k: usize,
         cost: crate::config::CostLimit,
     ) -> Result<Vec<SubsequenceMatch>, EngineError> {
-        let n = self.config().window_len;
-        if query.len() != n {
-            return Err(EngineError::QueryLength {
-                expected: n,
-                got: query.len(),
-            });
-        }
-        if k == 0 || self.num_windows() == 0 {
-            return Ok(Vec::new());
-        }
-        let k = k.min(self.num_windows());
-        let line = self.query_line(query);
+        Ok(self.nearest_search(query, k, cost)?.matches)
+    }
+
+    /// The full-result form of [`SearchEngine::nearest_with_cost`]: the
+    /// ranked matches plus the pipeline's per-stage statistics
+    /// (`candidates` = unique windows pulled from the best-first frontier,
+    /// `verified`/`cost_rejected` partitioning them, and exact per-query
+    /// page counts).
+    ///
+    /// The frontier drives the shared pipeline iteratively: each round
+    /// retrieves the next best-first batch from the index, verifies the
+    /// not-yet-seen candidates through the one [`Verifier`], and stops as
+    /// soon as the k-th exact distance is at most the feature distance of
+    /// the last retrieved candidate (no unseen window can improve the
+    /// answer, since feature distances lower-bound exact distances).
+    /// `stats.verified` counts all exactly-verified candidates; the k best
+    /// of them are returned, so `matches.len() ≤ stats.verified`.
+    ///
+    /// A numerically-constant query degenerates (its SE-line collapses to
+    /// the origin, so the frontier order is meaningless): the ranking is
+    /// answered exhaustively by the sequential-scan source instead.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] on a malformed query;
+    /// [`EngineError::Corrupt`] on detected storage damage.
+    pub fn nearest_search(
+        &self,
+        query: &[f64],
+        k: usize,
+        cost: crate::config::CostLimit,
+    ) -> Result<SearchResult, EngineError> {
+        let plan = QueryPlan::ranking(self, query, cost)?;
+        let t0 = std::time::Instant::now();
+        let index_stats = self.index_stats();
+        let data_stats = self.data_stats();
+        let index_scope = index_stats.local_scope();
+        let data_scope = data_stats.local_scope();
+
+        let mut res = if k == 0 || self.num_windows() == 0 {
+            SearchResult::default()
+        } else if plan.degenerate() {
+            let cands = SeqScanSource.candidates(self, &plan)?;
+            let mut res = Verifier.verify(self, &plan, cands)?;
+            res.matches.truncate(k);
+            res
+        } else {
+            self.nearest_frontier(&plan, k.min(self.num_windows()))?
+        };
+        res.stats.index_pages = index_scope.finish().total_accesses();
+        res.stats.data_pages = data_scope.finish().total_accesses();
+        res.stats.elapsed = t0.elapsed();
+        Ok(res)
+    }
+
+    /// The filter-and-refine frontier loop over a non-degenerate ranking
+    /// plan. Verified fits are cached across rounds: the best-first pop
+    /// sequence is deterministic, so a larger batch is always a prefix
+    /// extension of the previous one and only its tail needs verifying.
+    fn nearest_frontier(
+        &self,
+        plan: &QueryPlan<'_>,
+        k: usize,
+    ) -> Result<SearchResult, EngineError> {
+        let line = self.query_line(plan.query());
+        let mut res = SearchResult::default();
+        // All verified matches seen so far, in canonical order.
+        let mut pool: Vec<SubsequenceMatch> = Vec::new();
+        let mut seen: BTreeMap<SubseqId, ()> = BTreeMap::new();
 
         let mut fetch = (2 * k).max(8);
         loop {
@@ -70,35 +129,38 @@ impl SearchEngine {
                 .map(|c| c.distance)
                 .unwrap_or(f64::INFINITY);
 
-            // Refine: exact distances for this candidate batch.
-            let mut exact: Vec<SubsequenceMatch> = Vec::with_capacity(candidates.len());
-            for c in &candidates {
-                let id = SubseqId::unpack(c.id);
-                let raw = self.fetch_raw(id, n)?;
-                let fit = optimal_scale_shift(query, &raw).expect("lengths match");
-                if !cost.accepts(fit.transform.a, fit.transform.b) {
-                    continue;
-                }
-                exact.push(SubsequenceMatch {
-                    id,
-                    transform: fit.transform,
-                    distance: fit.distance,
-                });
-            }
-            exact.sort_by(|a, b| {
-                a.distance
-                    .partial_cmp(&b.distance)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.id.cmp(&b.id))
-            });
-            exact.truncate(k);
+            // Refine through the shared verifier — only the candidates this
+            // round added.
+            let fresh: Vec<SubseqId> = candidates
+                .iter()
+                .map(|c| SubseqId::unpack(c.id))
+                .filter(|id| seen.insert(*id, ()).is_none())
+                .collect();
+            let round = Verifier.verify(
+                self,
+                plan,
+                Candidates {
+                    ids: fresh,
+                    index: LineQueryStats::default(),
+                    raw: RawAccess::Paged,
+                },
+            )?;
+            res.stats.candidates += round.stats.candidates;
+            res.stats.verified += round.stats.verified;
+            res.stats.false_alarms += round.stats.false_alarms;
+            res.stats.cost_rejected += round.stats.cost_rejected;
+            pool.extend(round.matches);
+            pool.sort_by(SubsequenceMatch::ordering);
+
+            let exact = &pool[..pool.len().min(k)];
 
             // Termination: every unseen candidate has feature distance
             // ≥ max_feature_dist, and exact ≥ feature, so once our k-th
             // exact distance is within that bound the answer is final.
             let kth = exact.last().map(|m| m.distance).unwrap_or(f64::INFINITY);
             if exhausted || (exact.len() == k && kth <= max_feature_dist) {
-                return Ok(exact);
+                res.matches = exact.to_vec();
+                return Ok(res);
             }
             fetch = (fetch * 2).min(self.num_windows());
         }
@@ -239,6 +301,26 @@ mod tests {
             b_range: None,
         };
         assert!(e.nearest_with_cost(&q, 5, cost).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nearest_search_stats_satisfy_the_stage_identity() {
+        let (e, data) = engine();
+        let q = data[0].window(30, 16).unwrap().to_vec();
+        let cost = crate::config::CostLimit {
+            a_range: Some((0.5, 2.0)),
+            b_range: None,
+        };
+        for cost in [crate::config::CostLimit::UNLIMITED, cost] {
+            let res = e.nearest_search(&q, 5, cost).unwrap();
+            let s = &res.stats;
+            assert_eq!(s.candidates, s.verified + s.false_alarms + s.cost_rejected);
+            // ε = ∞ on the ranking plan: nothing can be a false alarm.
+            assert_eq!(s.false_alarms, 0);
+            // The k best of the verified pool are returned.
+            assert!((res.matches.len() as u64) <= s.verified);
+            assert!(s.index_pages > 0 && s.data_pages > 0);
+        }
     }
 
     #[test]

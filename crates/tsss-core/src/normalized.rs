@@ -173,7 +173,7 @@ mod tests {
 
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
-use crate::result::{SearchResult, SubsequenceMatch};
+use crate::result::SearchResult;
 
 impl SearchEngine {
     /// Finds every indexed subsequence whose **z-normalised Euclidean
@@ -194,6 +194,11 @@ impl SearchEngine {
     /// scale-shift `(a, b)` in `transform` (which for a z-match always has
     /// `a > 0`: inversions are *not* z-similar).
     ///
+    /// A thin composition over the staged pipeline: the z-normalised plan
+    /// (which derives the sound feature-space ε from `z_eps` and decides
+    /// the degenerate constant query) with the usual R-tree probe and the
+    /// shared verifier running in z-distance mode.
+    ///
     /// # Errors
     /// Same validation as [`SearchEngine::search`].
     pub fn search_znormalized(
@@ -201,71 +206,8 @@ impl SearchEngine {
         query: &[f64],
         z_eps: f64,
     ) -> Result<SearchResult, EngineError> {
-        let n = self.config().window_len;
-        if query.len() != n {
-            return Err(EngineError::QueryLength {
-                expected: n,
-                got: query.len(),
-            });
-        }
-        if !z_eps.is_finite() || z_eps < 0.0 {
-            return Err(EngineError::InvalidEpsilon(z_eps));
-        }
-        let t0 = std::time::Instant::now();
-        let index_stats = self.index_stats();
-        let data_stats = self.data_stats();
-        let index_scope = index_stats.local_scope();
-        let data_scope = data_stats.local_scope();
-
-        // z_eps² = 2n(1 − cos θ) ⇒ cos θ = 1 − z_eps²/(2n).
-        let cos = 1.0 - z_eps * z_eps / (2.0 * n as f64);
-        let sin = if cos <= 0.0 {
-            1.0 // the cone is a half-space or wider; only the norm bound helps
-        } else {
-            (1.0 - cos * cos).max(0.0).sqrt()
-        };
-        let eps_abs = sin * self.max_se_norm();
-
-        let line = self.query_line(query);
-        let outcome = self.tree().line_query(
-            &line,
-            eps_abs,
-            tsss_geometry::penetration::PenetrationMethod::EnteringExiting,
-        )?;
-
-        let mut stats = crate::result::SearchStats {
-            candidates: outcome.matches.len() as u64,
-            index: outcome.stats,
-            ..Default::default()
-        };
-        let mut matches = Vec::new();
-        for cand in outcome.matches {
-            let id = crate::id::SubseqId::unpack(cand.id);
-            let raw = self.fetch_raw(id, n)?;
-            let zd = z_distance(query, &raw).expect("lengths match");
-            if zd > z_eps {
-                stats.false_alarms += 1;
-                continue;
-            }
-            stats.verified += 1;
-            let fit = tsss_geometry::scale_shift::optimal_scale_shift(query, &raw)
-                .expect("lengths match");
-            matches.push(SubsequenceMatch {
-                id,
-                transform: fit.transform,
-                distance: zd,
-            });
-        }
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        stats.index_pages = index_scope.finish().total_accesses();
-        stats.data_pages = data_scope.finish().total_accesses();
-        stats.elapsed = t0.elapsed();
-        Ok(SearchResult { matches, stats })
+        let plan = crate::pipeline::QueryPlan::znormalized(self, query, z_eps)?;
+        self.run_pipeline(&plan, &crate::pipeline::IndexProbe)
     }
 }
 

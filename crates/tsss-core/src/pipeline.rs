@@ -1,0 +1,810 @@
+//! The staged query pipeline: **plan → candidates → verify**.
+//!
+//! Every query entry point of the engine — indexed search, the
+//! sequential-scan oracle, k-NN ranking, long-query prefix stitching and
+//! z-normalised search — is a thin composition over the three stages in
+//! this module:
+//!
+//! 1. **Plan** ([`QueryPlan`]): validate the query and ε once, fix the
+//!    verification model and window length, and decide the degenerate
+//!    constant-query case (whose SE-line collapses to the origin) exactly
+//!    once, with the same test `optimal_scale_shift` applies during
+//!    verification.
+//! 2. **Candidates** ([`CandidateSource`]): produce the candidate window
+//!    ids. Implementations: the R-tree line/radius probe
+//!    ([`IndexProbe`]), the full sequential scan ([`SeqScanSource`]), and
+//!    the long-query piece intersection ([`PieceStitchSource`]). The k-NN
+//!    frontier drives the pipeline iteratively from
+//!    [`crate::engine::SearchEngine::nearest_search`].
+//! 3. **Verify** ([`Verifier`]): fetch each candidate's raw window,
+//!    compute the optimal `(a, b)` fit (or the z-distance), drop false
+//!    alarms, apply the user's transformation-cost limits, sort by
+//!    [`SubsequenceMatch::ordering`] and assemble [`SearchStats`].
+//!
+//! The pipeline runner ([`crate::engine::SearchEngine::run_pipeline`])
+//! owns the cross-cutting concerns exactly once: thread-local page
+//! accounting scopes, wall-clock timing, and the translation of storage
+//! damage into typed [`EngineError::Corrupt`] values (which
+//! [`crate::engine::SearchEngine::search`] may degrade around — see
+//! [`crate::DegradationPolicy`]).
+//!
+//! Per-stage statistics have **one meaning on every path** (asserted by
+//! the differential equivalence suite):
+//! `stats.candidates == stats.verified + stats.false_alarms +
+//! stats.cost_rejected` — every candidate the source produced is either a
+//! verified match, a false alarm of the filter, or cost-rejected.
+
+use std::collections::BTreeSet;
+
+use tsss_geometry::scale_shift::{is_numerically_constant, optimal_scale_shift};
+use tsss_index::LineQueryStats;
+
+use crate::config::SearchOptions;
+use crate::engine::SearchEngine;
+use crate::error::EngineError;
+use crate::id::SubseqId;
+use crate::normalized::z_distance;
+use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
+use crate::window::window_offsets;
+
+// ---------------------------------------------------------------------
+// Stage 1: the plan
+// ---------------------------------------------------------------------
+
+/// How the verify stage decides whether a candidate window matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VerifyModel {
+    /// The paper's model: accept when the optimal scale-shift fit lands
+    /// within the plan's ε (`‖F_{a,b}(Q) − S'‖₂ ≤ ε`). Matches report the
+    /// fit distance.
+    ScaleShift,
+    /// The modern z-normalised model: accept when the z-normalised
+    /// Euclidean distance is at most `z_eps`. Matches report the
+    /// z-distance; the transform is still the optimal scale-shift fit.
+    ZNormalized {
+        /// The z-distance acceptance threshold.
+        z_eps: f64,
+    },
+}
+
+/// A validated, fully-decided query: what to search for, how candidates
+/// are filtered in feature space, and how survivors are verified.
+///
+/// Construction performs *all* input validation (query length, ε) and
+/// decides the constant-query degenerate case once, so candidate sources
+/// and the verifier never re-check.
+#[derive(Debug, Clone)]
+pub struct QueryPlan<'q> {
+    query: &'q [f64],
+    /// Feature-space ε used by index probes (for the z-model this is the
+    /// derived absolute bound, not `z_eps`).
+    epsilon: f64,
+    opts: SearchOptions,
+    model: VerifyModel,
+    /// Raw window length fetched for verification (`window_len` for plain
+    /// queries, the full query length for long queries).
+    verify_len: usize,
+    degenerate: bool,
+}
+
+impl<'q> QueryPlan<'q> {
+    /// Plans a plain (window-length) query under the paper's scale-shift
+    /// model.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] / [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    pub fn exact(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<Self, EngineError> {
+        let n = engine.config().window_len;
+        if query.len() != n {
+            return Err(EngineError::QueryLength {
+                expected: n,
+                got: query.len(),
+            });
+        }
+        Self::check_epsilon(epsilon)?;
+        Ok(Self {
+            query,
+            epsilon,
+            opts,
+            model: VerifyModel::ScaleShift,
+            verify_len: n,
+            degenerate: is_numerically_constant(query),
+        })
+    }
+
+    /// Plans a long query (at least one window; verified at full length).
+    ///
+    /// # Errors
+    /// [`EngineError::QueryTooShort`] / [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    pub fn long(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<Self, EngineError> {
+        let n = engine.config().window_len;
+        if query.len() < n {
+            return Err(EngineError::QueryTooShort {
+                min: n,
+                got: query.len(),
+            });
+        }
+        Self::check_epsilon(epsilon)?;
+        Ok(Self {
+            query,
+            epsilon,
+            opts,
+            model: VerifyModel::ScaleShift,
+            verify_len: query.len(),
+            degenerate: is_numerically_constant(query),
+        })
+    }
+
+    /// Plans a z-normalised query: derives the sound absolute
+    /// feature-space ε from `z_eps` via the angle relation (see
+    /// [`crate::normalized`]), including the degenerate constant-query
+    /// case (a constant query z-normalises to the zero vector, so only
+    /// windows within `z_eps` of *their own* flat profile can match).
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] / [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    pub fn znormalized(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        z_eps: f64,
+    ) -> Result<Self, EngineError> {
+        let n = engine.config().window_len;
+        if query.len() != n {
+            return Err(EngineError::QueryLength {
+                expected: n,
+                got: query.len(),
+            });
+        }
+        Self::check_epsilon(z_eps)?;
+        let degenerate = is_numerically_constant(query);
+        let epsilon = if degenerate {
+            // z(const) = 0, so a non-constant window w has z-distance
+            // ‖z(w)‖ = √n; flat windows sit at 0. Below √n only flat
+            // windows can qualify — those with sd ≤ 1e-300, whose feature
+            // norm is bounded by se_norm = √n·sd — so probe a ball of that
+            // radius around the origin. At or beyond √n (with a relative
+            // slack keeping boundary rounding on the no-false-dismissal
+            // side) every window can match, so probe out to the norm bound.
+            if z_eps * z_eps >= (n as f64) * (1.0 - 1e-9) {
+                engine.max_se_norm()
+            } else {
+                (n as f64).sqrt() * 1e-300
+            }
+        } else {
+            // z_eps² = 2n(1 − cos θ) ⇒ cos θ = 1 − z_eps²/(2n), and
+            // PLD(se_w, SE-line(q)) = ‖se_w‖·sin θ ≤ sin θ_max · max_norm.
+            let cos = 1.0 - z_eps * z_eps / (2.0 * n as f64);
+            let sin = if cos <= 0.0 {
+                1.0 // half-space or wider; only the norm bound helps
+            } else {
+                (1.0 - cos * cos).max(0.0).sqrt()
+            };
+            sin * engine.max_se_norm()
+        };
+        Ok(Self {
+            query,
+            epsilon,
+            opts: SearchOptions::default(),
+            model: VerifyModel::ZNormalized { z_eps },
+            verify_len: n,
+            degenerate,
+        })
+    }
+
+    /// Plans a ranking (k-NN) query: no ε filter — every candidate the
+    /// frontier yields is verified exactly, and only the cost limits
+    /// reject.
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] on a malformed query.
+    pub fn ranking(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        cost: crate::config::CostLimit,
+    ) -> Result<Self, EngineError> {
+        let n = engine.config().window_len;
+        if query.len() != n {
+            return Err(EngineError::QueryLength {
+                expected: n,
+                got: query.len(),
+            });
+        }
+        Ok(Self {
+            query,
+            epsilon: f64::INFINITY,
+            opts: SearchOptions {
+                cost,
+                ..Default::default()
+            },
+            model: VerifyModel::ScaleShift,
+            verify_len: n,
+            degenerate: is_numerically_constant(query),
+        })
+    }
+
+    fn check_epsilon(epsilon: f64) -> Result<(), EngineError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::InvalidEpsilon(epsilon));
+        }
+        Ok(())
+    }
+
+    /// The query values.
+    pub fn query(&self) -> &[f64] {
+        self.query
+    }
+
+    /// The feature-space ε candidate sources filter with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The per-query options (penetration method, cost limits, budget,
+    /// degradation policy).
+    pub fn options(&self) -> &SearchOptions {
+        &self.opts
+    }
+
+    /// How the verify stage accepts candidates.
+    pub fn model(&self) -> VerifyModel {
+        self.model
+    }
+
+    /// Raw window length fetched per candidate during verification.
+    pub fn verify_len(&self) -> usize {
+        self.verify_len
+    }
+
+    /// True when the query is numerically constant, so its SE-line
+    /// degenerates to the origin and only shift-only matches exist.
+    /// Decided once at plan time with the exact test verification applies.
+    pub fn degenerate(&self) -> bool {
+        self.degenerate
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 2: candidate sources
+// ---------------------------------------------------------------------
+
+/// How the verify stage reads candidates' raw windows.
+#[derive(Debug)]
+pub enum RawAccess {
+    /// Fetch each window through the paged data file (charging data-page
+    /// accesses per candidate) — the indexed paths.
+    Paged,
+    /// Verify against a full-file snapshot the source already read (the
+    /// sequential scan charges the whole file exactly once).
+    Snapshot(Vec<Vec<f64>>),
+}
+
+/// The candidate stage's output: which windows to verify, how to read
+/// them, and the index-traversal statistics incurred producing them.
+///
+/// Sources must yield each candidate id at most once (the verifier counts
+/// every id against the per-stage accounting identity).
+#[derive(Debug)]
+pub struct Candidates {
+    /// Candidate window ids, each unique.
+    pub ids: Vec<SubseqId>,
+    /// Index-traversal statistics accumulated while producing them.
+    pub index: LineQueryStats,
+    /// How the verifier reads the raw windows.
+    pub raw: RawAccess,
+}
+
+/// The candidate-generation stage: everything between a validated
+/// [`QueryPlan`] and the list of window ids to verify. This is the seam
+/// new retrieval backends implement (sharded probes, cached frontiers,
+/// alternative indexes) without touching validation or verification.
+pub trait CandidateSource {
+    /// Produces the candidate set for `plan` over `engine`.
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] on detected storage damage;
+    /// [`EngineError::PageBudgetExceeded`] when the plan's page budget
+    /// runs out mid-traversal.
+    fn candidates(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+    ) -> Result<Candidates, EngineError>;
+}
+
+/// The paper's §6 searching step: probe the R-tree with the query's
+/// SE-line (or, for a degenerate constant query, the feature-space ball
+/// around the origin — feature norms never exceed SE-norms, so no false
+/// dismissals), honouring the plan's penetration method and page budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexProbe;
+
+impl CandidateSource for IndexProbe {
+    fn candidates(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+    ) -> Result<Candidates, EngineError> {
+        let outcome = if plan.degenerate() {
+            engine.tree().radius_query_with_budget(
+                &vec![0.0; engine.config().feature_dim()],
+                plan.epsilon(),
+                plan.options().page_budget,
+            )?
+        } else {
+            let line = engine.query_line(plan.query());
+            engine.tree().line_query_with_budget(
+                &line,
+                plan.epsilon(),
+                plan.options().method,
+                plan.options().page_budget,
+            )?
+        };
+        Ok(Candidates {
+            ids: outcome
+                .matches
+                .iter()
+                .map(|m| SubseqId::unpack(m.id))
+                .collect(),
+            index: outcome.stats,
+            raw: RawAccess::Paged,
+        })
+    }
+}
+
+/// The sequential-scan oracle: every indexed window offset is a
+/// candidate, read in one pass over the raw pages. No index, no pruning —
+/// the recall baseline (paper experiment set 1) and the degradation
+/// fallback.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqScanSource;
+
+impl CandidateSource for SeqScanSource {
+    fn candidates(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+    ) -> Result<Candidates, EngineError> {
+        let n = plan.verify_len();
+        let stride = engine.config().stride;
+        let all = engine.read_everything()?;
+        let mut ids = Vec::new();
+        for (si, values) in all.iter().enumerate() {
+            for off in window_offsets(values.len(), n, stride) {
+                ids.push(SubseqId::try_new(si, off)?);
+            }
+        }
+        Ok(Candidates {
+            ids,
+            index: LineQueryStats::default(),
+            raw: RawAccess::Snapshot(all),
+        })
+    }
+}
+
+/// Brute-force candidate enumeration for long queries: every start
+/// position where a `verify_len` window fits, regardless of the stride
+/// grid (the paper's setting is stride 1). The test/verification oracle
+/// for [`PieceStitchSource`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqScanLongSource;
+
+impl CandidateSource for SeqScanLongSource {
+    fn candidates(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+    ) -> Result<Candidates, EngineError> {
+        let total_len = plan.verify_len();
+        let all = engine.read_everything()?;
+        let mut ids = Vec::new();
+        for (si, values) in all.iter().enumerate() {
+            if values.len() < total_len {
+                continue;
+            }
+            for off in 0..=values.len() - total_len {
+                ids.push(SubseqId::try_new(si, off)?);
+            }
+        }
+        Ok(Candidates {
+            ids,
+            index: LineQueryStats::default(),
+            raw: RawAccess::Snapshot(all),
+        })
+    }
+}
+
+/// Long-query candidate generation (paper §7, first remark, via the
+/// ST-index method): partition the query into window-length pieces,
+/// probe the index with each piece's SE-line at the full ε, shift each
+/// piece's hits back to the would-be start of the whole match, and
+/// intersect. Squared distance decomposes over disjoint ranges, so the
+/// intersection never drops a true match; the verifier removes the false
+/// alarms on the full-length windows.
+///
+/// # Panics
+/// Panics when the engine's stride is not 1 — the decomposition needs
+/// every piece offset indexed (the paper's setting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PieceStitchSource;
+
+impl CandidateSource for PieceStitchSource {
+    fn candidates(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+    ) -> Result<Candidates, EngineError> {
+        let n = engine.config().window_len;
+        assert_eq!(
+            engine.config().stride,
+            1,
+            "long-query search requires stride 1"
+        );
+        let total_len = plan.verify_len();
+        let piece_offsets: Vec<usize> = (0..=total_len - n).step_by(n).collect();
+
+        // Piece 0 establishes the candidate starts; later pieces prune.
+        let mut index = LineQueryStats::default();
+        let mut candidates: Option<BTreeSet<SubseqId>> = None;
+        for (pi, &poff) in piece_offsets.iter().enumerate() {
+            let piece = &plan.query()[poff..poff + n];
+            let line = engine.query_line(piece);
+            let outcome = engine
+                .tree()
+                .line_query(&line, plan.epsilon(), plan.options().method)?;
+            index.merge(&outcome.stats);
+
+            let mut starts = BTreeSet::new();
+            for m in outcome.matches {
+                let hit = SubseqId::unpack(m.id);
+                // The whole match would start `poff` values earlier.
+                if (hit.offset as usize) < poff {
+                    continue;
+                }
+                starts.insert(SubseqId {
+                    series: hit.series,
+                    offset: hit.offset - poff as u32,
+                });
+            }
+            candidates = Some(match candidates {
+                None => starts,
+                Some(prev) => {
+                    debug_assert!(pi > 0);
+                    prev.intersection(&starts).copied().collect()
+                }
+            });
+            if candidates.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
+                break;
+            }
+        }
+
+        // Starts whose full-length window runs off the series can never
+        // verify; drop them here so the verifier only sees real windows.
+        let mut ids = Vec::new();
+        for id in candidates.unwrap_or_default() {
+            let series_len = engine.series_len(id.series as usize)?;
+            if id.offset as usize + total_len <= series_len {
+                ids.push(id);
+            }
+        }
+        Ok(Candidates {
+            ids,
+            index,
+            raw: RawAccess::Paged,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pipeline runner
+// ---------------------------------------------------------------------
+
+impl SearchEngine {
+    /// Runs the full pipeline: open the thread-local page-accounting
+    /// scopes, generate candidates from `source`, verify them, and stamp
+    /// the page counts and wall-clock into the result.
+    ///
+    /// This is the *only* place page accounting and timing happen — every
+    /// public entry point is a [`QueryPlan`] constructor plus this call
+    /// (the k-NN frontier drives the stages itself in
+    /// [`SearchEngine::nearest_search`], with the same scope discipline).
+    /// The per-query counts are exact even when queries run concurrently:
+    /// the scopes tally the calling thread only, while still feeding the
+    /// engine's global counters.
+    ///
+    /// # Errors
+    /// Whatever the source or verifier surfaces —
+    /// [`EngineError::Corrupt`], [`EngineError::PageBudgetExceeded`].
+    /// Degradation policy is *not* applied here; see
+    /// [`SearchEngine::search`] for the one place it lives.
+    pub fn run_pipeline(
+        &self,
+        plan: &QueryPlan<'_>,
+        source: &dyn CandidateSource,
+    ) -> Result<SearchResult, EngineError> {
+        let t0 = std::time::Instant::now();
+        let index_stats = self.index_stats();
+        let data_stats = self.data_stats();
+        let index_scope = index_stats.local_scope();
+        let data_scope = data_stats.local_scope();
+
+        let cands = source.candidates(self, plan)?;
+        let mut res = Verifier.verify(self, plan, cands)?;
+
+        res.stats.index_pages = index_scope.finish().total_accesses();
+        res.stats.data_pages = data_scope.finish().total_accesses();
+        res.stats.elapsed = t0.elapsed();
+        Ok(res)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 3: the verifier
+// ---------------------------------------------------------------------
+
+/// The shared post-processing stage: raw fetch, exact fit, ε and cost
+/// filtering, canonical ordering, per-stage stats. Exactly one copy of
+/// this logic exists for all query paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Verifier;
+
+impl Verifier {
+    /// Verifies `cands` against the plan, producing the sorted matches
+    /// and the per-stage statistics (everything except the page counters
+    /// and wall-clock, which the pipeline runner owns).
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when a candidate's raw window cannot be
+    /// fetched or has the wrong length (a corrupt index entry pointing at
+    /// a short tail window is a typed error, never a panic).
+    pub fn verify(
+        &self,
+        engine: &SearchEngine,
+        plan: &QueryPlan<'_>,
+        cands: Candidates,
+    ) -> Result<SearchResult, EngineError> {
+        let mut stats = SearchStats {
+            candidates: cands.ids.len() as u64,
+            index: cands.index,
+            ..Default::default()
+        };
+        let len = plan.verify_len();
+        let mut matches = Vec::new();
+        for id in cands.ids {
+            let owned;
+            let window: &[f64] = match &cands.raw {
+                RawAccess::Paged => {
+                    owned = engine.fetch_raw(id, len)?;
+                    &owned
+                }
+                RawAccess::Snapshot(all) => snapshot_window(all, id, len)?,
+            };
+            let fit =
+                optimal_scale_shift(plan.query(), window).map_err(|_| EngineError::Corrupt {
+                    detail: format!(
+                        "window {id} has length {} where the query needs {}",
+                        window.len(),
+                        plan.query().len()
+                    ),
+                })?;
+            let distance = match plan.model() {
+                VerifyModel::ScaleShift => {
+                    if fit.distance > plan.epsilon() {
+                        stats.false_alarms += 1;
+                        continue;
+                    }
+                    fit.distance
+                }
+                VerifyModel::ZNormalized { z_eps } => {
+                    let zd =
+                        z_distance(plan.query(), window).map_err(|_| EngineError::Corrupt {
+                            detail: format!(
+                                "window {id} has length {} where the query needs {}",
+                                window.len(),
+                                plan.query().len()
+                            ),
+                        })?;
+                    if zd > z_eps {
+                        stats.false_alarms += 1;
+                        continue;
+                    }
+                    zd
+                }
+            };
+            if !plan
+                .options()
+                .cost
+                .accepts(fit.transform.a, fit.transform.b)
+            {
+                stats.cost_rejected += 1;
+                continue;
+            }
+            stats.verified += 1;
+            matches.push(SubsequenceMatch {
+                id,
+                transform: fit.transform,
+                distance,
+            });
+        }
+        matches.sort_by(SubsequenceMatch::ordering);
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+/// Slices one window out of a full-file snapshot, surfacing impossible
+/// coordinates as typed corruption.
+fn snapshot_window(all: &[Vec<f64>], id: SubseqId, len: usize) -> Result<&[f64], EngineError> {
+    let series = all
+        .get(id.series as usize)
+        .ok_or(EngineError::UnknownSeries(id.series as usize))?;
+    let off = id.offset as usize;
+    let end = off
+        .checked_add(len)
+        .filter(|&e| e <= series.len())
+        .ok_or_else(|| EngineError::Corrupt {
+            detail: format!(
+                "window {id} of length {len} exceeds series of length {}",
+                series.len()
+            ),
+        })?;
+    Ok(&series[off..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CostLimit, EngineConfig};
+    use tsss_data::{MarketConfig, MarketSimulator, Series};
+
+    fn engine() -> (SearchEngine, Vec<Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(4, 60, 11)).generate();
+        (
+            SearchEngine::build(&data, EngineConfig::small(16)).unwrap(),
+            data,
+        )
+    }
+
+    #[test]
+    fn plan_validates_once_for_all_paths() {
+        let (e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        assert!(matches!(
+            QueryPlan::exact(&e, &[0.0; 4], 1.0, SearchOptions::default()),
+            Err(EngineError::QueryLength { .. })
+        ));
+        assert!(matches!(
+            QueryPlan::exact(&e, &q, f64::NAN, SearchOptions::default()),
+            Err(EngineError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            QueryPlan::long(&e, &[0.0; 10], 1.0, SearchOptions::default()),
+            Err(EngineError::QueryTooShort { min: 16, got: 10 })
+        ));
+        assert!(matches!(
+            QueryPlan::znormalized(&e, &q, -1.0),
+            Err(EngineError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            QueryPlan::ranking(&e, &[0.0; 4], CostLimit::UNLIMITED),
+            Err(EngineError::QueryLength { .. })
+        ));
+        let plan = QueryPlan::exact(&e, &q, 2.0, SearchOptions::default()).unwrap();
+        assert!(!plan.degenerate());
+        assert_eq!(plan.verify_len(), 16);
+        assert_eq!(plan.epsilon(), 2.0);
+    }
+
+    #[test]
+    fn constant_query_degeneracy_is_decided_at_plan_time() {
+        let (e, _) = engine();
+        let flat = vec![5.0; 16];
+        let plan = QueryPlan::exact(&e, &flat, 1.0, SearchOptions::default()).unwrap();
+        assert!(plan.degenerate());
+        // The same test optimal_scale_shift applies: a hair of noise below
+        // the relative tolerance still counts as constant.
+        let mut nearly = vec![50.0; 16];
+        nearly[3] += 5e-12;
+        assert!(QueryPlan::exact(&e, &nearly, 1.0, SearchOptions::default())
+            .unwrap()
+            .degenerate());
+    }
+
+    #[test]
+    fn index_probe_and_seqscan_agree_through_the_pipeline() {
+        let (e, data) = engine();
+        let q = data[1].window(8, 16).unwrap().to_vec();
+        let plan = QueryPlan::exact(&e, &q, 3.0, SearchOptions::default()).unwrap();
+        let fast = e.run_pipeline(&plan, &IndexProbe).unwrap();
+        let slow = e.run_pipeline(&plan, &SeqScanSource).unwrap();
+        assert_eq!(fast.id_set(), slow.id_set());
+        assert_eq!(fast.matches, slow.matches);
+        for r in [&fast, &slow] {
+            assert_eq!(
+                r.stats.candidates,
+                r.stats.verified + r.stats.false_alarms + r.stats.cost_rejected
+            );
+        }
+        // The scan considered every window; the probe pruned.
+        assert_eq!(slow.stats.candidates as usize, e.num_windows());
+        assert!(fast.stats.candidates <= slow.stats.candidates);
+    }
+
+    #[test]
+    fn verifier_reports_short_windows_as_typed_corruption() {
+        let (e, data) = engine();
+        let q = data[0].window(0, 16).unwrap().to_vec();
+        let plan = QueryPlan::exact(&e, &q, 1.0, SearchOptions::default()).unwrap();
+        // A candidate pointing past the series tail: the snapshot fetch
+        // must fail typed, not panic.
+        let bogus = Candidates {
+            ids: vec![SubseqId {
+                series: 0,
+                offset: (data[0].len() - 4) as u32,
+            }],
+            index: LineQueryStats::default(),
+            raw: RawAccess::Snapshot(data.iter().map(|s| s.values.clone()).collect()),
+        };
+        let err = Verifier.verify(&e, &plan, bogus).unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+        // Same through the paged path.
+        let bogus = Candidates {
+            ids: vec![SubseqId {
+                series: 0,
+                offset: (data[0].len() - 4) as u32,
+            }],
+            index: LineQueryStats::default(),
+            raw: RawAccess::Paged,
+        };
+        let err = Verifier.verify(&e, &plan, bogus).unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+    }
+
+    #[test]
+    fn custom_candidate_sources_compose_with_the_pipeline() {
+        // A hand-rolled source (the seam future backends implement): only
+        // windows of series 0 are candidates.
+        struct SeriesZeroOnly;
+        impl CandidateSource for SeriesZeroOnly {
+            fn candidates(
+                &self,
+                engine: &SearchEngine,
+                _plan: &QueryPlan<'_>,
+            ) -> Result<Candidates, EngineError> {
+                let len = engine.series_len(0)?;
+                let n = engine.config().window_len;
+                Ok(Candidates {
+                    ids: window_offsets(len, n, engine.config().stride)
+                        .map(|off| SubseqId::try_new(0, off))
+                        .collect::<Result<_, _>>()?,
+                    index: LineQueryStats::default(),
+                    raw: RawAccess::Paged,
+                })
+            }
+        }
+        let (e, data) = engine();
+        let q = data[0].window(5, 16).unwrap().to_vec();
+        let plan = QueryPlan::exact(&e, &q, 2.0, SearchOptions::default()).unwrap();
+        let scoped = e.run_pipeline(&plan, &SeriesZeroOnly).unwrap();
+        let full = e.run_pipeline(&plan, &SeqScanSource).unwrap();
+        assert!(scoped.matches.iter().all(|m| m.id.series == 0));
+        let full_zero: Vec<_> = full
+            .matches
+            .iter()
+            .filter(|m| m.id.series == 0)
+            .cloned()
+            .collect();
+        assert_eq!(scoped.matches, full_zero);
+    }
+}

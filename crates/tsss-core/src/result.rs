@@ -17,12 +17,41 @@ pub struct SubsequenceMatch {
     pub distance: f64,
 }
 
+impl SubsequenceMatch {
+    /// The canonical match order every query path reports in: ascending
+    /// distance, ties broken by [`SubseqId`]. Use with
+    /// `matches.sort_by(SubsequenceMatch::ordering)` — one comparator for
+    /// all paths, so tie-breaking can never drift between them.
+    pub fn ordering(a: &Self, b: &Self) -> std::cmp::Ordering {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    }
+}
+
 /// Per-query cost accounting.
+///
+/// The per-stage counters have **one meaning on every entry point** (they
+/// are filled by the shared [`crate::pipeline::Verifier`]): `candidates`
+/// is what the candidate stage produced, and every candidate is counted in
+/// exactly one of `verified`, `false_alarms`, or `cost_rejected` — so
+///
+/// ```text
+/// candidates == verified + false_alarms + cost_rejected
+/// ```
+///
+/// holds whether the candidates came from the R-tree probe, the
+/// sequential scan (where `candidates` is simply every window), the
+/// long-query piece intersection, or the k-NN frontier (where `verified`
+/// counts all exactly-verified candidates, of which the k best are
+/// returned). The differential equivalence suite asserts the identity on
+/// each path.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Index traversal statistics (nodes visited, penetration tests, …).
     pub index: LineQueryStats,
-    /// Candidates produced by the index (before verification).
+    /// Candidates produced by the candidate stage, before verification.
     pub candidates: u64,
     /// Candidates that verified as true matches.
     pub verified: u64,

@@ -6,21 +6,22 @@
 //! agree, and the property tests verify it). CPU cost is therefore constant
 //! in ε — exactly the flat curve of Figure 4.
 
-use std::time::Instant;
-
-use tsss_geometry::scale_shift::optimal_scale_shift;
-
-use crate::config::CostLimit;
+use crate::config::{CostLimit, SearchOptions};
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
-use crate::id::SubseqId;
-use crate::result::{SearchResult, SearchStats, SubsequenceMatch};
-use crate::window::window_offsets;
+use crate::pipeline::{QueryPlan, SeqScanSource};
+use crate::result::SearchResult;
 
 impl SearchEngine {
     /// Answers the query by scanning every window of every series — no
     /// index, no pruning. Produces exactly the same match set as
     /// [`SearchEngine::search`] (the recall oracle of the test suite).
+    ///
+    /// A thin composition over the staged pipeline: the same plan as the
+    /// indexed path, with [`SeqScanSource`] — which reads the file once and
+    /// nominates every window — in place of the R-tree probe. Verification
+    /// and stats come from the shared [`crate::pipeline::Verifier`], so
+    /// `stats.candidates` is the total window count and `index_pages` is 0.
     ///
     /// # Errors
     /// Same input validation as [`SearchEngine::search`].
@@ -30,57 +31,12 @@ impl SearchEngine {
         epsilon: f64,
         cost: CostLimit,
     ) -> Result<SearchResult, EngineError> {
-        let n = self.config().window_len;
-        if query.len() != n {
-            return Err(EngineError::QueryLength {
-                expected: n,
-                got: query.len(),
-            });
-        }
-        if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(EngineError::InvalidEpsilon(epsilon));
-        }
-        let stride = self.config().stride;
-        let t0 = Instant::now();
-        let data_stats = self.data_stats();
-        let data_scope = data_stats.local_scope();
-
-        // One sequential pass over the raw pages.
-        let all = self.store().read_everything()?;
-
-        let mut stats = SearchStats::default();
-        let mut matches = Vec::new();
-        for (si, values) in all.iter().enumerate() {
-            for off in window_offsets(values.len(), n, stride) {
-                stats.candidates += 1;
-                let window = &values[off..off + n];
-                let fit = optimal_scale_shift(query, window).expect("lengths match");
-                if fit.distance > epsilon {
-                    stats.false_alarms += 1;
-                    continue;
-                }
-                if !cost.accepts(fit.transform.a, fit.transform.b) {
-                    stats.cost_rejected += 1;
-                    continue;
-                }
-                stats.verified += 1;
-                matches.push(SubsequenceMatch {
-                    id: SubseqId::try_new(si, off)?,
-                    transform: fit.transform,
-                    distance: fit.distance,
-                });
-            }
-        }
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-
-        stats.data_pages = data_scope.finish().total_accesses();
-        stats.elapsed = t0.elapsed();
-        Ok(SearchResult { matches, stats })
+        let opts = SearchOptions {
+            cost,
+            ..Default::default()
+        };
+        let plan = QueryPlan::exact(self, query, epsilon, opts)?;
+        self.run_pipeline(&plan, &SeqScanSource)
     }
 }
 

@@ -1,0 +1,233 @@
+//! Differential equivalence suite: every public query entry point, run on
+//! one seeded workload, locked byte-for-byte against a fixture generated
+//! by the pre-pipeline-refactor code.
+//!
+//! The fixture (`tests/fixtures/equivalence_oracle.txt`) records, per case,
+//! the full match list (ids, transforms and distances as exact `f64` bit
+//! patterns) and the per-stage statistics including per-query page counts.
+//! Any refactor of the query paths must reproduce it exactly — including
+//! page accounting under parallel batches, which is also asserted to match
+//! the serial runs case by case.
+//!
+//! Regenerate (only when an *intentional* behaviour change is made) with:
+//!
+//! ```text
+//! TSSS_BLESS=1 cargo test -p tsss-core --test equivalence
+//! ```
+
+use std::fmt::Write as _;
+
+use tsss_core::{
+    CostLimit, EngineConfig, SearchEngine, SearchOptions, SearchResult, SubsequenceMatch,
+};
+use tsss_data::{MarketConfig, MarketSimulator, Series};
+use tsss_geometry::scale_shift::ScaleShift;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/equivalence_oracle.txt"
+);
+
+fn workload() -> Vec<Series> {
+    let mut data = MarketSimulator::new(MarketConfig::small(6, 90, 20260807)).generate();
+    data.push(Series::new("flat", vec![42.0; 90]));
+    data
+}
+
+fn engine() -> SearchEngine {
+    SearchEngine::build(&workload(), EngineConfig::small(16)).unwrap()
+}
+
+fn fmt_matches(out: &mut String, matches: &[SubsequenceMatch]) {
+    for m in matches {
+        writeln!(
+            out,
+            "match {}:{} a={:016x} b={:016x} d={:016x}",
+            m.id.series,
+            m.id.offset,
+            m.transform.a.to_bits(),
+            m.transform.b.to_bits(),
+            m.distance.to_bits()
+        )
+        .unwrap();
+    }
+}
+
+/// Appends one case to the report. `lock_pages` is false for paths whose
+/// page accounting was undefined pre-refactor (so only the logical stats
+/// are locked there).
+fn case(out: &mut String, name: &str, res: &SearchResult, lock_pages: bool) {
+    writeln!(out, "case {name}").unwrap();
+    write!(
+        out,
+        "stats candidates={} verified={} false_alarms={} cost_rejected={} degraded={}",
+        res.stats.candidates,
+        res.stats.verified,
+        res.stats.false_alarms,
+        res.stats.cost_rejected,
+        res.stats.degraded
+    )
+    .unwrap();
+    if lock_pages {
+        write!(
+            out,
+            " index_pages={} data_pages={}",
+            res.stats.index_pages, res.stats.data_pages
+        )
+        .unwrap();
+    }
+    out.push('\n');
+    fmt_matches(out, &res.matches);
+    writeln!(out, "end").unwrap();
+}
+
+/// A case holding bare matches (the k-NN entry points predate per-query
+/// stats, so only the ranked list is locked).
+fn case_matches(out: &mut String, name: &str, matches: &[SubsequenceMatch]) {
+    writeln!(out, "case {name}").unwrap();
+    fmt_matches(out, matches);
+    writeln!(out, "end").unwrap();
+}
+
+/// The per-stage accounting identity that must hold on every entry point:
+/// every candidate is either verified, a false alarm, or cost-rejected.
+fn assert_stage_invariant(name: &str, res: &SearchResult) {
+    assert_eq!(
+        res.stats.candidates,
+        res.stats.verified + res.stats.false_alarms + res.stats.cost_rejected,
+        "stage accounting broken on {name}: {:?}",
+        res.stats
+    );
+    assert_eq!(res.matches.len() as u64, res.stats.verified, "{name}");
+}
+
+fn build_report() -> String {
+    let data = workload();
+    let e = engine();
+    let mut out = String::new();
+
+    let q0 = data[2].window(10, 16).unwrap().to_vec();
+    let q1 = ScaleShift { a: 2.5, b: -40.0 }.apply(data[4].window(30, 16).unwrap());
+    let q2 = vec![7.0; 16]; // constant: the degenerate shift-only plan
+    let q3 = data[0].window(5, 16).unwrap().to_vec();
+    let cost_tight = CostLimit {
+        a_range: Some((0.9, 1.1)),
+        b_range: None,
+    };
+    let with_cost = SearchOptions {
+        cost: cost_tight,
+        ..Default::default()
+    };
+
+    // Indexed search (the paper's §6 path), including the degenerate
+    // constant query and a cost-limited run.
+    for (name, q, eps, opts) in [
+        ("indexed/q0/eps0.5", &q0, 0.5, SearchOptions::default()),
+        ("indexed/q0/eps2", &q0, 2.0, SearchOptions::default()),
+        ("indexed/q1/eps1e-6", &q1, 1e-6, SearchOptions::default()),
+        ("indexed/q2/eps0.5", &q2, 0.5, SearchOptions::default()),
+        ("indexed/q3/eps8/cost", &q3, 8.0, with_cost),
+    ] {
+        let res = e.search(q, eps, opts).unwrap();
+        assert_stage_invariant(name, &res);
+        case(&mut out, name, &res, true);
+    }
+
+    // Sequential-scan oracle.
+    for (name, q, eps, cost) in [
+        ("seqscan/q0/eps2", &q0, 2.0, CostLimit::UNLIMITED),
+        ("seqscan/q3/eps8/cost", &q3, 8.0, cost_tight),
+        ("seqscan/q2/eps0.5", &q2, 0.5, CostLimit::UNLIMITED),
+    ] {
+        let res = e.sequential_search(q, eps, cost).unwrap();
+        assert_stage_invariant(name, &res);
+        case(&mut out, name, &res, true);
+    }
+
+    // k-NN (plain and cost-constrained).
+    case_matches(&mut out, "nn/q0/k5", &e.nearest(&q0, 5).unwrap());
+    case_matches(
+        &mut out,
+        "nn_cost/q3/k5",
+        &e.nearest_with_cost(
+            &q3,
+            5,
+            CostLimit {
+                a_range: Some((0.5, 2.0)),
+                b_range: None,
+            },
+        )
+        .unwrap(),
+    );
+
+    // Long queries: prefix stitching vs its brute-force oracle. The oracle
+    // predates page accounting, so its pages are not locked.
+    let ql = data[1].window(10, 40).unwrap().to_vec();
+    let res = e.search_long(&ql, 2.0, SearchOptions::default()).unwrap();
+    assert_stage_invariant("long/len40/eps2", &res);
+    case(&mut out, "long/len40/eps2", &res, true);
+    let res = e.sequential_search_long(&ql, 2.0).unwrap();
+    assert_stage_invariant("long_seq/len40/eps2", &res);
+    case(&mut out, "long_seq/len40/eps2", &res, false);
+
+    // z-normalised search.
+    let res = e.search_znormalized(&q0, 1.0).unwrap();
+    assert_stage_invariant("znorm/q0/z1", &res);
+    case(&mut out, "znorm/q0/z1", &res, true);
+
+    // Parallel batch: per-query results and page counts must be identical
+    // to the serial runs above regardless of interleaving.
+    let queries = vec![q0.clone(), q1.clone(), q2.clone(), q3.clone()];
+    let batch = e
+        .search_batch(&queries, 2.0, SearchOptions::default(), 4)
+        .unwrap();
+    let serial: Vec<SearchResult> = queries
+        .iter()
+        .map(|q| e.search(q, 2.0, SearchOptions::default()).unwrap())
+        .collect();
+    for (i, (b, s)) in batch.iter().zip(&serial).enumerate() {
+        assert_eq!(b.matches, s.matches, "batch query {i} diverged from serial");
+        assert_eq!(b.stats.index_pages, s.stats.index_pages, "batch query {i}");
+        assert_eq!(b.stats.data_pages, s.stats.data_pages, "batch query {i}");
+        assert_stage_invariant("batch", b);
+        case(&mut out, &format!("batch/q{i}/eps2"), b, true);
+    }
+
+    // Degraded fallback: smash every index page on a fresh engine; the
+    // sequential fallback must still produce the oracle answer, flagged.
+    let mut broken = engine();
+    for p in 0..broken.index_extent() as u32 {
+        let _ = broken.corrupt_index_page(p, &mut |b| b[0] ^= 0xFF);
+    }
+    let res = broken.search(&q0, 2.0, SearchOptions::default()).unwrap();
+    assert!(res.stats.degraded, "fallback must be flagged");
+    assert_stage_invariant("degraded/q0/eps2", &res);
+    case(&mut out, "degraded/q0/eps2", &res, true);
+
+    out
+}
+
+#[test]
+fn every_entry_point_matches_the_pre_refactor_oracle() {
+    let report = build_report();
+    if std::env::var_os("TSSS_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &report).unwrap();
+        eprintln!("blessed {FIXTURE} ({} lines)", report.lines().count());
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("missing fixture — run with TSSS_BLESS=1 to generate");
+    if report != expected {
+        // Surface the first divergence compactly instead of dumping both.
+        for (i, (got, want)) in report.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at fixture line {}", i + 1);
+        }
+        assert_eq!(
+            report.lines().count(),
+            expected.lines().count(),
+            "report length diverged from fixture"
+        );
+        unreachable!("reports differ but no line-level divergence found");
+    }
+}

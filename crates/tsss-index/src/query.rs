@@ -35,6 +35,19 @@ pub struct LineQueryStats {
     pub sphere: SphereStats,
 }
 
+impl LineQueryStats {
+    /// Accumulates another traversal's counters into this one — e.g. a
+    /// multi-probe query (one index probe per piece of a long query)
+    /// reporting a single set of index statistics.
+    pub fn merge(&mut self, other: &LineQueryStats) {
+        self.internal_visited += other.internal_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.candidates_checked += other.candidates_checked;
+        self.penetration_tests += other.penetration_tests;
+        self.sphere.merge(&other.sphere);
+    }
+}
+
 /// A match returned by a query: the stored point, its record id and its
 /// distance to the query object (line or point).
 #[derive(Debug, Clone, PartialEq)]

@@ -275,10 +275,12 @@ fn cmd_query(a: &Args) -> Result<(), String> {
         .search(&query, epsilon, opts)
         .map_err(|e| e.to_string())?;
     println!(
-        "{} match(es); {} candidates, {} false alarms, {} pages, {:?}",
+        "{} match(es); {} candidates ({} verified, {} false alarms, {} cost-rejected), {} pages, {:?}",
         res.matches.len(),
         res.stats.candidates,
+        res.stats.verified,
         res.stats.false_alarms,
+        res.stats.cost_rejected,
         res.stats.total_pages(),
         res.stats.elapsed
     );
@@ -363,9 +365,18 @@ fn cmd_nn(a: &Args) -> Result<(), String> {
         .map_err(|e| format!("loading {path}: {e}"))?;
     let query = load_query(a.require("query")?, engine.config().window_len)?;
     let k: usize = a.get_parsed("k", 10)?;
-    let hits = engine.nearest(&query, k).map_err(|e| e.to_string())?;
-    println!("{} nearest subsequence(s):", hits.len());
-    for m in &hits {
+    let res = engine
+        .nearest_search(&query, k, CostLimit::UNLIMITED)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} nearest subsequence(s); {} frontier candidates ({} verified), {} pages, {:?}:",
+        res.matches.len(),
+        res.stats.candidates,
+        res.stats.verified,
+        res.stats.total_pages(),
+        res.stats.elapsed
+    );
+    for m in &res.matches {
         println!(
             "  {} · a = {:.4}, b = {:+.4} · distance {:.6}",
             m.id, m.transform.a, m.transform.b, m.distance
