@@ -216,8 +216,43 @@ pub enum DegradationPolicy {
     #[default]
     SeqScanFallback,
     /// Surface the corruption to the caller as
-    /// [`crate::EngineError::Corrupt`].
+    /// [`crate::EngineError::Corrupt`]. The failed probe still feeds the
+    /// engine's circuit breaker and quarantine, so repeated corrupt probes
+    /// open the breaker for `SeqScanFallback` queries and show up in
+    /// [`crate::SearchEngine::health`].
     Error,
+    /// Like [`DegradationPolicy::Error`], but fully isolated: the corrupt
+    /// probe surfaces as [`crate::EngineError::Corrupt`] and leaves the
+    /// engine's circuit breaker, seqscan counter, and quarantine untouched.
+    /// For callers that manage recovery themselves and must not perturb the
+    /// shared health state.
+    Strict,
+}
+
+/// A per-query execution deadline: deterministic page-access and
+/// verification-step budgets, checked cooperatively at each pipeline stage
+/// and every k-NN frontier round. No wall clock is involved, so a deadline
+/// behaves identically across machines and under test. Exhaustion is the
+/// typed [`crate::EngineError::DeadlineExceeded`] — a hard error, never
+/// degraded around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// Maximum page accesses (index plus data) the query may spend.
+    pub max_pages: u64,
+    /// Maximum verification steps (candidate windows fetched and fitted)
+    /// the query may spend.
+    pub max_steps: u64,
+}
+
+impl Deadline {
+    /// A deadline bounding both pages and steps by `n` — a coarse "about
+    /// this much work" knob.
+    pub fn uniform(n: u64) -> Self {
+        Self {
+            max_pages: n,
+            max_steps: n,
+        }
+    }
 }
 
 /// Per-query options.
@@ -235,6 +270,9 @@ pub struct SearchOptions {
     pub page_budget: Option<u64>,
     /// What to do when index corruption is detected mid-query.
     pub degradation: DegradationPolicy,
+    /// Optional execution deadline (page and step budgets). `None` means
+    /// unbounded.
+    pub deadline: Option<Deadline>,
 }
 
 #[cfg(test)]

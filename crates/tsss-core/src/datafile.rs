@@ -155,6 +155,7 @@ impl PagedSeriesStore {
     ) -> Result<(), EngineError> {
         let &pid = self.pages.get(nth).ok_or(EngineError::Corrupt {
             detail: format!("data page index {nth} out of range"),
+            page: None,
         })?;
         self.pool.corrupt_page(pid, f)?;
         Ok(())
@@ -265,7 +266,7 @@ impl PagedSeriesStore {
         if series >= self.names.len() {
             return Err(EngineError::UnknownSeries(series));
         }
-        let corrupt = |detail: String| EngineError::Corrupt { detail };
+        let corrupt = |detail: String| EngineError::Corrupt { detail, page: None };
         let end = offset.saturating_add(len);
         if end > self.lengths[series] {
             return Err(corrupt(format!(
@@ -492,6 +493,7 @@ impl PagedSeriesStore {
                         .filter(|&gend| gend <= global.len())
                         .ok_or_else(|| EngineError::Corrupt {
                             detail: format!("extent of series {s} runs past the global log"),
+                            page: None,
                         })?;
                     v.extend_from_slice(&global[e.global_start..gend]);
                 }

@@ -1,5 +1,8 @@
 //! The indexed search engine — the paper's §6 algorithm end to end.
 
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
 use tsss_data::Series;
 use tsss_dft::FeatureExtractor;
 use tsss_geometry::line::Line;
@@ -11,6 +14,7 @@ use crate::config::{EngineConfig, SearchOptions};
 use crate::datafile::PagedSeriesStore;
 use crate::error::EngineError;
 use crate::id::SubseqId;
+use crate::recovery::{BreakerState, CircuitBreaker, HealthReport, RepairReport};
 use crate::result::SearchResult;
 use crate::window::window_offsets;
 
@@ -43,6 +47,13 @@ pub struct SearchEngine {
     /// deletions do not lower it). Used by the z-normalised search to derive
     /// a sound absolute ε; see `normalized`.
     max_se_norm: f64,
+    /// The recovery circuit breaker (see [`crate::recovery`]): trips open
+    /// after repeated corrupt index probes, routes fallback-policy queries
+    /// straight to the sequential scan, and half-opens to re-test the index.
+    breaker: CircuitBreaker,
+    /// Storage pages implicated in corrupt probes, awaiting
+    /// [`SearchEngine::repair`].
+    quarantine: Mutex<BTreeSet<u32>>,
 }
 
 impl SearchEngine {
@@ -92,6 +103,8 @@ impl SearchEngine {
             tree,
             store,
             max_se_norm,
+            breaker: CircuitBreaker::default(),
+            quarantine: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -109,6 +122,8 @@ impl SearchEngine {
             tree,
             store,
             max_se_norm,
+            breaker: CircuitBreaker::default(),
+            quarantine: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -379,34 +394,161 @@ impl SearchEngine {
     /// exist), the behaviour follows `opts.degradation`: by default the
     /// query is re-answered by the exact sequential scan and the result is
     /// flagged [`crate::result::SearchStats::degraded`]; under
-    /// [`crate::DegradationPolicy::Error`] the typed error surfaces instead.
-    /// A [`EngineError::PageBudgetExceeded`] abort is always a hard error —
-    /// the budget bounds total work, which the full-file fallback would not.
+    /// [`crate::DegradationPolicy::Error`] the typed error surfaces instead
+    /// (still feeding the breaker and quarantine), and under
+    /// [`crate::DegradationPolicy::Strict`] it surfaces without touching
+    /// either. A [`EngineError::PageBudgetExceeded`] or
+    /// [`EngineError::DeadlineExceeded`] abort is always a hard error —
+    /// both bound total work, which the full-file fallback would not.
+    ///
+    /// Repeated corrupt probes trip the engine's circuit breaker (see
+    /// [`crate::recovery`]): once open, fallback-policy queries skip the
+    /// doomed probe and go straight to the scan until a half-open probe or
+    /// a [`SearchEngine::repair`] proves the index healthy again.
     ///
     /// # Errors
     /// [`EngineError::QueryLength`] or [`EngineError::InvalidEpsilon`] on
     /// malformed input; [`EngineError::PageBudgetExceeded`] when
-    /// `opts.page_budget` runs out; [`EngineError::Corrupt`] on detected
-    /// corruption under [`crate::DegradationPolicy::Error`], or when the
-    /// fallback scan itself hits corrupt data pages.
+    /// `opts.page_budget` runs out; [`EngineError::DeadlineExceeded`] when
+    /// `opts.deadline` fires; [`EngineError::Corrupt`] on detected
+    /// corruption under [`crate::DegradationPolicy::Error`] /
+    /// [`crate::DegradationPolicy::Strict`], or when the fallback scan
+    /// itself hits corrupt data pages.
     pub fn search(
         &self,
         query: &[f64],
         epsilon: f64,
         opts: SearchOptions,
     ) -> Result<SearchResult, EngineError> {
+        use crate::config::DegradationPolicy;
+        // An open breaker: fallback-policy queries skip the doomed probe.
+        if opts.degradation == DegradationPolicy::SeqScanFallback && !self.breaker.allows_probe() {
+            let mut res = self.sequential_search_opts(query, epsilon, opts)?;
+            res.stats.degraded = true;
+            res.stats.degraded_reason =
+                Some("circuit breaker open: index probes suspended".to_string());
+            self.breaker.record_seqscan_served();
+            res.stats.breaker = self.breaker.state();
+            return Ok(res);
+        }
         match self.search_indexed(query, epsilon, opts) {
-            Err(e)
-                if e.is_corruption()
-                    && opts.degradation == crate::config::DegradationPolicy::SeqScanFallback =>
-            {
-                let mut res = self.sequential_search(query, epsilon, opts.cost)?;
-                res.stats.degraded = true;
-                res.stats.degraded_reason = Some(e.to_string());
+            Ok(mut res) => {
+                if opts.degradation != DegradationPolicy::Strict {
+                    self.breaker.record_probe_success();
+                    res.stats.breaker = self.breaker.state();
+                }
                 Ok(res)
             }
+            Err(e) if e.is_corruption() => match opts.degradation {
+                DegradationPolicy::Strict => Err(e),
+                DegradationPolicy::Error => {
+                    self.note_corruption(&e);
+                    self.breaker.record_probe_corrupt();
+                    Err(e)
+                }
+                DegradationPolicy::SeqScanFallback => {
+                    self.note_corruption(&e);
+                    self.breaker.record_probe_corrupt();
+                    let mut res = self.sequential_search_opts(query, epsilon, opts)?;
+                    res.stats.degraded = true;
+                    res.stats.degraded_reason = Some(e.to_string());
+                    self.breaker.record_seqscan_served();
+                    res.stats.breaker = self.breaker.state();
+                    Ok(res)
+                }
+            },
             other => other,
         }
+    }
+
+    /// Quarantines the page a corruption error implicates, if it named one.
+    fn note_corruption(&self, e: &EngineError) {
+        if let EngineError::Corrupt { page: Some(p), .. } = e {
+            self.quarantine
+                .lock()
+                .expect("quarantine lock poisoned")
+                .insert(*p);
+        }
+    }
+
+    /// The circuit breaker's current position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// A point-in-time health report: breaker position, strike and trip
+    /// counts, quarantined pages, and transient-fault retry totals — what
+    /// the `tsss health` subcommand prints.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            breaker: self.breaker.state(),
+            strikes: self.breaker.strikes(),
+            seqscan_served: self.breaker.seqscan_served(),
+            breaker_trips: self.breaker.trips(),
+            quarantined_pages: self
+                .quarantine
+                .lock()
+                .expect("quarantine lock poisoned")
+                .iter()
+                .copied()
+                .collect(),
+            index_retries: self.index_stats().retries(),
+            data_retries: self.data_stats().retries(),
+        }
+    }
+
+    /// Rebuilds the index online from the authoritative data file (the
+    /// same bulk loader the configured [`crate::BuildMethod`] uses), then
+    /// clears the quarantine and closes the circuit breaker.
+    ///
+    /// The data file is the source of truth: every window it holds is
+    /// re-indexed, so an index lost to corruption is fully reconstructed
+    /// — including windows previously unindexed via
+    /// [`SearchEngine::remove_window`] (repair restores the same universe
+    /// the sequential fallback answers from). The old index file, along
+    /// with any injected fault decorator wrapping it, is discarded.
+    ///
+    /// # Errors
+    /// [`EngineError::Corrupt`] when the data file itself is damaged —
+    /// repair can rebuild the index, not the data.
+    pub fn repair(&mut self) -> Result<RepairReport, EngineError> {
+        let all = self.store.read_everything()?;
+        let mut entries: Vec<DataEntry> = Vec::new();
+        let mut se_buf = vec![0.0; self.cfg.window_len];
+        let mut max_se_norm = 0.0f64;
+        for (si, values) in all.iter().enumerate() {
+            for off in window_offsets(values.len(), self.cfg.window_len, self.cfg.stride) {
+                let window = &values[off..off + self.cfg.window_len];
+                max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
+                let feat = feature_of(&self.extractor, window, &mut se_buf);
+                let id = SubseqId::try_new(si, off)?;
+                entries.push(DataEntry::new(feat, id.pack()));
+            }
+        }
+        let windows_reindexed = entries.len();
+        self.tree = match self.cfg.build {
+            crate::config::BuildMethod::BulkStr => bulk_load(self.cfg.tree_config(), entries)?,
+            crate::config::BuildMethod::BulkPolar => {
+                bulk_load_polar(self.cfg.tree_config(), entries)?
+            }
+            crate::config::BuildMethod::Insert => {
+                let mut t = RTree::new(self.cfg.tree_config())?;
+                for e in entries {
+                    t.insert(e.point.into_vec(), e.id)?;
+                }
+                t
+            }
+        };
+        self.max_se_norm = self.max_se_norm.max(max_se_norm);
+        let quarantine_cleared: Vec<u32> =
+            std::mem::take(&mut *self.quarantine.lock().expect("quarantine lock poisoned"))
+                .into_iter()
+                .collect();
+        self.breaker.reset();
+        Ok(RepairReport {
+            windows_reindexed,
+            quarantine_cleared,
+        })
     }
 
     /// The indexed path of [`SearchEngine::search`], with no degradation:
@@ -443,8 +585,11 @@ impl SearchEngine {
     /// over the batch they equal the global counter increase.
     ///
     /// # Errors
-    /// The first per-query error, if any ([`EngineError::QueryLength`] /
-    /// [`EngineError::InvalidEpsilon`]).
+    /// The first per-query error in query order, if any
+    /// ([`EngineError::QueryLength`] / [`EngineError::InvalidEpsilon`] /
+    /// [`EngineError::DeadlineExceeded`]). Use
+    /// [`SearchEngine::search_batch_results`] when one query's failure must
+    /// not discard the others' answers.
     pub fn search_batch(
         &self,
         queries: &[Vec<f64>],
@@ -452,6 +597,22 @@ impl SearchEngine {
         opts: SearchOptions,
         workers: usize,
     ) -> Result<Vec<SearchResult>, EngineError> {
+        self.search_batch_results(queries, epsilon, opts, workers)
+            .into_iter()
+            .collect()
+    }
+
+    /// Like [`SearchEngine::search_batch`], but returns every query's
+    /// individual outcome: one query exhausting its deadline (or hitting
+    /// corruption under a surfacing policy) does not poison the rest of
+    /// the batch.
+    pub fn search_batch_results(
+        &self,
+        queries: &[Vec<f64>],
+        epsilon: f64,
+        opts: SearchOptions,
+        workers: usize,
+    ) -> Vec<Result<SearchResult, EngineError>> {
         let workers = workers.max(1).min(queries.len().max(1));
         if workers == 1 {
             return queries

@@ -47,6 +47,9 @@ pub enum EngineError {
     Corrupt {
         /// Human-readable diagnosis of the damage.
         detail: String,
+        /// The storage page implicated, when the fault named one — what the
+        /// engine quarantines for [`crate::SearchEngine::repair`].
+        page: Option<u32>,
     },
     /// The per-query page-access budget ([`crate::SearchOptions`]
     /// `page_budget`) ran out mid-traversal — the guard against runaway
@@ -56,6 +59,17 @@ pub enum EngineError {
     PageBudgetExceeded {
         /// The exhausted budget, in index page accesses.
         budget: u64,
+    },
+    /// The query's [`crate::Deadline`] ran out mid-execution. Checked
+    /// cooperatively at every pipeline stage (and each k-NN frontier
+    /// round), so the query stops at a stage boundary with its partial
+    /// spend reported here. Never degraded around — like the page budget,
+    /// a deadline bounds work, which the full-file fallback would defeat.
+    DeadlineExceeded {
+        /// Page accesses spent when the deadline fired.
+        pages: u64,
+        /// Verification steps spent when the deadline fired.
+        steps: u64,
     },
 }
 
@@ -69,8 +83,14 @@ impl EngineError {
 
 impl From<tsss_storage::StorageError> for EngineError {
     fn from(e: tsss_storage::StorageError) -> Self {
+        let page = match &e {
+            tsss_storage::StorageError::Corrupt { page, .. }
+            | tsss_storage::StorageError::ReadFailed { page } => Some(page.0),
+            _ => None,
+        };
         EngineError::Corrupt {
             detail: e.to_string(),
+            page,
         }
     }
 }
@@ -81,9 +101,23 @@ impl From<tsss_index::IndexError> for EngineError {
             tsss_index::IndexError::BudgetExhausted { budget } => {
                 EngineError::PageBudgetExceeded { budget }
             }
-            other => EngineError::Corrupt {
-                detail: other.to_string(),
-            },
+            other => {
+                let page = match &other {
+                    tsss_index::IndexError::Storage(tsss_storage::StorageError::Corrupt {
+                        page,
+                        ..
+                    })
+                    | tsss_index::IndexError::Storage(tsss_storage::StorageError::ReadFailed {
+                        page,
+                    })
+                    | tsss_index::IndexError::CorruptNode { page, .. } => Some(page.0),
+                    _ => None,
+                };
+                EngineError::Corrupt {
+                    detail: other.to_string(),
+                    page,
+                }
+            }
         }
     }
 }
@@ -109,11 +143,17 @@ impl fmt::Display for EngineError {
             EngineError::TooLarge { what, value } => {
                 write!(f, "{what} {value} exceeds the engine's u32 window-id range")
             }
-            EngineError::Corrupt { detail } => {
+            EngineError::Corrupt { detail, .. } => {
                 write!(f, "corrupt stored data: {detail}")
             }
             EngineError::PageBudgetExceeded { budget } => {
                 write!(f, "page budget of {budget} accesses exhausted mid-query")
+            }
+            EngineError::DeadlineExceeded { pages, steps } => {
+                write!(
+                    f,
+                    "query deadline exceeded after {pages} page accesses and {steps} verification steps"
+                )
             }
         }
     }
@@ -152,12 +192,20 @@ mod tests {
             (
                 EngineError::Corrupt {
                     detail: "page 7 checksum mismatch".into(),
+                    page: Some(7),
                 },
                 "corrupt stored data: page 7",
             ),
             (
                 EngineError::PageBudgetExceeded { budget: 64 },
                 "budget of 64",
+            ),
+            (
+                EngineError::DeadlineExceeded {
+                    pages: 12,
+                    steps: 3,
+                },
+                "deadline exceeded after 12 page accesses and 3",
             ),
         ];
         for (err, frag) in cases {
@@ -175,9 +223,26 @@ mod tests {
         };
         let e: EngineError = s.into();
         assert!(e.is_corruption(), "{e:?}");
+        assert_eq!(
+            e,
+            EngineError::Corrupt {
+                detail: "read of page#3 failed".into(),
+                page: Some(3)
+            },
+            "the implicated page must survive the conversion"
+        );
 
         let b: EngineError = tsss_index::IndexError::BudgetExhausted { budget: 9 }.into();
         assert_eq!(b, EngineError::PageBudgetExceeded { budget: 9 });
         assert!(!b.is_corruption());
+    }
+
+    #[test]
+    fn deadline_exhaustion_is_not_corruption() {
+        let e = EngineError::DeadlineExceeded { pages: 5, steps: 0 };
+        assert!(
+            !e.is_corruption(),
+            "deadlines must never trigger degradation"
+        );
     }
 }

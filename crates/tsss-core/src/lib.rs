@@ -42,16 +42,20 @@ pub mod nn;
 pub mod normalized;
 pub mod persist;
 pub mod pipeline;
+pub mod recovery;
 pub mod result;
 pub mod seqscan;
 pub mod window;
 
-pub use config::{BuildMethod, CostLimit, DegradationPolicy, EngineConfig, SearchOptions};
+pub use config::{
+    BuildMethod, CostLimit, Deadline, DegradationPolicy, EngineConfig, SearchOptions,
+};
 pub use engine::SearchEngine;
 pub use error::EngineError;
 pub use id::SubseqId;
 pub use pipeline::{
-    CandidateSource, Candidates, IndexProbe, PieceStitchSource, QueryPlan, RawAccess,
-    SeqScanLongSource, SeqScanSource, Verifier, VerifyModel,
+    CandidateSource, Candidates, DeadlineMeter, IndexProbe, PieceStitchSource, QueryPlan,
+    RawAccess, SeqScanLongSource, SeqScanSource, Verifier, VerifyModel,
 };
+pub use recovery::{BreakerState, HealthReport, RepairReport};
 pub use result::{SearchResult, SearchStats, SubsequenceMatch};

@@ -14,11 +14,15 @@
 use std::collections::BTreeMap;
 
 use tsss_index::LineQueryStats;
+use tsss_storage::StatsScope;
 
+use crate::config::SearchOptions;
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
 use crate::id::SubseqId;
-use crate::pipeline::{CandidateSource, Candidates, QueryPlan, RawAccess, SeqScanSource, Verifier};
+use crate::pipeline::{
+    CandidateSource, Candidates, DeadlineMeter, QueryPlan, RawAccess, SeqScanSource, Verifier,
+};
 use crate::result::{SearchResult, SubsequenceMatch};
 
 impl SearchEngine {
@@ -80,25 +84,62 @@ impl SearchEngine {
         k: usize,
         cost: crate::config::CostLimit,
     ) -> Result<SearchResult, EngineError> {
-        let plan = QueryPlan::ranking(self, query, cost)?;
+        self.nearest_search_opts(
+            query,
+            k,
+            SearchOptions {
+                cost,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`SearchEngine::nearest_search`] with full per-query options
+    /// (`opts.cost` constrains the transforms; `opts.deadline` bounds the
+    /// frontier's page accesses and verification steps, checked once per
+    /// frontier round and per candidate).
+    ///
+    /// # Errors
+    /// As [`SearchEngine::nearest_search`], plus
+    /// [`EngineError::DeadlineExceeded`] when `opts.deadline` fires.
+    pub fn nearest_search_opts(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        let plan = QueryPlan::ranking_with_opts(self, query, opts)?;
         let t0 = std::time::Instant::now();
         let index_stats = self.index_stats();
         let data_stats = self.data_stats();
         let index_scope = index_stats.local_scope();
         let data_scope = data_stats.local_scope();
+        let mut meter = DeadlineMeter::new(plan.options().deadline);
 
         let mut res = if k == 0 || self.num_windows() == 0 {
             SearchResult::default()
         } else if plan.degenerate() {
-            let cands = SeqScanSource.candidates(self, &plan)?;
-            let mut res = Verifier.verify(self, &plan, cands)?;
+            let cands = SeqScanSource.candidates(self, &plan, &mut meter)?;
+            let mut res = Verifier.verify(self, &plan, cands, &mut meter)?;
             res.matches.truncate(k);
             res
         } else {
-            self.nearest_frontier(&plan, k.min(self.num_windows()))?
+            self.nearest_frontier(
+                &plan,
+                k.min(self.num_windows()),
+                &mut meter,
+                &index_scope,
+                &data_scope,
+            )?
         };
-        res.stats.index_pages = index_scope.finish().total_accesses();
-        res.stats.data_pages = data_scope.finish().total_accesses();
+        let idx = index_scope.finish();
+        let dat = data_scope.finish();
+        meter.charge_pages_to(idx.total_accesses() + dat.total_accesses())?;
+        res.stats.index_pages = idx.total_accesses();
+        res.stats.data_pages = dat.total_accesses();
+        res.stats.retries = idx.retries + dat.retries;
+        res.stats.steps_spent = meter.steps();
+        res.stats.breaker = self.breaker_state();
         res.stats.elapsed = t0.elapsed();
         Ok(res)
     }
@@ -107,10 +148,16 @@ impl SearchEngine {
     /// plan. Verified fits are cached across rounds: the best-first pop
     /// sequence is deterministic, so a larger batch is always a prefix
     /// extension of the previous one and only its tail needs verifying.
+    /// The deadline is checked cooperatively once per round against the
+    /// scopes' running page tallies (and per candidate inside the shared
+    /// verifier).
     fn nearest_frontier(
         &self,
         plan: &QueryPlan<'_>,
         k: usize,
+        meter: &mut DeadlineMeter,
+        index_scope: &StatsScope<'_>,
+        data_scope: &StatsScope<'_>,
     ) -> Result<SearchResult, EngineError> {
         let line = self.query_line(plan.query());
         let mut res = SearchResult::default();
@@ -120,6 +167,10 @@ impl SearchEngine {
 
         let mut fetch = (2 * k).max(8);
         loop {
+            // Per-round cooperative deadline check on the pages spent so far.
+            meter.charge_pages_to(
+                index_scope.counts().total_accesses() + data_scope.counts().total_accesses(),
+            )?;
             let candidates = self.tree().nearest_to_line(&line, fetch)?;
             // Exhausted: we have already pulled every window — exact answers
             // are final regardless of bounds.
@@ -144,6 +195,7 @@ impl SearchEngine {
                     index: LineQueryStats::default(),
                     raw: RawAccess::Paged,
                 },
+                meter,
             )?;
             res.stats.candidates += round.stats.candidates;
             res.stats.verified += round.stats.verified;

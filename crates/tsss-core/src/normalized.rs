@@ -206,7 +206,22 @@ impl SearchEngine {
         query: &[f64],
         z_eps: f64,
     ) -> Result<SearchResult, EngineError> {
-        let plan = crate::pipeline::QueryPlan::znormalized(self, query, z_eps)?;
+        self.search_znormalized_opts(query, z_eps, crate::config::SearchOptions::default())
+    }
+
+    /// [`SearchEngine::search_znormalized`] with explicit per-query options
+    /// (page budget, [`crate::Deadline`], cost limits).
+    ///
+    /// # Errors
+    /// Same validation as [`SearchEngine::search`], plus
+    /// [`EngineError::DeadlineExceeded`] when `opts.deadline` fires.
+    pub fn search_znormalized_opts(
+        &self,
+        query: &[f64],
+        z_eps: f64,
+        opts: crate::config::SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        let plan = crate::pipeline::QueryPlan::znormalized_with_opts(self, query, z_eps, opts)?;
         self.run_pipeline(&plan, &crate::pipeline::IndexProbe)
     }
 }

@@ -138,6 +138,37 @@ impl SearchEngine {
     /// # Errors
     /// `InvalidData` on malformed input; propagates I/O errors.
     pub fn load_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
+        match Self::load_from_inner(r, false)? {
+            LoadOutcome::Intact(e) => Ok(e),
+            LoadOutcome::Repaired(_) => unreachable!("strict load never repairs"),
+        }
+    }
+
+    /// Loads an engine, tolerating a corrupt or truncated **index stream**:
+    /// the format places the index last, so when the versioned magic,
+    /// configuration block and data stream all parse but the index does
+    /// not, the data file is still the complete source of truth and the
+    /// index is rebuilt from it (exactly [`SearchEngine::repair`]). Damage
+    /// to the magic, configuration or data stream still fails — repair can
+    /// reconstruct the index, never the data.
+    ///
+    /// Returns whether the index loaded intact or was rebuilt, so callers
+    /// (the `tsss repair` subcommand) can report what happened.
+    ///
+    /// # Errors
+    /// `InvalidData` when the configuration or data stream is damaged;
+    /// propagates I/O errors.
+    pub fn load_repairing<R: Read + ?Sized>(r: &mut R) -> io::Result<(Self, bool)> {
+        match Self::load_from_inner(r, true)? {
+            LoadOutcome::Intact(e) => Ok((e, false)),
+            LoadOutcome::Repaired(e) => Ok((e, true)),
+        }
+    }
+
+    fn load_from_inner<R: Read + ?Sized>(
+        r: &mut R,
+        tolerate_index: bool,
+    ) -> io::Result<LoadOutcome> {
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         expect_versioned_magic(r, MAGIC_PREFIX, VERSION)?;
         let meta = get_checked_block(r, MAX_META_BYTES)?;
@@ -149,14 +180,34 @@ impl SearchEngine {
             return Err(invalid(format!("implausible max SE-norm {max_se_norm}")));
         }
         let store = PagedSeriesStore::read_from(r, cfg.data_buffer_frames)?;
-        let tree = RTree::load_from(r)?;
-        if tree.config().dim != cfg.feature_dim() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "index dimension disagrees with engine configuration",
-            ));
+        let tree_result = RTree::load_from(r).and_then(|tree| {
+            if tree.config().dim != cfg.feature_dim() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "index dimension disagrees with engine configuration",
+                ));
+            }
+            Ok(tree)
+        });
+        match tree_result {
+            Ok(tree) => Ok(LoadOutcome::Intact(SearchEngine::from_parts(
+                cfg,
+                tree,
+                store,
+                max_se_norm,
+            ))),
+            Err(e) if tolerate_index && e.kind() == io::ErrorKind::InvalidData => {
+                // The data stream is intact; rebuild the index from it.
+                let placeholder = RTree::new(cfg.tree_config())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let mut engine = SearchEngine::from_parts(cfg, placeholder, store, max_se_norm);
+                engine
+                    .repair()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                Ok(LoadOutcome::Repaired(engine))
+            }
+            Err(e) => Err(e),
         }
-        Ok(SearchEngine::from_parts(cfg, tree, store, max_se_norm))
     }
 
     /// Saves the engine to a filesystem path **atomically**: the stream is
@@ -178,6 +229,22 @@ impl SearchEngine {
         let mut r = io::BufReader::new(std::fs::File::open(path)?);
         Self::load_from(&mut r)
     }
+
+    /// [`SearchEngine::load_repairing`] from a filesystem path (buffered).
+    ///
+    /// # Errors
+    /// As [`SearchEngine::load_repairing`].
+    pub fn load_repairing_from_path(path: &Path) -> io::Result<(Self, bool)> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        Self::load_repairing(&mut r)
+    }
+}
+
+/// Outcome of a tolerant load: the index stream parsed, or it was rebuilt
+/// from the data stream.
+enum LoadOutcome {
+    Intact(SearchEngine),
+    Repaired(SearchEngine),
 }
 
 #[cfg(test)]

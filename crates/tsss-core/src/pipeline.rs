@@ -39,7 +39,7 @@ use std::collections::BTreeSet;
 use tsss_geometry::scale_shift::{is_numerically_constant, optimal_scale_shift};
 use tsss_index::LineQueryStats;
 
-use crate::config::SearchOptions;
+use crate::config::{Deadline, SearchOptions};
 use crate::engine::SearchEngine;
 use crate::error::EngineError;
 use crate::id::SubseqId;
@@ -161,6 +161,21 @@ impl<'q> QueryPlan<'q> {
         query: &'q [f64],
         z_eps: f64,
     ) -> Result<Self, EngineError> {
+        Self::znormalized_with_opts(engine, query, z_eps, SearchOptions::default())
+    }
+
+    /// [`QueryPlan::znormalized`] with explicit per-query options (cost
+    /// limits, page budget, deadline).
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] / [`EngineError::InvalidEpsilon`] on
+    /// malformed input.
+    pub fn znormalized_with_opts(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        z_eps: f64,
+        opts: SearchOptions,
+    ) -> Result<Self, EngineError> {
         let n = engine.config().window_len;
         if query.len() != n {
             return Err(EngineError::QueryLength {
@@ -197,7 +212,7 @@ impl<'q> QueryPlan<'q> {
         Ok(Self {
             query,
             epsilon,
-            opts: SearchOptions::default(),
+            opts,
             model: VerifyModel::ZNormalized { z_eps },
             verify_len: n,
             degenerate,
@@ -215,6 +230,26 @@ impl<'q> QueryPlan<'q> {
         query: &'q [f64],
         cost: crate::config::CostLimit,
     ) -> Result<Self, EngineError> {
+        Self::ranking_with_opts(
+            engine,
+            query,
+            SearchOptions {
+                cost,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`QueryPlan::ranking`] with explicit per-query options (cost limits
+    /// taken from `opts.cost`, plus page budget and deadline).
+    ///
+    /// # Errors
+    /// [`EngineError::QueryLength`] on a malformed query.
+    pub fn ranking_with_opts(
+        engine: &SearchEngine,
+        query: &'q [f64],
+        opts: SearchOptions,
+    ) -> Result<Self, EngineError> {
         let n = engine.config().window_len;
         if query.len() != n {
             return Err(EngineError::QueryLength {
@@ -225,10 +260,7 @@ impl<'q> QueryPlan<'q> {
         Ok(Self {
             query,
             epsilon: f64::INFINITY,
-            opts: SearchOptions {
-                cost,
-                ..Default::default()
-            },
+            opts,
             model: VerifyModel::ScaleShift,
             verify_len: n,
             degenerate: is_numerically_constant(query),
@@ -277,6 +309,87 @@ impl<'q> QueryPlan<'q> {
 }
 
 // ---------------------------------------------------------------------
+// Deadline metering
+// ---------------------------------------------------------------------
+
+/// Tracks a query's spend against its optional [`Deadline`].
+///
+/// The meter is the deterministic replacement for a wall-clock timeout:
+/// it counts *page accesses* and *verification steps* — both exactly
+/// reproducible — and the pipeline checks it cooperatively at every stage
+/// boundary, once per verified candidate, per stitched long-query piece,
+/// and per k-NN frontier round. A query that overruns gets a typed
+/// [`EngineError::DeadlineExceeded`] carrying its spend; it is never
+/// degraded around (the sequential fallback would defeat the bound).
+///
+/// Without a deadline the meter still counts (so [`SearchStats`] can
+/// report the spend) but never fails.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineMeter {
+    deadline: Option<Deadline>,
+    pages: u64,
+    steps: u64,
+}
+
+impl DeadlineMeter {
+    /// A meter enforcing `deadline` (or only counting, when `None`).
+    pub fn new(deadline: Option<Deadline>) -> Self {
+        Self {
+            deadline,
+            pages: 0,
+            steps: 0,
+        }
+    }
+
+    /// A counting-only meter that can never fire.
+    pub fn unbounded() -> Self {
+        Self::new(None)
+    }
+
+    /// Charges one verification step (one candidate examined).
+    ///
+    /// # Errors
+    /// [`EngineError::DeadlineExceeded`] when the step budget is overrun.
+    pub fn charge_step(&mut self) -> Result<(), EngineError> {
+        self.steps += 1;
+        self.check()
+    }
+
+    /// Raises the page spend to `pages` (callers report a running total —
+    /// a scope tally or node-visit count — so the spend is monotone even
+    /// when both are reported for overlapping work).
+    ///
+    /// # Errors
+    /// [`EngineError::DeadlineExceeded`] when the page budget is overrun.
+    pub fn charge_pages_to(&mut self, pages: u64) -> Result<(), EngineError> {
+        self.pages = self.pages.max(pages);
+        self.check()
+    }
+
+    fn check(&self) -> Result<(), EngineError> {
+        if let Some(d) = self.deadline {
+            if self.pages > d.max_pages || self.steps > d.max_steps {
+                return Err(EngineError::DeadlineExceeded {
+                    pages: self.pages,
+                    steps: self.steps,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Page accesses charged so far.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Verification steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+// ---------------------------------------------------------------------
 // Stage 2: candidate sources
 // ---------------------------------------------------------------------
 
@@ -311,16 +424,21 @@ pub struct Candidates {
 /// new retrieval backends implement (sharded probes, cached frontiers,
 /// alternative indexes) without touching validation or verification.
 pub trait CandidateSource {
-    /// Produces the candidate set for `plan` over `engine`.
+    /// Produces the candidate set for `plan` over `engine`, charging work
+    /// against `meter` at natural internal boundaries (sources doing one
+    /// indivisible probe may leave the meter to the pipeline runner's
+    /// stage-boundary check).
     ///
     /// # Errors
     /// [`EngineError::Corrupt`] on detected storage damage;
     /// [`EngineError::PageBudgetExceeded`] when the plan's page budget
-    /// runs out mid-traversal.
+    /// runs out mid-traversal; [`EngineError::DeadlineExceeded`] when the
+    /// plan's deadline fires.
     fn candidates(
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
+        meter: &mut DeadlineMeter,
     ) -> Result<Candidates, EngineError>;
 }
 
@@ -336,6 +454,7 @@ impl CandidateSource for IndexProbe {
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
+        meter: &mut DeadlineMeter,
     ) -> Result<Candidates, EngineError> {
         let outcome = if plan.degenerate() {
             engine.tree().radius_query_with_budget(
@@ -352,6 +471,9 @@ impl CandidateSource for IndexProbe {
                 plan.options().page_budget,
             )?
         };
+        // Every visited node is one index-page read; charging the visit
+        // count here fires the deadline before verification starts.
+        meter.charge_pages_to(outcome.stats.internal_visited + outcome.stats.leaves_visited)?;
         Ok(Candidates {
             ids: outcome
                 .matches
@@ -376,6 +498,7 @@ impl CandidateSource for SeqScanSource {
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
+        _meter: &mut DeadlineMeter,
     ) -> Result<Candidates, EngineError> {
         let n = plan.verify_len();
         let stride = engine.config().stride;
@@ -406,6 +529,7 @@ impl CandidateSource for SeqScanLongSource {
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
+        _meter: &mut DeadlineMeter,
     ) -> Result<Candidates, EngineError> {
         let total_len = plan.verify_len();
         let all = engine.read_everything()?;
@@ -445,6 +569,7 @@ impl CandidateSource for PieceStitchSource {
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
+        meter: &mut DeadlineMeter,
     ) -> Result<Candidates, EngineError> {
         let n = engine.config().window_len;
         assert_eq!(
@@ -465,6 +590,8 @@ impl CandidateSource for PieceStitchSource {
                 .tree()
                 .line_query(&line, plan.epsilon(), plan.options().method)?;
             index.merge(&outcome.stats);
+            // Cooperative per-piece check: node visits are page reads.
+            meter.charge_pages_to(index.internal_visited + index.leaves_visited)?;
 
             let mut starts = BTreeSet::new();
             for m in outcome.matches {
@@ -526,7 +653,8 @@ impl SearchEngine {
     ///
     /// # Errors
     /// Whatever the source or verifier surfaces —
-    /// [`EngineError::Corrupt`], [`EngineError::PageBudgetExceeded`].
+    /// [`EngineError::Corrupt`], [`EngineError::PageBudgetExceeded`],
+    /// [`EngineError::DeadlineExceeded`].
     /// Degradation policy is *not* applied here; see
     /// [`SearchEngine::search`] for the one place it lives.
     pub fn run_pipeline(
@@ -539,12 +667,24 @@ impl SearchEngine {
         let data_stats = self.data_stats();
         let index_scope = index_stats.local_scope();
         let data_scope = data_stats.local_scope();
+        let mut meter = DeadlineMeter::new(plan.options().deadline);
 
-        let cands = source.candidates(self, plan)?;
-        let mut res = Verifier.verify(self, plan, cands)?;
+        let cands = source.candidates(self, plan, &mut meter)?;
+        // Stage boundary: the candidate stage's true page spend (the scope
+        // tally subsumes any node-visit estimate the source charged).
+        meter.charge_pages_to(
+            index_scope.counts().total_accesses() + data_scope.counts().total_accesses(),
+        )?;
+        let mut res = Verifier.verify(self, plan, cands, &mut meter)?;
 
-        res.stats.index_pages = index_scope.finish().total_accesses();
-        res.stats.data_pages = data_scope.finish().total_accesses();
+        let idx = index_scope.finish();
+        let dat = data_scope.finish();
+        meter.charge_pages_to(idx.total_accesses() + dat.total_accesses())?;
+        res.stats.index_pages = idx.total_accesses();
+        res.stats.data_pages = dat.total_accesses();
+        res.stats.retries = idx.retries + dat.retries;
+        res.stats.steps_spent = meter.steps();
+        res.stats.breaker = self.breaker_state();
         res.stats.elapsed = t0.elapsed();
         Ok(res)
     }
@@ -568,12 +708,15 @@ impl Verifier {
     /// # Errors
     /// [`EngineError::Corrupt`] when a candidate's raw window cannot be
     /// fetched or has the wrong length (a corrupt index entry pointing at
-    /// a short tail window is a typed error, never a panic).
+    /// a short tail window is a typed error, never a panic);
+    /// [`EngineError::DeadlineExceeded`] when the plan's step budget runs
+    /// out (one step is charged to `meter` per candidate examined).
     pub fn verify(
         &self,
         engine: &SearchEngine,
         plan: &QueryPlan<'_>,
         cands: Candidates,
+        meter: &mut DeadlineMeter,
     ) -> Result<SearchResult, EngineError> {
         let mut stats = SearchStats {
             candidates: cands.ids.len() as u64,
@@ -583,6 +726,7 @@ impl Verifier {
         let len = plan.verify_len();
         let mut matches = Vec::new();
         for id in cands.ids {
+            meter.charge_step()?;
             let owned;
             let window: &[f64] = match &cands.raw {
                 RawAccess::Paged => {
@@ -598,6 +742,7 @@ impl Verifier {
                         window.len(),
                         plan.query().len()
                     ),
+                    page: None,
                 })?;
             let distance = match plan.model() {
                 VerifyModel::ScaleShift => {
@@ -615,6 +760,7 @@ impl Verifier {
                                 window.len(),
                                 plan.query().len()
                             ),
+                            page: None,
                         })?;
                     if zd > z_eps {
                         stats.false_alarms += 1;
@@ -658,6 +804,7 @@ fn snapshot_window(all: &[Vec<f64>], id: SubseqId, len: usize) -> Result<&[f64],
                 "window {id} of length {len} exceeds series of length {}",
                 series.len()
             ),
+            page: None,
         })?;
     Ok(&series[off..end])
 }
@@ -756,7 +903,9 @@ mod tests {
             index: LineQueryStats::default(),
             raw: RawAccess::Snapshot(data.iter().map(|s| s.values.clone()).collect()),
         };
-        let err = Verifier.verify(&e, &plan, bogus).unwrap_err();
+        let err = Verifier
+            .verify(&e, &plan, bogus, &mut DeadlineMeter::unbounded())
+            .unwrap_err();
         assert!(err.is_corruption(), "{err:?}");
         // Same through the paged path.
         let bogus = Candidates {
@@ -767,7 +916,9 @@ mod tests {
             index: LineQueryStats::default(),
             raw: RawAccess::Paged,
         };
-        let err = Verifier.verify(&e, &plan, bogus).unwrap_err();
+        let err = Verifier
+            .verify(&e, &plan, bogus, &mut DeadlineMeter::unbounded())
+            .unwrap_err();
         assert!(err.is_corruption(), "{err:?}");
     }
 
@@ -781,6 +932,7 @@ mod tests {
                 &self,
                 engine: &SearchEngine,
                 _plan: &QueryPlan<'_>,
+                _meter: &mut DeadlineMeter,
             ) -> Result<Candidates, EngineError> {
                 let len = engine.series_len(0)?;
                 let n = engine.config().window_len;

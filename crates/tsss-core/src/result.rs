@@ -4,6 +4,7 @@ use tsss_geometry::scale_shift::ScaleShift;
 use tsss_index::LineQueryStats;
 
 use crate::id::SubseqId;
+use crate::recovery::BreakerState;
 
 /// One qualifying data subsequence (the paper's reported triple: the
 /// subsequence plus its scaling factor and shifting offset).
@@ -73,6 +74,17 @@ pub struct SearchStats {
     pub degraded: bool,
     /// The corruption diagnosis that triggered the fallback.
     pub degraded_reason: Option<String>,
+    /// Transient-fault read retries absorbed by the storage layer during
+    /// this query (both files). Excluded from the page counters: a retry
+    /// re-issues the same logical read.
+    pub retries: u64,
+    /// Verification steps charged against the query's
+    /// [`crate::Deadline`] (one per candidate examined). Counted whether
+    /// or not a deadline was set, so the spend is always observable.
+    pub steps_spent: u64,
+    /// The engine's circuit-breaker state observed when the query
+    /// finished (see [`crate::BreakerState`]).
+    pub breaker: BreakerState,
     /// Wall-clock search time.
     pub elapsed: std::time::Duration,
 }

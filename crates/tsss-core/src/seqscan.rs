@@ -31,10 +31,29 @@ impl SearchEngine {
         epsilon: f64,
         cost: CostLimit,
     ) -> Result<SearchResult, EngineError> {
-        let opts = SearchOptions {
-            cost,
-            ..Default::default()
-        };
+        self.sequential_search_opts(
+            query,
+            epsilon,
+            SearchOptions {
+                cost,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`SearchEngine::sequential_search`] with full per-query options —
+    /// notably a [`crate::Deadline`], which bounds the scan's verification
+    /// steps exactly as on the indexed path.
+    ///
+    /// # Errors
+    /// Same input validation as [`SearchEngine::search`], plus
+    /// [`EngineError::DeadlineExceeded`] when `opts.deadline` fires.
+    pub fn sequential_search_opts(
+        &self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
         let plan = QueryPlan::exact(self, query, epsilon, opts)?;
         self.run_pipeline(&plan, &SeqScanSource)
     }

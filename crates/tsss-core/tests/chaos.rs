@@ -71,8 +71,12 @@ fn read_fault_chaos_matches_oracle_or_fails_typed() {
         let data = market(seed);
         let pristine = SearchEngine::build(&data, engine_cfg()).unwrap();
         let mut chaotic = SearchEngine::build(&data, engine_cfg()).unwrap();
-        let idx = chaotic.inject_index_faults(FaultConfig::read_errors(seed, 0.2));
-        let dat = chaotic.inject_data_faults(FaultConfig::read_errors(seed ^ 0xFF, 0.05));
+        // The read path retries transient faults up to three times, so the
+        // per-attempt rates are raised to keep a meaningful probability of a
+        // *permanent* (all-attempts-exhausted) failure: 0.6³ ≈ 0.22 per
+        // index read, 0.3³ ≈ 0.027 per data read.
+        let idx = chaotic.inject_index_faults(FaultConfig::read_errors(seed, 0.6));
+        let dat = chaotic.inject_data_faults(FaultConfig::read_errors(seed ^ 0xFF, 0.3));
 
         let mut degraded = 0usize;
         let mut errors = 0usize;
@@ -239,6 +243,78 @@ fn smashed_page_chaos_degrades_to_exact_oracle() {
 
             if let Err(e) = chaotic.search(&q, eps, error_opts()) {
                 assert!(e.is_corruption(), "seed {seed}: untyped error {e}");
+            }
+        }
+    }
+}
+
+/// The full recovery arc under chaos, per seed: smash index pages →
+/// queries degrade (exact answers via the fallback) → `repair` rebuilds
+/// the index from the data file → the very next query is answered by the
+/// index again, bit-identical to the sequential oracle, breaker closed.
+#[test]
+fn recovery_chaos_repair_restores_indexed_service() {
+    for seed in seeds() {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9E4A12);
+        let data = market(seed);
+        let pristine = SearchEngine::build(&data, engine_cfg()).unwrap();
+        let mut chaotic = SearchEngine::build(&data, engine_cfg()).unwrap();
+
+        // Smash every index page: any probe is guaranteed to find damage
+        // (a random subset can miss the probe paths on some seeds).
+        let extent = chaotic.index_extent() as u32;
+        for p in 0..extent {
+            let _ = chaotic.corrupt_index_page(p, &mut |b| {
+                let i = b.len() / 3;
+                b[i] ^= 0x42;
+            });
+        }
+        chaotic.tree_mut().clear_cache().unwrap();
+
+        // Phase 1: degraded service. Every answer is still exact.
+        let mut degraded = 0usize;
+        for _ in 0..QUERIES_PER_SEED {
+            let q = random_query(&mut rng);
+            let eps = rng.f64_range(0.0, 20.0);
+            let oracle = pristine
+                .sequential_search(&q, eps, CostLimit::UNLIMITED)
+                .unwrap();
+            let res = chaotic
+                .search(&q, eps, fallback_opts())
+                .expect("healthy data store: the fallback always answers");
+            assert_eq!(res.id_set(), oracle.id_set(), "seed {seed}");
+            if res.stats.degraded {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "seed {seed}: corruption never surfaced");
+
+        // Phase 2: repair. The quarantine drains and the breaker closes.
+        let report = chaotic
+            .repair()
+            .unwrap_or_else(|e| panic!("seed {seed}: repair failed on a healthy data file: {e}"));
+        assert_eq!(
+            report.windows_reindexed,
+            chaotic.num_windows(),
+            "seed {seed}"
+        );
+        let h = chaotic.health();
+        assert_eq!(h.breaker.to_string(), "closed", "seed {seed}");
+        assert!(h.quarantined_pages.is_empty(), "seed {seed}");
+
+        // Phase 3: indexed service restored, answers bit-identical.
+        for _ in 0..QUERIES_PER_SEED {
+            let q = random_query(&mut rng);
+            let eps = rng.f64_range(0.0, 20.0);
+            let oracle = pristine
+                .sequential_search(&q, eps, CostLimit::UNLIMITED)
+                .unwrap();
+            let res = chaotic.search(&q, eps, fallback_opts()).unwrap();
+            assert!(!res.stats.degraded, "seed {seed}: still degraded");
+            assert_eq!(res.id_set(), oracle.id_set(), "seed {seed}");
+            for (a, b) in res.matches.iter().zip(&oracle.matches) {
+                assert_eq!(a.id, b.id, "seed {seed}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "seed {seed}");
             }
         }
     }

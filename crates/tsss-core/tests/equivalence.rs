@@ -231,3 +231,66 @@ fn every_entry_point_matches_the_pre_refactor_oracle() {
         unreachable!("reports differ but no line-level divergence found");
     }
 }
+
+/// Retry accounting: transient index-read faults that succeed on retry are
+/// invisible to the answer — matches, transforms, and the stage identity
+/// `candidates == verified + false_alarms + cost_rejected` are bit-identical
+/// to the no-fault run — while the retries themselves are observable in
+/// `SearchStats::retries`.
+#[test]
+fn retried_transient_faults_leave_answers_bit_identical() {
+    let data = workload();
+    let pristine = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
+    let mut flaky = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
+    // 25% per-attempt read failures: almost every query retries somewhere,
+    // but a *permanent* (three-attempt) failure is rare (~1.6% per read).
+    flaky.inject_index_faults(tsss_storage::FaultConfig::read_errors(0xE7A1, 0.25));
+
+    let error_opts = SearchOptions {
+        degradation: tsss_core::DegradationPolicy::Error,
+        ..Default::default()
+    };
+    let mut total_retries = 0u64;
+    let mut compared = 0usize;
+    for (series, offset, eps) in [
+        (0usize, 5usize, 2.0),
+        (1, 20, 8.0),
+        (2, 40, 0.5),
+        (3, 11, 15.0),
+        (4, 33, 4.0),
+        (5, 60, 1.0),
+    ] {
+        let q = data[series].window(offset, 16).unwrap().to_vec();
+        let want = pristine.search(&q, eps, SearchOptions::default()).unwrap();
+        match flaky.search(&q, eps, error_opts) {
+            // A permanent failure surfaces typed; it cannot corrupt a
+            // comparison, so it is simply not compared.
+            Err(e) => assert!(e.is_corruption(), "untyped error: {e}"),
+            Ok(got) => {
+                compared += 1;
+                assert!(!got.stats.degraded);
+                assert_eq!(got.matches.len(), want.matches.len());
+                for (a, b) in got.matches.iter().zip(&want.matches) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                    assert_eq!(a.transform.a.to_bits(), b.transform.a.to_bits());
+                    assert_eq!(a.transform.b.to_bits(), b.transform.b.to_bits());
+                }
+                assert_eq!(got.stats.candidates, want.stats.candidates);
+                assert_eq!(got.stats.verified, want.stats.verified);
+                assert_eq!(got.stats.false_alarms, want.stats.false_alarms);
+                assert_eq!(got.stats.cost_rejected, want.stats.cost_rejected);
+                assert_eq!(
+                    got.stats.candidates,
+                    got.stats.verified + got.stats.false_alarms + got.stats.cost_rejected
+                );
+                total_retries += got.stats.retries;
+            }
+        }
+    }
+    assert!(compared > 0, "every query failed permanently");
+    assert!(
+        total_retries > 0,
+        "no retry ever fired — the fault profile has no teeth"
+    );
+}

@@ -58,6 +58,12 @@ const NIL: usize = usize::MAX;
 /// shard still holds at least one frame).
 const MAX_SHARDS: usize = 8;
 
+/// Physical read attempts per logical read: one initial try plus up to two
+/// retries for transient faults. Deterministic and wall-clock free — the
+/// "backoff" is simply re-issuing the read, which under the seeded
+/// [`crate::FaultyStore`] draws a fresh Bernoulli trial.
+const READ_ATTEMPTS: u32 = 3;
+
 #[derive(Debug)]
 struct Frame {
     id: PageId,
@@ -360,8 +366,32 @@ impl BufferPool {
         &self.shards[id.0 as usize % self.shards.len()]
     }
 
+    /// Issues a physical read, re-issuing it up to [`READ_ATTEMPTS`] times
+    /// while the failure is transient ([`StorageError::is_transient`]).
+    /// Each re-issue is recorded as a retry; permanent errors propagate
+    /// immediately. The happy path costs nothing extra: the first success
+    /// returns without touching the retry counter.
+    fn read_with_retry(
+        store: &dyn PageStore,
+        stats: &AccessStats,
+        id: PageId,
+    ) -> Result<Page, StorageError> {
+        let mut attempt = 1;
+        loop {
+            match store.read_uncounted(id) {
+                Err(e) if e.is_transient() && attempt < READ_ATTEMPTS => {
+                    stats.record_retry();
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Reads a page through the cache. Counts one logical read, plus a hit
-    /// or a miss. Safe to call from many threads at once.
+    /// or a miss. Transient store failures are retried a bounded number of
+    /// times (recorded in [`AccessStats::retries`]) before surfacing. Safe
+    /// to call from many threads at once.
     ///
     /// # Errors
     /// Propagates the store's typed errors — notably
@@ -370,11 +400,8 @@ impl BufferPool {
         self.stats.record_read();
         if self.capacity == 0 {
             self.stats.record_miss();
-            return self
-                .store
-                .read()
-                .expect("page store lock")
-                .read_uncounted(id);
+            let store = self.store.read().expect("page store lock");
+            return Self::read_with_retry(store.as_ref(), &self.stats, id);
         }
         let mut shard = self.shard(id).lock().expect("shard lock");
         if let Some(&idx) = shard.map.get(&id) {
@@ -383,11 +410,10 @@ impl BufferPool {
             return Ok(shard.frames[idx].page.clone());
         }
         self.stats.record_miss();
-        let page = self
-            .store
-            .read()
-            .expect("page store lock")
-            .read_uncounted(id)?;
+        let page = {
+            let store = self.store.read().expect("page store lock");
+            Self::read_with_retry(store.as_ref(), &self.stats, id)?
+        };
         shard.insert_frame(id, page.clone(), false, &self.store)?;
         Ok(page)
     }
@@ -528,6 +554,107 @@ mod tests {
         }
         file.stats().reset();
         (BufferPool::new(file, cap), ids)
+    }
+
+    /// A store whose first `fail_reads` physical reads fail transiently,
+    /// then behave honestly — the minimal deterministic transient fault.
+    #[derive(Debug)]
+    struct Flaky {
+        inner: Box<dyn PageStore>,
+        fail_reads: std::sync::atomic::AtomicU32,
+    }
+
+    impl PageStore for Flaky {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn extent(&self) -> usize {
+            self.inner.extent()
+        }
+        fn live_pages(&self) -> usize {
+            self.inner.live_pages()
+        }
+        fn stats(&self) -> Arc<AccessStats> {
+            self.inner.stats()
+        }
+        fn allocate(&mut self) -> Result<PageId, StorageError> {
+            self.inner.allocate()
+        }
+        fn deallocate(&mut self, id: PageId) -> Result<(), StorageError> {
+            self.inner.deallocate(id)
+        }
+        fn read(&self, id: PageId) -> Result<Page, StorageError> {
+            self.inner.read(id)
+        }
+        fn write(&mut self, id: PageId, page: Page) -> Result<(), StorageError> {
+            self.inner.write(id, page)
+        }
+        fn read_uncounted(&self, id: PageId) -> Result<Page, StorageError> {
+            use std::sync::atomic::Ordering;
+            let left = self.fail_reads.load(Ordering::Relaxed);
+            if left > 0 {
+                self.fail_reads.store(left - 1, Ordering::Relaxed);
+                return Err(StorageError::ReadFailed { page: id });
+            }
+            self.inner.read_uncounted(id)
+        }
+        fn write_uncounted(&mut self, id: PageId, page: Page) -> Result<(), StorageError> {
+            self.inner.write_uncounted(id, page)
+        }
+        fn corrupt_raw(
+            &mut self,
+            id: PageId,
+            f: &mut dyn FnMut(&mut [u8]),
+        ) -> Result<(), StorageError> {
+            self.inner.corrupt_raw(id, f)
+        }
+        fn persist(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+            self.inner.persist(w)
+        }
+    }
+
+    fn flaky_pool(cap: usize, fail_reads: u32) -> (BufferPool, Vec<PageId>) {
+        let (mut pool, ids) = pool(cap);
+        pool.wrap_store(|inner| {
+            Box::new(Flaky {
+                inner,
+                fail_reads: std::sync::atomic::AtomicU32::new(fail_reads),
+            })
+        });
+        (pool, ids)
+    }
+
+    #[test]
+    fn transient_read_failures_are_retried_to_success() {
+        let (pool, ids) = flaky_pool(0, 2);
+        let p = pool
+            .read(ids[0])
+            .expect("two transient faults fit in the retry budget");
+        assert_eq!(p.get_u64(0), 100);
+        let s = pool.stats();
+        assert_eq!(s.retries(), 2);
+        assert_eq!(s.reads(), 1, "a retried read is still one logical read");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        let (pool, ids) = flaky_pool(4, 10);
+        assert_eq!(
+            pool.read(ids[0]),
+            Err(StorageError::ReadFailed { page: ids[0] })
+        );
+        assert_eq!(pool.stats().retries(), u64::from(READ_ATTEMPTS - 1));
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let (mut pool, ids) = pool(4);
+        pool.corrupt_page(ids[0], &mut |b| b[0] ^= 0xFF).unwrap();
+        assert!(matches!(
+            pool.read(ids[0]),
+            Err(StorageError::Corrupt { .. })
+        ));
+        assert_eq!(pool.stats().retries(), 0);
     }
 
     #[test]

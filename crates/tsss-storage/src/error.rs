@@ -57,6 +57,20 @@ pub enum StorageError {
     },
 }
 
+impl StorageError {
+    /// Whether the failure is *transient*: a re-read of the same page may
+    /// legitimately succeed because the stored bytes themselves are fine.
+    ///
+    /// Only [`StorageError::ReadFailed`] (a transport-level refusal)
+    /// qualifies. Checksum mismatches ([`StorageError::Corrupt`]) mean the
+    /// bytes on the medium are damaged — retrying re-reads the same damage —
+    /// and every other variant is an invalid request, so all of those are
+    /// permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::ReadFailed { .. })
+    }
+}
+
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -134,6 +148,32 @@ mod tests {
                 msg.contains(fragment),
                 "{msg:?} should contain {fragment:?}"
             );
+        }
+    }
+
+    #[test]
+    fn only_read_failures_are_transient() {
+        assert!(StorageError::ReadFailed { page: PageId(4) }.is_transient());
+        let permanent: Vec<StorageError> = vec![
+            StorageError::BadPageSize { size: 0 },
+            StorageError::PageSizeMismatch {
+                expected: 64,
+                got: 128,
+            },
+            StorageError::InvalidPageId,
+            StorageError::OutOfRange {
+                page: PageId(9),
+                extent: 3,
+            },
+            StorageError::DoubleFree { page: PageId(2) },
+            StorageError::Full,
+            StorageError::Corrupt {
+                page: PageId(1),
+                detail: "checksum mismatch".into(),
+            },
+        ];
+        for err in permanent {
+            assert!(!err.is_transient(), "{err} must be permanent");
         }
     }
 

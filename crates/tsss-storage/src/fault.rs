@@ -279,100 +279,130 @@ mod tests {
     use super::*;
     use crate::disk::PageFile;
 
-    fn faulty(cfg: FaultConfig) -> (FaultyStore, Vec<PageId>) {
-        let mut file = PageFile::new(64).unwrap();
-        let ids: Vec<PageId> = (0..8).map(|_| file.allocate().unwrap()).collect();
-        for (i, &id) in ids.iter().enumerate() {
+    /// Every test here returns `Result<(), String>` and threads storage
+    /// errors through [`seeded`], so a failure under fault pressure reports
+    /// the fault seed to reproduce with instead of a bare `unwrap` panic.
+    type TestResult = Result<(), String>;
+
+    /// Attaches the fault seed to a storage error so the failing seed is in
+    /// the test output.
+    fn seeded<T>(r: Result<T, StorageError>, seed: u64, what: &str) -> Result<T, String> {
+        r.map_err(|e| format!("seed {seed}: {what}: {e}"))
+    }
+
+    fn faulty(cfg: FaultConfig) -> Result<(FaultyStore, Vec<PageId>), String> {
+        let seed = cfg.seed;
+        let mut file = seeded(PageFile::new(64), seed, "new page file")?;
+        let mut ids = Vec::new();
+        for i in 0..8u64 {
+            let id = seeded(file.allocate(), seed, "allocate")?;
             let mut p = Page::zeroed(64);
-            p.put_u64(0, 100 + i as u64);
-            file.write_page(id, p).unwrap();
+            p.put_u64(0, 100 + i);
+            seeded(file.write_page(id, p), seed, "seed page")?;
+            ids.push(id);
         }
-        (FaultyStore::new(Box::new(file), cfg), ids)
+        Ok((FaultyStore::new(Box::new(file), cfg), ids))
     }
 
     #[test]
-    fn no_faults_means_transparent_delegation() {
-        let (mut s, ids) = faulty(FaultConfig::none(1));
+    fn no_faults_means_transparent_delegation() -> TestResult {
+        let (mut s, ids) = faulty(FaultConfig::none(1))?;
         let mut p = Page::zeroed(64);
         p.put_u64(0, 777);
-        s.write(ids[0], p).unwrap();
-        assert_eq!(s.read(ids[0]).unwrap().get_u64(0), 777);
+        seeded(s.write(ids[0], p), 1, "fault-free write")?;
+        let got = seeded(s.read(ids[0]), 1, "fault-free read")?.get_u64(0);
+        assert_eq!(got, 777);
         assert_eq!(s.counters().total(), 0);
+        Ok(())
     }
 
     #[test]
-    fn fault_stream_is_deterministic_in_the_seed() {
-        let run = |seed: u64| {
-            let (s, ids) = faulty(FaultConfig::read_errors(seed, 0.3));
-            (0..100)
+    fn fault_stream_is_deterministic_in_the_seed() -> TestResult {
+        let run = |seed: u64| -> Result<Vec<bool>, String> {
+            let (s, ids) = faulty(FaultConfig::read_errors(seed, 0.3))?;
+            Ok((0..100)
                 .map(|i| s.read(ids[i % ids.len()]).is_err())
-                .collect::<Vec<bool>>()
+                .collect())
         };
-        assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43), "different seeds, different streams");
-        assert!(run(42).iter().any(|&e| e), "p = 0.3 over 100 reads fires");
-        assert!(run(42).iter().any(|&e| !e), "and not always");
+        assert_eq!(run(42)?, run(42)?);
+        assert_ne!(run(42)?, run(43)?, "different seeds, different streams");
+        assert!(run(42)?.iter().any(|&e| e), "p = 0.3 over 100 reads fires");
+        assert!(run(42)?.iter().any(|&e| !e), "and not always");
+        Ok(())
     }
 
     #[test]
-    fn read_errors_are_typed_and_counted() {
-        let (s, ids) = faulty(FaultConfig::read_errors(7, 1.0));
+    fn read_errors_are_typed_and_counted() -> TestResult {
+        let (s, ids) = faulty(FaultConfig::read_errors(7, 1.0))?;
         assert_eq!(
-            s.read(ids[0]).unwrap_err(),
-            StorageError::ReadFailed { page: ids[0] }
+            s.read(ids[0]),
+            Err(StorageError::ReadFailed { page: ids[0] }),
+            "seed 7: p = 1.0 must fail every read"
         );
         assert_eq!(s.counters().read_errors(), 1);
         // The logical access is still charged.
         assert_eq!(s.stats().reads(), 1);
+        Ok(())
     }
 
     #[test]
-    fn torn_write_is_detected_by_the_checksum() {
+    fn torn_write_is_detected_by_the_checksum() -> TestResult {
         let cfg = FaultConfig {
             torn_write: 1.0,
             ..FaultConfig::none(3)
         };
-        let (mut s, ids) = faulty(cfg);
+        let (mut s, ids) = faulty(cfg)?;
         let mut p = Page::zeroed(64);
         p.put_u64(0, 1); // lands in the written prefix
         p.put_u64(56, 2); // would land in the lost tail
-        s.write(ids[2], p).unwrap();
+        seeded(s.write(ids[2], p), 3, "torn write is still acknowledged")?;
         assert_eq!(s.counters().torn_writes(), 1);
         assert!(
             matches!(s.read(ids[2]), Err(StorageError::Corrupt { .. })),
-            "half-written page must fail verification"
+            "seed 3: half-written page must fail verification"
         );
+        Ok(())
     }
 
     #[test]
-    fn lost_write_keeps_the_old_consistent_content() {
+    fn lost_write_keeps_the_old_consistent_content() -> TestResult {
         let cfg = FaultConfig {
             lost_write: 1.0,
             ..FaultConfig::none(9)
         };
-        let (mut s, ids) = faulty(cfg);
+        let (mut s, ids) = faulty(cfg)?;
         let mut p = Page::zeroed(64);
         p.put_u64(0, 999);
-        s.write(ids[1], p).unwrap();
+        seeded(s.write(ids[1], p), 9, "lost write is still acknowledged")?;
         assert_eq!(s.counters().lost_writes(), 1);
         // The old page is intact and verifies — the silent failure mode.
-        assert_eq!(s.read(ids[1]).unwrap().get_u64(0), 101);
+        let got = seeded(s.read(ids[1]), 9, "read of the surviving page")?.get_u64(0);
+        assert_eq!(got, 101);
+        Ok(())
     }
 
     #[test]
-    fn bit_flip_after_write_is_detected_on_read() {
+    fn bit_flip_after_write_is_detected_on_read() -> TestResult {
         let cfg = FaultConfig {
             bit_flip: 1.0,
             ..FaultConfig::none(5)
         };
-        let (mut s, ids) = faulty(cfg);
-        s.write(ids[4], Page::zeroed(64)).unwrap();
+        let (mut s, ids) = faulty(cfg)?;
+        seeded(
+            s.write(ids[4], Page::zeroed(64)),
+            5,
+            "write before the flip",
+        )?;
         assert_eq!(s.counters().bit_flips(), 1);
-        assert!(matches!(s.read(ids[4]), Err(StorageError::Corrupt { .. })));
+        assert!(
+            matches!(s.read(ids[4]), Err(StorageError::Corrupt { .. })),
+            "seed 5: flipped page must fail verification"
+        );
+        Ok(())
     }
 
     #[test]
-    fn invalid_requests_stay_typed_even_under_full_fault_pressure() {
+    fn invalid_requests_stay_typed_even_under_full_fault_pressure() -> TestResult {
         let cfg = FaultConfig {
             read_error: 1.0,
             torn_write: 1.0,
@@ -380,22 +410,27 @@ mod tests {
             bit_flip: 1.0,
             seed: 11,
         };
-        let (mut s, _) = faulty(cfg);
+        let (mut s, _) = faulty(cfg)?;
         assert_eq!(
-            s.write(PageId(0), Page::zeroed(32)).unwrap_err(),
-            StorageError::PageSizeMismatch {
+            s.write(PageId(0), Page::zeroed(32)),
+            Err(StorageError::PageSizeMismatch {
                 expected: 64,
                 got: 32
-            }
+            }),
+            "seed 11: size mismatch must win over injected faults"
         );
-        assert!(matches!(
-            s.write(PageId(99), Page::zeroed(64)).unwrap_err(),
-            StorageError::OutOfRange { .. } | StorageError::InvalidPageId
-        ));
+        assert!(
+            matches!(
+                s.write(PageId(99), Page::zeroed(64)),
+                Err(StorageError::OutOfRange { .. } | StorageError::InvalidPageId)
+            ),
+            "seed 11: bad id must stay typed under fault pressure"
+        );
+        Ok(())
     }
 
     #[test]
-    fn write_accounting_is_exact_under_faults() {
+    fn write_accounting_is_exact_under_faults() -> TestResult {
         for (name, cfg) in [
             (
                 "lost",
@@ -419,24 +454,29 @@ mod tests {
                 },
             ),
         ] {
-            let (mut s, ids) = faulty(cfg);
+            let (mut s, ids) = faulty(cfg)?;
             s.stats().reset();
             for _ in 0..5 {
-                s.write(ids[0], Page::zeroed(64)).unwrap();
+                seeded(s.write(ids[0], Page::zeroed(64)), 2, name)?;
             }
             assert_eq!(s.stats().writes(), 5, "{name}: every logical write counted");
         }
+        Ok(())
     }
 
     #[test]
-    fn persist_writes_the_underlying_state() {
-        let (mut s, ids) = faulty(FaultConfig::none(1));
+    fn persist_writes_the_underlying_state() -> TestResult {
+        let (mut s, ids) = faulty(FaultConfig::none(1))?;
         let mut p = Page::zeroed(64);
         p.put_u64(0, 4242);
-        s.write(ids[0], p).unwrap();
+        seeded(s.write(ids[0], p), 1, "write before persist")?;
         let mut buf = Vec::new();
-        s.persist(&mut buf).unwrap();
-        let g = PageFile::read_from(&mut std::io::Cursor::new(buf)).unwrap();
-        assert_eq!(g.read_page_uncounted(ids[0]).unwrap().get_u64(0), 4242);
+        s.persist(&mut buf)
+            .map_err(|e| format!("seed 1: persist: {e}"))?;
+        let g = PageFile::read_from(&mut std::io::Cursor::new(buf))
+            .map_err(|e| format!("seed 1: reload persisted state: {e}"))?;
+        let got = seeded(g.read_page_uncounted(ids[0]), 1, "read persisted page")?.get_u64(0);
+        assert_eq!(got, 4242);
+        Ok(())
     }
 }

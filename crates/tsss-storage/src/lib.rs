@@ -51,5 +51,5 @@ pub use disk::{PageFile, PageId};
 pub use error::StorageError;
 pub use fault::{FaultConfig, FaultCounters, FaultyStore};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
-pub use stats::AccessStats;
+pub use stats::{AccessCounts, AccessStats, StatsScope};
 pub use store::PageStore;

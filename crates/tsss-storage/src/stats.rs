@@ -36,6 +36,10 @@ pub struct AccessCounts {
     pub hits: u64,
     /// Buffer-pool misses.
     pub misses: u64,
+    /// Transient-fault retries (re-issued physical reads). A retried read is
+    /// still *one* logical read, so retries are excluded from
+    /// [`AccessCounts::total_accesses`].
+    pub retries: u64,
 }
 
 impl AccessCounts {
@@ -63,6 +67,7 @@ pub struct AccessStats {
     writes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Default for AccessStats {
@@ -80,6 +85,7 @@ impl AccessStats {
             writes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +125,14 @@ impl AccessStats {
         self.tally_local(|c| c.misses += 1);
     }
 
+    /// Records one transient-fault retry: a physical re-read of a page whose
+    /// first attempt failed with a transient error. The logical read was
+    /// already recorded, so this does not touch the read counter.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.tally_local(|c| c.retries += 1);
+    }
+
     /// Logical page reads so far.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -139,6 +153,11 @@ impl AccessStats {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Transient-fault retries so far (see [`AccessStats::record_retry`]).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
     /// Total logical page accesses (reads + writes) — the Figure 5 metric.
     pub fn total_accesses(&self) -> u64 {
         self.reads() + self.writes()
@@ -153,10 +172,13 @@ impl AccessStats {
         self.writes.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters as plain numbers
-    /// `(reads, writes, hits, misses)`.
+    /// A point-in-time copy of the access counters as plain numbers
+    /// `(reads, writes, hits, misses)`. Retries are reported separately by
+    /// [`AccessStats::retries`] — they are physical re-reads, not logical
+    /// accesses.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (self.reads(), self.writes(), self.hits(), self.misses())
     }
@@ -249,6 +271,22 @@ mod tests {
         s.record_miss();
         s.reset();
         assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn retries_are_counted_but_not_logical_accesses() {
+        let s = AccessStats::new();
+        let scope = s.local_scope();
+        s.record_read();
+        s.record_retry();
+        s.record_retry();
+        let c = scope.finish();
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.total_accesses(), 1, "a retried read is one logical read");
+        assert_eq!(s.retries(), 2);
+        assert_eq!(s.total_accesses(), 1);
+        s.reset();
+        assert_eq!(s.retries(), 0);
     }
 
     #[test]

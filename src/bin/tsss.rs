@@ -9,6 +9,8 @@
 //! tsss batch    --engine engine.tsss --queries qs.csv --epsilon 0.5 [--workers N]
 //! tsss nn       --engine engine.tsss --query q.csv --k 10
 //! tsss scrub    --engine engine.tsss
+//! tsss repair   --engine engine.tsss
+//! tsss health   --engine engine.tsss
 //! tsss demo
 //! ```
 //!
@@ -141,6 +143,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&parsed),
         "nn" => cmd_nn(&parsed),
         "scrub" => cmd_scrub(&parsed),
+        "repair" => cmd_repair(&parsed),
+        "health" => cmd_health(&parsed),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             usage();
@@ -169,6 +173,8 @@ fn usage() {
          batch    --engine ENGINE.tsss --queries QS.csv --epsilon E [--workers N]\n  \
          nn       --engine ENGINE.tsss --query Q.csv [--k K]\n  \
          scrub    --engine ENGINE.tsss\n  \
+         repair   --engine ENGINE.tsss\n  \
+         health   --engine ENGINE.tsss\n  \
          demo"
     );
 }
@@ -408,6 +414,43 @@ fn cmd_scrub(a: &Args) -> Result<(), String> {
         engine.data_page_count()
     );
     println!("scrub clean: every page verified");
+    Ok(())
+}
+
+fn cmd_repair(a: &Args) -> Result<(), String> {
+    let path = a.require("engine")?;
+    // A damaged index stream is tolerated here: the data stream (which is
+    // still fully checksummed) is the source of truth and the index is
+    // rebuilt from it on load.
+    let (mut engine, rebuilt) = SearchEngine::load_repairing_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    if rebuilt {
+        println!("index stream of {path} was damaged; rebuilt from the data file");
+    } else {
+        let report = engine.repair().map_err(|e| format!("repairing: {e}"))?;
+        println!("index stream of {path} loaded cleanly; rebuilt anyway: {report}");
+    }
+    let nodes = engine
+        .tree_mut()
+        .check_invariants()
+        .map_err(|e| format!("post-repair scrub failed: {e}"))?;
+    println!(
+        "  rebuilt index: {nodes} node(s) over {} window(s), invariants OK",
+        engine.num_windows()
+    );
+    engine
+        .save_to_path(Path::new(path))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    println!("saved repaired engine to {path}");
+    Ok(())
+}
+
+fn cmd_health(a: &Args) -> Result<(), String> {
+    let path = a.require("engine")?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    println!("engine: {path}");
+    println!("{}", engine.health());
     Ok(())
 }
 

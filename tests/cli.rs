@@ -211,6 +211,89 @@ fn scrub_passes_on_a_clean_engine_and_rejects_a_corrupted_one() {
 }
 
 #[test]
+fn repair_recovers_a_corrupted_index_and_scrub_then_passes() {
+    let dir = workdir("repair");
+    let market = dir.join("m.csv").display().to_string();
+    let engine = dir.join("e.tsss").display().to_string();
+    run(&[
+        "generate",
+        "--companies",
+        "5",
+        "--days",
+        "80",
+        "--out",
+        &market,
+    ]);
+    run(&[
+        "build", "--data", &market, "--window", "16", "--out", &engine,
+    ]);
+
+    let (ok, _, err) = run(&["scrub", "--engine", &engine]);
+    assert!(ok, "clean scrub failed: {err}");
+
+    // `health` on the freshly built engine reports a closed breaker.
+    let (ok, out, err) = run(&["health", "--engine", &engine]);
+    assert!(ok, "health failed: {err}");
+    assert!(out.contains("breaker:"), "unexpected: {out}");
+    assert!(out.contains("closed"), "unexpected: {out}");
+
+    // Flip one bit near the end of the file — the index stream is the last
+    // section of the format, so this damages an index page, not the data.
+    let mut bytes = std::fs::read(&engine).unwrap();
+    let n = bytes.len();
+    bytes[n - 100] ^= 0x40;
+    std::fs::write(&engine, &bytes).unwrap();
+
+    let (ok, _, _) = run(&["scrub", "--engine", &engine]);
+    assert!(!ok, "scrub accepted a corrupted engine");
+
+    // Repair rebuilds the index from the intact data stream and re-saves.
+    let (ok, out, err) = run(&["repair", "--engine", &engine]);
+    assert!(ok, "repair failed: {err}");
+    assert!(
+        out.contains("rebuilt from the data file"),
+        "repair did not report a rebuild: {out}"
+    );
+    assert!(out.contains("saved repaired engine"), "unexpected: {out}");
+
+    // The repaired engine scrubs clean and answers queries again.
+    let (ok, out, err) = run(&["scrub", "--engine", &engine]);
+    assert!(ok, "post-repair scrub failed: {err}");
+    assert!(out.contains("scrub clean"), "unexpected: {out}");
+
+    let text = std::fs::read_to_string(&market).unwrap();
+    let rows: Vec<f64> = text
+        .lines()
+        .filter(|l| l.starts_with("HK0000,"))
+        .take(16)
+        .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+        .collect();
+    let q = dir.join("q.csv");
+    std::fs::write(
+        &q,
+        rows.iter()
+            .enumerate()
+            .map(|(i, v)| format!("Q,{i},{v:e}\n"))
+            .collect::<String>(),
+    )
+    .unwrap();
+    let qpath = q.display().to_string();
+    let (ok, out, err) = run(&[
+        "query",
+        "--engine",
+        &engine,
+        "--query",
+        &qpath,
+        "--epsilon",
+        "0.0001",
+    ]);
+    assert!(ok, "post-repair query failed: {err}");
+    assert!(out.contains("series 0 @ 0"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn malformed_invocations_fail_cleanly() {
     for args in [
         vec!["unknown-subcommand"],
