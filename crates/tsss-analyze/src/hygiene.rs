@@ -1,0 +1,144 @@
+//! R5: crate-level hygiene.
+//!
+//! Every crate in the workspace must
+//! * declare `#![forbid(unsafe_code)]` at its crate root, and
+//! * inherit the workspace lint table (`[lints] workspace = true` in its
+//!   `Cargo.toml`).
+//!
+//! The workspace root `Cargo.toml` must additionally define the shared
+//! `[workspace.lints.*]` table those crates inherit.
+
+use std::path::Path;
+
+use crate::lexer::scan;
+use crate::report::{Finding, Rule};
+
+/// Runs the R5 checks over `root` (the workspace directory). `crates`
+/// holds the workspace-relative crate directories (e.g. `crates/tsss-core`
+/// and `""` for the root package).
+pub fn check_workspace_hygiene(root: &Path, crates: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let root_toml_rel = "Cargo.toml";
+    let root_toml = std::fs::read_to_string(root.join(root_toml_rel)).unwrap_or_default();
+    if !root_toml.contains("[workspace.lints") && !toml_allows(&root_toml) {
+        findings.push(Finding {
+            rule: Rule::CrateHygiene,
+            path: root_toml_rel.to_string(),
+            line: 1,
+            message: "workspace root Cargo.toml has no `[workspace.lints.*]` table".into(),
+            excerpt: String::new(),
+        });
+    }
+
+    for crate_dir in crates {
+        let dir = if crate_dir.is_empty() {
+            root.to_path_buf()
+        } else {
+            root.join(crate_dir)
+        };
+        let join_rel = |name: &str| -> String {
+            if crate_dir.is_empty() {
+                name.to_string()
+            } else {
+                format!("{crate_dir}/{name}")
+            }
+        };
+
+        let toml_rel = join_rel("Cargo.toml");
+        let toml = std::fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
+        if !toml.is_empty() && !inherits_workspace_lints(&toml) && !toml_allows(&toml) {
+            findings.push(Finding {
+                rule: Rule::CrateHygiene,
+                path: toml_rel,
+                line: 1,
+                message: "crate does not inherit the workspace lint table \
+                          (`[lints] workspace = true`)"
+                    .into(),
+                excerpt: String::new(),
+            });
+        }
+
+        // The crate root: src/lib.rs, or src/main.rs for pure binaries.
+        let (root_file, root_rel) = if dir.join("src/lib.rs").is_file() {
+            (dir.join("src/lib.rs"), join_rel("src/lib.rs"))
+        } else if dir.join("src/main.rs").is_file() {
+            (dir.join("src/main.rs"), join_rel("src/main.rs"))
+        } else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&root_file).unwrap_or_default();
+        if !forbids_unsafe(&source) && !source_allows(&source) {
+            findings.push(Finding {
+                rule: Rule::CrateHygiene,
+                path: root_rel,
+                line: 1,
+                message: "crate root does not declare `#![forbid(unsafe_code)]`".into(),
+                excerpt: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+/// `[lints] workspace = true` (section or dotted form), comment-safe.
+fn inherits_workspace_lints(toml: &str) -> bool {
+    let mut in_lints = false;
+    for line in toml.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+        if line.replace(' ', "").starts_with("lints.workspace=true") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The attribute must appear as real code (not in a comment or string).
+fn forbids_unsafe(source: &str) -> bool {
+    scan(source)
+        .iter()
+        .any(|l| l.code.replace(' ', "").contains("#![forbid(unsafe_code)]"))
+}
+
+fn source_allows(source: &str) -> bool {
+    scan(source)
+        .iter()
+        .any(|l| l.comment.contains("analyze::allow(crate-hygiene)"))
+}
+
+fn toml_allows(toml: &str) -> bool {
+    toml.lines()
+        .any(|l| l.trim_start().starts_with('#') && l.contains("analyze::allow(crate-hygiene)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lints_inheritance_is_detected_in_both_forms() {
+        assert!(inherits_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        ));
+        assert!(inherits_workspace_lints("lints.workspace = true\n"));
+        assert!(!inherits_workspace_lints("[package]\nname = \"x\"\n"));
+        assert!(!inherits_workspace_lints("[lints]\n# workspace = true\n"));
+    }
+
+    #[test]
+    fn forbid_unsafe_must_be_code_not_comment() {
+        assert!(forbids_unsafe("#![forbid(unsafe_code)]\npub fn f() {}\n"));
+        assert!(forbids_unsafe("#![ forbid( unsafe_code ) ]\n"));
+        assert!(!forbids_unsafe(
+            "// #![forbid(unsafe_code)]\npub fn f() {}\n"
+        ));
+        assert!(!forbids_unsafe("pub fn f() {}\n"));
+    }
+}

@@ -1,0 +1,279 @@
+//! A minimal Rust source lexer: splits every line into *code* and
+//! *comment* text, blanking out string/char literal contents so the rule
+//! scanners never match tokens inside literals.
+//!
+//! This is deliberately not a full parser (no `syn`, no dependencies —
+//! the workspace is offline). It understands exactly as much of Rust's
+//! lexical grammar as the rules need:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments,
+//! * string literals, raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//!   byte strings, and escapes,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//!
+//! Everything the lexer classifies as comment text is preserved (that is
+//! where `analyze::allow` markers and justification comments live); string
+//! literal contents are replaced with spaces so brackets, `as`, `==` and
+//! friends inside them are invisible to the rules.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The line's code characters, with string/char literal contents
+    /// blanked to spaces (the delimiting quotes are kept).
+    pub code: String,
+    /// The line's comment text (contents of `//…` and `/*…*/` segments,
+    /// without the comment markers themselves).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested block comments; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string; `true` while the next char is escaped.
+    Str,
+    /// Inside a raw string with the given number of `#` delimiters.
+    RawStr(u32),
+}
+
+/// Splits `source` into per-line code and comment text.
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    // Helper macro-free closures are awkward with the borrow of `cur`;
+    // a plain indexed loop keeps the control flow obvious.
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                // Comment openers.
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br"…", br#"…"# …
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some((hashes, skip)) = raw_string_open(&chars, i) {
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i += skip;
+                        continue;
+                    }
+                }
+                // Plain strings (including byte strings: the `b` prefix was
+                // already emitted as code).
+                if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                // Char literal vs. lifetime.
+                if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        cur.code.push('\'');
+                        for _ in i + 1..end {
+                            cur.code.push(' ');
+                        }
+                        cur.code.push('\'');
+                        i = end + 1;
+                        continue;
+                    }
+                    // A lifetime: emit the quote and fall through.
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        cur.code.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If position `i` opens a raw (byte) string, returns the hash depth and
+/// how many chars the opener spans (`r#"` → 3).
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If position `i` (a `'`) opens a char literal, returns the index of the
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the next unescaped quote (handles
+            // '\n', '\'', '\u{1F600}').
+            let mut j = i + 2;
+            while let Some(&c) = chars.get(j) {
+                if c == '\'' {
+                    return Some(j);
+                }
+                if c == '\n' {
+                    return None;
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let lines = scan("let x = 1; // the answer .unwrap()");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment, " the answer .unwrap()");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = code_of(r#"let s = "a[0].unwrap() as usize";"#);
+        assert!(!lines[0].contains("unwrap"));
+        assert!(!lines[0].contains("as usize"));
+        assert!(lines[0].contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = "let s = r#\"x == 1.0 \"quoted\" y[0]\"#; let t = a[0];";
+        let lines = code_of(src);
+        assert!(!lines[0].contains("=="));
+        assert!(lines[0].contains("let t = a[0];"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let src = "/* outer /* inner */ still comment */ let x = a[0];";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("let x = a[0];"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let lines = code_of("fn f<'a>(x: &'a str) { let c = '['; let d = b'\\n'; }");
+        assert!(lines[0].contains("<'a>"));
+        assert!(!lines[0].contains('['), "char literal '[' must be blanked");
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_end_it() {
+        let lines = code_of(r#"let s = "a\"b[0]"; let t = c[1];"#);
+        assert!(!lines[0].contains("b[0]"));
+        assert!(lines[0].contains("c[1]"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lines = scan("let a = 1; /* start\n .unwrap() \n end */ let b = a[0];");
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[1].comment.contains(".unwrap()"));
+        assert!(lines[2].code.contains("let b = a[0];"));
+    }
+}

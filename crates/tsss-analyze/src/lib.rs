@@ -1,0 +1,173 @@
+//! `tsss-analyze`: the workspace's first-party static analyzer.
+//!
+//! A dependency-free line/token scanner (no `syn`, no network — the
+//! workspace is offline) that walks every crate's `src` tree and enforces
+//! the project's machine-checked invariants:
+//!
+//! | rule | name             | scope                 | what it enforces |
+//! |------|------------------|-----------------------|------------------|
+//! | R1   | `panic`, `index` | hot-path crates       | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and no bracket indexing in non-test code |
+//! | R2   | `cast`           | hot-path crates       | no bare `as` integer casts on id/offset/length-like expressions |
+//! | R3   | `atomics`, `atomics-mixed` | all crates  | every atomic `Ordering::…` carries a justification comment; mixed orderings on one field are flagged |
+//! | R4   | `float-eq`       | all crates            | no `==`/`!=` against float literals/constants outside tests |
+//! | R5   | `crate-hygiene`  | all crates            | `#![forbid(unsafe_code)]` at each crate root; `[lints] workspace = true`; a root `[workspace.lints.*]` table |
+//! | R6   | `stats-identity` | `SearchStats`         | every stats field is covered by the accounting-identity doc comment |
+//!
+//! Violations are suppressed — never silently — with justification
+//! markers (see [`rules`]): `analyze::allow(<rule>): <why>` on the line
+//! (or the comment line above), or `analyze::allow-file(<rule>): <why>`
+//! for a whole file. A marker without a written justification is itself a
+//! finding.
+//!
+//! The hot-path crates are `tsss-core`, `tsss-storage`, `tsss-index` and
+//! `tsss-geometry` — the crates on the query path, where a panic takes
+//! down the whole engine instead of surfacing a typed
+//! `EngineError`/`StorageError`.
+//!
+//! Run locally with `cargo run -p tsss-analyze`, or as part of the test
+//! suite (`cargo test -p tsss-analyze`); CI runs it in release mode and
+//! uploads `results/analyze.json`.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
+
+pub mod hygiene;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+
+use std::path::{Path, PathBuf};
+
+pub use report::{Analysis, Finding, Rule};
+
+/// Workspace-relative `src` prefixes of the hot-path crates (R1/R2
+/// scope).
+pub const HOT_PATH_PREFIXES: [&str; 4] = [
+    "crates/tsss-core/src",
+    "crates/tsss-storage/src",
+    "crates/tsss-index/src",
+    "crates/tsss-geometry/src",
+];
+
+/// Whether a workspace-relative path is in the hot-path (R1/R2) scope.
+pub fn is_hot_path(rel_path: &str) -> bool {
+    HOT_PATH_PREFIXES
+        .iter()
+        .any(|p| rel_path.strip_prefix(p).is_some_and(|r| r.starts_with('/')))
+}
+
+/// Analyses the workspace rooted at `root`: every `crates/*/src/**/*.rs`
+/// plus the root package's `src/**/*.rs`, the per-crate hygiene checks,
+/// and the marker audit.
+///
+/// # Errors
+/// Propagates I/O errors from walking and reading the tree.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    let mut crate_dirs: Vec<String> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            if let Some(name) = dir.file_name().and_then(|n| n.to_str()) {
+                crate_dirs.push(format!("crates/{name}"));
+            }
+        }
+    }
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        crate_dirs.push(String::new()); // the root package
+    }
+
+    let mut sources = Vec::new();
+    for crate_dir in &crate_dirs {
+        let src = if crate_dir.is_empty() {
+            root.join("src")
+        } else {
+            root.join(crate_dir).join("src")
+        };
+        collect_rust_files(&src, &mut sources)?;
+    }
+    sources.sort();
+
+    for path in &sources {
+        let rel = rel_path(root, path);
+        let source = std::fs::read_to_string(path)?;
+        let (mut findings, used) = rules::analyze_source(&rel, &source, is_hot_path(&rel));
+        analysis.findings.append(&mut findings);
+        analysis.allows_used += used;
+        analysis.files_scanned += 1;
+    }
+
+    analysis
+        .findings
+        .extend(hygiene::check_workspace_hygiene(root, &crate_dirs));
+    analysis.sort();
+    Ok(analysis)
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let toml = d.join("Cargo.toml");
+        if toml.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&toml) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_scope_is_the_four_query_path_crates() {
+        assert!(is_hot_path("crates/tsss-core/src/engine.rs"));
+        assert!(is_hot_path("crates/tsss-storage/src/buffer.rs"));
+        assert!(is_hot_path("crates/tsss-index/src/tree.rs"));
+        assert!(is_hot_path("crates/tsss-geometry/src/mbr.rs"));
+        assert!(!is_hot_path("crates/tsss-data/src/gbm.rs"));
+        assert!(!is_hot_path("crates/tsss-bench/src/lib.rs"));
+        assert!(!is_hot_path("src/lib.rs"));
+        assert!(!is_hot_path("crates/tsss-core/tests/chaos.rs"));
+        assert!(!is_hot_path("crates/tsss-core/srcx/foo.rs"));
+    }
+}

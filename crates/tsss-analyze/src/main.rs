@@ -1,0 +1,103 @@
+//! The `tsss-analyze` binary: run the workspace invariant analyzer.
+//!
+//! ```text
+//! tsss-analyze [--root <dir>] [--format text|json] [--out <file>]
+//! ```
+//!
+//! * Prints the human report (`--format text`, the default) or the JSON
+//!   report (`--format json`) to stdout.
+//! * Always writes the machine-readable report to `<root>/results/analyze.json`
+//!   (override with `--out`).
+//! * Exits nonzero when there are findings, so CI and pre-push hooks can
+//!   gate on it.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--format" => {
+                if let Some(f) = args.next() {
+                    format = f;
+                }
+            }
+            "--out" => out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: tsss-analyze [--root <dir>] [--format text|json] [--out <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tsss-analyze: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        eprintln!("tsss-analyze: --format must be `text` or `json`, got `{format}`");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tsss-analyze: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match tsss_analyze::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "tsss-analyze: no workspace Cargo.toml found above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match tsss_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tsss-analyze: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let json = analysis.render_json();
+    let out_path = out.unwrap_or_else(|| root.join("results").join("analyze.json"));
+    if let Some(dir) = out_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("tsss-analyze: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("tsss-analyze: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+
+    match format.as_str() {
+        "json" => print!("{json}"),
+        _ => print!("{}", analysis.render_text()),
+    }
+
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,256 @@
+//! Findings, the analysis summary, and the human/JSON reports.
+
+use std::fmt::Write as _;
+
+/// The rule catalog. The `key` is what `analyze::allow(<key>)` markers
+/// name; the `id` is the stable short id used in reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: panicking constructs (`unwrap`, `expect`, `panic!`,
+    /// `unreachable!`, `todo!`, `unimplemented!`) in hot-path code.
+    Panic,
+    /// R1: bracket indexing (`xs[i]`) in hot-path code.
+    Index,
+    /// R2: bare `as` integer casts on id/offset/length-like expressions.
+    Cast,
+    /// R3: an atomic `Ordering::…` without a justification comment.
+    Atomics,
+    /// R3: one atomic field used with several different orderings.
+    AtomicsMixed,
+    /// R4: `==` / `!=` against a float literal or float constant.
+    FloatEq,
+    /// R5: crate-level hygiene (`#![forbid(unsafe_code)]`, workspace
+    /// lint-table inheritance).
+    CrateHygiene,
+    /// R6: a `SearchStats` field not covered by the accounting-identity
+    /// doc comment.
+    StatsIdentity,
+    /// A malformed `analyze::allow` marker (unknown rule, missing or
+    /// empty justification).
+    Marker,
+}
+
+impl Rule {
+    /// Stable short id (`R1`–`R6`, `M0` for marker errors).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Panic | Rule::Index => "R1",
+            Rule::Cast => "R2",
+            Rule::Atomics | Rule::AtomicsMixed => "R3",
+            Rule::FloatEq => "R4",
+            Rule::CrateHygiene => "R5",
+            Rule::StatsIdentity => "R6",
+            Rule::Marker => "M0",
+        }
+    }
+
+    /// The name `analyze::allow(<name>)` markers use.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::Cast => "cast",
+            Rule::Atomics => "atomics",
+            Rule::AtomicsMixed => "atomics-mixed",
+            Rule::FloatEq => "float-eq",
+            Rule::CrateHygiene => "crate-hygiene",
+            Rule::StatsIdentity => "stats-identity",
+            Rule::Marker => "marker",
+        }
+    }
+
+    /// Parses a marker rule name.
+    pub fn from_key(key: &str) -> Option<Rule> {
+        Some(match key {
+            "panic" => Rule::Panic,
+            "index" => Rule::Index,
+            "cast" => Rule::Cast,
+            "atomics" => Rule::Atomics,
+            "atomics-mixed" => Rule::AtomicsMixed,
+            "float-eq" => Rule::FloatEq,
+            "crate-hygiene" => Rule::CrateHygiene,
+            "stats-identity" => Rule::StatsIdentity,
+            _ => return None,
+        })
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// The result of analysing a workspace (or a fixture set).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    /// Rust sources scanned.
+    pub files_scanned: usize,
+    /// `analyze::allow` markers that suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+impl Analysis {
+    /// Canonical order: path, then line, then rule id.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
+    }
+
+    /// The human report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}/{}] {}\n    {}",
+                f.path,
+                f.line,
+                f.rule.id(),
+                f.rule.key(),
+                f.message,
+                f.excerpt
+            );
+        }
+        let _ = writeln!(
+            out,
+            "tsss-analyze: {} finding(s) in {} file(s) scanned ({} allow marker(s) in effect)",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used
+        );
+        out
+    }
+
+    /// The machine-readable report (`results/analyze.json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"tsss-analyze\",");
+        let _ = writeln!(
+            out,
+            "  \"version\": {},",
+            json_str(env!("CARGO_PKG_VERSION"))
+        );
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"allows_used\": {},", self.allows_used);
+        let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}",
+                json_str(f.rule.id()),
+                json_str(f.rule.key()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.excerpt)
+            );
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: Rule::Panic,
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "call to `.unwrap()`".into(),
+            excerpt: "let x = \"a\\\"b\".len();".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut a = Analysis {
+            findings: vec![finding()],
+            files_scanned: 3,
+            allows_used: 1,
+        };
+        a.sort();
+        let j = a.render_json();
+        assert!(j.contains("\"rule\": \"R1\""));
+        assert!(j.contains("\"name\": \"panic\""));
+        assert!(j.contains("\\\"b\\\""), "inner quotes must be escaped: {j}");
+        assert!(j.contains("\"total_findings\": 1"));
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_array() {
+        let a = Analysis::default();
+        let j = a.render_json();
+        assert!(j.contains("\"findings\": []"), "{j}");
+    }
+
+    #[test]
+    fn rule_keys_roundtrip() {
+        for rule in [
+            Rule::Panic,
+            Rule::Index,
+            Rule::Cast,
+            Rule::Atomics,
+            Rule::AtomicsMixed,
+            Rule::FloatEq,
+            Rule::CrateHygiene,
+            Rule::StatsIdentity,
+        ] {
+            assert_eq!(Rule::from_key(rule.key()), Some(rule));
+        }
+        assert_eq!(Rule::from_key("bogus"), None);
+    }
+
+    #[test]
+    fn text_report_names_rule_and_location() {
+        let a = Analysis {
+            findings: vec![finding()],
+            files_scanned: 1,
+            allows_used: 0,
+        };
+        let t = a.render_text();
+        assert!(t.contains("crates/x/src/lib.rs:7: [R1/panic]"));
+    }
+}

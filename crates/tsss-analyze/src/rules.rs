@@ -1,0 +1,883 @@
+//! The rule detectors (R1–R4, R6) and the `analyze::allow` marker
+//! grammar.
+//!
+//! # Marker grammar
+//!
+//! ```text
+//! // analyze::allow(<rule>[, <rule>…]): <justification>
+//! // analyze::allow-file(<rule>[, <rule>…]): <justification>
+//! ```
+//!
+//! A line marker suppresses the named rules on its own line, or — when it
+//! sits on a comment-only line — on the next line. A file marker
+//! suppresses the named rules in the whole file (for dense numeric
+//! kernels where per-line markers would drown the code). The
+//! justification text is mandatory and must be non-empty: an allow
+//! without a written reason is itself a finding (`M0`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::lexer::{scan, ScannedLine};
+use crate::report::{Finding, Rule};
+use crate::scope::test_mask;
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const ATOMIC_METHODS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Identifier fragments that mark an expression as id/offset/length-like
+/// for the cast rule (matched against `snake_case`/`CamelCase` segments).
+const IDISH_SEGMENTS: [&str; 24] = [
+    "id", "idx", "index", "offset", "off", "len", "length", "count", "pos", "page", "pages",
+    "window", "seq", "series", "extent", "size", "slot", "dim", "depth", "stride", "cap",
+    "capacity", "step", "steps",
+];
+
+/// Parsed allow markers for one file.
+#[derive(Debug, Default)]
+struct Allows {
+    file: HashSet<Rule>,
+    /// 0-based line → rules allowed on that line.
+    line: HashMap<usize, HashSet<Rule>>,
+    /// Malformed markers become findings.
+    errors: Vec<(usize, String)>,
+    /// Markers that suppressed at least one finding (file-level markers
+    /// count once): `None` = file marker.
+    used: std::cell::RefCell<HashSet<(Option<usize>, Rule)>>,
+}
+
+impl Allows {
+    fn parse(lines: &[ScannedLine]) -> Allows {
+        let mut allows = Allows::default();
+        for (li, line) in lines.iter().enumerate() {
+            let comment = &line.comment;
+            let mut from = 0;
+            while let Some(pos) = comment[from..].find("analyze::allow") {
+                let start = from + pos;
+                let rest = &comment[start + "analyze::allow".len()..];
+                let (is_file, rest) = match rest.strip_prefix("-file") {
+                    Some(r) => (true, r),
+                    None => (false, rest),
+                };
+                // Prose mentions of the grammar (`analyze::allow` without a
+                // parenthesised rule list, or with placeholder text such as
+                // `<rule>`) are not markers and are skipped silently; a
+                // malformed *actual* marker is reported below.
+                let Some(rest) = rest.trim_start().strip_prefix('(') else {
+                    from = start + 1;
+                    continue;
+                };
+                let Some(close) = rest.find(')') else {
+                    allows
+                        .errors
+                        .push((li, "marker rule list is not closed with `)`".into()));
+                    from = start + 1;
+                    continue;
+                };
+                let names = &rest[..close];
+                if !names.chars().all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '-' | ',' | ' ')
+                }) {
+                    from = start + 1;
+                    continue;
+                }
+                let after = rest[close + 1..].trim_start();
+                let Some(justification) = after.strip_prefix(':') else {
+                    allows.errors.push((
+                        li,
+                        "marker is missing its `: <justification>` clause".into(),
+                    ));
+                    from = start + 1;
+                    continue;
+                };
+                if justification.trim().is_empty() {
+                    allows
+                        .errors
+                        .push((li, "marker justification must not be empty".into()));
+                    from = start + 1;
+                    continue;
+                }
+                for name in names.split(',') {
+                    let name = name.trim();
+                    match Rule::from_key(name) {
+                        Some(rule) => {
+                            if is_file {
+                                allows.file.insert(rule);
+                            } else {
+                                allows.line.entry(li).or_default().insert(rule);
+                            }
+                        }
+                        None => allows
+                            .errors
+                            .push((li, format!("marker names unknown rule `{name}`"))),
+                    }
+                }
+                from = start + 1;
+            }
+        }
+        allows
+    }
+
+    /// Is `rule` allowed on 0-based line `li`? (Checks the line itself,
+    /// a comment-only line directly above, and file markers.)
+    fn allows(&self, lines: &[ScannedLine], li: usize, rule: Rule) -> bool {
+        if self.file.contains(&rule) {
+            self.used.borrow_mut().insert((None, rule));
+            return true;
+        }
+        if self.line.get(&li).is_some_and(|s| s.contains(&rule)) {
+            self.used.borrow_mut().insert((Some(li), rule));
+            return true;
+        }
+        if li > 0
+            && lines[li - 1].code.trim().is_empty()
+            && self.line.get(&(li - 1)).is_some_and(|s| s.contains(&rule))
+        {
+            self.used.borrow_mut().insert((Some(li - 1), rule));
+            return true;
+        }
+        false
+    }
+
+    fn used_count(&self) -> usize {
+        self.used.borrow().len()
+    }
+}
+
+/// Analyses one Rust source file. `hot` enables the hot-path-only rules
+/// (R1 panic-freedom and R2 cast safety). Returns the findings plus the
+/// number of allow markers that suppressed something.
+pub fn analyze_source(rel_path: &str, source: &str, hot: bool) -> (Vec<Finding>, usize) {
+    let lines = scan(source);
+    let mask = test_mask(&lines);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let allows = Allows::parse(&lines);
+    let mut findings = Vec::new();
+
+    let excerpt = |li: usize| -> String {
+        raw_lines
+            .get(li)
+            .map(|l| l.trim().chars().take(120).collect())
+            .unwrap_or_default()
+    };
+    let mut push = |rule: Rule, li: usize, message: String, f: &mut Vec<Finding>| {
+        if !allows.allows(&lines, li, rule) {
+            f.push(Finding {
+                rule,
+                path: rel_path.to_string(),
+                line: li + 1,
+                message,
+                excerpt: excerpt(li),
+            });
+        }
+    };
+
+    // Atomic usages collected for the mixed-ordering analysis:
+    // field → ordering → first 0-based line seen.
+    let mut atomics: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    let mut atomic_lines: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+    for (li, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let in_test = mask[li];
+        let is_attr_line = code.trim_start().starts_with('#');
+
+        if hot && !in_test {
+            check_panics(code, li, &mut findings, &mut push);
+            if !is_attr_line {
+                check_indexing(code, li, &mut findings, &mut push);
+                check_casts(code, li, &mut findings, &mut push);
+            }
+        }
+        if !in_test {
+            check_float_eq(code, li, &mut findings, &mut push);
+            check_atomics(
+                line,
+                &lines,
+                li,
+                &mut findings,
+                &mut push,
+                &mut atomics,
+                &mut atomic_lines,
+            );
+        }
+    }
+
+    // Mixed-ordering pass over the whole file.
+    for (field, orderings) in &atomics {
+        if orderings.len() <= 1 {
+            continue;
+        }
+        let usage_lines = &atomic_lines[field];
+        let suppressed = usage_lines
+            .iter()
+            .any(|&li| allows.allows(&lines, li, Rule::AtomicsMixed));
+        if suppressed {
+            continue;
+        }
+        let first = usage_lines[0];
+        let list: Vec<String> = orderings
+            .iter()
+            .map(|(o, li)| format!("{o} (line {})", li + 1))
+            .collect();
+        findings.push(Finding {
+            rule: Rule::AtomicsMixed,
+            path: rel_path.to_string(),
+            line: first + 1,
+            message: format!(
+                "atomic field `{field}` is used with mixed orderings: {}",
+                list.join(", ")
+            ),
+            excerpt: excerpt(first),
+        });
+    }
+
+    check_stats_identity(&lines, &mut findings, &mut push);
+
+    for (li, msg) in &allows.errors {
+        findings.push(Finding {
+            rule: Rule::Marker,
+            path: rel_path.to_string(),
+            line: li + 1,
+            message: msg.clone(),
+            excerpt: excerpt(*li),
+        });
+    }
+
+    (findings, allows.used_count())
+}
+
+// ---------------------------------------------------------------------
+// R1: panic-freedom
+// ---------------------------------------------------------------------
+
+fn check_panics(
+    code: &str,
+    li: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+) {
+    for method in ["unwrap", "expect"] {
+        for pos in word_positions(code, method) {
+            if !preceded_by_dot(code, pos) {
+                continue;
+            }
+            let after = &code[pos + method.len()..];
+            if after.trim_start().starts_with('(') {
+                push(
+                    Rule::Panic,
+                    li,
+                    format!("call to `.{method}()` in hot-path code"),
+                    findings,
+                );
+            }
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for pos in word_positions(code, mac) {
+            // Exclude paths like `std::panic::catch_unwind`.
+            let after = &code[pos + mac.len()..];
+            if after.trim_start().starts_with('!') {
+                push(
+                    Rule::Panic,
+                    li,
+                    format!("`{mac}!` in hot-path code"),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+fn check_indexing(
+    code: &str,
+    li: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+) {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Only the *immediately* adjacent form is indexing — rustfmt never
+        // leaves `expr [i]`, while slice types (`&mut [u8]`) and array
+        // literals after keywords always carry a space before `[`.
+        let Some(&prev) = chars[..i].last() else {
+            continue;
+        };
+        if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            push(
+                Rule::Index,
+                li,
+                "bracket indexing in hot-path code (can panic out of bounds)".into(),
+                findings,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: cast safety
+// ---------------------------------------------------------------------
+
+fn check_casts(
+    code: &str,
+    li: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+) {
+    for pos in word_positions(code, "as") {
+        let after = code[pos + 2..].trim_start();
+        let ty: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !INT_TYPES.contains(&ty.as_str()) {
+            continue;
+        }
+        // The expression context: this statement's text before the cast.
+        let stmt = code[..pos].rsplit(';').next().unwrap_or("");
+        let culprit = identifiers(stmt).into_iter().rev().find(|id| is_idish(id));
+        if let Some(culprit) = culprit {
+            push(
+                Rule::Cast,
+                li,
+                format!(
+                    "bare `as {ty}` cast on id/offset/length-like expression \
+                     (near `{culprit}`); use `try_from`/`try_new` or justify"
+                ),
+                findings,
+            );
+        }
+    }
+}
+
+fn is_idish(ident: &str) -> bool {
+    segments(ident)
+        .iter()
+        .any(|s| IDISH_SEGMENTS.contains(&s.as_str()))
+}
+
+/// Splits `snake_case` and `CamelCase` identifiers into lowercase
+/// segments: `subseq_id` → `[subseq, id]`, `PageId` → `[page, id]`.
+fn segments(ident: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in ident.chars() {
+        if c == '_' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else if c.is_uppercase() {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            cur.extend(c.to_lowercase());
+        } else {
+            cur.push(c);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// R3: atomics discipline
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn check_atomics(
+    line: &ScannedLine,
+    lines: &[ScannedLine],
+    li: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+    atomics: &mut BTreeMap<String, BTreeMap<String, usize>>,
+    atomic_lines: &mut BTreeMap<String, Vec<usize>>,
+) {
+    let code = line.code.as_str();
+    let mut seen_calls: BTreeSet<usize> = BTreeSet::new();
+    let mut found_any = false;
+    let mut from = 0;
+    while let Some(p) = code[from..].find("Ordering::") {
+        let pos = from + p;
+        let after = &code[pos + "Ordering::".len()..];
+        let variant: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        from = pos + "Ordering::".len();
+        if !ATOMIC_ORDERINGS.contains(&variant.as_str()) {
+            continue;
+        }
+        found_any = true;
+        // Attribute the ordering to `field.method(…)` when the call is on
+        // this line (for the mixed-ordering analysis).
+        if let Some((field, call_pos)) = atomic_call_target(code, pos) {
+            // `compare_exchange(…, success, failure)` passes two orderings
+            // in one call — only the first (success) one feeds the mixing
+            // analysis, the pair itself is inherent to the API.
+            if seen_calls.insert(call_pos) {
+                atomics
+                    .entry(field.clone())
+                    .or_default()
+                    .entry(variant.clone())
+                    .or_insert(li);
+                atomic_lines.entry(field).or_default().push(li);
+            }
+        }
+    }
+    if found_any {
+        let justified = !line.comment.trim().is_empty()
+            || (li > 0
+                && lines[li - 1].code.trim().is_empty()
+                && !lines[li - 1].comment.trim().is_empty());
+        if !justified {
+            push(
+                Rule::Atomics,
+                li,
+                "atomic `Ordering::…` without a justification comment \
+                 (same line or the line above)"
+                    .into(),
+                findings,
+            );
+        }
+    }
+}
+
+/// For an `Ordering::` occurrence at `pos`, finds the innermost unclosed
+/// call `field.method(` it is an argument of. Returns the atomic field
+/// name and the call's opening-paren position.
+fn atomic_call_target(code: &str, pos: usize) -> Option<(String, usize)> {
+    let bytes = code.as_bytes();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, &b) in bytes.iter().enumerate().take(pos) {
+        match b {
+            b'(' => stack.push(i),
+            b')' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    while let Some(open) = stack.pop() {
+        let before = &code[..open];
+        let method: String = before
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !ATOMIC_METHODS.contains(&method.as_str()) {
+            continue;
+        }
+        let rest = &before[..before.len() - method.len()];
+        let rest = rest.trim_end();
+        let rest = rest.strip_suffix('.')?;
+        let field: String = rest
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if field.is_empty() {
+            return None;
+        }
+        return Some((field, open));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// R4: float equality
+// ---------------------------------------------------------------------
+
+fn check_float_eq(
+    code: &str,
+    li: usize,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+) {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        let is_eq = two == "==" || two == "!=";
+        if !is_eq
+            || (i > 0 && matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'!'))
+            || (i + 2 < bytes.len() && bytes[i + 2] == b'=')
+        {
+            i += 1;
+            continue;
+        }
+        let left = token_before(code, i);
+        let right = token_after(code, i + 2);
+        if is_float_token(&left) || is_float_token(&right) {
+            let op = two;
+            push(
+                Rule::FloatEq,
+                li,
+                format!("float `{op}` comparison outside tests (compare with a tolerance)"),
+                findings,
+            );
+        }
+        i += 2;
+    }
+}
+
+fn token_before(code: &str, end: usize) -> String {
+    let s = code[..end].trim_end();
+    s.chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+fn token_after(code: &str, start: usize) -> String {
+    code[start..]
+        .trim_start()
+        .trim_start_matches('-')
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect()
+}
+
+fn is_float_token(token: &str) -> bool {
+    if token.is_empty() {
+        return false;
+    }
+    // Float constants compared for equality are as suspect as literals.
+    for suffix in ["::NAN", "::INFINITY", "::NEG_INFINITY", "::EPSILON"] {
+        if token.ends_with(suffix) && (token.contains("f64") || token.contains("f32")) {
+            return true;
+        }
+    }
+    let first = token.chars().next().unwrap_or(' ');
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if token.starts_with("0x") || token.starts_with("0b") || token.starts_with("0o") {
+        return false;
+    }
+    if token.ends_with("f32") || token.ends_with("f64") {
+        return true;
+    }
+    // A dot with digits on both sides (or a trailing dot) is a float
+    // literal; integer tokens never contain `.`.
+    token.contains('.') && token.chars().all(|c| c.is_ascii_digit() || c == '.')
+        || (token.contains(['e', 'E'])
+            && token
+                .chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '.' | '-' | '+')))
+}
+
+// ---------------------------------------------------------------------
+// R6: the SearchStats accounting identity
+// ---------------------------------------------------------------------
+
+fn check_stats_identity(
+    lines: &[ScannedLine],
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(Rule, usize, String, &mut Vec<Finding>),
+) {
+    let Some(struct_li) = lines
+        .iter()
+        .position(|l| l.code.contains("struct SearchStats"))
+    else {
+        return;
+    };
+    // The struct's doc block: contiguous comment/attribute lines above.
+    let mut doc = String::new();
+    let mut li = struct_li;
+    while li > 0 {
+        let prev = &lines[li - 1];
+        let code = prev.code.trim();
+        if code.is_empty() && !prev.comment.trim().is_empty() {
+            doc.push_str(&prev.comment);
+            doc.push('\n');
+            li -= 1;
+        } else if code.starts_with('#') {
+            li -= 1;
+        } else {
+            break;
+        }
+    }
+    // Walk the struct body at brace depth 1 and collect field names.
+    let mut depth = 0i32;
+    let mut entered = false;
+    for (li, line) in lines.iter().enumerate().skip(struct_li) {
+        let code = line.code.as_str();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth == 0 && li > struct_li {
+            break;
+        }
+        if !(entered && depth == 1) {
+            continue;
+        }
+        let trimmed = code.trim();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        let rest = if let Some(after) = rest.strip_prefix('(') {
+            match after.find(')') {
+                Some(p) => after[p + 1..].trim_start(),
+                None => continue,
+            }
+        } else {
+            rest
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() || !rest[name.len()..].trim_start().starts_with(':') {
+            continue;
+        }
+        if !contains_word(&doc, &name) {
+            push(
+                Rule::StatsIdentity,
+                li,
+                format!(
+                    "`SearchStats` field `{name}` is not covered by the struct's \
+                     accounting-identity doc comment — state whether it is part of \
+                     `candidates == verified + false_alarms + cost_rejected` or why not"
+                ),
+                findings,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Small text helpers
+// ---------------------------------------------------------------------
+
+/// Byte positions where `word` occurs with identifier boundaries.
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(word) {
+        let start = from + p;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+fn preceded_by_dot(code: &str, pos: usize) -> bool {
+    code[..pos].trim_end().ends_with('.')
+}
+
+fn contains_word(text: &str, word: &str) -> bool {
+    !word_positions(text, word).is_empty()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All identifiers in `code`, in order.
+fn identifiers(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|s| s.chars().next().is_some_and(|c| !c.is_ascii_digit()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_hot(src: &str) -> Vec<Finding> {
+        analyze_source("x.rs", src, true).0
+    }
+
+    #[test]
+    fn unwrap_in_hot_code_is_flagged_and_unwrap_or_is_not() {
+        let f = run_hot("fn f() {\n    let a = x.unwrap();\n    let b = y.unwrap_or(0);\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (Rule::Panic, 2));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_and_counts() {
+        let src = "fn f() {\n    let a = x.unwrap(); // analyze::allow(panic): infallible here\n}";
+        let (f, used) = analyze_source("x.rs", src, true);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn marker_above_on_comment_line_applies_to_next_line() {
+        let src =
+            "fn f() {\n    // analyze::allow(panic): checked two lines up\n    let a = x.unwrap();\n}";
+        let (f, _) = analyze_source("x.rs", src, true);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn empty_justification_is_a_marker_finding() {
+        let src = "fn f() {\n    let a = x.unwrap(); // analyze::allow(panic):\n}";
+        let f = run_hot(src);
+        assert!(f.iter().any(|f| f.rule == Rule::Marker), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_marker_is_a_finding() {
+        let src = "fn f() {} // analyze::allow(bogus): whatever\n";
+        let f = run_hot(src);
+        assert!(f.iter().any(|f| f.rule == Rule::Marker));
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_types_and_macros_are_not() {
+        let src = "fn f(v: &[f64]) -> f64 {\n    let a: [f64; 3] = [0.0; 3];\n    let x = vec![1, 2];\n    v[0]\n}";
+        let f = run_hot(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), (Rule::Index, 4));
+    }
+
+    #[test]
+    fn idish_cast_is_flagged_and_float_cast_is_not() {
+        let src = "fn f() {\n    let a = page_id as usize;\n    let b = n as f64;\n    let c = mass as u64;\n}";
+        let f = run_hot(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), (Rule::Cast, 2));
+    }
+
+    #[test]
+    fn camel_case_cast_context_is_recognised() {
+        let f = run_hot("fn f() {\n    let a = SubseqId::pack(x) as u32;\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Cast);
+    }
+
+    #[test]
+    fn unjustified_ordering_is_flagged_commented_is_not() {
+        let src = "fn f(a: &A) {\n    a.x.load(Ordering::Acquire); // pairs with the Release store\n    a.x.store(1, Ordering::Relaxed);\n}";
+        let f: Vec<Finding> = analyze_source("x.rs", src, false)
+            .0
+            .into_iter()
+            .filter(|f| f.rule == Rule::Atomics)
+            .collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn mixed_orderings_on_one_field_are_flagged_once() {
+        let src = "fn f(a: &A) {\n    // why: acquire pairs with release\n    a.state.load(Ordering::Acquire);\n    // why: relaxed is enough here\n    a.state.store(1, Ordering::Relaxed);\n    // why: independent counter\n    a.hits.fetch_add(1, Ordering::Relaxed);\n}";
+        let f = analyze_source("x.rs", src, false).0;
+        let mixed: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::AtomicsMixed).collect();
+        assert_eq!(mixed.len(), 1, "{f:?}");
+        assert!(mixed[0].message.contains("`state`"));
+    }
+
+    #[test]
+    fn compare_exchange_pair_is_not_mixed() {
+        let src = "fn f(a: &A) {\n    // CAS: success AcqRel, failure Acquire\n    a.s.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n}";
+        let f = analyze_source("x.rs", src, false).0;
+        assert!(
+            f.iter().all(|f| f.rule != Rule::AtomicsMixed),
+            "CAS success/failure pair must not count as mixed: {f:?}"
+        );
+    }
+
+    #[test]
+    fn float_eq_against_literal_and_nan_is_flagged() {
+        let src = "fn f(x: f64) -> bool {\n    if x == 0.0 { return true; }\n    x != f64::NAN\n}";
+        let f = analyze_source("x.rs", src, false).0;
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::FloatEq));
+    }
+
+    #[test]
+    fn integer_comparisons_are_not_float_eq() {
+        let src = "fn f(x: usize) -> bool {\n    x == 0 && x != 10 && x == 0x1F\n}";
+        let f = analyze_source("x.rs", src, false).0;
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_hot_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n        let i = id as usize;\n        assert!(y == 0.5);\n    }\n}";
+        let f = run_hot(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stats_identity_flags_undocumented_fields() {
+        let src = "/// Stats. Identity: candidates == verified + false_alarms + cost_rejected.\n\
+                   pub struct SearchStats {\n    pub candidates: u64,\n    pub verified: u64,\n    pub mystery: u64,\n}";
+        let f = analyze_source("x.rs", src, false).0;
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), (Rule::StatsIdentity, 5));
+        assert!(f[0].message.contains("`mystery`"));
+    }
+
+    #[test]
+    fn file_level_allow_covers_all_occurrences() {
+        let src = "// analyze::allow-file(index): dense kernel, loops are len-bounded\n\
+                   fn f(v: &[f64]) -> f64 { v[0] + v[1] + v[2] }";
+        let (f, used) = analyze_source("x.rs", src, true);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1, "a file marker counts once");
+    }
+}

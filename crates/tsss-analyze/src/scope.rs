@@ -1,0 +1,181 @@
+//! Test-region detection: which lines of a file are inside `#[cfg(test)]`
+//! modules / items or `#[test]` functions.
+//!
+//! The panic-freedom and float-comparison rules only apply to production
+//! code, so the analyzer must know where test code begins. Brace-depth
+//! tracking over the lexer's comment-free code text is exact enough: a
+//! test attribute arms a pending flag, the next `{` opens a test frame,
+//! and every line whose start or end sits inside a test frame is masked.
+
+use crate::lexer::ScannedLine;
+
+/// Returns one flag per line: `true` when the line is (partly) inside a
+/// `#[cfg(test)]` / `#[test]` region, or when the file itself carries an
+/// inner `#![cfg(test)]`.
+pub fn test_mask(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    // Stack of brace frames; `true` frames were opened by a test item.
+    let mut frames: Vec<bool> = Vec::new();
+    // A test attribute was seen and is waiting for its item's `{`.
+    let mut pending_test = false;
+    let mut file_test = false;
+    // Attribute capture state: Some((text, bracket_depth, inner)) while
+    // inside `#[…]` / `#![…]`.
+    let mut attr: Option<(String, u32, bool)> = None;
+    // `#` (and optional `!`) seen, waiting for `[`.
+    let mut hash_pending: Option<bool> = None;
+
+    for (li, line) in lines.iter().enumerate() {
+        let start_in_test = file_test || pending_test || frames.iter().any(|&t| t);
+        for c in line.code.chars() {
+            if let Some((text, depth, inner)) = attr.as_mut() {
+                match c {
+                    '[' => {
+                        *depth += 1;
+                        text.push(c);
+                    }
+                    ']' => {
+                        if *depth == 0 {
+                            let is_inner = *inner;
+                            let body = std::mem::take(text);
+                            if is_test_attr(&body) {
+                                if is_inner {
+                                    file_test = true;
+                                } else {
+                                    pending_test = true;
+                                }
+                            }
+                            attr = None;
+                        } else {
+                            *depth -= 1;
+                            text.push(c);
+                        }
+                    }
+                    _ => text.push(c),
+                }
+                continue;
+            }
+            if let Some(inner) = hash_pending {
+                match c {
+                    '!' if !inner => {
+                        hash_pending = Some(true);
+                    }
+                    '[' => {
+                        attr = Some((String::new(), 0, inner));
+                        hash_pending = None;
+                    }
+                    c if c.is_whitespace() => {}
+                    _ => hash_pending = None,
+                }
+                continue;
+            }
+            match c {
+                '#' => hash_pending = Some(false),
+                '{' => {
+                    frames.push(pending_test);
+                    pending_test = false;
+                }
+                '}' => {
+                    frames.pop();
+                }
+                // An attribute followed by a braceless item (`#[cfg(test)]
+                // use …;`) applies only up to the semicolon.
+                ';' => pending_test = false,
+                _ => {}
+            }
+        }
+        let end_in_test = file_test || pending_test || frames.iter().any(|&t| t);
+        mask[li] = start_in_test || end_in_test;
+    }
+    mask
+}
+
+/// Whether an attribute body (the text between `#[` and `]`) marks a test
+/// item: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` and friends.
+/// `cfg_attr(test, …)` is deliberately *not* a test region — it merely
+/// configures attributes and the item still compiles for production.
+fn is_test_attr(body: &str) -> bool {
+    let t = body.trim();
+    if t == "test" || t.starts_with("test(") {
+        return true;
+    }
+    (t.starts_with("cfg(") || t.starts_with("cfg (")) && contains_word(t, "test")
+}
+
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn mask_of(src: &str) -> Vec<bool> {
+        test_mask(&scan(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_to_its_closing_brace() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}";
+        let m = mask_of(src);
+        // The attribute line itself is also masked (the pending test
+        // attribute is armed by the end of that line) — harmless, since
+        // attribute lines carry no checkable expressions.
+        assert_eq!(m, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_the_function_body() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn prod() {}";
+        let m = mask_of(src);
+        assert!(m[1] && m[2] && m[3] && !m[4]);
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_region() {
+        let m = mask_of("#[cfg_attr(test, allow(dead_code))]\nfn f() {\n    body();\n}");
+        assert!(!m[1] && !m[2]);
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_masked() {
+        let m = mask_of("#[cfg(any(test, feature = \"x\"))]\nfn f() {\n    body();\n}");
+        assert!(m[1] && m[2]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let m = mask_of("#[cfg(test)]\nuse something::Test;\nfn prod() {\n    body();\n}");
+        assert!(!m[2] && !m[3]);
+    }
+
+    #[test]
+    fn word_test_in_identifiers_does_not_trigger() {
+        let m = mask_of("#[cfg(feature = \"testing\")]\nfn f() {\n    body();\n}");
+        assert!(!m[1] && !m[2]);
+    }
+
+    #[test]
+    fn nested_items_inside_test_mod_stay_masked() {
+        let src = "#[cfg(test)]\nmod tests {\n    struct H { x: u32 }\n    impl H { fn f(&self) { self.go(); } }\n}";
+        let m = mask_of(src);
+        assert!(m[2] && m[3] && m[4]);
+    }
+}

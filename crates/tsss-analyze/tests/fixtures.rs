@@ -1,0 +1,127 @@
+//! Pinned expectations for every rule, against the fixture sources in
+//! `tests/fixtures/`. Each case asserts the **exact** (rule id, line) set a
+//! fixture produces — a detector that drifts (new false positive, lost true
+//! positive, shifted line attribution) fails here before it ever reaches
+//! the workspace gate in `tests/workspace.rs`.
+
+use tsss_analyze::rules::analyze_source;
+
+/// Runs one fixture and asserts its exact findings and suppression count.
+fn check(name: &str, src: &str, hot: bool, want: &[(&str, usize, &str)], want_allows: usize) {
+    let (findings, allows) = analyze_source(name, src, hot);
+    let got: Vec<(String, usize, String)> = findings
+        .iter()
+        .map(|f| (f.rule.id().to_string(), f.line, f.rule.key().to_string()))
+        .collect();
+    let want: Vec<(String, usize, String)> = want
+        .iter()
+        .map(|&(id, line, key)| (id.to_string(), line, key.to_string()))
+        .collect();
+    assert_eq!(got, want, "findings drifted for {name}");
+    assert_eq!(allows, want_allows, "suppression count drifted for {name}");
+}
+
+#[test]
+fn r1_panics_and_indexing() {
+    // Flagged: unwrap, expect, panic!, bracket indexing, unreachable!.
+    // Suppressed: one unwrap and one indexing under justified markers.
+    // Exempt: the slice *type* `&mut [u32]` and the #[cfg(test)] module.
+    check(
+        "fixtures/panics.rs",
+        include_str!("fixtures/panics.rs"),
+        true,
+        &[
+            ("R1", 5, "panic"),
+            ("R1", 6, "panic"),
+            ("R1", 8, "panic"),
+            ("R1", 10, "index"),
+            ("R1", 31, "panic"),
+        ],
+        2,
+    );
+}
+
+#[test]
+fn r1_is_scoped_to_hot_path_crates() {
+    let (findings, _) = analyze_source(
+        "fixtures/panics.rs",
+        include_str!("fixtures/panics.rs"),
+        false,
+    );
+    assert!(
+        findings.is_empty(),
+        "R1 must not fire outside hot-path crates: {findings:?}"
+    );
+}
+
+#[test]
+fn r2_id_like_casts() {
+    // Flagged: `id`/`offset`/`len` operands under a bare `as`.
+    // Suppressed: the marked widening. Unrelated float math is ignored.
+    check(
+        "fixtures/casts.rs",
+        include_str!("fixtures/casts.rs"),
+        true,
+        &[("R2", 5, "cast"), ("R2", 6, "cast"), ("R2", 7, "cast")],
+        1,
+    );
+}
+
+#[test]
+fn r3_atomics_justification_and_mixing() {
+    // Flagged: the bare load, and the `state` field for mixing
+    // Acquire/Release without an atomics-mixed blessing.
+    // Clean: same-line and line-above justifications, and the blessed
+    // deliberately-mixed `flips` field.
+    check(
+        "fixtures/atomics.rs",
+        include_str!("fixtures/atomics.rs"),
+        false,
+        &[("R3", 15, "atomics"), ("R3", 29, "atomics-mixed")],
+        1,
+    );
+}
+
+#[test]
+fn r4_float_equality() {
+    // Flagged: `== 0.5` and `!= 1.0` outside tests. Clean: the marked
+    // exact-zero dispatch, integer comparisons, and the test module.
+    check(
+        "fixtures/float_eq.rs",
+        include_str!("fixtures/float_eq.rs"),
+        false,
+        &[("R4", 5, "float-eq"), ("R4", 9, "float-eq")],
+        1,
+    );
+}
+
+#[test]
+fn m0_malformed_markers_do_not_suppress() {
+    // An empty justification and an unknown rule are both M0 findings, and
+    // neither suppresses the unwraps they sit above; a prose mention of
+    // the marker grammar is not a marker at all.
+    check(
+        "fixtures/markers.rs",
+        include_str!("fixtures/markers.rs"),
+        true,
+        &[
+            ("R1", 6, "panic"),
+            ("R1", 8, "panic"),
+            ("M0", 5, "marker"),
+            ("M0", 7, "marker"),
+        ],
+        0,
+    );
+}
+
+#[test]
+fn r6_stats_identity_doc_coverage() {
+    // `mystery_field` is the only public field the doc block never names.
+    check(
+        "fixtures/stats.rs",
+        include_str!("fixtures/stats.rs"),
+        false,
+        &[("R6", 11, "stats-identity")],
+        0,
+    );
+}

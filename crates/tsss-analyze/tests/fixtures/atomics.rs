@@ -1,0 +1,40 @@
+//! R3 fixture: atomic orderings need written justification, and one field
+//! mixing several orderings is flagged once per field.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+struct Counters {
+    hits: AtomicU64,
+    state: AtomicU8,
+    flips: AtomicU64,
+}
+
+impl Counters {
+    fn unjustified(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn justified_same_line(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // Relaxed: monotone tally.
+    }
+
+    fn justified_line_above(&self) -> u64 {
+        // Relaxed: reporting-only read of a monotone counter.
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn mixed_without_blessing(&self) {
+        // Acquire pairs with the Release store below.
+        let _ = self.state.load(Ordering::Acquire);
+        // Release publishes the transition to the Acquire load above.
+        self.state.store(1, Ordering::Release);
+    }
+
+    fn mixed_with_blessing(&self) {
+        // analyze::allow(atomics-mixed): fixture — the Relaxed bump and the Acquire read deliberately disagree.
+        self.flips.fetch_add(1, Ordering::Relaxed);
+        // Acquire: see above.
+        let _ = self.flips.load(Ordering::Acquire);
+    }
+}

@@ -1,0 +1,21 @@
+//! R2 fixture: bare `as` casts on id/offset/length-like expressions.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+fn flagged(id: u64, offset: u32, len: usize) -> usize {
+    let a = id as usize;
+    let b = offset as usize;
+    let c = len as u32;
+    a + b + c as usize
+}
+
+fn suppressed(offset: u32) -> usize {
+    // analyze::allow(cast): fixture — u32 → usize widening is lossless here.
+    offset as usize
+}
+
+fn unrelated(x: f64) -> f64 {
+    // A float cast with no id/offset/length-ish name nearby is not R2's
+    // business.
+    let y = x * 2.0;
+    y
+}

@@ -1,0 +1,29 @@
+//! R4 fixture: exact float comparison outside tests.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+fn flagged(x: f64) -> bool {
+    x == 0.5
+}
+
+fn flagged_ne(x: f64) -> bool {
+    x != 1.0
+}
+
+fn suppressed(a: f64) -> bool {
+    // analyze::allow(float-eq): fixture — exact-zero dispatch is the point.
+    a == 0.0
+}
+
+fn integers_are_fine(n: u32) -> bool {
+    n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_in_tests_is_exempt() {
+        assert!(super::flagged(0.5));
+        let y = 2.0_f64;
+        assert!(y == 2.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! M0 fixture: malformed suppression markers are themselves findings.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+fn bad_markers(xs: &[u32]) -> u32 {
+    // analyze::allow(panic):
+    let a = xs.first().unwrap();
+    // analyze::allow(no-such-rule): the rule name does not exist.
+    let b = xs.last().unwrap();
+    a + b
+}
+
+fn prose_mention_is_not_a_marker(xs: &[u32]) -> u32 {
+    // Writing about analyze::allow in prose, without a rule list, is fine.
+    xs.iter().sum()
+}

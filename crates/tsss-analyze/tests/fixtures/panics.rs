@@ -1,0 +1,42 @@
+//! R1 fixture: panicking constructs and bracket indexing in hot-path code.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+fn flagged(xs: &[u32], i: usize) -> u32 {
+    let v = xs.first().unwrap();
+    let w = xs.last().expect("non-empty");
+    if i > xs.len() {
+        panic!("out of range");
+    }
+    let direct = xs[i];
+    v + w + direct
+}
+
+fn suppressed(xs: &[u32], i: usize) -> u32 {
+    // analyze::allow(panic): fixture — the caller checked emptiness.
+    let v = xs.first().unwrap();
+    // analyze::allow(index): fixture — `i` was bounds-checked by the caller.
+    let direct = xs[i];
+    v + direct
+}
+
+fn not_indexing(xs: &mut [u32]) -> &mut [u32] {
+    // A slice *type* must not count as indexing.
+    let whole: &mut [u32] = xs;
+    whole
+}
+
+fn unreachable_flagged(k: u8) -> u8 {
+    match k {
+        0 => 1,
+        _ => unreachable!("fixture"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = vec![1u32, 2];
+        assert_eq!(xs[0], xs.first().copied().unwrap());
+    }
+}

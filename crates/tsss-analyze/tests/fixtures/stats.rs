@@ -1,0 +1,13 @@
+//! R6 fixture: every public `SearchStats` field must be named by the doc
+//! block above the struct.
+//! Never compiled — parsed by `tests/fixtures.rs` through `analyze_source`.
+
+/// Per-query accounting. The identity covers candidates, verified and
+/// false_alarms; elapsed measures wall-clock time.
+pub struct SearchStats {
+    pub candidates: u64,
+    pub verified: u64,
+    pub false_alarms: u64,
+    pub mystery_field: u64,
+    pub elapsed: u64,
+}

@@ -1,0 +1,34 @@
+//! The workspace gate: `cargo test` fails if the real tree has findings.
+//!
+//! This is the same sweep `cargo run -p tsss-analyze` and the CI `analyze`
+//! job perform, wired into the test suite so a plain `cargo test
+//! --workspace` refuses panics, bare casts, unjustified atomics, float
+//! equality and hygiene drift the moment they appear.
+
+use std::path::Path;
+
+use tsss_analyze::{analyze_workspace, find_workspace_root};
+
+#[test]
+fn workspace_is_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above tsss-analyze");
+    let analysis = analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        analysis.findings.is_empty(),
+        "the invariant analyzer found violations — run `cargo run -p \
+         tsss-analyze` for the report:\n{}",
+        analysis.render_text()
+    );
+    // The sweep really looked at the tree (a path bug would scan nothing
+    // and vacuously pass).
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.allows_used > 0,
+        "the justified-suppression count should be nonzero"
+    );
+}

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_build`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use tsss_bench::{median_window_fluctuation, Method};

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_crossover`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{Harness, Method};
 
 fn main() {

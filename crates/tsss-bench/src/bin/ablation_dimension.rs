@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_dimension`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{median_window_fluctuation, Method};
 use tsss_core::{EngineConfig, SearchEngine, SearchOptions};
 use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, WorkloadConfig};

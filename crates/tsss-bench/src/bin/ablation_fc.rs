@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_fc`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{write_csv, Harness, Method};
 use tsss_core::EngineConfig;
 

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_parallel`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::Harness;
 
 fn main() {

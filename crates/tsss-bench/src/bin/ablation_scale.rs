@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_scale`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{Harness, Method};
 use tsss_core::EngineConfig;
 

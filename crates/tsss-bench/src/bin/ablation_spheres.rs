@@ -14,6 +14,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_spheres`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{Harness, Method};
 use tsss_core::SearchOptions;
 use tsss_geometry::penetration::{PenetrationMethod, SphereStats};
@@ -40,6 +42,12 @@ fn main() {
         })
         .collect();
     elong.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Percentile rank of an in-memory Vec: the product is < len by construction.
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
     let pct = |p: f64| elong[((elong.len() - 1) as f64 * p) as usize];
     println!(
         "MBR elongation (diagonal / shortest side) over {} directory boxes:",

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_tree`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use tsss_bench::{median_window_fluctuation, Method};

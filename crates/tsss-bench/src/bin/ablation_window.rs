@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release -p tsss-bench --bin ablation_window`
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{Harness, Method};
 use tsss_core::EngineConfig;
 

@@ -9,6 +9,8 @@
 //! Run: `cargo run --release -p tsss-bench --bin fig5`
 //! (set `TSSS_QUICK=1` for a fast reduced-scale run)
 
+#![forbid(unsafe_code)]
+
 use tsss_bench::{print_table, write_csv, Harness, Method};
 
 fn main() {

@@ -16,6 +16,9 @@
 //! ablations from these cells and write CSVs under `results/`.
 
 #![forbid(unsafe_code)]
+// Tests assert bit-exact determinism and build small fixtures, where exact
+// float comparison and narrowing literals are the point, not a hazard.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 use std::fmt;
@@ -350,6 +353,9 @@ pub fn write_csv(path: &Path, rows: &[(Method, Cell)]) {
 }
 
 /// Formats a console table of cells grouped by ε (methods as columns).
+// Epsilon values are table keys copied verbatim between rows, so exact
+// equality is the correct lookup.
+#[allow(clippy::float_cmp)]
 pub fn print_table(title: &str, metric: &str, rows: &[(Method, Cell)], pick: fn(&Cell) -> f64) {
     println!("\n== {title} ==");
     println!(

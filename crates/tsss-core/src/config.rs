@@ -109,7 +109,7 @@ impl EngineConfig {
     pub fn tree_config(&self) -> TreeConfig {
         let dim = self.feature_dim();
         let leaf_max =
-            tsss_index::Node::max_leaf_fanout(self.page_size, dim).min(u16::MAX as usize);
+            tsss_index::Node::max_leaf_fanout(self.page_size, dim).min(usize::from(u16::MAX));
         TreeConfig {
             dim,
             page_size: self.page_size,
@@ -163,6 +163,7 @@ impl EngineConfig {
     /// Panics on invalid settings with a descriptive message.
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
+            // analyze::allow(panic): documented `# Panics` contract — the fallible twin is `try_validate`; this wrapper exists to panic for callers who want config errors fatal.
             panic!("{e}");
         }
     }

@@ -20,6 +20,8 @@
 //! range, page/value arithmetic — so a corrupt file surfaces as
 //! `InvalidData`, never as a panic or a wrong answer.
 
+// analyze::allow-file(index): `names`/`lengths`/`extents` are parallel vectors mutated together, and every public entry point validates the series index against `names.len()` before touching the others; page indices come from `pos / values_per_page` arithmetic bounded by allocation in `append_globally`, and `read_from` re-validates page ids and extent coverage before the vectors are trusted.
+
 use tsss_storage::codec::{
     expect_versioned_magic, get_checked_block, get_string, get_u32, get_usize, put_checked_block,
     put_magic, put_string, put_u32, put_usize, versioned_magic,
@@ -69,6 +71,7 @@ impl PagedSeriesStore {
             page_size >= 8 && page_size.is_multiple_of(8),
             "page size must be a positive multiple of 8 bytes"
         );
+        // analyze::allow(panic): the assert directly above established the documented `# Panics` precondition PageFile::new checks.
         let file = PageFile::new(page_size).expect("page size was just validated");
         Self {
             pool: BufferPool::new(file, buffer_frames),
@@ -318,6 +321,7 @@ impl PagedSeriesStore {
                     cached_page = Some(self.pool.read(pid)?);
                     last_page = Some(page_idx);
                 }
+                // analyze::allow(panic): `cached_page` is assigned whenever `last_page` changes, and `last_page` starts None, so the first iteration always fills it.
                 let page = cached_page.as_ref().expect("just cached");
                 out.push(page.get_f64((g % self.values_per_page) * 8));
             }

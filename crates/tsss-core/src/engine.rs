@@ -77,6 +77,7 @@ impl SearchEngine {
         for (si, s) in data.iter().enumerate() {
             store.add_series_with_values(s.name.clone(), &s.values)?;
             for off in window_offsets(s.values.len(), cfg.window_len, cfg.stride) {
+                // analyze::allow(index): window_offsets only yields offsets with off + window_len <= values.len().
                 let window = &s.values[off..off + cfg.window_len];
                 max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
                 let feat = feature_of(&extractor, window, &mut se_buf);
@@ -202,6 +203,7 @@ impl SearchEngine {
             counters = Some(faulty.counters());
             Box::new(faulty)
         });
+        // analyze::allow(panic): wrap_store invokes the closure exactly once, synchronously, so the Option is Some by construction.
         counters.expect("wrap_store runs the closure")
     }
 
@@ -216,6 +218,7 @@ impl SearchEngine {
             counters = Some(faulty.counters());
             Box::new(faulty)
         });
+        // analyze::allow(panic): wrap_store invokes the closure exactly once, synchronously, so the Option is Some by construction.
         counters.expect("wrap_store runs the closure")
     }
 
@@ -274,7 +277,7 @@ impl SearchEngine {
     /// Fetches a raw window for verification, charging data pages.
     pub(crate) fn fetch_raw(&self, id: SubseqId, len: usize) -> Result<Vec<f64>, EngineError> {
         self.store
-            .fetch_window(id.series as usize, id.offset as usize, len)
+            .fetch_window(id.series_idx(), id.offset_idx(), len)
     }
 
     /// The length of the series with index `s`.
@@ -371,7 +374,7 @@ impl SearchEngine {
         let n = self.cfg.window_len;
         let window = self
             .store
-            .fetch_window(id.series as usize, id.offset as usize, n)?;
+            .fetch_window(id.series_idx(), id.offset_idx(), n)?;
         let mut se_buf = vec![0.0; n];
         let feat = feature_of(&self.extractor, &window, &mut se_buf);
         Ok(self.tree.delete(&feat, id.pack())?)
@@ -464,9 +467,11 @@ impl SearchEngine {
     /// Quarantines the page a corruption error implicates, if it named one.
     fn note_corruption(&self, e: &EngineError) {
         if let EngineError::Corrupt { page: Some(p), .. } = e {
+            // Poison recovery: the set only ever grows; a panicking holder
+            // cannot leave it torn in a way that matters to an insert.
             self.quarantine
                 .lock()
-                .expect("quarantine lock poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(*p);
         }
     }
@@ -488,7 +493,8 @@ impl SearchEngine {
             quarantined_pages: self
                 .quarantine
                 .lock()
-                .expect("quarantine lock poisoned")
+                // Poison recovery: advisory read of a grow-only set.
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .copied()
                 .collect(),
@@ -518,6 +524,7 @@ impl SearchEngine {
         let mut max_se_norm = 0.0f64;
         for (si, values) in all.iter().enumerate() {
             for off in window_offsets(values.len(), self.cfg.window_len, self.cfg.stride) {
+                // analyze::allow(index): window_offsets only yields offsets with off + window_len <= values.len().
                 let window = &values[off..off + self.cfg.window_len];
                 max_se_norm = max_se_norm.max(tsss_geometry::se::se_norm(window));
                 let feat = feature_of(&self.extractor, window, &mut se_buf);
@@ -541,7 +548,13 @@ impl SearchEngine {
         };
         self.max_se_norm = self.max_se_norm.max(max_se_norm);
         let quarantine_cleared: Vec<u32> =
-            std::mem::take(&mut *self.quarantine.lock().expect("quarantine lock poisoned"))
+            // Poison recovery: repair replaces the whole set anyway.
+            std::mem::take(
+                &mut *self
+                    .quarantine
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            )
                 .into_iter()
                 .collect();
         self.breaker.reset();
@@ -629,10 +642,14 @@ impl SearchEngine {
                         // next unclaimed query index until none remain.
                         let mut local = Vec::new();
                         loop {
+                            // Relaxed: the ticket counter only needs each
+                            // claim to be unique; results are published by
+                            // the join below, not by this atomic.
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= queries.len() {
                                 break;
                             }
+                            // analyze::allow(index): `i` was bounds-checked against `queries.len()` two lines up.
                             local.push((i, self.search(&queries[i], epsilon, opts)));
                         }
                         local
@@ -642,7 +659,9 @@ impl SearchEngine {
             let mut merged: Vec<Option<Result<SearchResult, EngineError>>> =
                 (0..queries.len()).map(|_| None).collect();
             for h in handles {
+                // analyze::allow(panic): a worker panic is a bug, not a runtime condition — re-raising it here preserves the payload instead of silently dropping that worker's queries.
                 for (i, r) in h.join().expect("search worker panicked") {
+                    // analyze::allow(index): `i` is a claimed ticket, bounds-checked by the worker before use.
                     merged[i] = Some(r);
                 }
             }
@@ -650,6 +669,7 @@ impl SearchEngine {
         });
         merged
             .into_iter()
+            // analyze::allow(panic): the ticket counter hands every index in 0..len to exactly one worker, so each slot is filled.
             .map(|r| r.expect("every query index was claimed by a worker"))
             .collect()
     }

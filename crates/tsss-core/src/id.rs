@@ -38,11 +38,30 @@ impl SubseqId {
     }
 
     /// Unpacks a record id produced by [`SubseqId::pack`].
+    // Truncation is the decode: each half of the packed id is a u32.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn unpack(raw: u64) -> Self {
         Self {
+            // analyze::allow(cast): the cast is the decode — the high 32-bit half of the packed id; `raw >> 32` always fits u32.
             series: (raw >> 32) as u32,
+            // analyze::allow(cast): the cast is the decode — truncating to the low 32-bit half is intentional.
             offset: raw as u32,
         }
+    }
+
+    /// The series index as a `usize`, for indexing into per-series
+    /// collections. The single sanctioned widening spot — use this instead
+    /// of casting `.series` at call sites.
+    pub fn series_idx(self) -> usize {
+        // analyze::allow(cast): u32 → usize widening is lossless on every supported (≥ 32-bit) target.
+        self.series as usize
+    }
+
+    /// The window offset as a `usize`, for slicing series values. See
+    /// [`SubseqId::series_idx`].
+    pub fn offset_idx(self) -> usize {
+        // analyze::allow(cast): u32 → usize widening is lossless on every supported (≥ 32-bit) target.
+        self.offset as usize
     }
 }
 

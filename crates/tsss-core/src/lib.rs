@@ -30,6 +30,12 @@
 //!   model to the later-standard normalised Euclidean distance.
 
 #![forbid(unsafe_code)]
+// Tests assert bit-exact determinism and build small fixtures, where exact
+// float comparison and narrowing literals are the point, not a hazard.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
+// Belt-and-braces next to the analyzer's R1: clippy flags stray unwraps in
+// non-test code too, so regressions fail CI twice.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod config;

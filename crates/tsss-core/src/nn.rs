@@ -204,6 +204,7 @@ impl SearchEngine {
             pool.extend(round.matches);
             pool.sort_by(SubsequenceMatch::ordering);
 
+            // analyze::allow(index): the range end is clamped to pool.len().
             let exact = &pool[..pool.len().min(k)];
 
             // Termination: every unseen candidate has feature distance

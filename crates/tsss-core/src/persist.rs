@@ -140,7 +140,12 @@ impl SearchEngine {
     pub fn load_from<R: Read + ?Sized>(r: &mut R) -> io::Result<Self> {
         match Self::load_from_inner(r, false)? {
             LoadOutcome::Intact(e) => Ok(e),
-            LoadOutcome::Repaired(_) => unreachable!("strict load never repairs"),
+            // Defensive: strict mode asks the inner loader not to repair, so
+            // this arm is dead; report it as corruption rather than aborting.
+            LoadOutcome::Repaired(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "strict load unexpectedly repaired the index stream",
+            )),
         }
     }
 

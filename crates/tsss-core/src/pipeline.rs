@@ -584,6 +584,7 @@ impl CandidateSource for PieceStitchSource {
         let mut index = LineQueryStats::default();
         let mut candidates: Option<BTreeSet<SubseqId>> = None;
         for (pi, &poff) in piece_offsets.iter().enumerate() {
+            // analyze::allow(index): piece_offsets steps by n up to total_len - n, and the plan guarantees query().len() >= total_len.
             let piece = &plan.query()[poff..poff + n];
             let line = engine.query_line(piece);
             let outcome = engine
@@ -597,11 +598,13 @@ impl CandidateSource for PieceStitchSource {
             for m in outcome.matches {
                 let hit = SubseqId::unpack(m.id);
                 // The whole match would start `poff` values earlier.
-                if (hit.offset as usize) < poff {
+                if hit.offset_idx() < poff {
                     continue;
                 }
+                #[allow(clippy::cast_possible_truncation)]
                 starts.insert(SubseqId {
                     series: hit.series,
+                    // analyze::allow(cast): poff < total_len, which fits u32 because windows are indexed by u32 offsets.
                     offset: hit.offset - poff as u32,
                 });
             }
@@ -621,8 +624,8 @@ impl CandidateSource for PieceStitchSource {
         // verify; drop them here so the verifier only sees real windows.
         let mut ids = Vec::new();
         for id in candidates.unwrap_or_default() {
-            let series_len = engine.series_len(id.series as usize)?;
-            if id.offset as usize + total_len <= series_len {
+            let series_len = engine.series_len(id.series_idx())?;
+            if id.offset_idx() + total_len <= series_len {
                 ids.push(id);
             }
         }
@@ -719,6 +722,7 @@ impl Verifier {
         meter: &mut DeadlineMeter,
     ) -> Result<SearchResult, EngineError> {
         let mut stats = SearchStats {
+            // analyze::allow(cast): usize → u64 widening is lossless on every supported (≤ 64-bit) target.
             candidates: cands.ids.len() as u64,
             index: cands.index,
             ..Default::default()
@@ -785,6 +789,12 @@ impl Verifier {
             });
         }
         matches.sort_by(SubsequenceMatch::ordering);
+        debug_assert_eq!(
+            stats.candidates,
+            stats.verified + stats.false_alarms + stats.cost_rejected,
+            "SearchStats accounting identity violated: every candidate must \
+             be counted in exactly one of verified/false_alarms/cost_rejected"
+        );
         Ok(SearchResult { matches, stats })
     }
 }
@@ -793,9 +803,9 @@ impl Verifier {
 /// coordinates as typed corruption.
 fn snapshot_window(all: &[Vec<f64>], id: SubseqId, len: usize) -> Result<&[f64], EngineError> {
     let series = all
-        .get(id.series as usize)
-        .ok_or(EngineError::UnknownSeries(id.series as usize))?;
-    let off = id.offset as usize;
+        .get(id.series_idx())
+        .ok_or(EngineError::UnknownSeries(id.series_idx()))?;
+    let off = id.offset_idx();
     let end = off
         .checked_add(len)
         .filter(|&e| e <= series.len())
@@ -806,6 +816,7 @@ fn snapshot_window(all: &[Vec<f64>], id: SubseqId, len: usize) -> Result<&[f64],
             ),
             page: None,
         })?;
+    // analyze::allow(index): `end` was just checked against series.len() and `off <= end` by construction.
     Ok(&series[off..end])
 }
 

@@ -82,6 +82,7 @@ impl CircuitBreaker {
     pub(crate) const HALF_OPEN_AFTER: u32 = 4;
 
     pub(crate) fn state(&self) -> BreakerState {
+        // analyze::allow(atomics-mixed): the Acquire loads of `state` deliberately pair with the Release stores in trip()/reset()/record_* — the state byte is a published flag, and mixing Acquire/Release on it is the point.
         match self.state.load(Ordering::Acquire) {
             STATE_OPEN => BreakerState::Open,
             STATE_HALF_OPEN => BreakerState::HalfOpen,
@@ -92,24 +93,32 @@ impl CircuitBreaker {
     /// Whether the next query should attempt the index probe. `false` only
     /// while Open; a HalfOpen breaker admits the probe (that is the test).
     pub(crate) fn allows_probe(&self) -> bool {
+        // Acquire pairs with the Release stores that publish transitions.
         self.state.load(Ordering::Acquire) != STATE_OPEN
     }
 
     /// Records a successful (non-corrupt) index probe: clears the strike
     /// count and closes a half-open breaker.
     pub(crate) fn record_probe_success(&self) {
+        // Relaxed: strike counting tolerates reorder — a racing strike at
+        // worst delays a trip by one query (see the module docs).
         self.strikes.store(0, Ordering::Relaxed);
+        // Acquire/Release pair on the state byte publishes the transition.
         if self.state.load(Ordering::Acquire) == STATE_HALF_OPEN {
-            self.state.store(STATE_CLOSED, Ordering::Release);
+            self.state.store(STATE_CLOSED, Ordering::Release); // see above
         }
     }
 
     /// Records a corrupt index probe: one strike while Closed (tripping
     /// open at the threshold), or an immediate re-open from HalfOpen.
     pub(crate) fn record_probe_corrupt(&self) {
+        // Acquire pairs with the Release stores that publish transitions.
         match self.state.load(Ordering::Acquire) {
             STATE_HALF_OPEN => self.trip(),
             STATE_CLOSED
+                // Relaxed: fetch_add keeps the count exact; ordering
+                // against the state byte is not needed (worst case a trip
+                // is delayed by one query).
                 if self.strikes.fetch_add(1, Ordering::Relaxed) + 1 >= Self::TRIP_THRESHOLD =>
             {
                 self.trip()
@@ -119,20 +128,29 @@ impl CircuitBreaker {
     }
 
     fn trip(&self) {
+        // Release publishes the Open state; the counter resets below are
+        // Relaxed because they only gate the *next* transition and a
+        // stale read merely delays it by one query.
         self.state.store(STATE_OPEN, Ordering::Release);
-        self.open_scans.store(0, Ordering::Relaxed);
-        self.strikes.store(0, Ordering::Relaxed);
-        self.trips.fetch_add(1, Ordering::Relaxed);
+        self.open_scans.store(0, Ordering::Relaxed); // see above: reset gate
+        self.strikes.store(0, Ordering::Relaxed); // see above: reset gate
+        self.trips.fetch_add(1, Ordering::Relaxed); // monotone lifetime total
     }
 
     /// Records a query answered by the sequential scan because of
     /// corruption or an open breaker. While Open, enough served scans move
     /// the breaker to HalfOpen so the next query re-tests the index.
     pub(crate) fn record_seqscan_served(&self) {
+        // Relaxed: monotone lifetime counter, ordered by nothing.
         self.seqscan_served.fetch_add(1, Ordering::Relaxed);
+        // Acquire load pairs with the Release transition stores; the scan
+        // count itself is Relaxed (an off-by-one race only shifts when the
+        // half-open probe happens).
         if self.state.load(Ordering::Acquire) == STATE_OPEN
+            // Relaxed: see the comment above the condition.
             && self.open_scans.fetch_add(1, Ordering::Relaxed) + 1 >= Self::HALF_OPEN_AFTER
         {
+            // Release publishes the HalfOpen transition.
             self.state.store(STATE_HALF_OPEN, Ordering::Release);
         }
     }
@@ -141,20 +159,25 @@ impl CircuitBreaker {
     /// proved the index healthy). Lifetime totals (`trips`,
     /// `seqscan_served`) are preserved.
     pub(crate) fn reset(&self) {
+        // Release publishes the repair; Relaxed resets only gate future
+        // transitions (a stale read delays them by at most one query).
         self.state.store(STATE_CLOSED, Ordering::Release);
-        self.strikes.store(0, Ordering::Relaxed);
-        self.open_scans.store(0, Ordering::Relaxed);
+        self.strikes.store(0, Ordering::Relaxed); // see above
+        self.open_scans.store(0, Ordering::Relaxed); // see above
     }
 
     pub(crate) fn seqscan_served(&self) -> u64 {
+        // Relaxed: monotone counter read for reporting only.
         self.seqscan_served.load(Ordering::Relaxed)
     }
 
     pub(crate) fn trips(&self) -> u64 {
+        // Relaxed: monotone counter read for reporting only.
         self.trips.load(Ordering::Relaxed)
     }
 
     pub(crate) fn strikes(&self) -> u32 {
+        // Relaxed: advisory health-report read.
         self.strikes.load(Ordering::Relaxed)
     }
 }

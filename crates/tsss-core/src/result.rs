@@ -47,7 +47,17 @@ impl SubsequenceMatch {
 /// long-query piece intersection, or the k-NN frontier (where `verified`
 /// counts all exactly-verified candidates, of which the k best are
 /// returned). The differential equivalence suite asserts the identity on
-/// each path.
+/// each path, and the [`crate::pipeline::Verifier`] debug-asserts it when
+/// it finalises a result.
+///
+/// The remaining fields sit **outside** the identity — they measure cost
+/// and health, not candidate accounting: `index` (traversal work inside
+/// the candidate stage), `index_pages`/`data_pages` (the Figure 5 page
+/// counters), `steps_spent` (deadline budget consumed, one per candidate
+/// examined), `retries` (transient-fault re-reads, charged to no page
+/// counter), `degraded`/`degraded_reason` (whether the sequential-scan
+/// fallback produced the answer), `breaker` (circuit-breaker state at
+/// query end), and `elapsed` (wall-clock time).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Index traversal statistics (nodes visited, penetration tests, …).

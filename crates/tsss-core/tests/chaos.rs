@@ -12,6 +12,9 @@
 //! below, and `TSSS_CHAOS_SEED=<u64>` re-runs any single seed (the CI
 //! `chaos` job drives this over its seed matrix).
 
+// Test fixture: counters are tiny, narrowing casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use tsss_core::{CostLimit, DegradationPolicy, EngineConfig, SearchEngine, SearchOptions};
 use tsss_data::{MarketConfig, MarketSimulator, Series};
 use tsss_rand::Rng;

@@ -15,6 +15,9 @@
 //! TSSS_BLESS=1 cargo test -p tsss-core --test equivalence
 //! ```
 
+// Test fixture: counters are tiny, narrowing casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::fmt::Write as _;
 
 use tsss_core::{

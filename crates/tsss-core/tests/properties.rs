@@ -6,6 +6,9 @@
 //! Deterministic pseudo-random cases (seeded [`tsss_rand::Rng`]) replace the
 //! former proptest strategies so the workspace builds offline.
 
+// Test fixture: counters are tiny, narrowing casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use tsss_core::{CostLimit, EngineConfig, SearchEngine, SearchOptions, SubseqId};
 use tsss_data::{MarketConfig, MarketSimulator, Series};
 use tsss_geometry::penetration::PenetrationMethod;

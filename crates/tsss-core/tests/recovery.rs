@@ -3,6 +3,9 @@
 //! contracts, the circuit-breaker lifecycle, online index repair, and the
 //! repair-tolerant persistence load.
 
+// Test fixture: counters are tiny, narrowing casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use tsss_core::{
     CostLimit, Deadline, DegradationPolicy, EngineConfig, EngineError, SearchEngine, SearchOptions,
 };

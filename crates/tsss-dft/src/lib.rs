@@ -24,6 +24,9 @@
 //!   engine.
 
 #![forbid(unsafe_code)]
+// Tests assert bit-exact determinism and build small fixtures, where exact
+// float comparison and narrowing literals are the point, not a hazard.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod complex;

@@ -16,6 +16,8 @@
 //! formula and validate it against direct numeric minimisation in the
 //! property tests.
 
+// analyze::allow-file(index): the kernels index only within `0..n` where `n` is the common dimension `debug_assert`ed (and checked by the public entry points) to match every operand vector.
+
 use crate::vector::{dot, norm_sq, sub};
 use crate::DimensionMismatch;
 

@@ -10,6 +10,8 @@
 //! goodness metrics (volume, margin, overlap, centre distance) needed by the
 //! Beckmann et al. insertion/split algorithms in `tsss-index`.
 
+// analyze::allow-file(index): every loop runs over `0..self.dim()` (or the dim of a just-validated peer), and the `low`/`high` boxes are built with equal lengths by the checked constructors; a mismatch is rejected as `DimensionMismatch` before any indexing.
+
 use crate::DimensionMismatch;
 
 /// A minimum bounding hyper-rectangle `[low, high]` in ℝⁿ.

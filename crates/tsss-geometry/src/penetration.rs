@@ -16,6 +16,8 @@
 //! experiment set 2) and the inner/outer bounding-sphere heuristic wrapped
 //! around it (set 3, see [`crate::sphere`]).
 
+// analyze::allow-file(index): loops run over `0..line.dim()` with the line/MBR dimension equality `debug_assert`ed at entry and enforced by the callers via the checked constructors.
+
 use crate::line::Line;
 use crate::mbr::Mbr;
 use crate::sphere::Sphere;
@@ -87,6 +89,7 @@ pub fn line_mbr_interval(line: &Line, mbr: &Mbr) -> Option<(f64, f64)> {
         let p = line.point[i];
         let d = line.dir[i];
         let (lo, hi) = (mbr.low()[i], mbr.high()[i]);
+        // analyze::allow(float-eq): exact-zero test — only a direction component that is literally 0.0 makes the slab equations degenerate (division by it would yield ±inf/NaN); tiny non-zero components divide fine.
         if d == 0.0 {
             // The line is constant in this dimension: either always inside
             // the slab or always outside.

@@ -52,6 +52,7 @@ impl ScaleShift {
     /// Returns `None` for the non-invertible `a = 0` case (which maps every
     /// sequence to the constant `b·N`).
     pub fn inverse(&self) -> Option<Self> {
+        // analyze::allow(float-eq): exact-zero test — `a` is non-invertible only when literally 0.0; any tiny non-zero scale still divides to a finite inverse.
         if self.a == 0.0 {
             None
         } else {

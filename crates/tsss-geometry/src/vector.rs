@@ -50,6 +50,9 @@ pub fn dist(u: &[f64], v: &[f64]) -> f64 {
 ///
 /// `p` must be ≥ 1 for this to be a metric; values in `(0, 1)` still compute
 /// the formal expression. `p = f64::INFINITY` yields the Chebyshev distance.
+// Exact comparison dispatches callers asking for literally L2/L1 to the
+// specialised kernels; see the analyze::allow markers below.
+#[allow(clippy::float_cmp)]
 pub fn lp_dist(u: &[f64], v: &[f64], p: f64) -> f64 {
     debug_assert_eq!(u.len(), v.len());
     assert!(p > 0.0, "L_p distance requires p > 0, got {p}");
@@ -60,9 +63,11 @@ pub fn lp_dist(u: &[f64], v: &[f64], p: f64) -> f64 {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
     }
+    // analyze::allow(float-eq): dispatch on the caller's literal parameter — callers asking for exactly L2/L1 get the specialised kernels; nearby values correctly take the general path.
     if p == 2.0 {
         return dist(u, v);
     }
+    // analyze::allow(float-eq): see above.
     if p == 1.0 {
         return u.iter().zip(v).map(|(a, b)| (a - b).abs()).sum();
     }

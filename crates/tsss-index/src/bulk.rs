@@ -9,6 +9,8 @@
 //! The result satisfies every R-tree invariant and answers queries
 //! identically; only the box shapes (and hence constant factors) differ.
 
+// analyze::allow-file(index): the STR tiling recursions index `entries[start..end]` with `end` clamped to `entries.len()`, and chunk sizes from `chunk_sizes` sum exactly to the input length, so every `split_off`/slice stays in bounds.
+
 use tsss_geometry::Mbr;
 use tsss_storage::{BufferPool, PageFile, PageId};
 
@@ -119,6 +121,7 @@ fn bulk_load_keyed(
     for size in chunks {
         let tail = rest.split_off(size);
         let node = Node::Leaf(rest);
+        // analyze::allow(panic): chunk_sizes never emits a zero-sized chunk, so the node has at least one entry.
         let mbr = node.mbr().expect("non-empty leaf");
         let page = write_node(&mut pool, &node)?;
         level.push(ChildEntry { mbr, page });
@@ -136,6 +139,7 @@ fn bulk_load_keyed(
         for size in chunks {
             let tail = rest.split_off(size);
             let node = Node::Internal(rest);
+            // analyze::allow(panic): chunk_sizes never emits a zero-sized chunk, so the node has at least one entry.
             let mbr = node.mbr().expect("non-empty internal node");
             let page = write_node(&mut pool, &node)?;
             next.push(ChildEntry { mbr, page });
@@ -191,8 +195,11 @@ fn str_order_keyed(
             .partial_cmp(&b.0[axis])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+    // analyze::allow(cast): page-count estimate feeding a powf heuristic; f64 precision loss only perturbs slab sizing, never indexing.
     let pages = n.div_ceil(leaf_cap) as f64;
     let remaining_dims = (key_dim - axis) as f64;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // analyze::allow(cast): the root of a page count ≤ n rounds to a small positive slab count; `.max(1)` below guards the degenerate 0.
     let slabs = pages.powf(1.0 / remaining_dims).ceil() as usize;
     let slab_size = n.div_ceil(slabs.max(1));
     let mut start = 0;
@@ -214,8 +221,11 @@ fn str_order_children(entries: &mut [ChildEntry], axis: usize, dim: usize, cap: 
             .partial_cmp(&center_coord(&b.mbr, axis))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+    // analyze::allow(cast): see above — heuristic slab estimate, not an index.
     let pages = n.div_ceil(cap) as f64;
     let remaining_dims = (dim - axis) as f64;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // analyze::allow(cast): see above.
     let slabs = pages.powf(1.0 / remaining_dims).ceil() as usize;
     let slab_size = n.div_ceil(slabs.max(1));
     let mut start = 0;

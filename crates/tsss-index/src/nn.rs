@@ -15,6 +15,8 @@
 //! single quadratic; evaluating the minimum of each piece (clamped to the
 //! piece) and taking the best yields the global minimum analytically.
 
+// analyze::allow-file(index): the distance kernel indexes only `0..n` where `n = line.dim()` equals `mbr.dim()` by the caller's checked construction, plus positions taken from `breaks`/`pieces` vectors it just built.
+
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -56,6 +58,7 @@ pub fn line_mbr_min_dist(line: &Line, mbr: &Mbr) -> f64 {
     let mut breaks: Vec<f64> = Vec::with_capacity(2 * n);
     for i in 0..n {
         let d = line.dir[i];
+        // analyze::allow(float-eq): exact-zero test — a literally-zero direction component contributes no breakpoint (dividing by it is the only hazard); tiny components produce valid finite breakpoints.
         if d != 0.0 {
             breaks.push((mbr.low()[i] - line.point[i]) / d);
             breaks.push((mbr.high()[i] - line.point[i]) / d);
@@ -65,6 +68,8 @@ pub fn line_mbr_min_dist(line: &Line, mbr: &Mbr) -> f64 {
         // Fully degenerate line: a single point.
         return f(0.0).sqrt();
     }
+    #[allow(clippy::unwrap_used)]
+    // analyze::allow(panic): breakpoints are (bound - point)/d with d != 0 over finite box/line coordinates, so no NaN can reach the comparator.
     breaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
     breaks.dedup();
 

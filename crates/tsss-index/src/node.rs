@@ -133,6 +133,7 @@ impl Node {
                 page.put_u8(0, 0);
                 page.put_u16(
                     1,
+                    // analyze::allow(panic): fanout is capped far below u16::MAX by TreeConfig::validate; encode's documented `# Panics` contract covers hand-built oversized nodes.
                     u16::try_from(entries.len()).expect("node entry count overflows u16"),
                 );
                 let mut off = NODE_HEADER_BYTES;
@@ -146,6 +147,7 @@ impl Node {
                 page.put_u8(0, 1);
                 page.put_u16(
                     1,
+                    // analyze::allow(panic): see the leaf arm above.
                     u16::try_from(entries.len()).expect("node entry count overflows u16"),
                 );
                 let mut off = NODE_HEADER_BYTES;
@@ -176,6 +178,7 @@ impl Node {
             return Err(format!("page of {} bytes cannot hold a node", page.size()));
         }
         let kind = page.get_u8(0);
+        // analyze::allow(cast): u16 → usize widening is lossless.
         let count = page.get_u16(1) as usize;
         let mut off = NODE_HEADER_BYTES;
         match kind {

@@ -131,6 +131,7 @@ impl RTree {
                 "page size disagrees between header and page file".into(),
             ));
         }
+        // analyze::allow(cast): u32 page id → usize is lossless on every supported (≥ 32-bit) target; the comparison is the range check.
         if root == PageId::INVALID || (root.0 as usize) >= file.extent() {
             return Err(invalid("root page out of range".into()));
         }

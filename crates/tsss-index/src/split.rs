@@ -6,6 +6,10 @@
 //! of the two groups. Working on indices keeps the algorithms agnostic to
 //! whether the entries are data points or child rectangles.
 
+// analyze::allow-file(index): the split kernels permute `0..mbrs.len()` — every index vector (`by_low`, `by_high`, seeds, groups) is built from that range, and the `total >= 2 * min_entries` asserts keep every cut point inside it.
+
+// analyze::allow-file(panic): the `expect`s unwrap loop results that are `Some` whenever the asserted `total >= 2 * min_entries` precondition holds (dist_count >= 1, at least one axis/pair); they are restatements of the documented `# Panics` contract, not runtime conditions.
+
 use tsss_geometry::Mbr;
 
 /// Outcome of a split: indices of the entries assigned to each group.
@@ -120,6 +124,9 @@ pub fn rstar_split(mbrs: &[Mbr], min_entries: usize) -> SplitGroups {
 /// Guttman's **quadratic** split: pick the pair of entries that would waste
 /// the most area together as seeds, then repeatedly assign the entry with
 /// the greatest preference for one group.
+// Exact float equality implements Guttman's tie-breaks: "equal goodness"
+// means the identical computed value, not a neighbourhood of it.
+#[allow(clippy::float_cmp)]
 pub fn quadratic_split(mbrs: &[Mbr], min_entries: usize) -> SplitGroups {
     let total = mbrs.len();
     assert!(total >= 2 * min_entries, "not enough entries to split");
@@ -193,6 +200,8 @@ pub fn quadratic_split(mbrs: &[Mbr], min_entries: usize) -> SplitGroups {
 /// Guttman's **linear** split: seeds are the pair with the greatest
 /// normalised separation along any axis; the rest are assigned by least
 /// enlargement in arbitrary order.
+// See `quadratic_split`: exact equality is the tie-break.
+#[allow(clippy::float_cmp)]
 pub fn linear_split(mbrs: &[Mbr], min_entries: usize) -> SplitGroups {
     let total = mbrs.len();
     assert!(total >= 2 * min_entries, "not enough entries to split");

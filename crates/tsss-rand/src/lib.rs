@@ -15,6 +15,9 @@
 //! security purposes.
 
 #![forbid(unsafe_code)]
+// Tests assert bit-exact determinism and build small fixtures, where exact
+// float comparison and narrowing literals are the point, not a hazard.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 /// A deterministic xoshiro256++ generator seeded via splitmix64.
@@ -81,6 +84,8 @@ impl Rng {
     ///
     /// # Panics
     /// Panics when `n == 0`.
+    // The high 64 bits of a u64×usize product are < n by construction.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn usize_below(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
         ((self.next_u64() as u128 * n as u128) >> 64) as usize

@@ -41,10 +41,15 @@
 //!
 //! Every path that touches the store propagates [`StorageError`], so
 //! checksum failures and injected faults in the medium surface to the
-//! R-tree and engine as typed errors instead of panics.
+//! R-tree and engine as typed errors instead of panics. That includes
+//! lock poisoning: if another thread panicked while holding a shard or
+//! store lock, operations return [`StorageError::LockPoisoned`] instead
+//! of propagating the panic.
+
+// analyze::allow-file(index): frame indices flow only from the intrusive LRU list (head/tail/prev/next) and the id→index map, which are mutated together with the frame vector under the owning shard's lock; `shard()` reduces the hash modulo `shards.len()`.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use crate::disk::{PageFile, PageId};
 use crate::error::StorageError;
@@ -131,6 +136,46 @@ impl Shard {
         }
     }
 
+    /// Detaches the (already unlinked) frame at `idx` from the table and
+    /// returns it. Uses swap-remove to keep the frame vector dense, then
+    /// repairs the map entry and list pointers of the frame that moved
+    /// into `idx`. Nothing in the list can still point at `idx` itself —
+    /// the caller unlinked it first.
+    fn detach(&mut self, idx: usize) -> Frame {
+        let frame = self.frames.swap_remove(idx);
+        self.map.remove(&frame.id);
+        if idx < self.frames.len() {
+            let moved_id = self.frames[idx].id;
+            match self.map.get_mut(&moved_id) {
+                Some(slot) => *slot = idx,
+                // Map and frame vector are updated together under the
+                // shard lock, so a cached frame is always mapped.
+                None => debug_assert!(false, "LRU map out of sync with frame table"),
+            }
+            let (p, n) = (self.frames[idx].prev, self.frames[idx].next);
+            if p != NIL {
+                self.frames[p].next = idx;
+            } else {
+                self.head = idx;
+            }
+            if n != NIL {
+                self.frames[n].prev = idx;
+            } else {
+                self.tail = idx;
+            }
+        }
+        frame
+    }
+
+    /// Unlinks and drops any cached frame for `id` without writing it
+    /// back — the freed/corrupted page's cached copy is meaningless.
+    fn discard(&mut self, id: PageId) {
+        if let Some(&idx) = self.map.get(&id) {
+            self.unlink(idx);
+            self.detach(idx);
+        }
+    }
+
     /// Inserts a frame, evicting the LRU victim first when full. A dirty
     /// victim is written back to the store (uncounted — caching artefact).
     fn insert_frame(
@@ -161,46 +206,26 @@ impl Shard {
     }
 
     /// Removes the frame at `idx` (which must already be unlinked from the
-    /// LRU list), writing it back if dirty. Uses swap-remove to keep the
-    /// frame vector dense, then repairs the pointers of the frame that moved
-    /// into `idx`. The frame is dropped even when the write-back fails —
-    /// the error is reported, but the cache stays consistent.
+    /// LRU list), writing it back if dirty. The frame is dropped even when
+    /// the write-back fails — the error is reported, but the cache stays
+    /// consistent.
     fn remove_frame(
         &mut self,
         idx: usize,
         store: &RwLock<Box<dyn PageStore>>,
     ) -> Result<(), StorageError> {
-        let frame = self.frames.swap_remove(idx);
-        self.map.remove(&frame.id);
-        if idx < self.frames.len() {
-            // The frame formerly at the end now lives at `idx`. Nothing in
-            // the list can still point at `idx` (it was unlinked), so only
-            // references to the moved frame need repair.
-            let moved_id = self.frames[idx].id;
-            *self.map.get_mut(&moved_id).expect("moved frame in map") = idx;
-            let (p, n) = (self.frames[idx].prev, self.frames[idx].next);
-            if p != NIL {
-                self.frames[p].next = idx;
-            } else {
-                self.head = idx;
-            }
-            if n != NIL {
-                self.frames[n].prev = idx;
-            } else {
-                self.tail = idx;
-            }
-        }
+        let frame = self.detach(idx);
         if frame.dirty {
             store
                 .write()
-                .expect("page store lock")
+                .map_err(|_| StorageError::LockPoisoned)?
                 .write_uncounted(frame.id, frame.page)?;
         }
         Ok(())
     }
 
     fn flush(&mut self, store: &RwLock<Box<dyn PageStore>>) -> Result<(), StorageError> {
-        let mut store = store.write().expect("page store lock");
+        let mut store = store.write().map_err(|_| StorageError::LockPoisoned)?;
         for f in &mut self.frames {
             if f.dirty {
                 store.write_uncounted(f.id, f.page.clone())?;
@@ -277,17 +302,19 @@ impl BufferPool {
     /// Replaces the backing store with `wrap(old_store)` — the hook chaos
     /// tests use to slide a [`crate::FaultyStore`] underneath a live tree.
     /// Cached frames are dropped (without write-back) so every subsequent
-    /// access goes through the new store.
+    /// access goes through the new store. Poisoned locks are recovered
+    /// rather than reported: every piece of the protected state is
+    /// discarded or replaced here anyway.
     pub fn wrap_store(&mut self, wrap: impl FnOnce(Box<dyn PageStore>) -> Box<dyn PageStore>) {
         for shard in &mut self.shards {
-            shard.get_mut().expect("shard lock").clear();
+            shard
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
         }
-        let slot = self.store.get_mut().expect("page store lock");
-        // Temporarily park a 1-byte placeholder while `wrap` consumes the
-        // real store (`PageFile::new(1)` cannot fail).
-        let placeholder: Box<dyn PageStore> =
-            Box::new(PageFile::new(1).expect("placeholder page file"));
-        let old = std::mem::replace(slot, placeholder);
+        let slot = self.store.get_mut().unwrap_or_else(PoisonError::into_inner);
+        // Park an inert placeholder while `wrap` consumes the real store.
+        let old = std::mem::replace(slot, Box::new(NullStore) as Box<dyn PageStore>);
         *slot = wrap(old);
     }
 
@@ -296,11 +323,12 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Number of frames currently cached.
+    /// Number of frames currently cached. Tolerates poisoned shards (the
+    /// count is advisory; reading a length cannot observe a torn update).
     pub fn cached(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard lock").map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
 
@@ -314,7 +342,10 @@ impl BufferPool {
     /// # Errors
     /// Propagates the store's typed errors.
     pub fn allocate(&mut self) -> Result<PageId, StorageError> {
-        self.store.get_mut().expect("page store lock").allocate()
+        self.store
+            .get_mut()
+            .map_err(|_| StorageError::LockPoisoned)?
+            .allocate()
     }
 
     /// Frees a page, dropping any cached frame for it (dirty or not).
@@ -323,32 +354,15 @@ impl BufferPool {
     /// Propagates the store's typed errors (double free, bad ids).
     pub fn deallocate(&mut self, id: PageId) -> Result<(), StorageError> {
         if !self.shards.is_empty() {
-            let mut shard = self.shard(id).lock().expect("shard lock");
-            if let Some(&idx) = shard.map.get(&id) {
-                shard.unlink(idx);
-                // Drop without write-back: the page is being freed.
-                let frame = shard.frames.swap_remove(idx);
-                shard.map.remove(&frame.id);
-                if idx < shard.frames.len() {
-                    let moved_id = shard.frames[idx].id;
-                    *shard.map.get_mut(&moved_id).expect("moved frame in map") = idx;
-                    let (p, n) = (shard.frames[idx].prev, shard.frames[idx].next);
-                    if p != NIL {
-                        shard.frames[p].next = idx;
-                    } else {
-                        shard.head = idx;
-                    }
-                    if n != NIL {
-                        shard.frames[n].prev = idx;
-                    } else {
-                        shard.tail = idx;
-                    }
-                }
-            }
+            // Drop without write-back: the page is being freed.
+            self.shard(id)
+                .lock()
+                .map_err(|_| StorageError::LockPoisoned)?
+                .discard(id);
         }
         self.store
             .get_mut()
-            .expect("page store lock")
+            .map_err(|_| StorageError::LockPoisoned)?
             .deallocate(id)
     }
 
@@ -358,11 +372,17 @@ impl BufferPool {
     }
 
     /// Physical extent (pages ever allocated) of the backing store.
+    /// Tolerates a poisoned store lock — the extent is a monotone counter
+    /// the store updates atomically with respect to this lock.
     pub fn extent(&self) -> usize {
-        self.store.read().expect("page store lock").extent()
+        self.store
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extent()
     }
 
     fn shard(&self, id: PageId) -> &Mutex<Shard> {
+        // analyze::allow(cast): u32 page id → usize is lossless on every supported (≥32-bit) target, and the modulo bounds the index.
         &self.shards[id.0 as usize % self.shards.len()]
     }
 
@@ -400,10 +420,13 @@ impl BufferPool {
         self.stats.record_read();
         if self.capacity == 0 {
             self.stats.record_miss();
-            let store = self.store.read().expect("page store lock");
+            let store = self.store.read().map_err(|_| StorageError::LockPoisoned)?;
             return Self::read_with_retry(store.as_ref(), &self.stats, id);
         }
-        let mut shard = self.shard(id).lock().expect("shard lock");
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .map_err(|_| StorageError::LockPoisoned)?;
         if let Some(&idx) = shard.map.get(&id) {
             self.stats.record_hit();
             shard.touch(idx);
@@ -411,7 +434,7 @@ impl BufferPool {
         }
         self.stats.record_miss();
         let page = {
-            let store = self.store.read().expect("page store lock");
+            let store = self.store.read().map_err(|_| StorageError::LockPoisoned)?;
             Self::read_with_retry(store.as_ref(), &self.stats, id)?
         };
         shard.insert_frame(id, page.clone(), false, &self.store)?;
@@ -436,10 +459,13 @@ impl BufferPool {
             return self
                 .store
                 .write()
-                .expect("page store lock")
+                .map_err(|_| StorageError::LockPoisoned)?
                 .write_uncounted(id, page);
         }
-        let mut shard = self.shard(id).lock().expect("shard lock");
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .map_err(|_| StorageError::LockPoisoned)?;
         if let Some(&idx) = shard.map.get(&id) {
             shard.frames[idx].page = page;
             shard.frames[idx].dirty = true;
@@ -456,7 +482,10 @@ impl BufferPool {
     /// Propagates write-back failures.
     pub fn flush(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
-            shard.lock().expect("shard lock").flush(&self.store)?;
+            shard
+                .lock()
+                .map_err(|_| StorageError::LockPoisoned)?
+                .flush(&self.store)?;
         }
         Ok(())
     }
@@ -469,7 +498,9 @@ impl BufferPool {
     /// inspect the error).
     pub fn into_store(self) -> Result<Box<dyn PageStore>, StorageError> {
         self.flush()?;
-        Ok(self.store.into_inner().expect("page store lock"))
+        self.store
+            .into_inner()
+            .map_err(|_| StorageError::LockPoisoned)
     }
 
     /// Runs `f` against the backing store's durable contents (dirty frames
@@ -479,7 +510,8 @@ impl BufferPool {
     /// Propagates flush failures.
     pub fn with_store<R>(&self, f: impl FnOnce(&dyn PageStore) -> R) -> Result<R, StorageError> {
         self.flush()?;
-        Ok(f(self.store.read().expect("page store lock").as_ref()))
+        let store = self.store.read().map_err(|_| StorageError::LockPoisoned)?;
+        Ok(f(store.as_ref()))
     }
 
     /// Damages the stored bytes of `id` via `f` without refreshing its
@@ -495,31 +527,16 @@ impl BufferPool {
         f: &mut dyn FnMut(&mut [u8]),
     ) -> Result<(), StorageError> {
         if !self.shards.is_empty() {
-            let mut shard = self.shard(id).lock().expect("shard lock");
-            if let Some(&idx) = shard.map.get(&id) {
-                shard.unlink(idx);
-                let frame = shard.frames.swap_remove(idx);
-                shard.map.remove(&frame.id);
-                if idx < shard.frames.len() {
-                    let moved_id = shard.frames[idx].id;
-                    *shard.map.get_mut(&moved_id).expect("moved frame in map") = idx;
-                    let (p, n) = (shard.frames[idx].prev, shard.frames[idx].next);
-                    if p != NIL {
-                        shard.frames[p].next = idx;
-                    } else {
-                        shard.head = idx;
-                    }
-                    if n != NIL {
-                        shard.frames[n].prev = idx;
-                    } else {
-                        shard.tail = idx;
-                    }
-                }
-            }
+            // Drop without write-back: the cached copy must not mask the
+            // damage planted in the store.
+            self.shard(id)
+                .lock()
+                .map_err(|_| StorageError::LockPoisoned)?
+                .discard(id);
         }
         self.store
             .get_mut()
-            .expect("page store lock")
+            .map_err(|_| StorageError::LockPoisoned)?
             .corrupt_raw(id, f)
     }
 
@@ -531,10 +548,78 @@ impl BufferPool {
     /// Propagates flush failures.
     pub fn clear_cache(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("shard lock");
+            let mut shard = shard.lock().map_err(|_| StorageError::LockPoisoned)?;
             shard.flush(&self.store)?;
             shard.clear();
         }
+        Ok(())
+    }
+}
+
+/// The inert store parked in the pool's store slot for the instant
+/// [`BufferPool::wrap_store`] hands the real store to the wrapping
+/// closure. Never observable through the pool's API; every operation is
+/// refused with a typed error.
+#[derive(Debug)]
+struct NullStore;
+
+impl PageStore for NullStore {
+    fn page_size(&self) -> usize {
+        0
+    }
+    fn extent(&self) -> usize {
+        0
+    }
+    fn live_pages(&self) -> usize {
+        0
+    }
+    fn stats(&self) -> Arc<AccessStats> {
+        Arc::new(AccessStats::new())
+    }
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        Err(StorageError::Full)
+    }
+    fn deallocate(&mut self, id: PageId) -> Result<(), StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn read(&self, id: PageId) -> Result<Page, StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn write(&mut self, id: PageId, _page: Page) -> Result<(), StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn read_uncounted(&self, id: PageId) -> Result<Page, StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn write_uncounted(&mut self, id: PageId, _page: Page) -> Result<(), StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn corrupt_raw(
+        &mut self,
+        id: PageId,
+        _f: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<(), StorageError> {
+        Err(StorageError::OutOfRange {
+            page: id,
+            extent: 0,
+        })
+    }
+    fn persist(&self, _w: &mut dyn std::io::Write) -> std::io::Result<()> {
         Ok(())
     }
 }

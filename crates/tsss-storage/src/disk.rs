@@ -18,6 +18,8 @@
 use std::sync::Arc;
 
 use crate::codec::crc32;
+// analyze::allow-file(index): `pages`, `crcs` and `seen` are indexed only through `slot()`-validated indices (or `extent`-checked ids during load), and `pages`/`crcs` are grown and shrunk together.
+
 use crate::error::StorageError;
 use crate::page::Page;
 use crate::stats::AccessStats;
@@ -109,6 +111,7 @@ impl PageFile {
         if !id.is_valid() {
             return Err(StorageError::InvalidPageId);
         }
+        // analyze::allow(cast): u32 page id → usize is lossless on every supported (≥ 32-bit) target; the range check below is the point of this function.
         let idx = id.0 as usize;
         if idx >= self.pages.len() {
             return Err(StorageError::OutOfRange {
@@ -128,6 +131,7 @@ impl PageFile {
     /// [`StorageError::Full`] when 32-bit page ids are exhausted.
     pub fn allocate(&mut self) -> Result<PageId, StorageError> {
         if let Some(id) = self.free.pop() {
+            // analyze::allow(cast): lossless u32 → usize; free-list ids were in range when pushed and the vectors never shrink past them.
             let idx = id.0 as usize;
             self.pages[idx] = Page::zeroed(self.page_size);
             self.crcs[idx] = self.zero_crc;
@@ -241,6 +245,7 @@ impl PageFile {
             return Err(invalid("zero page size".into()));
         }
         let extent = get_usize(hr)?;
+        // analyze::allow(cast): lossless u32 → usize widening of the constant; the comparison rejects extents that cannot be addressed by 32-bit ids (MAX is the reserved sentinel).
         if extent >= u32::MAX as usize {
             return Err(invalid(format!("extent {extent} exceeds 32-bit page ids")));
         }
@@ -254,9 +259,11 @@ impl PageFile {
         let mut seen = vec![false; extent];
         for _ in 0..free_len {
             let id = PageId(get_u32(hr)?);
+            // analyze::allow(cast): lossless u32 → usize; this comparison is the range check for the line below.
             if id.0 as usize >= extent {
                 return Err(invalid("free-list entry out of range".into()));
             }
+            // analyze::allow(cast): see above — just range-checked against `extent`, the length of `seen`.
             if std::mem::replace(&mut seen[id.0 as usize], true) {
                 return Err(invalid(format!("duplicate free-list entry {id}")));
             }

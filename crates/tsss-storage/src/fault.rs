@@ -23,6 +23,8 @@
 //! operation sequence, so any failure a chaos run finds is replayable from
 //! its seed.
 
+// analyze::allow-file(atomics): the fault counters are independent Relaxed event tallies read only by test assertions and reports; no ordering with other memory is implied or needed.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -157,6 +159,7 @@ impl FaultyStore {
         if p <= 0.0 {
             return false;
         }
+        // analyze::allow(panic): fault injection is a test harness; a poisoned rng lock means a test already panicked, and aborting the fault stream there is the desired behaviour.
         self.rng.lock().expect("fault rng lock").f64() < p
     }
 
@@ -185,6 +188,7 @@ impl FaultyStore {
             self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
             let half = page.size() / 2;
             let result = self.inner.corrupt_raw(id, &mut |bytes| {
+                // analyze::allow(index): `half` is page.size()/2 and both buffers are exactly page-sized (checked at entry).
                 bytes[..half].copy_from_slice(&page.bytes()[..half]);
             });
             if result.is_ok() && counted {
@@ -200,10 +204,12 @@ impl FaultyStore {
         if result.is_ok() && self.roll(self.cfg.bit_flip) {
             self.counters.bit_flips.fetch_add(1, Ordering::Relaxed);
             let (byte, bit) = {
+                // analyze::allow(panic): see `roll` — test-harness lock.
                 let mut rng = self.rng.lock().expect("fault rng lock");
                 (rng.usize_below(self.inner.page_size()), rng.usize_below(8))
             };
             self.inner
+                // analyze::allow(index): `byte` was drawn from `usize_below(page_size)` and the raw buffer is page-sized.
                 .corrupt_raw(id, &mut |bytes| bytes[byte] ^= 1 << bit)?;
         }
         result

@@ -6,6 +6,8 @@
 //! are serialised into pages with the little-endian fixed-width helpers
 //! below — deliberately simple, deterministic, and alignment-free.
 
+// analyze::allow-file(index): the typed accessors deliberately bounds-check through slice indexing — an out-of-range offset is a caller logic error with a documented `# Panics` contract, and every caller derives offsets from layout constants validated against the page size.
+
 /// The paper's page size: 4 KBytes (§7).
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
@@ -27,6 +29,7 @@ impl Page {
     /// # Panics
     /// Panics when `size == 0`.
     pub fn zeroed(size: usize) -> Self {
+        // analyze::allow(panic): documented `# Panics` contract; the fallible twin is `try_zeroed`.
         Self::try_zeroed(size).expect("page size must be positive")
     }
 

@@ -21,6 +21,8 @@
 //! queries never see each other's accesses, and the per-query deltas sum to
 //! exactly the global increment.
 
+// analyze::allow-file(atomics): every atomic here is an independent monotone event counter (reads/writes/hits/misses/retries, plus the id allocator); Relaxed is sufficient because no counter's value ever gates control flow or publishes other memory — readers only aggregate for reporting.
+
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -212,6 +214,7 @@ impl StatsScope<'_> {
                 .rev()
                 .find(|(id, _)| *id == self.stats.id)
                 .map(|(_, c)| *c)
+                // analyze::allow(panic): the guard pushed its frame at construction and only Drop removes it, so the lookup cannot miss while `self` is alive.
                 .expect("scope tally present while guard is alive")
         })
     }
@@ -232,6 +235,7 @@ impl Drop for StatsScope<'_> {
             let pos = scopes
                 .iter()
                 .rposition(|(id, _)| *id == self.stats.id)
+                // analyze::allow(panic): see `counts` — the frame this guard pushed is still present when Drop runs.
                 .expect("scope tally present at drop");
             scopes.remove(pos);
         });

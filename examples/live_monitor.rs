@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example live_monitor`
 
+// Demo fixture: day/stream counters are tiny, the narrowing casts are safe.
+#![allow(clippy::cast_possible_truncation)]
+
 use tsss::core::{EngineConfig, SearchEngine, SearchOptions, SubseqId};
 use tsss::data::{MarketConfig, MarketSimulator, Series};
 

@@ -18,6 +18,8 @@
 //! (`name,index,value`); `query`/`nn` use the first series in the file,
 //! `batch` runs every series as one query each, in parallel.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

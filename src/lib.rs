@@ -38,6 +38,11 @@
 //! assert!((best.transform.a - 0.5).abs() < 1e-6); // the inverse disguise
 //! ```
 
+#![forbid(unsafe_code)]
+// Tests assert bit-exact determinism and build small fixtures, where exact
+// float comparison and narrowing literals are the point, not a hazard.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
+
 pub use tsss_core as core;
 pub use tsss_data as data;
 pub use tsss_dft as dft;

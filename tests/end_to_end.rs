@@ -2,6 +2,9 @@
 //! queries) exercised through the public facade, validated against the
 //! sequential-scan oracle.
 
+// Test fixture: counters are tiny, narrowing casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use tsss::core::{CostLimit, EngineConfig, SearchEngine, SearchOptions};
 use tsss::data::{MarketConfig, MarketSimulator, QueryWorkload, Series, WorkloadConfig};
 use tsss::geometry::penetration::PenetrationMethod;
