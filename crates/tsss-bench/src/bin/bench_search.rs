@@ -1,0 +1,55 @@
+//! Headline search benchmark, machine-readable: ms/iter for the indexed
+//! path vs the sequential scan, written to `BENCH_search.json`.
+//!
+//! Unlike the figure binaries (which sweep the whole ε grid at paper
+//! scale), this is the per-PR regression probe: one representative ε on a
+//! moderate data set, fast enough for CI, emitting a small JSON file that
+//! is checked into the repository each PR and uploaded as a CI artifact —
+//! so the performance history rides the git history.
+//!
+//! Run: `cargo run --release -p tsss-bench --bin bench_search`
+//! (optionally `TSSS_BENCH_OUT=path/to/BENCH_search.json`)
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use tsss_bench::{Harness, Method};
+use tsss_core::EngineConfig;
+
+fn main() {
+    // Moderate scale: ~120k values, enough for the index to matter, small
+    // enough for a CI lane (the paper-scale sweeps live in fig4/fig5).
+    let h = Harness::build(200, 600, 20, EngineConfig::paper(), 0x7555_1999);
+    // Mid-grid ε: selective but non-trivial (some verification happens).
+    let epsilon = h.epsilon_grid()[3];
+    let queries_per_iter = h.queries.len();
+
+    let measure = |method: Method, iters: u32| -> f64 {
+        // One warmup iteration, then the mean of timed ones.
+        let _ = h.run_method(method, epsilon);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let cell = h.run_method(method, epsilon);
+            assert!(cell.pages > 0.0, "a search must touch pages");
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+    };
+
+    let indexed_ms = measure(Method::TreeEnteringExiting, 5);
+    let seqscan_ms = measure(Method::Sequential, 2);
+    let speedup = seqscan_ms / indexed_ms;
+
+    println!("indexed:  {indexed_ms:.3} ms/iter ({queries_per_iter} queries per iter)");
+    println!("seqscan:  {seqscan_ms:.3} ms/iter");
+    println!("speedup:  {speedup:.1}x");
+
+    let out = std::env::var("TSSS_BENCH_OUT").unwrap_or_else(|_| "BENCH_search.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"search\",\n  \"dataset\": {{\"companies\": 200, \"days\": 600, \"window\": 128, \"fc\": 3}},\n  \"queries_per_iter\": {queries_per_iter},\n  \"epsilon\": {epsilon},\n  \"indexed_ms_per_iter\": {indexed_ms:.3},\n  \"seqscan_ms_per_iter\": {seqscan_ms:.3},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let mut f = std::fs::File::create(&out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -43,9 +43,11 @@ pub struct SearchEngine {
     extractor: Option<FeatureExtractor>,
     tree: RTree,
     store: PagedSeriesStore,
-    /// Upper bound on the SE-norm of any window ever indexed (monotone:
-    /// deletions do not lower it). Used by the z-normalised search to derive
-    /// a sound absolute ε; see `normalized`.
+    /// Upper bound on the SE-norm of any window ever indexed. Deletions do
+    /// not lower it (that would require a full rescan), which can leave it
+    /// loose — tracked by `max_norm_loose` and tightened by
+    /// [`SearchEngine::repair`], which recomputes it exactly. Used by the
+    /// z-normalised search to derive a sound absolute ε; see `normalized`.
     max_se_norm: f64,
     /// The recovery circuit breaker (see [`crate::recovery`]): trips open
     /// after repeated corrupt index probes, routes fallback-policy queries
@@ -54,6 +56,17 @@ pub struct SearchEngine {
     /// Storage pages implicated in corrupt probes, awaiting
     /// [`SearchEngine::repair`].
     quarantine: Mutex<BTreeSet<u32>>,
+    /// True when a failed [`SearchEngine::append_values`] left values in the
+    /// append-only data file whose windows never reached the index — queries
+    /// silently miss that tail until [`SearchEngine::repair`] re-indexes it.
+    /// Surfaced through [`SearchEngine::health`].
+    append_tail_unindexed: bool,
+    /// True when a removal deleted the window holding the global SE-norm
+    /// bound, leaving `max_se_norm` loose — every later z-normalised probe
+    /// over-reads (a perf regression, never a correctness one, since the
+    /// bound is only ever an upper bound). [`SearchEngine::repair`]
+    /// recomputes the exact bound and clears this.
+    max_norm_loose: bool,
 }
 
 impl SearchEngine {
@@ -106,6 +119,8 @@ impl SearchEngine {
             max_se_norm,
             breaker: CircuitBreaker::default(),
             quarantine: Mutex::new(BTreeSet::new()),
+            append_tail_unindexed: false,
+            max_norm_loose: false,
         })
     }
 
@@ -125,6 +140,8 @@ impl SearchEngine {
             max_se_norm,
             breaker: CircuitBreaker::default(),
             quarantine: Mutex::new(BTreeSet::new()),
+            append_tail_unindexed: false,
+            max_norm_loose: false,
         }
     }
 
@@ -310,12 +327,45 @@ impl SearchEngine {
     /// every newly-completed window (including the ones spanning the old
     /// tail).
     ///
+    /// The length overflow check runs **before** the data file is touched,
+    /// so a rejected append leaves the engine exactly as it was. An error
+    /// *after* the data landed (a failed fetch or tree insert mid-loop)
+    /// leaves the appended values stored but their tail windows unindexed;
+    /// the engine records that partial state and
+    /// [`SearchEngine::health`] reports it (`append_tail_unindexed`) until
+    /// [`SearchEngine::repair`] re-indexes everything from the data file.
+    ///
     /// # Errors
-    /// [`EngineError::UnknownSeries`] for a bad index.
+    /// [`EngineError::UnknownSeries`] for a bad index;
+    /// [`EngineError::TooLarge`] when the grown series length would
+    /// overflow (matching the `SubseqId::try_new` overflow discipline);
+    /// [`EngineError::Corrupt`] when storage fails mid-append.
     pub fn append_values(&mut self, series: usize, values: &[f64]) -> Result<(), EngineError> {
         let old_len = self.store.series_len(series)?;
+        let new_len = old_len
+            .checked_add(values.len())
+            .ok_or(EngineError::TooLarge {
+                what: "series length",
+                value: old_len,
+            })?;
         self.store.append(series, values)?;
-        let new_len = old_len + values.len();
+        // From here on the values are in the data file: any indexing error
+        // leaves an unindexed tail, which must be surfaced, not swallowed.
+        let result = self.index_appended_windows(series, old_len, new_len);
+        if result.is_err() {
+            self.append_tail_unindexed = true;
+        }
+        result
+    }
+
+    /// Indexes the windows completed by an append that grew `series` from
+    /// `old_len` to `new_len` values (the tail of [`SearchEngine::append_values`]).
+    fn index_appended_windows(
+        &mut self,
+        series: usize,
+        old_len: usize,
+        new_len: usize,
+    ) -> Result<(), EngineError> {
         let n = self.cfg.window_len;
         if new_len < n {
             return Ok(());
@@ -330,10 +380,13 @@ impl SearchEngine {
             // Skip windows that were already indexed before this append.
             if off + n > old_len {
                 let window = self.store.fetch_window(series, off, n)?;
-                self.max_se_norm = self.max_se_norm.max(tsss_geometry::se::se_norm(&window));
                 let feat = feature_of(&self.extractor, &window, &mut se_buf);
                 let id = SubseqId::try_new(series, off)?;
                 self.tree.insert(feat, id.pack())?;
+                // Only widen the z-probe bound after the insert landed: a
+                // failed insert must not loosen the bound for a window that
+                // never became searchable.
+                self.max_se_norm = self.max_se_norm.max(tsss_geometry::se::se_norm(&window));
             }
             off += self.cfg.stride;
         }
@@ -368,6 +421,13 @@ impl SearchEngine {
     /// Removes a window from the index (e.g. when old data expires).
     /// Returns `true` when the window was indexed.
     ///
+    /// Removing the window that holds the global SE-norm bound leaves
+    /// `max_se_norm` loose (deliberately: recomputing it exactly would scan
+    /// the whole data file per removal). The engine stamps that looseness so
+    /// [`SearchEngine::health`] reports it (`max_norm_loose`) and
+    /// [`SearchEngine::repair`] — which recomputes the bound exactly — is
+    /// known to fix it.
+    ///
     /// # Errors
     /// [`EngineError::UnknownSeries`] for a bad series index.
     pub fn remove_window(&mut self, id: SubseqId) -> Result<bool, EngineError> {
@@ -377,7 +437,13 @@ impl SearchEngine {
             .fetch_window(id.series_idx(), id.offset_idx(), n)?;
         let mut se_buf = vec![0.0; n];
         let feat = feature_of(&self.extractor, &window, &mut se_buf);
-        Ok(self.tree.delete(&feat, id.pack())?)
+        let removed = self.tree.delete(&feat, id.pack())?;
+        if removed && tsss_geometry::se::se_norm(&window) >= self.max_se_norm {
+            // The deleted window was (one of) the bound holder(s): the bound
+            // is now loose until a repair recomputes it.
+            self.max_norm_loose = true;
+        }
+        Ok(removed)
     }
 
     // ------------------------------------------------------------------
@@ -500,6 +566,8 @@ impl SearchEngine {
                 .collect(),
             index_retries: self.index_stats().retries(),
             data_retries: self.data_stats().retries(),
+            append_tail_unindexed: self.append_tail_unindexed,
+            max_norm_loose: self.max_norm_loose,
         }
     }
 
@@ -546,7 +614,13 @@ impl SearchEngine {
                 t
             }
         };
-        self.max_se_norm = self.max_se_norm.max(max_se_norm);
+        // The recomputed bound covers every window in the data file — a
+        // superset of what is indexed — so adopting it exactly is sound for
+        // the z-normalised probe and tightens any looseness left by
+        // removals (see `remove_window`).
+        self.max_se_norm = max_se_norm;
+        self.append_tail_unindexed = false;
+        self.max_norm_loose = false;
         let quarantine_cleared: Vec<u32> =
             // Poison recovery: repair replaces the whole set anyway.
             std::mem::take(
@@ -976,6 +1050,78 @@ mod tests {
         assert_eq!(e.remove_series_windows(1).unwrap(), 0);
         assert!(e.remove_series_windows(99).is_err());
         e.tree_mut().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_append_indexing_surfaces_unindexed_tail_in_health() {
+        let data = vec![Series::new(
+            "grow",
+            (0..20).map(|i| (i as f64).sin()).collect(),
+        )];
+        let mut e = SearchEngine::build(&data, EngineConfig::small(16)).unwrap();
+        assert!(!e.health().append_tail_unindexed);
+        assert!(!e.health().repair_recommended());
+        // Every index read fails: the mid-append tree insert cannot land,
+        // but the data-file append already did.
+        e.inject_index_faults(tsss_storage::FaultConfig::read_errors(3, 1.0));
+        let fresh: Vec<f64> = (20..30).map(|i| (i as f64).sin()).collect();
+        let err = e.append_values(0, &fresh).unwrap_err();
+        assert!(err.is_corruption(), "{err:?}");
+        // The values are stored but their windows are not searchable — and
+        // health says so instead of silently missing them.
+        assert_eq!(e.series_len(0).unwrap(), 30);
+        assert!(e.num_windows() < 15, "tail windows must be missing");
+        let h = e.health();
+        assert!(h.append_tail_unindexed);
+        assert!(h.repair_recommended());
+        // Repair re-indexes everything from the authoritative data file
+        // (discarding the faulty index store) and clears the flag.
+        e.repair().unwrap();
+        assert_eq!(e.num_windows(), 15); // 30 − 16 + 1
+        let h = e.health();
+        assert!(!h.append_tail_unindexed);
+        assert!(!h.repair_recommended());
+        let full: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let res = e
+            .search(&full[12..28], 1e-7, SearchOptions::default())
+            .unwrap();
+        assert!(res.matches.iter().any(|m| m.id.offset == 12));
+    }
+
+    #[test]
+    fn removing_the_norm_holder_stamps_looseness_and_repair_tightens() {
+        // Series 1 is much larger in fluctuation than series 0, so it holds
+        // the global SE-norm bound.
+        let quiet = Series::new("quiet", (0..40).map(|i| (i as f64 * 0.3).sin()).collect());
+        let loud = Series::new(
+            "loud",
+            (0..40).map(|i| (i as f64 * 0.3).sin() * 100.0).collect(),
+        );
+        let mut e = SearchEngine::build(&[quiet, loud], EngineConfig::small(16)).unwrap();
+        let loose_bound = e.max_se_norm();
+        assert!(!e.health().max_norm_loose);
+        // Removing a non-holder window does not stamp looseness.
+        assert!(e
+            .remove_window(SubseqId {
+                series: 0,
+                offset: 0
+            })
+            .unwrap());
+        assert!(!e.health().max_norm_loose);
+        // Deleting the loud series removes the bound holder.
+        e.remove_series_windows(1).unwrap();
+        let h = e.health();
+        assert!(h.max_norm_loose);
+        assert!(h.repair_recommended());
+        // The bound itself is unchanged (still sound, just loose) …
+        assert_eq!(e.max_se_norm(), loose_bound);
+        // … and repair recomputes it exactly. The loud windows are still in
+        // the append-only data file, so the recomputed bound still covers
+        // them — but looseness is no longer silent, and after a repair the
+        // flag is clear.
+        e.repair().unwrap();
+        assert!(!e.health().max_norm_loose);
+        assert!(!e.health().repair_recommended());
     }
 
     #[test]

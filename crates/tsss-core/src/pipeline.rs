@@ -880,6 +880,50 @@ mod tests {
     }
 
     #[test]
+    fn deadline_meter_passes_at_exactly_budget_and_fails_one_past_it() {
+        // The boundary semantics of `DeadlineMeter::check`: spend == budget
+        // passes (the comparison is strict `>`), budget + 1 fails.
+        let d = Deadline {
+            max_pages: 3,
+            max_steps: 2,
+        };
+        // Steps: exactly the budget is fine …
+        let mut m = DeadlineMeter::new(Some(d));
+        m.charge_step().unwrap();
+        m.charge_step().unwrap();
+        assert_eq!(m.steps(), 2);
+        // … one past it is the typed error carrying the spend.
+        assert_eq!(
+            m.charge_step().unwrap_err(),
+            EngineError::DeadlineExceeded { pages: 0, steps: 3 }
+        );
+        // Pages: raising to exactly the budget is fine, past it fails.
+        let mut m = DeadlineMeter::new(Some(d));
+        m.charge_pages_to(3).unwrap();
+        assert_eq!(m.pages(), 3);
+        assert_eq!(
+            m.charge_pages_to(4).unwrap_err(),
+            EngineError::DeadlineExceeded { pages: 4, steps: 0 }
+        );
+        // charge_pages_to is monotone: a lower report never rolls back.
+        let mut m = DeadlineMeter::new(Some(d));
+        m.charge_pages_to(2).unwrap();
+        m.charge_pages_to(1).unwrap();
+        assert_eq!(m.pages(), 2);
+        // Zero budgets reject the first unit of work…
+        let mut m = DeadlineMeter::new(Some(Deadline::uniform(0)));
+        assert!(m.charge_step().is_err());
+        // …and an unbounded meter only counts.
+        let mut m = DeadlineMeter::unbounded();
+        for _ in 0..1000 {
+            m.charge_step().unwrap();
+        }
+        m.charge_pages_to(1 << 40).unwrap();
+        assert_eq!(m.steps(), 1000);
+        assert_eq!(m.pages(), 1 << 40);
+    }
+
+    #[test]
     fn index_probe_and_seqscan_agree_through_the_pipeline() {
         let (e, data) = engine();
         let q = data[1].window(8, 16).unwrap().to_vec();

@@ -201,6 +201,26 @@ pub struct HealthReport {
     pub index_retries: u64,
     /// Transient-fault read retries on the data file.
     pub data_retries: u64,
+    /// True when a failed append left stored values whose windows never
+    /// reached the index — queries silently miss that tail until
+    /// [`crate::SearchEngine::repair`] re-indexes it from the data file.
+    pub append_tail_unindexed: bool,
+    /// True when a removal deleted the window holding the global SE-norm
+    /// bound, leaving z-normalised probes over-reading until
+    /// [`crate::SearchEngine::repair`] recomputes the exact bound.
+    pub max_norm_loose: bool,
+}
+
+impl HealthReport {
+    /// Whether running [`crate::SearchEngine::repair`] would improve this
+    /// engine: the breaker is not closed, pages are quarantined, an append
+    /// left an unindexed tail, or the SE-norm bound is loose.
+    pub fn repair_recommended(&self) -> bool {
+        self.breaker != BreakerState::Closed
+            || !self.quarantined_pages.is_empty()
+            || self.append_tail_unindexed
+            || self.max_norm_loose
+    }
 }
 
 impl std::fmt::Display for HealthReport {
@@ -215,7 +235,34 @@ impl std::fmt::Display for HealthReport {
             self.quarantined_pages.len()
         )?;
         writeln!(f, "index retries:    {}", self.index_retries)?;
-        write!(f, "data retries:     {}", self.data_retries)
+        writeln!(f, "data retries:     {}", self.data_retries)?;
+        writeln!(
+            f,
+            "unindexed tail:   {}",
+            if self.append_tail_unindexed {
+                "yes (repair needed)"
+            } else {
+                "no"
+            }
+        )?;
+        writeln!(
+            f,
+            "norm bound:       {}",
+            if self.max_norm_loose {
+                "loose (repair tightens)"
+            } else {
+                "tight"
+            }
+        )?;
+        write!(
+            f,
+            "repair:           {}",
+            if self.repair_recommended() {
+                "recommended"
+            } else {
+                "not needed"
+            }
+        )
     }
 }
 

@@ -297,3 +297,73 @@ fn retried_transient_faults_leave_answers_bit_identical() {
         "no retry ever fired — the fault profile has no teeth"
     );
 }
+
+/// Write-path equivalence: growing an engine by appends, round-tripping it
+/// through save → load, and querying must be bit-identical (matches,
+/// transforms, distances) to building an engine from the full data in one
+/// shot. The tree *structures* differ (incremental inserts vs bulk load),
+/// so page counts are not compared — but the answer must not depend on how
+/// the windows got into the index.
+#[test]
+fn append_save_load_answers_bit_identical_to_build_from_scratch() {
+    let full = workload();
+    // Split every series: build from a prefix, append the rest in two
+    // uneven chunks (exercising windows that span append boundaries), plus
+    // one series added entirely via append_series.
+    let split = 55;
+    let prefixes: Vec<Series> = full[..full.len() - 1]
+        .iter()
+        .map(|s| Series::new(s.name.clone(), s.values[..split].to_vec()))
+        .collect();
+    let mut grown = SearchEngine::build(&prefixes, EngineConfig::small(16)).unwrap();
+    for (i, s) in full[..full.len() - 1].iter().enumerate() {
+        let mid = split + 13;
+        grown.append_values(i, &s.values[split..mid]).unwrap();
+        grown.append_values(i, &s.values[mid..]).unwrap();
+    }
+    let last = full.last().unwrap();
+    grown.append_series(last).unwrap();
+
+    // Round-trip the grown engine through persistence.
+    let dir = std::env::temp_dir().join(format!("tsss-equiv-append-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grown.tsss");
+    grown.save_to_path(&path).unwrap();
+    let reloaded = SearchEngine::load_from_path(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let scratch = SearchEngine::build(&full, EngineConfig::small(16)).unwrap();
+    assert_eq!(reloaded.num_windows(), scratch.num_windows());
+    assert_eq!(reloaded.num_series(), scratch.num_series());
+
+    for (series, offset, eps) in [
+        (0usize, 5usize, 2.0),
+        (2, 40, 0.5),
+        (4, 33, 4.0),
+        (5, 60, 1.0),
+        (3, 50, 8.0), // spans the append boundary (50..66 crosses 55)
+    ] {
+        let q = full[series].window(offset, 16).unwrap().to_vec();
+        let want = scratch.search(&q, eps, SearchOptions::default()).unwrap();
+        let got = reloaded.search(&q, eps, SearchOptions::default()).unwrap();
+        assert_eq!(got.matches.len(), want.matches.len(), "eps {eps}");
+        for (a, b) in got.matches.iter().zip(&want.matches) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            assert_eq!(a.transform.a.to_bits(), b.transform.a.to_bits());
+            assert_eq!(a.transform.b.to_bits(), b.transform.b.to_bits());
+        }
+        assert_eq!(got.stats.verified, want.stats.verified);
+        assert_eq!(
+            got.stats.candidates,
+            got.stats.verified + got.stats.false_alarms + got.stats.cost_rejected
+        );
+        // The grown engine's z-probe bound must agree too: identical data
+        // means identical max SE-norm, so the z-normalised path plans the
+        // same feature-space ε.
+        assert_eq!(
+            reloaded.max_se_norm().to_bits(),
+            scratch.max_se_norm().to_bits()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Bounded admission queue: the server's load-shedding valve.
+//!
+//! The acceptor thread pushes accepted connections here; worker threads
+//! pop them. The queue has a hard capacity — when it is full the acceptor
+//! does **not** block or buffer, it sheds the connection with an HTTP 429
+//! immediately. That keeps tail latency bounded under overload: a client
+//! either gets a worker promptly or a fast explicit rejection, never a
+//! silent multi-second stall in an unbounded backlog.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded MPMC queue with explicit shutdown.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Outcome of a non-blocking push. The rejected item is handed back so
+/// the caller can answer it (write the 429) before dropping it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// Enqueued; a worker will pick it up.
+    Admitted,
+    /// Queue full — the caller must shed the item (HTTP 429).
+    Shed(T),
+    /// Queue closed — the server is shutting down.
+    Closed(T),
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue that admits at most `capacity` waiting items.
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Attempts to enqueue without blocking.
+    pub fn try_push(&self, item: T) -> PushOutcome<T> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            // A poisoned lock means a worker panicked; treat as shutdown.
+            Err(_) => return PushOutcome::Closed(item),
+        };
+        if inner.closed {
+            return PushOutcome::Closed(item);
+        }
+        if inner.items.len() >= inner.capacity {
+            return PushOutcome::Shed(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        PushOutcome::Admitted
+    }
+
+    /// Blocks until an item is available or the queue closes.
+    /// Returns `None` only on shutdown with the queue drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(_) => return None,
+        };
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(_) => return None,
+            };
+        }
+    }
+
+    /// Closes the queue and wakes every blocked worker. Items already
+    /// queued still drain; new pushes return [`PushOutcome::Closed`].
+    pub fn close(&self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.closed = true;
+        }
+        self.ready.notify_all();
+    }
+
+    /// Number of items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().map(|g| g.items.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sheds_when_full_and_admits_after_drain() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1), PushOutcome::Admitted);
+        assert_eq!(q.try_push(2), PushOutcome::Admitted);
+        assert_eq!(
+            q.try_push(3),
+            PushOutcome::Shed(3),
+            "rejected item comes back"
+        );
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), PushOutcome::Admitted);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_drains_remainder() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        // The waiter may or may not have blocked yet; either way close()
+        // must resolve its pop.
+        q.try_push(7);
+        assert_eq!(waiter.join().unwrap(), Some(7));
+        q.try_push(8);
+        q.close();
+        assert_eq!(q.pop(), Some(8), "queued work drains after close");
+        assert_eq!(q.pop(), None, "then pops report shutdown");
+        assert_eq!(q.try_push(9), PushOutcome::Closed(9));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q = Arc::new(AdmissionQueue::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        assert_eq!(q.try_push(p * 100 + i), PushOutcome::Admitted);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+}

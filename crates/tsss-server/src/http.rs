@@ -1,0 +1,264 @@
+//! A bounded HTTP/1.1 request reader and response writer.
+//!
+//! The server speaks exactly as much HTTP as its JSON API needs: one
+//! request per connection (`Connection: close` on every response), a
+//! method, a path, and an optional `Content-Length` body. The reader is
+//! hardened the same way the JSON parser is — the head is capped at
+//! [`MAX_HEAD_BYTES`], the body at [`MAX_BODY_BYTES`], and a slowloris
+//! client is cut off by the socket read timeout the caller installs.
+
+use std::io::{self, Read, Write};
+
+/// Maximum size of the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum request body size. Appends of a few hundred thousand values
+/// fit; anything larger belongs in the bulk ingest path, not HTTP.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request: method, path, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased as received).
+    pub method: String,
+    /// The request path, query string stripped.
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeout).
+    Io(io::Error),
+    /// The bytes on the wire were not an acceptable request. The string
+    /// is safe to echo back in an error payload.
+    Malformed(String),
+    /// Head or body exceeded its cap. `413` is the right answer.
+    TooLarge(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+/// [`HttpError`] on socket failure, malformed framing, or oversized input.
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_string()))?;
+
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        } else if name == "transfer-encoding" {
+            return Err(HttpError::Malformed(
+                "chunked transfer encoding is not supported".to_string(),
+            ));
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+
+    // `leftover` is whatever body bytes arrived in the same reads as the
+    // head; pull the remainder off the socket.
+    if leftover.len() > content_length {
+        return Err(HttpError::Malformed(
+            "more body bytes than Content-Length".to_string(),
+        ));
+    }
+    let mut body = leftover.split_off(0);
+    body.reserve(content_length - body.len());
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request { method, path, body })
+}
+
+/// Reads until the `\r\n\r\n` head terminator, returning the head bytes
+/// (terminator excluded) and any extra bytes read past it.
+fn read_head<S: Read>(stream: &mut S) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let rest = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before request head completed".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response: status line, minimal headers, JSON body.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response<S: Write>(stream: &mut S, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /health?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let raw = b"POST /search HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"a\":[1,2]}";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.body, b"{\"a\":[1,2]}");
+    }
+
+    #[test]
+    fn rejects_oversize_head_and_body() {
+        let huge_head = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_head.as_bytes())),
+            Err(HttpError::TooLarge("request head"))
+        ));
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_body.as_bytes())),
+            Err(HttpError::TooLarge("request body"))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"[..],
+            &b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    read_request(&mut Cursor::new(raw)),
+                    Err(HttpError::Malformed(_))
+                ),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "{\"error\":\"shed\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"shed\"}"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Request dispatch: path + method → engine call → JSON response.
+//!
+//! Locking discipline: every query endpoint takes the engine's **read**
+//! lock — the whole search API is `&self` and thread-safe, so queries run
+//! concurrently across workers. Only the mutating endpoints (`/append`,
+//! `/repair`) take the write lock, and they hold it exactly for the
+//! engine call.
+
+use std::sync::RwLock;
+
+use tsss_core::SearchEngine;
+use tsss_data::Series;
+
+use crate::api::{
+    self, encode_health, encode_repair, encode_result, error_body, parse_options, require_f64,
+    require_f64_array, require_u64, ApiError,
+};
+use crate::json::Json;
+use crate::metrics::Metrics;
+
+/// State shared by every worker thread.
+pub struct AppState {
+    /// The engine, readers-writer locked (queries share, mutations exclude).
+    pub engine: RwLock<SearchEngine>,
+    /// Server-wide counters.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Wraps an engine for serving.
+    pub fn new(engine: SearchEngine) -> AppState {
+        AppState {
+            engine: RwLock::new(engine),
+            metrics: Metrics::default(),
+        }
+    }
+}
+
+/// Handles one parsed request; returns `(status, body)`. Also folds the
+/// outcome into the shared metrics.
+pub fn handle(state: &AppState, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let (status, payload) = dispatch(state, method, path, body);
+    state.metrics.record_status(status);
+    (status, payload)
+}
+
+fn dispatch(state: &AppState, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let outcome = match (method, path) {
+        ("GET", "/health") => health(state),
+        ("GET", "/metrics") => Ok(state.metrics.to_json()),
+        ("POST", "/repair") => repair(state),
+        ("POST", "/append") => with_body(body, |b| append(state, b)),
+        ("POST", "/search") => with_body(body, |b| search(state, b)),
+        ("POST", "/knn") => with_body(body, |b| knn(state, b)),
+        ("POST", "/znormalized") => with_body(body, |b| znormalized(state, b)),
+        ("POST", "/long") => with_body(body, |b| long(state, b)),
+        ("POST", "/batch") => with_body(body, |b| batch(state, b)),
+        ("GET" | "POST", _) => Err(ApiError {
+            status: 404,
+            message: format!("no route {path:?}"),
+        }),
+        _ => Err(ApiError {
+            status: 405,
+            message: format!("method {method} not supported"),
+        }),
+    };
+    match outcome {
+        Ok(json) => (200, json.encode()),
+        Err(e) => (e.status, error_body(&e.message)),
+    }
+}
+
+fn with_body(
+    body: &[u8],
+    f: impl FnOnce(&Json) -> Result<Json, ApiError>,
+) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let json = Json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err(ApiError::bad_request("request body must be a JSON object"));
+    }
+    f(&json)
+}
+
+fn read_engine(state: &AppState) -> std::sync::RwLockReadGuard<'_, SearchEngine> {
+    // Poison recovery: a panicking worker cannot leave the engine torn —
+    // the search API is read-only and mutations are small and transactional
+    // at the engine layer, so serving from a poisoned lock is sound.
+    state
+        .engine
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_engine(state: &AppState) -> std::sync::RwLockWriteGuard<'_, SearchEngine> {
+    // Poison recovery: same argument as `read_engine`; the engine's own
+    // health/repair machinery handles any partial mutation a panic left.
+    state
+        .engine
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn health(state: &AppState) -> Result<Json, ApiError> {
+    let engine = read_engine(state);
+    let h = engine.health();
+    let mut j = encode_health(&h);
+    if let Json::Obj(map) = &mut j {
+        map.insert("num_series".to_string(), Json::from(engine.num_series()));
+        map.insert("num_windows".to_string(), Json::from(engine.num_windows()));
+    }
+    Ok(j)
+}
+
+fn repair(state: &AppState) -> Result<Json, ApiError> {
+    let report = write_engine(state).repair()?;
+    Ok(encode_repair(&report))
+}
+
+fn append(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let values = require_f64_array(body, "values")?;
+    let mut engine = write_engine(state);
+    let series =
+        match (body.get("series"), body.get("name")) {
+            (Some(s), None) => {
+                let si = s
+                    .as_u64()
+                    .ok_or_else(|| ApiError::bad_request("\"series\" must be an integer index"))?;
+                let si = usize::try_from(si)
+                    .map_err(|_| ApiError::bad_request("\"series\" index out of range"))?;
+                engine.append_values(si, &values)?;
+                si
+            }
+            (None, Some(n)) => {
+                let name = n
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("\"name\" must be a string"))?;
+                engine.append_series(&Series::new(name, values))?
+            }
+            _ => return Err(ApiError::bad_request(
+                "provide exactly one of \"series\" (append to existing) or \"name\" (new series)",
+            )),
+        };
+    let len = engine.series_len(series)?;
+    Ok(Json::obj([
+        ("series", Json::from(series)),
+        ("series_len", Json::from(len)),
+        ("num_windows", Json::from(engine.num_windows())),
+    ]))
+}
+
+fn opt_limit(body: &Json) -> Result<Option<usize>, ApiError> {
+    match body.get("limit") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_request("\"limit\" must be a non-negative integer"))?;
+            Ok(Some(usize::try_from(n).unwrap_or(usize::MAX)))
+        }
+    }
+}
+
+fn run_search(
+    state: &AppState,
+    body: &Json,
+    f: impl FnOnce(
+        &SearchEngine,
+        &[f64],
+        tsss_core::SearchOptions,
+    ) -> Result<tsss_core::SearchResult, tsss_core::EngineError>,
+) -> Result<Json, ApiError> {
+    let query = require_f64_array(body, "query")?;
+    let opts = parse_options(body)?;
+    let limit = opt_limit(body)?;
+    let engine = read_engine(state);
+    match f(&engine, &query, opts) {
+        Ok(res) => {
+            state.metrics.record_search(
+                res.stats.candidates,
+                res.stats.verified,
+                res.stats.total_pages(),
+            );
+            Ok(encode_result(&res, limit))
+        }
+        Err(e) => {
+            if api::is_budget_exhaustion(&e) {
+                state.metrics.record_deadline_exceeded();
+            }
+            Err(e.into())
+        }
+    }
+}
+
+fn search(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let epsilon = require_f64(body, "epsilon")?;
+    run_search(state, body, |e, q, o| e.search(q, epsilon, o))
+}
+
+fn knn(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let k = require_u64(body, "k")?;
+    let k = usize::try_from(k).map_err(|_| ApiError::bad_request("\"k\" out of range"))?;
+    run_search(state, body, |e, q, o| e.nearest_search_opts(q, k, o))
+}
+
+fn znormalized(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let z_eps = require_f64(body, "z_eps")?;
+    run_search(state, body, |e, q, o| {
+        e.search_znormalized_opts(q, z_eps, o)
+    })
+}
+
+fn long(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let epsilon = require_f64(body, "epsilon")?;
+    // `search_long` panics on stride ≠ 1 (the piece decomposition needs
+    // every offset indexed) — turn that contract into a client error.
+    if read_engine(state).config().stride != 1 {
+        return Err(ApiError::bad_request(
+            "long queries require an engine built with stride 1",
+        ));
+    }
+    run_search(state, body, |e, q, o| e.search_long(q, epsilon, o))
+}
+
+fn batch(state: &AppState, body: &Json) -> Result<Json, ApiError> {
+    let epsilon = require_f64(body, "epsilon")?;
+    let opts = parse_options(body)?;
+    let limit = opt_limit(body)?;
+    let workers =
+        match body.get("workers") {
+            None | Some(Json::Null) => 1,
+            Some(v) => usize::try_from(v.as_u64().ok_or_else(|| {
+                ApiError::bad_request("\"workers\" must be a non-negative integer")
+            })?)
+            .unwrap_or(1)
+            .min(64),
+        };
+    let queries_json = body
+        .get("queries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_request("missing array field \"queries\""))?;
+    let mut queries: Vec<Vec<f64>> = Vec::with_capacity(queries_json.len());
+    for (i, q) in queries_json.iter().enumerate() {
+        let arr = q
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request(format!("query {i} must be an array")))?;
+        let vals: Result<Vec<f64>, ApiError> = arr
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    ApiError::bad_request(format!("query {i} must hold finite numbers"))
+                })
+            })
+            .collect();
+        queries.push(vals?);
+    }
+
+    let engine = read_engine(state);
+    let results = engine.search_batch_results(&queries, epsilon, opts, workers);
+    let mut encoded = Vec::with_capacity(results.len());
+    for r in &results {
+        encoded.push(match r {
+            Ok(res) => {
+                state.metrics.record_search(
+                    res.stats.candidates,
+                    res.stats.verified,
+                    res.stats.total_pages(),
+                );
+                let mut obj = encode_result(res, limit);
+                if let Json::Obj(map) = &mut obj {
+                    map.insert("ok".to_string(), Json::from(true));
+                }
+                obj
+            }
+            Err(e) => {
+                if api::is_budget_exhaustion(e) {
+                    state.metrics.record_deadline_exceeded();
+                }
+                Json::obj([
+                    ("ok", Json::from(false)),
+                    ("status", Json::from(u64::from(api::status_of(e)))),
+                    ("error", Json::from(e.to_string())),
+                ])
+            }
+        });
+    }
+    Ok(Json::obj([("results", Json::Arr(encoded))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsss_core::EngineConfig;
+    use tsss_data::{MarketConfig, MarketSimulator};
+
+    const WINDOW: usize = 16;
+
+    fn state() -> (AppState, Vec<tsss_data::Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(4, 80, 42)).generate();
+        let st = AppState::new(SearchEngine::build(&data, EngineConfig::small(WINDOW)).unwrap());
+        (st, data)
+    }
+
+    fn window_of(data: &[tsss_data::Series], series: usize, offset: usize, len: usize) -> Vec<f64> {
+        data[series].values[offset..offset + len].to_vec()
+    }
+
+    fn encode_vals(vals: &[f64]) -> String {
+        Json::Arr(vals.iter().map(|v| Json::from(*v)).collect()).encode()
+    }
+
+    fn query_body(data: &[tsss_data::Series], epsilon: f64) -> String {
+        format!(
+            "{{\"query\":{},\"epsilon\":{epsilon}}}",
+            encode_vals(&window_of(data, 0, 3, WINDOW))
+        )
+    }
+
+    #[test]
+    fn search_route_answers_and_counts() {
+        let (st, data) = state();
+        let body = query_body(&data, 0.5);
+        let (status, payload) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert!(j.get("total_matches").and_then(Json::as_u64).unwrap() >= 1);
+        let stats = j.get("stats").unwrap();
+        let c = stats.get("candidates").and_then(Json::as_u64).unwrap();
+        let v = stats.get("verified").and_then(Json::as_u64).unwrap();
+        let fa = stats.get("false_alarms").and_then(Json::as_u64).unwrap();
+        let cr = stats.get("cost_rejected").and_then(Json::as_u64).unwrap();
+        assert_eq!(c, v + fa + cr, "stage identity must survive encoding");
+        let m = Json::parse(&handle(&st, "GET", "/metrics", b"").1).unwrap();
+        assert_eq!(m.get("requests_ok").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn limit_truncates_but_reports_total() {
+        let (st, data) = state();
+        let mut body = query_body(&data, 50.0);
+        body.insert_str(body.len() - 1, ",\"limit\":1");
+        let (status, payload) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 200);
+        let j = Json::parse(&payload).unwrap();
+        let total = j.get("total_matches").and_then(Json::as_u64).unwrap();
+        let shown = j.get("matches").and_then(Json::as_array).unwrap().len();
+        assert!(total > 1);
+        assert_eq!(shown, 1);
+    }
+
+    #[test]
+    fn tight_deadline_is_503_and_counted() {
+        let (st, data) = state();
+        let mut body = query_body(&data, 0.5);
+        body.insert_str(
+            body.len() - 1,
+            ",\"opts\":{\"deadline\":{\"max_pages\":0,\"max_steps\":0}}",
+        );
+        let (status, _) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 503);
+        let m = Json::parse(&handle(&st, "GET", "/metrics", b"").1).unwrap();
+        assert_eq!(
+            m.get("deadline_exceeded_total").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            m.get("requests_server_error").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn append_then_search_finds_new_windows_and_health_stays_clean() {
+        let (st, _) = state();
+        let before = {
+            let j = Json::parse(&handle(&st, "GET", "/health", b"").1).unwrap();
+            assert_eq!(
+                j.get("repair_recommended").and_then(Json::as_bool),
+                Some(false)
+            );
+            j.get("num_windows").and_then(Json::as_u64).unwrap()
+        };
+        let vals: Vec<Json> = (0..40).map(|i| Json::from(f64::from(i) * 0.25)).collect();
+        let body = format!(
+            "{{\"name\":\"fresh\",\"values\":{}}}",
+            Json::Arr(vals).encode()
+        );
+        let (status, payload) = handle(&st, "POST", "/append", body.as_bytes());
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("series_len").and_then(Json::as_u64), Some(40));
+        let after = j.get("num_windows").and_then(Json::as_u64).unwrap();
+        assert!(after > before);
+        // Appending to the new series by index also works.
+        let more = format!(
+            "{{\"series\":{},\"values\":[1,2,3]}}",
+            j.get("series").and_then(Json::as_u64).unwrap()
+        );
+        let (status, _) = handle(&st, "POST", "/append", more.as_bytes());
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn append_to_unknown_series_is_404() {
+        let (st, _) = state();
+        let (status, _) = handle(
+            &st,
+            "POST",
+            "/append",
+            br#"{"series":999,"values":[1,2,3]}"#,
+        );
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn knn_long_znormalized_and_batch_routes_answer() {
+        let (st, data) = state();
+        let q_json = encode_vals(&window_of(&data, 1, 5, WINDOW));
+
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/knn",
+            format!("{{\"query\":{q_json},\"k\":3}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("matches").and_then(Json::as_array).unwrap().len(), 3);
+
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/znormalized",
+            format!("{{\"query\":{q_json},\"z_eps\":0.5}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+
+        let long_json = encode_vals(&window_of(&data, 1, 0, WINDOW + WINDOW / 2));
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/long",
+            format!("{{\"query\":{long_json},\"epsilon\":0.5}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert!(j.get("total_matches").and_then(Json::as_u64).unwrap() >= 1);
+
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/batch",
+            format!("{{\"queries\":[{q_json},[1,2]],\"epsilon\":0.5}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        let results = j.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(results[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(results[1].get("status").and_then(Json::as_u64), Some(400));
+    }
+
+    #[test]
+    fn repair_route_reindexes() {
+        let (st, _) = state();
+        let (status, payload) = handle(&st, "POST", "/repair", b"");
+        assert_eq!(status, 200);
+        let j = Json::parse(&payload).unwrap();
+        let reindexed = j.get("windows_reindexed").and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            usize::try_from(reindexed).unwrap(),
+            read_engine(&st).num_windows()
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_client_errors() {
+        let (st, _) = state();
+        for (method, path, body, want) in [
+            ("POST", "/search", &b"not json"[..], 400),
+            ("POST", "/search", &b"[1,2,3]"[..], 400),
+            ("POST", "/search", &br#"{"epsilon":1}"#[..], 400),
+            (
+                "POST",
+                "/search",
+                &br#"{"query":[1,2],"epsilon":1,"opts":{"degradation":"x"}}"#[..],
+                400,
+            ),
+            ("POST", "/knn", &br#"{"query":[1,2]}"#[..], 400),
+            ("GET", "/nope", &b""[..], 404),
+            ("DELETE", "/health", &b""[..], 405),
+        ] {
+            let (status, payload) = handle(&st, method, path, body);
+            assert_eq!(status, want, "{method} {path}: {payload}");
+            assert!(Json::parse(&payload).unwrap().get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn query_of_wrong_length_is_400() {
+        let (st, _) = state();
+        let (status, _) = handle(
+            &st,
+            "POST",
+            "/search",
+            br#"{"query":[1,2,3],"epsilon":0.5}"#,
+        );
+        assert_eq!(status, 400);
+    }
+}

@@ -11,6 +11,7 @@
 //! tsss scrub    --engine engine.tsss
 //! tsss repair   --engine engine.tsss
 //! tsss health   --engine engine.tsss
+//! tsss serve    --engine engine.tsss [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //! tsss demo
 //! ```
 //!
@@ -147,6 +148,7 @@ fn main() -> ExitCode {
         "scrub" => cmd_scrub(&parsed),
         "repair" => cmd_repair(&parsed),
         "health" => cmd_health(&parsed),
+        "serve" => cmd_serve(&parsed),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             usage();
@@ -177,6 +179,7 @@ fn usage() {
          scrub    --engine ENGINE.tsss\n  \
          repair   --engine ENGINE.tsss\n  \
          health   --engine ENGINE.tsss\n  \
+         serve    --engine ENGINE.tsss [--addr HOST:PORT] [--workers N] [--queue N]\n  \
          demo"
     );
 }
@@ -453,6 +456,31 @@ fn cmd_health(a: &Args) -> Result<(), String> {
         .map_err(|e| format!("loading {path}: {e}"))?;
     println!("engine: {path}");
     println!("{}", engine.health());
+    Ok(())
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let path = a.require("engine")?;
+    let engine = SearchEngine::load_from_path(Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let cfg = tsss::server::ServerConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: a.get_parsed("workers", 4)?,
+        queue_capacity: a.get_parsed("queue", 64)?,
+        ..Default::default()
+    };
+    println!(
+        "serving {path}: {} series, {} windows",
+        engine.num_series(),
+        engine.num_windows()
+    );
+    let server = tsss::server::Server::start(engine, &cfg)
+        .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+    println!("listening on http://{}", server.addr());
+    println!(
+        "endpoints: GET /health /metrics · POST /search /knn /znormalized /long /batch /append /repair"
+    );
+    server.join();
     Ok(())
 }
 

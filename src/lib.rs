@@ -15,7 +15,10 @@
 //! * [`dft`] — FFT and the `f_c`-coefficient feature extractor (paper §7),
 //! * [`core`] — the end-to-end engine: build, search, sequential baseline,
 //!   k-NN, long queries,
-//! * [`data`] — synthetic stock-market data and query workloads.
+//! * [`data`] — synthetic stock-market data and query workloads,
+//! * [`server`] — a dependency-free HTTP/1.1 front door: JSON endpoints
+//!   with bounded-queue admission control and per-request QoS (deadlines,
+//!   page budgets, degradation policy).
 //!
 //! ## Quickstart
 //!
@@ -48,4 +51,5 @@ pub use tsss_data as data;
 pub use tsss_dft as dft;
 pub use tsss_geometry as geometry;
 pub use tsss_index as index;
+pub use tsss_server as server;
 pub use tsss_storage as storage;
