@@ -162,6 +162,9 @@ mod tests {
     fn hot_path_scope_is_the_four_query_path_crates() {
         assert!(is_hot_path("crates/tsss-core/src/engine.rs"));
         assert!(is_hot_path("crates/tsss-storage/src/buffer.rs"));
+        // The WAL sits on the acknowledged-append path: its scan/replay
+        // code must stay panic-free like the rest of the storage crate.
+        assert!(is_hot_path("crates/tsss-storage/src/wal.rs"));
         assert!(is_hot_path("crates/tsss-index/src/tree.rs"));
         assert!(is_hot_path("crates/tsss-geometry/src/mbr.rs"));
         assert!(!is_hot_path("crates/tsss-data/src/gbm.rs"));

@@ -67,6 +67,14 @@ pub struct SearchEngine {
     /// bound is only ever an upper bound). [`SearchEngine::repair`]
     /// recomputes the exact bound and clears this.
     max_norm_loose: bool,
+    /// Tree insertions since the last bulk (re)build. One-at-a-time R*
+    /// insertion degrades page locality versus the STR bulk load — the
+    /// build-method ablation (results/ablation_build.txt) measures an
+    /// insertion-built tree at ~7.6× the query pages of the STR one — so
+    /// [`SearchEngine::str_rebuild_due`] flags when enough appends have
+    /// accumulated that a background [`SearchEngine::repair`] pays for
+    /// itself.
+    inserts_since_rebuild: u64,
 }
 
 impl SearchEngine {
@@ -121,6 +129,7 @@ impl SearchEngine {
             quarantine: Mutex::new(BTreeSet::new()),
             append_tail_unindexed: false,
             max_norm_loose: false,
+            inserts_since_rebuild: 0,
         })
     }
 
@@ -142,6 +151,7 @@ impl SearchEngine {
             quarantine: Mutex::new(BTreeSet::new()),
             append_tail_unindexed: false,
             max_norm_loose: false,
+            inserts_since_rebuild: 0,
         }
     }
 
@@ -383,6 +393,7 @@ impl SearchEngine {
                 let feat = feature_of(&self.extractor, &window, &mut se_buf);
                 let id = SubseqId::try_new(series, off)?;
                 self.tree.insert(feat, id.pack())?;
+                self.inserts_since_rebuild += 1;
                 // Only widen the z-probe bound after the insert landed: a
                 // failed insert must not loosen the bound for a window that
                 // never became searchable.
@@ -547,6 +558,26 @@ impl SearchEngine {
         self.breaker.state()
     }
 
+    /// Tree insertions accumulated since the last bulk (re)build.
+    pub fn inserts_since_rebuild(&self) -> u64 {
+        self.inserts_since_rebuild
+    }
+
+    /// True when enough one-at-a-time insertions have accumulated since the
+    /// last bulk build that a background STR rebuild
+    /// ([`SearchEngine::repair`]) pays for itself.
+    ///
+    /// The build-method ablation (`results/ablation_build.txt`, 500 series
+    /// at ε = 0) measures 250 query pages for the STR-built tree against
+    /// 1911 for the insertion-built one — a ~7.6× locality penalty — so
+    /// once the insert-grown fraction of the tree is no longer marginal
+    /// (an eighth of all windows, floored at 256 so tiny engines never
+    /// churn) the rebuild is worth its one-off cost.
+    pub fn str_rebuild_due(&self) -> bool {
+        let windows = u64::try_from(self.num_windows()).unwrap_or(u64::MAX);
+        self.inserts_since_rebuild >= (windows / 8).max(256)
+    }
+
     /// A point-in-time health report: breaker position, strike and trip
     /// counts, quarantined pages, and transient-fault retry totals — what
     /// the `tsss health` subcommand prints.
@@ -568,6 +599,9 @@ impl SearchEngine {
             data_retries: self.data_stats().retries(),
             append_tail_unindexed: self.append_tail_unindexed,
             max_norm_loose: self.max_norm_loose,
+            // A bare engine has no log; the durable wrapper overrides these.
+            wal_tail_records: 0,
+            wal_replayed: 0,
         }
     }
 
@@ -621,6 +655,7 @@ impl SearchEngine {
         self.max_se_norm = max_se_norm;
         self.append_tail_unindexed = false;
         self.max_norm_loose = false;
+        self.inserts_since_rebuild = 0;
         let quarantine_cleared: Vec<u32> =
             // Poison recovery: repair replaces the whole set anyway.
             std::mem::take(

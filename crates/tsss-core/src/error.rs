@@ -60,6 +60,16 @@ pub enum EngineError {
         /// The exhausted budget, in index page accesses.
         budget: u64,
     },
+    /// The write-ahead log failed: a record could not be framed, fsynced,
+    /// truncated, or replayed. An append returning this was **not**
+    /// acknowledged — the engine did not mutate and the caller must retry
+    /// or treat the values as unwritten. Not a corruption of stored data
+    /// (the engine file and its checksums are untouched), so it never
+    /// degrades to the sequential scan.
+    Wal {
+        /// Human-readable diagnosis of the log failure.
+        detail: String,
+    },
     /// The query's [`crate::Deadline`] ran out mid-execution. Checked
     /// cooperatively at every pipeline stage (and each k-NN frontier
     /// round), so the query stops at a stage boundary with its partial
@@ -146,6 +156,9 @@ impl fmt::Display for EngineError {
             EngineError::Corrupt { detail, .. } => {
                 write!(f, "corrupt stored data: {detail}")
             }
+            EngineError::Wal { detail } => {
+                write!(f, "write-ahead log failure: {detail}")
+            }
             EngineError::PageBudgetExceeded { budget } => {
                 write!(f, "page budget of {budget} accesses exhausted mid-query")
             }
@@ -197,6 +210,12 @@ mod tests {
                 "corrupt stored data: page 7",
             ),
             (
+                EngineError::Wal {
+                    detail: "fsync failed on append".into(),
+                },
+                "write-ahead log failure: fsync failed",
+            ),
+            (
                 EngineError::PageBudgetExceeded { budget: 64 },
                 "budget of 64",
             ),
@@ -243,6 +262,17 @@ mod tests {
         assert!(
             !e.is_corruption(),
             "deadlines must never trigger degradation"
+        );
+    }
+
+    #[test]
+    fn wal_failure_is_not_corruption() {
+        let e = EngineError::Wal {
+            detail: "disk full".into(),
+        };
+        assert!(
+            !e.is_corruption(),
+            "a log failure means un-acknowledged, not damaged; no seqscan fallback"
         );
     }
 }

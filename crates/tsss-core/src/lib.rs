@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod datafile;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod id;
@@ -56,6 +57,7 @@ pub mod window;
 pub use config::{
     BuildMethod, CostLimit, Deadline, DegradationPolicy, EngineConfig, SearchOptions,
 };
+pub use durable::{DurableEngine, WalReplayReport};
 pub use engine::SearchEngine;
 pub use error::EngineError;
 pub use id::SubseqId;

@@ -209,6 +209,13 @@ pub struct HealthReport {
     /// bound, leaving z-normalised probes over-reading until
     /// [`crate::SearchEngine::repair`] recomputes the exact bound.
     pub max_norm_loose: bool,
+    /// Acknowledged appends sitting in the write-ahead log and not yet
+    /// folded into a full engine save — what a crash right now would
+    /// replay on reopen. Zero for an engine without a log.
+    pub wal_tail_records: u64,
+    /// Log records replayed when this engine was opened (a non-zero value
+    /// means the last shutdown was a crash and recovery ran).
+    pub wal_replayed: u64,
 }
 
 impl HealthReport {
@@ -254,6 +261,8 @@ impl std::fmt::Display for HealthReport {
                 "tight"
             }
         )?;
+        writeln!(f, "wal tail:         {} records", self.wal_tail_records)?;
+        writeln!(f, "wal replayed:     {}", self.wal_replayed)?;
         write!(
             f,
             "repair:           {}",

@@ -57,7 +57,10 @@ impl SubsequenceMatch {
 /// examined), `retries` (transient-fault re-reads, charged to no page
 /// counter), `degraded`/`degraded_reason` (whether the sequential-scan
 /// fallback produced the answer), `breaker` (circuit-breaker state at
-/// query end), and `elapsed` (wall-clock time).
+/// query end), `epoch` and `wal_tail_records` (serving-layer stamps:
+/// which snapshot generation answered and how deep the write-ahead log
+/// tail was — no candidate accounting at all), and `elapsed` (wall-clock
+/// time).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Index traversal statistics (nodes visited, penetration tests, …).
@@ -95,6 +98,14 @@ pub struct SearchStats {
     /// The engine's circuit-breaker state observed when the query
     /// finished (see [`crate::BreakerState`]).
     pub breaker: BreakerState,
+    /// Snapshot epoch the query ran against, when served through the
+    /// snapshot-publishing server (each published ingest bumps it by one);
+    /// `0` for direct engine calls, which have no epochs.
+    pub epoch: u64,
+    /// Acknowledged appends sitting in the write-ahead log (not yet folded
+    /// into a full save) when the query was answered; `0` for engines
+    /// without a log. Stamped by the serving layer, like `epoch`.
+    pub wal_tail_records: u64,
     /// Wall-clock search time.
     pub elapsed: std::time::Duration,
 }

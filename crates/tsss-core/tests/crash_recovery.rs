@@ -1,0 +1,400 @@
+//! Crash-point chaos: kill the ingest path at every injection point,
+//! reopen from disk, and prove the recovered engine answers **bit-identical**
+//! to a twin that never crashed.
+//!
+//! The contract under test (ISSUE: crash-safe streaming ingest): an append
+//! acknowledged by [`DurableEngine`] is fsynced to the write-ahead log
+//! before the reply, so for every [`CrashPoint`] on the path
+//!
+//! * a kill **before** the fsync loses only the un-acknowledged append
+//!   (the client never got an `Ok`), and
+//! * a kill **anywhere after** the fsync — before indexing, mid-insert,
+//!   or between a save and the log truncate — loses nothing: replay at
+//!   open restores exactly the never-crashed state.
+//!
+//! Every case is deterministic: the default run sweeps the four seeds
+//! below, and `TSSS_CRASH_SEED=<u64>` re-runs any single seed (the CI
+//! `crash-recovery` job drives this over its seed matrix).
+
+use std::path::{Path, PathBuf};
+
+use tsss_core::{DurableEngine, EngineConfig, EngineError, SearchEngine, SearchOptions};
+use tsss_data::{MarketConfig, MarketSimulator, Series};
+use tsss_storage::CrashPoint;
+
+const WINDOW: usize = 16;
+
+/// Four fixed seeds, or the single seed from `TSSS_CRASH_SEED`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("TSSS_CRASH_SEED") {
+        Ok(s) => vec![s
+            .parse()
+            .expect("TSSS_CRASH_SEED must be an unsigned integer")],
+        Err(_) => (1..=4).map(|i| 0xC8A5_4000 + i).collect(),
+    }
+}
+
+fn market(seed: u64) -> Vec<Series> {
+    MarketSimulator::new(MarketConfig::small(4, 70, seed)).generate()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsss-crash-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// One scripted mutation against a [`DurableEngine`].
+#[derive(Clone)]
+enum Op {
+    /// Append values to an existing series.
+    Append(usize, Vec<f64>),
+    /// Create a new named series with initial values.
+    New(String, Vec<f64>),
+    /// Checkpoint the engine (truncates the log).
+    Save,
+}
+
+/// Deterministic value streams: seed-dependent but reproducible, long
+/// enough that every append creates indexable windows.
+fn vals(seed: u64, tag: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(31)
+                .wrapping_add(tag.wrapping_mul(7))
+                .wrapping_add(u64::try_from(i).unwrap())
+                % 97;
+            // Exactly representable small integers: replay must reproduce
+            // these bit-for-bit, so the inputs themselves are exact.
+            f64::from(u32::try_from(x).unwrap()).mul_add(0.5, -20.0)
+        })
+        .collect()
+}
+
+/// The ingest script every twin runs: appends around a mid-script save,
+/// so crash recovery is exercised both on an empty and a non-empty log.
+fn script(seed: u64) -> Vec<Op> {
+    vec![
+        Op::Append(0, vals(seed, 1, 24)),
+        Op::New("live".to_string(), vals(seed, 2, 40)),
+        Op::Save,
+        Op::Append(1, vals(seed, 3, 18)),
+        Op::Append(2, vals(seed, 4, 9)),
+    ]
+}
+
+fn apply(de: &mut DurableEngine, op: &Op) -> Result<(), EngineError> {
+    match op {
+        Op::Append(s, v) => de.append_values(*s, v),
+        Op::New(name, v) => de.append_series(&Series::new(name, v.clone())).map(|_| ()),
+        Op::Save => de.save(),
+    }
+}
+
+/// The engine position the op advances, captured before the crash so the
+/// client's retry decision ("did my write land?") can be made after reopen.
+fn position_before(de: &DurableEngine, op: &Op) -> usize {
+    match op {
+        Op::Append(s, _) => de.engine().series_len(*s).unwrap(),
+        Op::New(..) => de.engine().num_series(),
+        Op::Save => 0,
+    }
+}
+
+fn op_landed(de: &DurableEngine, op: &Op, before: usize) -> bool {
+    match op {
+        Op::Append(s, v) => de.engine().series_len(*s).unwrap() == before + v.len(),
+        Op::New(..) => de.engine().num_series() > before,
+        // A save interrupted after the atomic rename still left the log
+        // non-empty; re-running it is always safe and finishes the job.
+        Op::Save => false,
+    }
+}
+
+/// Queries covering both pre-existing data and the appended tails.
+fn query_set(seed: u64, data: &[Series]) -> Vec<Vec<f64>> {
+    let mut qs = vec![
+        data[0].values[3..3 + WINDOW].to_vec(),
+        data[2].values[20..20 + WINDOW].to_vec(),
+        vals(seed, 2, 40)[4..4 + WINDOW].to_vec(),
+        vals(seed, 1, 24)[0..WINDOW].to_vec(),
+    ];
+    // A shifted/scaled variant: matching is up to an (a, b) transform.
+    let scaled: Vec<f64> = qs[0].iter().map(|v| v.mul_add(1.5, 3.0)).collect();
+    qs.push(scaled);
+    qs
+}
+
+fn assert_twins_identical(a: &DurableEngine, b: &DurableEngine, seed: u64, data: &[Series]) {
+    assert_eq!(a.engine().num_series(), b.engine().num_series());
+    assert_eq!(a.engine().num_windows(), b.engine().num_windows());
+    for s in 0..a.engine().num_series() {
+        assert_eq!(
+            a.engine().series_len(s).unwrap(),
+            b.engine().series_len(s).unwrap(),
+            "series {s} length diverged"
+        );
+    }
+    for (qi, q) in query_set(seed, data).iter().enumerate() {
+        for eps in [0.1, 2.0, 25.0] {
+            let ra = a.engine().search(q, eps, SearchOptions::default()).unwrap();
+            let rb = b.engine().search(q, eps, SearchOptions::default()).unwrap();
+            assert_eq!(
+                ra.matches, rb.matches,
+                "query {qi} at eps {eps} diverged after crash recovery (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Which script step the crash is armed on: the save for the post-save
+/// point, else one of the append/new steps, rotated by seed so the sweep
+/// covers crashes on plain appends, on new-series creation, and on the
+/// log-tail appends after a save.
+fn crash_step(point: CrashPoint, seed: u64) -> usize {
+    match point {
+        CrashPoint::PostSavePreTruncate => 2,
+        _ => [0, 1, 3][usize::try_from(seed % 3).unwrap()],
+    }
+}
+
+fn run_case(seed: u64, point: CrashPoint) {
+    let dir = temp_dir(&format!("{seed}-{}", point.name()));
+    let data = market(seed);
+    let base = SearchEngine::build(&data, EngineConfig::small(WINDOW)).unwrap();
+    let path_a = dir.join("never-crashed.tsss");
+    let path_b = dir.join("crashed.tsss");
+    base.save_to_path(&path_a).unwrap();
+    base.save_to_path(&path_b).unwrap();
+
+    let ops = script(seed);
+
+    // Twin A: the oracle, never crashes.
+    let mut a = DurableEngine::open(&path_a).unwrap();
+    for op in &ops {
+        apply(&mut a, op).unwrap();
+    }
+
+    // Twin B: killed at `point` mid-script, reopened, script completed.
+    let crash_at = crash_step(point, seed);
+    let mut b = DurableEngine::open(&path_b).unwrap();
+    for (i, op) in ops.iter().enumerate() {
+        if i != crash_at {
+            apply(&mut b, op).unwrap();
+            continue;
+        }
+        let before = position_before(&b, op);
+        b.set_crash_point(Some(point));
+        let err = apply(&mut b, op).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Wal { .. }),
+            "injected crash must surface as a WAL error, got {err:?}"
+        );
+        // The "kill": drop all in-memory state, recover from disk alone.
+        drop(b);
+        b = DurableEngine::open(&path_b).unwrap();
+        if op_landed(&b, op, before) {
+            // The fsync beat the kill: the un-replied append was
+            // acknowledged to disk and replay restored it. Only the
+            // points after the sync may take this branch.
+            assert_ne!(
+                point,
+                CrashPoint::PreWalSync,
+                "a pre-sync kill must not preserve the append"
+            );
+        } else {
+            // Never acknowledged — the client retries.
+            apply(&mut b, op).unwrap();
+        }
+    }
+
+    assert_twins_identical(&a, &b, seed, &data);
+
+    // Recovery must also survive a final checkpoint cycle.
+    a.save().unwrap();
+    b.save().unwrap();
+    drop(a);
+    drop(b);
+    let a = DurableEngine::open(&path_a).unwrap();
+    let b = DurableEngine::open(&path_b).unwrap();
+    assert_eq!(a.wal_tail_records(), 0);
+    assert_eq!(b.wal_tail_records(), 0);
+    assert_twins_identical(&a, &b, seed, &data);
+    cleanup(&dir);
+}
+
+#[test]
+fn kill_at_every_crash_point_recovers_bit_identical() {
+    for seed in seeds() {
+        for point in CrashPoint::ALL {
+            run_case(seed, point);
+        }
+    }
+}
+
+#[test]
+fn post_sync_points_are_on_disk_identical() {
+    // PostWalPreIndex and MidIndexInsert differ only in how much of the
+    // in-memory engine mutated before the kill; the disk must not be able
+    // to tell them apart, so recovery from either is the same state.
+    let seed = seeds()[0];
+    let data = market(seed);
+    let mut recovered = Vec::new();
+    for point in [CrashPoint::PostWalPreIndex, CrashPoint::MidIndexInsert] {
+        let dir = temp_dir(&format!("disk-eq-{}", point.name()));
+        let path = dir.join("engine.tsss");
+        SearchEngine::build(&data, EngineConfig::small(WINDOW))
+            .unwrap()
+            .save_to_path(&path)
+            .unwrap();
+        let mut de = DurableEngine::open(&path).unwrap();
+        de.set_crash_point(Some(point));
+        de.append_values(0, &vals(seed, 9, 20)).unwrap_err();
+        drop(de);
+        let re = DurableEngine::open(&path).unwrap();
+        assert_eq!(re.replay_report().applied, 1, "{}", point.name());
+        recovered.push((
+            re.engine().series_len(0).unwrap(),
+            re.engine().num_windows(),
+        ));
+        cleanup(&dir);
+    }
+    assert_eq!(recovered[0], recovered[1]);
+}
+
+#[test]
+fn truncated_final_record_drops_only_the_torn_tail() {
+    let seed = seeds()[0];
+    let dir = temp_dir("torn-tail");
+    let path = dir.join("engine.tsss");
+    let data = market(seed);
+    SearchEngine::build(&data, EngineConfig::small(WINDOW))
+        .unwrap()
+        .save_to_path(&path)
+        .unwrap();
+    let mut de = DurableEngine::open(&path).unwrap();
+    let len0 = de.engine().series_len(0).unwrap();
+    de.append_values(0, &vals(seed, 5, 12)).unwrap();
+    de.append_values(1, &vals(seed, 6, 12)).unwrap();
+    drop(de);
+
+    // File surgery: cut into the middle of the last frame — the on-disk
+    // shape of a kill mid-write with no fsync.
+    let wal_path = DurableEngine::wal_path_for(&path);
+    let bytes = std::fs::read(&wal_path).unwrap();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    file.set_len(u64::try_from(bytes.len() - 7).unwrap())
+        .unwrap();
+    drop(file);
+
+    let re = DurableEngine::open(&path).unwrap();
+    let r = re.replay_report();
+    assert!(r.damaged_tail, "the cut record must be reported");
+    assert_eq!(r.tail_records, 1, "only the intact record survives");
+    assert_eq!(r.applied, 1);
+    assert_eq!(re.engine().series_len(0).unwrap(), len0 + 12);
+    // The torn append was never acknowledged, so losing it is correct.
+    assert_eq!(
+        re.engine().series_len(1).unwrap(),
+        market(seed)[1].values.len()
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn repeated_opens_without_a_save_stay_idempotent() {
+    let seed = seeds()[0];
+    let dir = temp_dir("reopen");
+    let path = dir.join("engine.tsss");
+    let data = market(seed);
+    SearchEngine::build(&data, EngineConfig::small(WINDOW))
+        .unwrap()
+        .save_to_path(&path)
+        .unwrap();
+    let base_len = data[0].values.len();
+    let mut de = DurableEngine::open(&path).unwrap();
+    de.append_values(0, &vals(seed, 7, 10)).unwrap();
+    drop(de);
+    // Each open replays from the same saved image; the append must land
+    // exactly once no matter how many times the process bounces.
+    for _ in 0..3 {
+        let de = DurableEngine::open(&path).unwrap();
+        assert_eq!(de.replay_report().applied, 1);
+        assert_eq!(de.engine().series_len(0).unwrap(), base_len + 10);
+        drop(de);
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn empty_and_header_only_logs_open_clean() {
+    let seed = seeds()[0];
+    let dir = temp_dir("empty");
+    let path = dir.join("engine.tsss");
+    SearchEngine::build(&market(seed), EngineConfig::small(WINDOW))
+        .unwrap()
+        .save_to_path(&path)
+        .unwrap();
+    // No sidecar at all: open creates one.
+    let de = DurableEngine::open(&path).unwrap();
+    assert_eq!(de.replay_report().tail_records, 0);
+    assert!(!de.replay_report().damaged_tail);
+    drop(de);
+    // Header-only sidecar (the state right after a save): also clean.
+    let de = DurableEngine::open(&path).unwrap();
+    assert_eq!(de.replay_report().tail_records, 0);
+    assert_eq!(de.wal_tail_records(), 0);
+    cleanup(&dir);
+}
+
+#[test]
+fn replay_composes_with_engine_file_index_repair() {
+    // A crash can tear more than the log: here the engine file's index
+    // stream is damaged *and* the log holds an acknowledged append. Open
+    // must rebuild the index from the data stream (the tolerant-load
+    // path), then replay the log on top — both recoveries compose.
+    let seed = seeds()[0];
+    let dir = temp_dir("index-repair");
+    let path = dir.join("engine.tsss");
+    let data = market(seed);
+    SearchEngine::build(&data, EngineConfig::small(WINDOW))
+        .unwrap()
+        .save_to_path(&path)
+        .unwrap();
+    let mut de = DurableEngine::open(&path).unwrap();
+    let len0 = de.engine().series_len(0).unwrap();
+    de.append_values(0, &vals(seed, 8, 20)).unwrap();
+    drop(de);
+
+    // Flip a byte near the end of the engine file — the index stream is
+    // the final stream, so this damages it without touching the data.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let n = bytes.len();
+    bytes[n - 10] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let re = DurableEngine::open(&path).unwrap();
+    let r = re.replay_report();
+    assert!(r.index_repaired, "the damaged index stream must be rebuilt");
+    assert_eq!(r.applied, 1, "replay still runs after the index repair");
+    assert_eq!(re.engine().series_len(0).unwrap(), len0 + 20);
+    // The rebuilt + replayed engine answers exactly like a clean twin.
+    let q = vals(seed, 8, 20)[2..2 + WINDOW].to_vec();
+    let res = re
+        .engine()
+        .search(&q, 1e-6, SearchOptions::default())
+        .unwrap();
+    assert!(
+        !res.matches.is_empty(),
+        "the appended window must be searchable after composed recovery"
+    );
+    cleanup(&dir);
+}

@@ -23,6 +23,9 @@ pub struct ApiError {
     pub status: u16,
     /// Human-readable diagnosis, returned in the `error` field.
     pub message: String,
+    /// Optional operator guidance, returned in the `hint` field — e.g.
+    /// which endpoint repairs the condition behind the error.
+    pub hint: Option<String>,
 }
 
 impl ApiError {
@@ -31,7 +34,23 @@ impl ApiError {
         ApiError {
             status: 400,
             message: message.into(),
+            hint: None,
         }
+    }
+
+    /// Attaches operator guidance to the error body.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> ApiError {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// The JSON error payload: `{"error": ...}` plus `hint` when present.
+    pub fn body(&self) -> String {
+        let mut j = Json::obj([("error", Json::from(self.message.as_str()))]);
+        if let (Some(h), Json::Obj(map)) = (&self.hint, &mut j) {
+            map.insert("hint".to_string(), Json::from(h.as_str()));
+        }
+        j.encode()
     }
 }
 
@@ -40,6 +59,7 @@ impl From<EngineError> for ApiError {
         ApiError {
             status: status_of(&e),
             message: e.to_string(),
+            hint: None,
         }
     }
 }
@@ -58,7 +78,9 @@ pub fn status_of(e: &EngineError) -> u16 {
         EngineError::UnknownSeries(_) => 404,
         EngineError::TooLarge { .. } => 413,
         EngineError::PageBudgetExceeded { .. } | EngineError::DeadlineExceeded { .. } => 503,
-        EngineError::Corrupt { .. } => 500,
+        // A WAL failure means the append was not acknowledged — a server-side
+        // durability fault the client should retry, like corruption a 500.
+        EngineError::Corrupt { .. } | EngineError::Wal { .. } => 500,
     }
 }
 
@@ -225,6 +247,8 @@ pub fn encode_result(res: &SearchResult, limit: Option<usize>) -> Json {
             },
         ),
         ("breaker", Json::from(breaker_str(s.breaker))),
+        ("epoch", Json::from(s.epoch)),
+        ("wal_tail_records", Json::from(s.wal_tail_records)),
         (
             "elapsed_us",
             Json::from(u64::try_from(s.elapsed.as_micros()).unwrap_or(u64::MAX)),
@@ -257,6 +281,8 @@ pub fn encode_health(h: &HealthReport) -> Json {
         ("data_retries", Json::from(h.data_retries)),
         ("append_tail_unindexed", Json::from(h.append_tail_unindexed)),
         ("max_norm_loose", Json::from(h.max_norm_loose)),
+        ("wal_tail_records", Json::from(h.wal_tail_records)),
+        ("wal_replayed", Json::from(h.wal_replayed)),
         ("repair_recommended", Json::from(h.repair_recommended())),
     ])
 }
@@ -364,6 +390,12 @@ mod tests {
             status_of(&EngineError::Corrupt {
                 detail: "x".to_string(),
                 page: None
+            }),
+            500
+        );
+        assert_eq!(
+            status_of(&EngineError::Wal {
+                detail: "fsync failed".to_string()
             }),
             500
         );

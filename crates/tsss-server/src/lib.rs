@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tsss_core::SearchEngine;
+use tsss_core::{DurableEngine, SearchEngine};
 
 use admission::{AdmissionQueue, PushOutcome};
 use routes::AppState;
@@ -75,14 +75,29 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the pool, and starts accepting.
+    /// Binds, spawns the pool, and starts accepting over a volatile
+    /// (memory-only) engine: `/append` acknowledgements do not survive a
+    /// crash and `/save` is rejected.
     ///
     /// # Errors
     /// Propagates the bind failure.
     pub fn start(engine: SearchEngine, cfg: &ServerConfig) -> io::Result<Server> {
+        Self::start_with_state(Arc::new(AppState::new(engine)), cfg)
+    }
+
+    /// As [`Server::start`], but over a durable master engine: every
+    /// acknowledged `/append` is fsynced to the write-ahead log first, and
+    /// `/save` checkpoints the engine and truncates the log.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start_durable(master: DurableEngine, cfg: &ServerConfig) -> io::Result<Server> {
+        Self::start_with_state(Arc::new(AppState::new_durable(master)), cfg)
+    }
+
+    fn start_with_state(state: Arc<AppState>, cfg: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new(engine));
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
 

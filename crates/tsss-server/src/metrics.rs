@@ -29,6 +29,17 @@ pub struct Metrics {
     pub verified_total: AtomicU64,
     /// Sum of `SearchStats::pages_touched` over all search responses.
     pub pages_total: AtomicU64,
+    /// `/append` requests that reached the engine (durable or volatile,
+    /// successful or not).
+    pub appends_total: AtomicU64,
+    /// Snapshot publications: how many times a fresh immutable engine was
+    /// swapped in for readers after a mutation.
+    pub snapshots_published_total: AtomicU64,
+    /// Background STR rebuilds triggered by the insert-degradation
+    /// threshold after an append.
+    pub str_rebuilds_total: AtomicU64,
+    /// Successful `/save` checkpoints (each truncates the WAL).
+    pub saves_total: AtomicU64,
 }
 
 impl Metrics {
@@ -67,6 +78,12 @@ impl Metrics {
         self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bumps one of the ingest-path counters by one.
+    pub fn bump(&self, counter: &AtomicU64) {
+        // Ordering::Relaxed: independent monotone counter (see record_status).
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot as the `/metrics` JSON payload.
     pub fn to_json(&self) -> Json {
         // Ordering::Relaxed on every load: the snapshot is advisory; counters
@@ -85,6 +102,13 @@ impl Metrics {
             ("candidates_total", load(&self.candidates_total)),
             ("verified_total", load(&self.verified_total)),
             ("pages_total", load(&self.pages_total)),
+            ("appends_total", load(&self.appends_total)),
+            (
+                "snapshots_published_total",
+                load(&self.snapshots_published_total),
+            ),
+            ("str_rebuilds_total", load(&self.str_rebuilds_total)),
+            ("saves_total", load(&self.saves_total)),
         ])
     }
 }

@@ -1,39 +1,193 @@
 //! Request dispatch: path + method → engine call → JSON response.
 //!
-//! Locking discipline: every query endpoint takes the engine's **read**
-//! lock — the whole search API is `&self` and thread-safe, so queries run
-//! concurrently across workers. Only the mutating endpoints (`/append`,
-//! `/repair`) take the write lock, and they hold it exactly for the
-//! engine call.
+//! Concurrency model: **snapshot reads, serialized ingest.** Every query
+//! endpoint clones an `Arc` to the current immutable engine snapshot and
+//! searches it with no lock held, so `/search` latency is independent of
+//! `/append` traffic. Mutations (`/append`, `/repair`, `/save`) serialize
+//! on the ingest mutex guarding the durable master engine; after each
+//! mutation the master is republished — serialized through its own
+//! persistence format into a fresh engine and swapped in for readers —
+//! and the snapshot epoch advances by one. The epoch and the WAL tail
+//! size are stamped into every search's stats so clients can tell exactly
+//! which generation answered them.
 
-use std::sync::RwLock;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
-use tsss_core::SearchEngine;
+use tsss_core::{DurableEngine, SearchEngine};
 use tsss_data::Series;
 
 use crate::api::{
-    self, encode_health, encode_repair, encode_result, error_body, parse_options, require_f64,
+    self, encode_health, encode_repair, encode_result, parse_options, require_f64,
     require_f64_array, require_u64, ApiError,
 };
 use crate::json::Json;
 use crate::metrics::Metrics;
 
+/// Ingest-side health, cached at every snapshot publication (and after
+/// `/save`) so `/health` and `/metrics` answer without touching the ingest
+/// lock — they must stay responsive while an append or rebuild holds it.
+#[derive(Default)]
+struct IngestGauges {
+    /// Mirror of [`tsss_core::HealthReport::append_tail_unindexed`] on the
+    /// master engine.
+    append_tail_unindexed: AtomicBool,
+    /// Mirror of [`tsss_core::HealthReport::max_norm_loose`] on the master.
+    max_norm_loose: AtomicBool,
+    /// Acknowledged appends in the WAL, not yet folded into a save.
+    wal_tail_records: AtomicU64,
+    /// WAL records replayed when the master was opened.
+    wal_replayed: AtomicU64,
+    /// Whether appends are write-ahead logged (false for a volatile engine).
+    durable: AtomicBool,
+}
+
 /// State shared by every worker thread.
 pub struct AppState {
-    /// The engine, readers-writer locked (queries share, mutations exclude).
-    pub engine: RwLock<SearchEngine>,
+    /// The published immutable engine all query endpoints read. The lock
+    /// is held only to clone or swap the `Arc` — never across a search.
+    snapshot: RwLock<Arc<SearchEngine>>,
+    /// The durable master engine; appends, repairs and saves serialize here.
+    ingest: Mutex<DurableEngine>,
+    /// Snapshot generation: bumped once per publication, `0` until the
+    /// first mutation.
+    epoch: AtomicU64,
+    /// Lock-free cache of the master's ingest-side health.
+    gauges: IngestGauges,
     /// Server-wide counters.
     pub metrics: Metrics,
 }
 
 impl AppState {
-    /// Wraps an engine for serving.
+    /// Wraps a volatile (memory-only) engine for serving: same API, but
+    /// `/append` acknowledgements do not survive a crash and `/save` is
+    /// rejected.
     pub fn new(engine: SearchEngine) -> AppState {
-        AppState {
-            engine: RwLock::new(engine),
+        Self::new_durable(DurableEngine::new_volatile(engine))
+    }
+
+    /// Wraps a durable master engine for serving.
+    pub fn new_durable(master: DurableEngine) -> AppState {
+        // The first snapshot is cloned out of the master by the same
+        // save/load roundtrip `publish` uses, so an engine that cannot
+        // snapshot fails at startup rather than on the first mutation.
+        let snapshot = clone_engine(master.engine())
+            .expect("a loaded engine must roundtrip through its own persistence format");
+        let state = AppState {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            ingest: Mutex::new(master),
+            epoch: AtomicU64::new(0),
+            gauges: IngestGauges::default(),
             metrics: Metrics::default(),
+        };
+        {
+            let master = state.ingest.lock().unwrap_or_else(PoisonError::into_inner);
+            state.refresh_gauges(&master);
+        }
+        state
+    }
+
+    /// The current snapshot generation.
+    pub fn epoch(&self) -> u64 {
+        // Ordering::Relaxed: the epoch is an advisory generation stamp —
+        // readers correlate it loosely with the snapshot they cloned and
+        // no memory is published through it.
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Recaches the master's ingest-side health into the lock-free gauges.
+    ///
+    /// Every gauge store and load is `Relaxed`: the gauges are an advisory
+    /// cache refreshed under the ingest lock and read lock-free by
+    /// `/health`, `/metrics` and stats stamping. Slight staleness between
+    /// fields is acceptable and nothing synchronizes through them.
+    fn refresh_gauges(&self, master: &DurableEngine) {
+        let h = master.health();
+        let g = &self.gauges;
+        g.append_tail_unindexed
+            // Ordering::Relaxed: advisory gauge cache (doc comment above).
+            .store(h.append_tail_unindexed, Ordering::Relaxed);
+        // Ordering::Relaxed: advisory gauge cache (doc comment above).
+        g.max_norm_loose.store(h.max_norm_loose, Ordering::Relaxed);
+        g.wal_tail_records
+            // Ordering::Relaxed: advisory gauge cache (doc comment above).
+            .store(h.wal_tail_records, Ordering::Relaxed);
+        // Ordering::Relaxed: advisory gauge cache (doc comment above).
+        g.wal_replayed.store(h.wal_replayed, Ordering::Relaxed);
+        // Ordering::Relaxed: advisory gauge cache (doc comment above).
+        g.durable.store(master.is_durable(), Ordering::Relaxed);
+    }
+}
+
+/// Clones the current snapshot `Arc` — queries then run with no lock held.
+pub fn snapshot(state: &AppState) -> Arc<SearchEngine> {
+    // Poison recovery: this lock is held only to clone or swap the Arc,
+    // never across engine work, so a poisoned lock still guards a fully
+    // consistent pointer.
+    state
+        .snapshot
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Locks the ingest master, recovering from a poisoned mutex.
+///
+/// A worker that panicked mid-mutation may have left a half-applied
+/// append on the master (values stored, windows not yet indexed). The
+/// guard data is still a valid engine, so recovery is: take it, and if
+/// the health report shows an unindexed tail, repair before serving the
+/// next writer — otherwise every later search of a published snapshot
+/// would silently miss the tail windows.
+fn lock_ingest(state: &AppState) -> MutexGuard<'_, DurableEngine> {
+    match state.ingest.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut master = poisoned.into_inner();
+            if master.engine().health().append_tail_unindexed {
+                let _ = master.engine_mut().repair();
+            }
+            master
         }
     }
+}
+
+/// Publishes the master's current state as a fresh immutable snapshot and
+/// bumps the epoch. Runs under the ingest lock; readers only ever block
+/// for the pointer swap.
+fn publish(state: &AppState, master: &DurableEngine) -> Result<u64, ApiError> {
+    let fresh = clone_engine(master.engine()).map_err(|e| ApiError {
+        status: 500,
+        message: format!("snapshot publish failed: {e}"),
+        hint: Some(
+            "the master engine and its WAL are intact; readers keep the previous \
+                 snapshot — retry the request"
+                .to_string(),
+        ),
+    })?;
+    {
+        let mut slot = state
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = Arc::new(fresh);
+    }
+    // Ordering::Relaxed: advisory generation stamp (see `AppState::epoch`).
+    let epoch = state.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    state.refresh_gauges(master);
+    state.metrics.bump(&state.metrics.snapshots_published_total);
+    Ok(epoch)
+}
+
+/// Roundtrips an engine through its own persistence format — the snapshot
+/// mechanism. Serialization guarantees the copy is bit-identical to what a
+/// save/reload would produce, so snapshot answers can never drift from
+/// post-restart answers.
+fn clone_engine(engine: &SearchEngine) -> io::Result<SearchEngine> {
+    let mut buf = Vec::new();
+    engine.save_to(&mut buf)?;
+    SearchEngine::load_from(&mut io::Cursor::new(buf))
 }
 
 /// Handles one parsed request; returns `(status, body)`. Also folds the
@@ -47,8 +201,9 @@ pub fn handle(state: &AppState, method: &str, path: &str, body: &[u8]) -> (u16, 
 fn dispatch(state: &AppState, method: &str, path: &str, body: &[u8]) -> (u16, String) {
     let outcome = match (method, path) {
         ("GET", "/health") => health(state),
-        ("GET", "/metrics") => Ok(state.metrics.to_json()),
+        ("GET", "/metrics") => Ok(metrics_json(state)),
         ("POST", "/repair") => repair(state),
+        ("POST", "/save") => save(state),
         ("POST", "/append") => with_body(body, |b| append(state, b)),
         ("POST", "/search") => with_body(body, |b| search(state, b)),
         ("POST", "/knn") => with_body(body, |b| knn(state, b)),
@@ -58,15 +213,17 @@ fn dispatch(state: &AppState, method: &str, path: &str, body: &[u8]) -> (u16, St
         ("GET" | "POST", _) => Err(ApiError {
             status: 404,
             message: format!("no route {path:?}"),
+            hint: None,
         }),
         _ => Err(ApiError {
             status: 405,
             message: format!("method {method} not supported"),
+            hint: None,
         }),
     };
     match outcome {
         Ok(json) => (200, json.encode()),
-        Err(e) => (e.status, error_body(&e.message)),
+        Err(e) => (e.status, e.body()),
     }
 }
 
@@ -83,70 +240,164 @@ fn with_body(
     f(&json)
 }
 
-fn read_engine(state: &AppState) -> std::sync::RwLockReadGuard<'_, SearchEngine> {
-    // Poison recovery: a panicking worker cannot leave the engine torn —
-    // the search API is read-only and mutations are small and transactional
-    // at the engine layer, so serving from a poisoned lock is sound.
-    state
-        .engine
-        .read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn write_engine(state: &AppState) -> std::sync::RwLockWriteGuard<'_, SearchEngine> {
-    // Poison recovery: same argument as `read_engine`; the engine's own
-    // health/repair machinery handles any partial mutation a panic left.
-    state
-        .engine
-        .write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 fn health(state: &AppState) -> Result<Json, ApiError> {
-    let engine = read_engine(state);
-    let h = engine.health();
+    let engine = snapshot(state);
+    let mut h = engine.health();
+    // Query-path health (breaker, quarantine, retries) comes from the
+    // snapshot, which is what queries actually run against. Ingest-path
+    // health comes from the gauge cache, not the master — this endpoint
+    // must answer while an append or rebuild holds the ingest lock.
+    let g = &state.gauges;
+    // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+    h.append_tail_unindexed = g.append_tail_unindexed.load(Ordering::Relaxed);
+    // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+    h.max_norm_loose = g.max_norm_loose.load(Ordering::Relaxed);
+    // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+    h.wal_tail_records = g.wal_tail_records.load(Ordering::Relaxed);
+    // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+    h.wal_replayed = g.wal_replayed.load(Ordering::Relaxed);
     let mut j = encode_health(&h);
     if let Json::Obj(map) = &mut j {
         map.insert("num_series".to_string(), Json::from(engine.num_series()));
         map.insert("num_windows".to_string(), Json::from(engine.num_windows()));
+        map.insert("epoch".to_string(), Json::from(state.epoch()));
+        map.insert(
+            "durable".to_string(),
+            // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+            Json::from(state.gauges.durable.load(Ordering::Relaxed)),
+        );
     }
     Ok(j)
 }
 
+fn metrics_json(state: &AppState) -> Json {
+    let mut j = state.metrics.to_json();
+    if let Json::Obj(map) = &mut j {
+        map.insert("epoch".to_string(), Json::from(state.epoch()));
+        map.insert(
+            "wal_tail_records".to_string(),
+            // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+            Json::from(state.gauges.wal_tail_records.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "durable".to_string(),
+            // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+            Json::from(state.gauges.durable.load(Ordering::Relaxed)),
+        );
+    }
+    j
+}
+
 fn repair(state: &AppState) -> Result<Json, ApiError> {
-    let report = write_engine(state).repair()?;
-    Ok(encode_repair(&report))
+    let mut master = lock_ingest(state);
+    let report = master.engine_mut().repair()?;
+    let epoch = publish(state, &master)?;
+    let mut j = encode_repair(&report);
+    if let Json::Obj(map) = &mut j {
+        map.insert("epoch".to_string(), Json::from(epoch));
+    }
+    Ok(j)
+}
+
+fn save(state: &AppState) -> Result<Json, ApiError> {
+    let mut master = lock_ingest(state);
+    if !master.is_durable() {
+        return Err(ApiError::bad_request(
+            "engine is volatile (no save path); serve a saved engine file to enable /save",
+        ));
+    }
+    master.save()?;
+    state.metrics.bump(&state.metrics.saves_total);
+    // The WAL is now empty; the in-memory engine did not change, so the
+    // gauges refresh without a full republish.
+    state.refresh_gauges(&master);
+    Ok(Json::obj([
+        ("saved", Json::from(true)),
+        ("wal_tail_records", Json::from(master.wal_tail_records())),
+    ]))
+}
+
+/// Which series an `/append` addresses, parsed before the ingest lock is
+/// taken so malformed requests never serialize with real writers.
+enum AppendTarget {
+    /// Append to the existing series at this index.
+    Existing(usize),
+    /// Create a new series with this name.
+    New(String),
+}
+
+fn append_target(body: &Json) -> Result<AppendTarget, ApiError> {
+    match (body.get("series"), body.get("name")) {
+        (Some(s), None) => {
+            let si = s
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_request("\"series\" must be an integer index"))?;
+            let si = usize::try_from(si)
+                .map_err(|_| ApiError::bad_request("\"series\" index out of range"))?;
+            Ok(AppendTarget::Existing(si))
+        }
+        (None, Some(n)) => {
+            let name = n
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("\"name\" must be a string"))?;
+            Ok(AppendTarget::New(name.to_string()))
+        }
+        _ => Err(ApiError::bad_request(
+            "provide exactly one of \"series\" (append to existing) or \"name\" (new series)",
+        )),
+    }
 }
 
 fn append(state: &AppState, body: &Json) -> Result<Json, ApiError> {
     let values = require_f64_array(body, "values")?;
-    let mut engine = write_engine(state);
-    let series =
-        match (body.get("series"), body.get("name")) {
-            (Some(s), None) => {
-                let si = s
-                    .as_u64()
-                    .ok_or_else(|| ApiError::bad_request("\"series\" must be an integer index"))?;
-                let si = usize::try_from(si)
-                    .map_err(|_| ApiError::bad_request("\"series\" index out of range"))?;
-                engine.append_values(si, &values)?;
-                si
+    let target = append_target(body)?;
+    let mut master = lock_ingest(state);
+    state.metrics.bump(&state.metrics.appends_total);
+    let applied = match target {
+        AppendTarget::Existing(si) => master.append_values(si, &values).map(|()| si),
+        AppendTarget::New(name) => master.append_series(&Series::new(&name, values)),
+    };
+    let mut rebuilt = false;
+    if applied.is_ok() && master.engine().str_rebuild_due() {
+        // Past the measured insert-degradation threshold an STR bulk
+        // rebuild beats continuing to pay incremental R*-insert costs
+        // (see `SearchEngine::str_rebuild_due`). Readers keep answering
+        // from the previous snapshot while this runs.
+        if master.engine_mut().repair().is_ok() {
+            rebuilt = true;
+            state.metrics.bump(&state.metrics.str_rebuilds_total);
+        }
+    }
+    // Publish whatever state the master is now in — success or failure —
+    // so readers see exactly what the master holds and the health gauges
+    // are fresh. A failed append may still have mutated the master (e.g.
+    // values stored with the tail unindexed).
+    let published = publish(state, &master);
+    let series = match applied {
+        Ok(s) => s,
+        Err(e) => {
+            let mut err = ApiError::from(e);
+            if master.engine().health().append_tail_unindexed {
+                err = err.with_hint(
+                    "the append half-landed (values stored, windows unindexed); \
+                     POST /repair reindexes from the data file and clears this",
+                );
             }
-            (None, Some(n)) => {
-                let name = n
-                    .as_str()
-                    .ok_or_else(|| ApiError::bad_request("\"name\" must be a string"))?;
-                engine.append_series(&Series::new(name, values))?
-            }
-            _ => return Err(ApiError::bad_request(
-                "provide exactly one of \"series\" (append to existing) or \"name\" (new series)",
-            )),
-        };
-    let len = engine.series_len(series)?;
+            return Err(err);
+        }
+    };
+    let epoch = published?;
+    let len = master.engine().series_len(series)?;
     Ok(Json::obj([
         ("series", Json::from(series)),
         ("series_len", Json::from(len)),
-        ("num_windows", Json::from(engine.num_windows())),
+        ("num_windows", Json::from(master.engine().num_windows())),
+        // The acknowledgement contract: when true, this response was sent
+        // only after the append was fsynced to the write-ahead log.
+        ("durable", Json::from(master.is_durable())),
+        ("epoch", Json::from(epoch)),
+        ("wal_tail_records", Json::from(master.wal_tail_records())),
+        ("str_rebuilt", Json::from(rebuilt)),
     ]))
 }
 
@@ -162,6 +413,14 @@ fn opt_limit(body: &Json) -> Result<Option<usize>, ApiError> {
     }
 }
 
+/// Stamps the serving-layer fields into a result's stats: which snapshot
+/// generation answered, and how deep the WAL tail was at that moment.
+fn stamp_stats(state: &AppState, stats: &mut tsss_core::SearchStats) {
+    stats.epoch = state.epoch();
+    // Ordering::Relaxed: advisory gauge read (see `refresh_gauges`).
+    stats.wal_tail_records = state.gauges.wal_tail_records.load(Ordering::Relaxed);
+}
+
 fn run_search(
     state: &AppState,
     body: &Json,
@@ -174,9 +433,10 @@ fn run_search(
     let query = require_f64_array(body, "query")?;
     let opts = parse_options(body)?;
     let limit = opt_limit(body)?;
-    let engine = read_engine(state);
+    let engine = snapshot(state);
     match f(&engine, &query, opts) {
-        Ok(res) => {
+        Ok(mut res) => {
+            stamp_stats(state, &mut res.stats);
             state.metrics.record_search(
                 res.stats.candidates,
                 res.stats.verified,
@@ -215,7 +475,7 @@ fn long(state: &AppState, body: &Json) -> Result<Json, ApiError> {
     let epsilon = require_f64(body, "epsilon")?;
     // `search_long` panics on stride ≠ 1 (the piece decomposition needs
     // every offset indexed) — turn that contract into a client error.
-    if read_engine(state).config().stride != 1 {
+    if snapshot(state).config().stride != 1 {
         return Err(ApiError::bad_request(
             "long queries require an engine built with stride 1",
         ));
@@ -256,8 +516,11 @@ fn batch(state: &AppState, body: &Json) -> Result<Json, ApiError> {
         queries.push(vals?);
     }
 
-    let engine = read_engine(state);
-    let results = engine.search_batch_results(&queries, epsilon, opts, workers);
+    let engine = snapshot(state);
+    let mut results = engine.search_batch_results(&queries, epsilon, opts, workers);
+    for res in results.iter_mut().flatten() {
+        stamp_stats(state, &mut res.stats);
+    }
     let mut encoded = Vec::with_capacity(results.len());
     for r in &results {
         encoded.push(match r {
@@ -331,6 +594,12 @@ mod tests {
         let fa = stats.get("false_alarms").and_then(Json::as_u64).unwrap();
         let cr = stats.get("cost_rejected").and_then(Json::as_u64).unwrap();
         assert_eq!(c, v + fa + cr, "stage identity must survive encoding");
+        // No mutation yet: stats carry the initial generation.
+        assert_eq!(stats.get("epoch").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            stats.get("wal_tail_records").and_then(Json::as_u64),
+            Some(0)
+        );
         let m = Json::parse(&handle(&st, "GET", "/metrics", b"").1).unwrap();
         assert_eq!(m.get("requests_ok").and_then(Json::as_u64), Some(1));
     }
@@ -392,13 +661,32 @@ mod tests {
         assert_eq!(j.get("series_len").and_then(Json::as_u64), Some(40));
         let after = j.get("num_windows").and_then(Json::as_u64).unwrap();
         assert!(after > before);
+        // The response states the acknowledgement contract: this state is
+        // volatile, so the append is explicitly not durable.
+        assert_eq!(j.get("durable").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("epoch").and_then(Json::as_u64), Some(1));
         // Appending to the new series by index also works.
         let more = format!(
             "{{\"series\":{},\"values\":[1,2,3]}}",
             j.get("series").and_then(Json::as_u64).unwrap()
         );
-        let (status, _) = handle(&st, "POST", "/append", more.as_bytes());
+        let (status, payload) = handle(&st, "POST", "/append", more.as_bytes());
         assert_eq!(status, 200);
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("epoch").and_then(Json::as_u64), Some(2));
+        // Searches now run against the published snapshot and are stamped
+        // with its generation.
+        // WINDOW == 16: the probe is the first window of the "fresh" series.
+        let probe: Vec<f64> = (0u32..16).map(|i| f64::from(i) * 0.25).collect();
+        let body = format!("{{\"query\":{},\"epsilon\":0.01}}", encode_vals(&probe));
+        let (status, payload) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert!(j.get("total_matches").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(
+            j.get("stats").unwrap().get("epoch").and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]
@@ -411,6 +699,73 @@ mod tests {
             br#"{"series":999,"values":[1,2,3]}"#,
         );
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn save_on_a_volatile_engine_is_a_client_error() {
+        let (st, _) = state();
+        let (status, payload) = handle(&st, "POST", "/save", b"");
+        assert_eq!(status, 400, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert!(j
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("volatile"));
+    }
+
+    #[test]
+    fn durable_state_acknowledges_saves_and_empties_the_wal() {
+        let data = MarketSimulator::new(MarketConfig::small(4, 80, 43)).generate();
+        let engine = SearchEngine::build(&data, EngineConfig::small(WINDOW)).unwrap();
+        let dir = std::env::temp_dir().join(format!("tsss-routes-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.tsss");
+        engine.save_to_path(&path).unwrap();
+        std::fs::remove_file(DurableEngine::wal_path_for(&path)).ok();
+        let st = AppState::new_durable(DurableEngine::open(&path).unwrap());
+
+        let (status, payload) = handle(&st, "POST", "/append", br#"{"series":0,"values":[1,2,3]}"#);
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("wal_tail_records").and_then(Json::as_u64), Some(1));
+
+        let h = Json::parse(&handle(&st, "GET", "/health", b"").1).unwrap();
+        assert_eq!(h.get("wal_tail_records").and_then(Json::as_u64), Some(1));
+        assert_eq!(h.get("durable").and_then(Json::as_bool), Some(true));
+
+        let (status, payload) = handle(&st, "POST", "/save", b"");
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("saved").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("wal_tail_records").and_then(Json::as_u64), Some(0));
+        let h = Json::parse(&handle(&st, "GET", "/health", b"").1).unwrap();
+        assert_eq!(h.get("wal_tail_records").and_then(Json::as_u64), Some(0));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(DurableEngine::wal_path_for(&path)).ok();
+    }
+
+    #[test]
+    fn search_is_served_from_the_snapshot_while_ingest_is_held() {
+        let (st, data) = state();
+        let st = Arc::new(st);
+        // Simulate a long-running append: hold the ingest lock for the
+        // whole test. A search that needed any part of the write path
+        // would block and the receive below would time out.
+        let guard = st.ingest.lock().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let st2 = Arc::clone(&st);
+        let body = query_body(&data, 0.5);
+        std::thread::spawn(move || {
+            let _ = tx.send(handle(&st2, "POST", "/search", body.as_bytes()));
+        });
+        let (status, payload) = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("search must not block on the ingest lock");
+        assert_eq!(status, 200, "{payload}");
+        drop(guard);
     }
 
     #[test]
@@ -471,8 +826,9 @@ mod tests {
         let reindexed = j.get("windows_reindexed").and_then(Json::as_u64).unwrap();
         assert_eq!(
             usize::try_from(reindexed).unwrap(),
-            read_engine(&st).num_windows()
+            snapshot(&st).num_windows()
         );
+        assert_eq!(j.get("epoch").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -36,6 +36,61 @@ use crate::page::Page;
 use crate::stats::AccessStats;
 use crate::store::PageStore;
 
+/// Named crash points on the durable append path, for deterministic
+/// kill-at-every-point chaos testing.
+///
+/// The durable engine (`tsss-core`) checks an armed crash point at each of
+/// these moments and, when it matches, simulates a process kill by leaving
+/// the on-disk state exactly as a real kill would and returning an error —
+/// the chaos suite then drops the engine and re-opens from disk. The
+/// variants are ordered along the append path:
+///
+/// 1. [`CrashPoint::PreWalSync`] — the process died while the WAL frame
+///    was being written, before the fsync: the log holds a torn, unsynced
+///    half-frame and the append was **never acknowledged** (losing it is
+///    allowed; recovery must still replay every earlier record).
+/// 2. [`CrashPoint::PostWalPreIndex`] — the record is fsynced (the append
+///    is acknowledged-durable) but the in-memory engine never mutated.
+/// 3. [`CrashPoint::MidIndexInsert`] — the record is fsynced and the
+///    in-memory mutation ran, then the process died before replying.
+///    Since the engine is in-memory until the next save, the disk image
+///    is identical to `PostWalPreIndex` — recovery must not care.
+/// 4. [`CrashPoint::PostSavePreTruncate`] — a full atomic save landed but
+///    the process died before truncating the WAL: every logged record is
+///    *also* in the saved engine, so replay must be idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Kill mid-WAL-write, before the fsync acknowledgement.
+    PreWalSync,
+    /// Kill after the WAL fsync, before any in-memory mutation.
+    PostWalPreIndex,
+    /// Kill after the WAL fsync and the in-memory index insert.
+    MidIndexInsert,
+    /// Kill after an atomic save, before the WAL truncate.
+    PostSavePreTruncate,
+}
+
+impl CrashPoint {
+    /// Every crash point, in append-path order — the chaos matrix iterates
+    /// this so adding a variant automatically widens the suite.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::PreWalSync,
+        CrashPoint::PostWalPreIndex,
+        CrashPoint::MidIndexInsert,
+        CrashPoint::PostSavePreTruncate,
+    ];
+
+    /// Stable name used in test output and the CI matrix.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PreWalSync => "pre-wal-sync",
+            CrashPoint::PostWalPreIndex => "post-wal-pre-index",
+            CrashPoint::MidIndexInsert => "mid-index-insert",
+            CrashPoint::PostSavePreTruncate => "post-save-pre-truncate",
+        }
+    }
+}
+
 /// Injection probabilities (each in `[0, 1]`) and the seed that makes the
 /// fault stream reproducible.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -50,12 +50,14 @@ pub mod fault;
 pub mod page;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use atomic::atomic_write;
 pub use buffer::BufferPool;
 pub use disk::{PageFile, PageId};
 pub use error::StorageError;
-pub use fault::{FaultConfig, FaultCounters, FaultyStore};
+pub use fault::{CrashPoint, FaultConfig, FaultCounters, FaultyStore};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use stats::{AccessCounts, AccessStats, StatsScope};
 pub use store::PageStore;
+pub use wal::{Wal, WalScan, MAX_WAL_RECORD_BYTES};

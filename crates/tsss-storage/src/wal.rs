@@ -1,0 +1,434 @@
+//! Write-ahead append log: the durability half of the ingest story.
+//!
+//! A [`Wal`] is a sidecar file holding a header followed by framed,
+//! CRC32-checksummed byte records. The engine layer appends one record per
+//! acknowledged mutation **before** mutating any in-memory state, and the
+//! append's `fsync` is the acknowledgement point: once [`Wal::append`]
+//! returns, the record survives a process kill or power cut. A full
+//! engine save makes the log redundant, so the saver calls
+//! [`Wal::truncate`] afterwards; on startup the caller replays whatever
+//! records the log still holds (see `tsss-core`'s durable engine).
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header:  8-byte versioned magic ("TSSSWL01")
+//! record:  u32 payload_len · u32 crc32(payload) · payload bytes
+//! ```
+//!
+//! Everything is little-endian ([`crate::codec`]). The scanner is
+//! **tail-tolerant**: a record cut short by a crash mid-write (torn frame)
+//! or damaged by media rot (CRC mismatch) ends the scan cleanly at the
+//! last intact record — exactly the semantics a crashed appender needs,
+//! since the torn record was never acknowledged. Damage is *reported*
+//! ([`WalScan::damaged_tail`]), never silently hidden, and
+//! [`Wal::open`] truncates the damaged tail so the next append starts on
+//! a clean frame boundary. Damage to the 8-byte header is a hard error:
+//! the header is written once and synced at creation, so a bad header
+//! means the file is not (or no longer) a WAL at all.
+//!
+//! The log layer is payload-agnostic — records are byte strings. Typed
+//! encoding (which series, which values) lives with the engine that owns
+//! the log, keeping this module reusable and free of upward dependencies.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, expect_versioned_magic, get_u32, versioned_magic};
+
+/// Magic prefix of the WAL sidecar format.
+const MAGIC_PREFIX: &[u8; 6] = b"TSSSWL";
+/// Current format version (`TSSSWL01`).
+const VERSION: u8 = 1;
+/// Bytes of the one-time header preceding the first record.
+const HEADER_LEN: u64 = 8;
+/// Per-record frame overhead: `u32` length + `u32` CRC.
+const FRAME_OVERHEAD: u64 = 8;
+
+/// Upper bound on a single record's payload. An append call carries at
+/// most one HTTP body's worth of values, so a length prefix beyond this is
+/// tail damage (a torn length field decoding as garbage), not a real
+/// record — the scanner stops rather than attempting the allocation.
+pub const MAX_WAL_RECORD_BYTES: usize = 1 << 28;
+
+/// The result of scanning a WAL from its header to its (possibly damaged)
+/// tail.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True when the scan stopped at a torn or corrupt tail record (which
+    /// is dropped — it was never acknowledged).
+    pub damaged_tail: bool,
+    /// File length in bytes up to and including the last intact record.
+    pub valid_len: u64,
+}
+
+/// An open write-ahead log positioned for appending; see the module docs.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl Wal {
+    /// Creates (or truncates) the log at `path`: writes the header and
+    /// syncs it, leaving an empty, appendable WAL.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn create(path: &Path) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&versioned_magic(MAGIC_PREFIX, VERSION))?;
+        file.sync_all()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Opens the log at `path` for appending, creating it when missing.
+    /// Scans every intact record (returned for replay), truncates any
+    /// torn or corrupt tail, and positions the write cursor after the
+    /// last intact record.
+    ///
+    /// # Errors
+    /// `InvalidData` when the header is damaged (the file is not a WAL);
+    /// propagates I/O errors.
+    pub fn open(path: &Path) -> io::Result<(Wal, WalScan)> {
+        if !path.exists() {
+            let wal = Wal::create(path)?;
+            return Ok((
+                wal,
+                WalScan {
+                    records: Vec::new(),
+                    damaged_tail: false,
+                    valid_len: HEADER_LEN,
+                },
+            ));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let scan = scan_stream(&mut file)?;
+        // Drop the damaged tail (if any) so the next append starts on a
+        // clean frame boundary instead of extending a torn frame.
+        file.set_len(scan.valid_len)?;
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        if scan.damaged_tail {
+            file.sync_all()?;
+        }
+        let records = u64::try_from(scan.records.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL record count overflow"))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                records,
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one record and **fsyncs** it — the durability
+    /// acknowledgement point. When this returns `Ok`, the record survives
+    /// a process kill at any later moment.
+    ///
+    /// # Errors
+    /// `InvalidInput` when the payload exceeds
+    /// [`MAX_WAL_RECORD_BYTES`]; propagates I/O errors (an error means
+    /// the record is **not** durable and must not be acknowledged).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let frame = frame_record(payload)?;
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Fault-injection helper: writes only the first half of the record's
+    /// frame and does **not** sync — the on-disk image a process kill
+    /// between `write` and `fsync` leaves behind. The record is never
+    /// counted; a subsequent [`Wal::open`] must report a damaged tail and
+    /// recover every earlier record.
+    ///
+    /// # Errors
+    /// As [`Wal::append`].
+    pub fn append_torn_unsynced(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = frame_record(payload)?;
+        frame.truncate(frame.len() / 2);
+        self.file.write_all(&frame)?;
+        self.file.flush()
+    }
+
+    /// Empties the log back to its header — called right after a full
+    /// engine save lands atomically, at which point every logged record
+    /// is reflected in the saved engine and the log is redundant.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.file.sync_all()?;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Records appended (or recovered at open) and not yet truncated away.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's filesystem path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read-only scan of the WAL at `path`; a missing file is an empty log.
+///
+/// # Errors
+/// `InvalidData` when the header is damaged; propagates I/O errors.
+pub fn scan(path: &Path) -> io::Result<WalScan> {
+    if !path.exists() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            damaged_tail: false,
+            valid_len: HEADER_LEN,
+        });
+    }
+    let mut file = File::open(path)?;
+    scan_stream(&mut file)
+}
+
+/// Builds the on-disk frame for one record.
+fn frame_record(payload: &[u8]) -> io::Result<Vec<u8>> {
+    if payload.len() > MAX_WAL_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "WAL record exceeds the maximum payload size",
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record length overflow"))?;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// Scans from the header to the tail; see [`WalScan`] for the contract.
+/// The body is read into memory first — a WAL is truncated on every full
+/// save, so its size is bounded by the appends since the last save.
+fn scan_stream<R: Read>(r: &mut R) -> io::Result<WalScan> {
+    expect_versioned_magic(r, MAGIC_PREFIX, VERSION)?;
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    let body_len = u64::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL length overflow"))?;
+    let mut cur = io::Cursor::new(body.as_slice());
+    let mut records = Vec::new();
+    let mut valid_len = HEADER_LEN;
+    let mut damaged_tail = false;
+    while cur.position() < body_len {
+        let frame = read_frame(&mut cur);
+        match frame {
+            Some(payload) => {
+                let payload_len = u64::try_from(payload.len()).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "WAL record length overflow")
+                })?;
+                valid_len += FRAME_OVERHEAD + payload_len;
+                records.push(payload);
+            }
+            None => {
+                damaged_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(WalScan {
+        records,
+        damaged_tail,
+        valid_len,
+    })
+}
+
+/// Reads one frame from the in-memory cursor; `None` on any torn or
+/// corrupt shape (short length field, absurd length, short payload, CRC
+/// mismatch) — all of which end the scan at the previous record.
+fn read_frame(cur: &mut io::Cursor<&[u8]>) -> Option<Vec<u8>> {
+    let len = get_u32(cur).ok()?;
+    let len = usize::try_from(len).ok()?;
+    if len > MAX_WAL_RECORD_BYTES {
+        return None;
+    }
+    let want_crc = get_u32(cur).ok()?;
+    let mut payload = vec![0u8; len];
+    cur.read_exact(&mut payload).ok()?;
+    if crc32(&payload) != want_crc {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsss-wal-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("test.wal")
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let path = temp_wal_path("empty");
+        let wal = Wal::create(&path).unwrap();
+        assert_eq!(wal.records(), 0);
+        drop(wal);
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert_eq!(wal.records(), 0);
+        assert!(scan.records.is_empty());
+        assert!(!scan.damaged_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_opens_as_a_fresh_log() {
+        let path = temp_wal_path("missing");
+        std::fs::remove_file(&path).ok();
+        let s = scan(&path).unwrap();
+        assert!(s.records.is_empty() && !s.damaged_tail);
+        let (wal, s) = Wal::open(&path).unwrap();
+        assert_eq!(wal.records(), 0);
+        assert!(s.records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appended_records_scan_back_in_order() {
+        let path = temp_wal_path("order");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"alpha").unwrap();
+        wal.append(b"").unwrap(); // empty payloads are legal records
+        wal.append(&[0xAB; 1000]).unwrap();
+        assert_eq!(wal.records(), 3);
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.records[0], b"alpha");
+        assert_eq!(s.records[1], b"");
+        assert_eq!(s.records[2], vec![0xAB; 1000]);
+        assert!(!s.damaged_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_earlier_records_survive() {
+        let path = temp_wal_path("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"kept one").unwrap();
+        wal.append(b"kept two").unwrap();
+        wal.append_torn_unsynced(b"torn away mid-frame").unwrap();
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 2, "the torn record was never acked");
+        assert!(s.damaged_tail, "damage must be reported, not hidden");
+        // Re-opening truncates the tail and appends continue cleanly.
+        let (mut wal, s) = Wal::open(&path).unwrap();
+        assert_eq!(wal.records(), 2);
+        assert_eq!(s.records.len(), 2);
+        wal.append(b"after recovery").unwrap();
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 3);
+        assert!(!s.damaged_tail, "tail damage was truncated at open");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flipped_record_ends_the_scan_at_the_previous_record() {
+        let path = temp_wal_path("flip");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"to be damaged").unwrap();
+        drop(wal);
+        // Flip one payload bit of the final record, beneath the CRC.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0], b"good");
+        assert!(s.damaged_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_empties_the_log_but_keeps_it_appendable() {
+        let path = temp_wal_path("trunc");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        wal.append(b"post-truncate").unwrap();
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0], b"post-truncate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_header_is_a_hard_error() {
+        let path = temp_wal_path("header");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"x").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(scan(&path).is_err(), "a smashed header is not tail damage");
+        assert!(Wal::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_tail_damage_not_an_allocation() {
+        let path = temp_wal_path("absurd");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"fine").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Append a frame whose length field claims ~4 GiB.
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.damaged_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_touching_the_file() {
+        let path = temp_wal_path("oversize");
+        let mut wal = Wal::create(&path).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let huge = vec![0u8; MAX_WAL_RECORD_BYTES + 1];
+        assert!(wal.append(&huge).is_err());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+        std::fs::remove_file(&path).ok();
+    }
+}

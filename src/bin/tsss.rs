@@ -24,7 +24,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tsss::core::{CostLimit, EngineConfig, SearchEngine, SearchOptions};
+use tsss::core::{CostLimit, DurableEngine, EngineConfig, SearchEngine, SearchOptions};
 use tsss::data::csv;
 use tsss::data::{MarketConfig, MarketSimulator};
 
@@ -461,8 +461,31 @@ fn cmd_health(a: &Args) -> Result<(), String> {
 
 fn cmd_serve(a: &Args) -> Result<(), String> {
     let path = a.require("engine")?;
-    let engine = SearchEngine::load_from_path(Path::new(path))
-        .map_err(|e| format!("loading {path}: {e}"))?;
+    // The server owns the engine file from here on: appends are write-ahead
+    // logged to `<engine>.wal` and fsynced before they are acknowledged, so
+    // an HTTP 200 from /append survives a crash; POST /save folds the log
+    // into the engine file atomically.
+    let master =
+        DurableEngine::open(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let replay = master.replay_report();
+    if replay.tail_records > 0 || replay.damaged_tail || replay.index_repaired {
+        println!(
+            "recovery: {} WAL records in the tail, {} replayed, {} already saved{}{}",
+            replay.tail_records,
+            replay.applied,
+            replay.skipped,
+            if replay.damaged_tail {
+                "; dropped a torn (unacknowledged) tail record"
+            } else {
+                ""
+            },
+            if replay.index_repaired {
+                "; rebuilt a damaged index stream"
+            } else {
+                ""
+            },
+        );
+    }
     let cfg = tsss::server::ServerConfig {
         addr: a.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: a.get_parsed("workers", 4)?,
@@ -470,15 +493,16 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         ..Default::default()
     };
     println!(
-        "serving {path}: {} series, {} windows",
-        engine.num_series(),
-        engine.num_windows()
+        "serving {path}: {} series, {} windows (durable appends: WAL at {})",
+        master.engine().num_series(),
+        master.engine().num_windows(),
+        DurableEngine::wal_path_for(Path::new(path)).display()
     );
-    let server = tsss::server::Server::start(engine, &cfg)
+    let server = tsss::server::Server::start_durable(master, &cfg)
         .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
     println!("listening on http://{}", server.addr());
     println!(
-        "endpoints: GET /health /metrics · POST /search /knn /znormalized /long /batch /append /repair"
+        "endpoints: GET /health /metrics · POST /search /knn /znormalized /long /batch /append /repair /save"
     );
     server.join();
     Ok(())
