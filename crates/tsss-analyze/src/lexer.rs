@@ -130,6 +130,14 @@ pub fn scan(source: &str) -> Vec<ScannedLine> {
             State::Str => {
                 if c == '\\' {
                     cur.code.push(' ');
+                    // A `\` line continuation escapes the newline itself;
+                    // leave the `\n` for the top-of-loop handler so every
+                    // physical line stays one scanner line (line numbers
+                    // and marker adjacency depend on it).
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                        continue;
+                    }
                     if chars.get(i + 1).is_some() {
                         cur.code.push(' ');
                     }
@@ -267,6 +275,18 @@ mod tests {
         let lines = code_of(r#"let s = "a\"b[0]"; let t = c[1];"#);
         assert!(!lines[0].contains("b[0]"));
         assert!(lines[0].contains("c[1]"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbering() {
+        // A `\` at end of line inside a string escapes the newline; the
+        // scanner must still emit one ScannedLine per physical line, or
+        // every finding and allow marker after it lands one line off.
+        let src = "let s = \"first \\\n    second\";\nlet t = a[0];";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].code.contains("second"));
+        assert!(lines[2].code.contains("let t = a[0];"));
     }
 
     #[test]

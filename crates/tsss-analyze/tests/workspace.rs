@@ -32,3 +32,40 @@ fn workspace_is_clean() {
         "the justified-suppression count should be nonzero"
     );
 }
+
+/// The columnar read path added the slab leaf pages, the chunked kernels
+/// and the scan read-ahead. Every one of those files must sit inside the
+/// R1/R2 hot-path scope (and exist on disk, so a rename cannot silently
+/// drop one from the sweep).
+#[test]
+fn columnar_hot_path_files_are_in_scope() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above tsss-analyze");
+    let new_hot_files = [
+        // Slab leaf pages and their bulk/query/nn consumers.
+        "crates/tsss-index/src/node.rs",
+        "crates/tsss-index/src/bulk.rs",
+        "crates/tsss-index/src/query.rs",
+        "crates/tsss-index/src/nn.rs",
+        // Chunked kernels: fused moments, lane screens, fit entry points.
+        "crates/tsss-geometry/src/vector.rs",
+        "crates/tsss-geometry/src/scale_shift.rs",
+        // Bulk page decode, CRC, and the scan read-ahead.
+        "crates/tsss-storage/src/page.rs",
+        "crates/tsss-storage/src/codec.rs",
+        "crates/tsss-storage/src/readahead.rs",
+        // The page-segmented window fetch and the sliding-prefix verifier.
+        "crates/tsss-core/src/datafile.rs",
+        "crates/tsss-core/src/pipeline.rs",
+    ];
+    for rel in new_hot_files {
+        assert!(
+            tsss_analyze::is_hot_path(rel),
+            "{rel} must be in the analyzer's hot-path scope"
+        );
+        assert!(
+            root.join(rel).is_file(),
+            "{rel} is pinned as hot-path but no longer exists"
+        );
+    }
+}

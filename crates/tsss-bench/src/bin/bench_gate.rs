@@ -1,0 +1,89 @@
+//! CI bench-regression gate: compare a fresh bench run against the
+//! checked-in baseline and exit nonzero on a >tolerance latency
+//! regression.
+//!
+//! ```text
+//! bench_gate --bench search --baseline BENCH_search.json \
+//!            --current /tmp/BENCH_search.json [--tolerance 0.15]
+//! ```
+//!
+//! The gated keys per bench live in [`tsss_bench::gate`]; derived ratios
+//! are never gated. Run `bench_search` / `bench_append` with
+//! `TSSS_BENCH_OUT` pointing at a scratch path first, then hand both
+//! files to this binary.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use tsss_bench::gate;
+
+fn main() -> ExitCode {
+    let mut bench = None;
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = gate::DEFAULT_TOLERANCE;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => bench = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--current" => current = args.next(),
+            "--tolerance" => {
+                let Some(t) = args.next().and_then(|t| t.parse::<f64>().ok()) else {
+                    eprintln!("bench_gate: --tolerance needs a number (e.g. 0.15)");
+                    return ExitCode::from(2);
+                };
+                tolerance = t;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate --bench search|append --baseline <file> \
+                     --current <file> [--tolerance 0.15]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (Some(bench), Some(baseline), Some(current)) = (bench, baseline, current) else {
+        eprintln!("bench_gate: --bench, --baseline and --current are required (see --help)");
+        return ExitCode::from(2);
+    };
+    let Some(gated) = gate::gated_keys(&bench) else {
+        eprintln!("bench_gate: unknown bench `{bench}` (expected `search` or `append`)");
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(base_json), Some(cur_json)) = (read(&baseline), read(&current)) else {
+        return ExitCode::from(2);
+    };
+
+    let report = gate::check(&base_json, &cur_json, gated, tolerance);
+    print!("{}", report.render());
+    if report.passed() {
+        println!(
+            "bench_gate: {bench} within {:.0}% of {baseline}",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: {bench} regressed more than {:.0}% against {baseline}",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -30,6 +30,8 @@ use tsss_core::{CostLimit, EngineConfig, SearchEngine, SearchOptions};
 use tsss_data::{MarketConfig, MarketSimulator, QueryWorkload, Series, WorkloadConfig};
 use tsss_geometry::penetration::PenetrationMethod;
 
+pub mod gate;
+
 /// The three experiment sets of the paper's §7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {

@@ -26,7 +26,7 @@ use tsss_storage::codec::{
     expect_versioned_magic, get_checked_block, get_string, get_u32, get_usize, put_checked_block,
     put_magic, put_string, put_u32, put_usize, versioned_magic,
 };
-use tsss_storage::{BufferPool, Page, PageFile, PageId};
+use tsss_storage::{BufferPool, Page, PageFile, PageId, ReadAhead};
 
 use crate::error::EngineError;
 
@@ -266,6 +266,26 @@ impl PagedSeriesStore {
         offset: usize,
         len: usize,
     ) -> Result<Vec<f64>, EngineError> {
+        let mut out = Vec::with_capacity(len);
+        self.fetch_window_into(series, offset, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`PagedSeriesStore::fetch_window`], but appends into a
+    /// caller-owned buffer so the verification hot loop can reuse one
+    /// allocation across candidates. The buffer is cleared first; its
+    /// contents are unspecified after an error.
+    ///
+    /// # Errors
+    /// Same contract as [`PagedSeriesStore::fetch_window`].
+    pub fn fetch_window_into(
+        &self,
+        series: usize,
+        offset: usize,
+        len: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), EngineError> {
+        out.clear();
         if series >= self.names.len() {
             return Err(EngineError::UnknownSeries(series));
         }
@@ -278,9 +298,9 @@ impl PagedSeriesStore {
             )));
         }
         if len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut out = Vec::with_capacity(len);
+        out.reserve(len);
         let extents = &self.extents[series];
         // Locate the first extent containing `offset`.
         let mut idx = match extents.binary_search_by(|e| e.series_offset.cmp(&offset)) {
@@ -309,8 +329,15 @@ impl PagedSeriesStore {
             let within = want - e.series_offset;
             let run = (e.len - within).min(end - want);
             let gstart = e.global_start + within;
-            for g in gstart..gstart + run {
+            let gend = gstart + run;
+            // Decode the run page by page as contiguous byte slices; the
+            // cached page (and the read charge) persists across extent runs,
+            // exactly like the old value-at-a-time loop.
+            let mut g = gstart;
+            while g < gend {
                 let page_idx = g / self.values_per_page;
+                let slot = g % self.values_per_page;
+                let take = (self.values_per_page - slot).min(gend - g);
                 if last_page != Some(page_idx) {
                     let &pid = self.pages.get(page_idx).ok_or_else(|| {
                         corrupt(format!(
@@ -323,12 +350,13 @@ impl PagedSeriesStore {
                 }
                 // analyze::allow(panic): `cached_page` is assigned whenever `last_page` changes, and `last_page` starts None, so the first iteration always fills it.
                 let page = cached_page.as_ref().expect("just cached");
-                out.push(page.get_f64((g % self.values_per_page) * 8));
+                page.extend_f64_slice(slot * 8, take, out);
+                g += take;
             }
             want += run;
             idx += 1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Serialises the store (catalogue + page file) to a writer.
@@ -474,14 +502,17 @@ impl PagedSeriesStore {
     /// # Errors
     /// [`EngineError::Corrupt`] when the storage layer detects page damage.
     pub fn read_everything(&self) -> Result<Vec<Vec<f64>>, EngineError> {
-        // One pass over the global log.
+        // One pass over the global log: read-ahead batches the page fetches
+        // and each page decodes as one contiguous byte run. Each page is
+        // still charged exactly once, in order, so the Figure 5 page counts
+        // are untouched.
         let mut global = Vec::with_capacity(self.total);
-        for (i, &pid) in self.pages.iter().enumerate() {
-            let page = self.pool.read(pid)?;
+        let mut scan = ReadAhead::new(&self.pool, &self.pages);
+        let mut i = 0usize;
+        while let Some(page) = scan.next_page()? {
             let in_page = (self.total - i * self.values_per_page).min(self.values_per_page);
-            for slot in 0..in_page {
-                global.push(page.get_f64(slot * 8));
-            }
+            page.extend_f64_slice(0, in_page, &mut global);
+            i += 1;
         }
         // Reassemble per series from extents.
         self.extents

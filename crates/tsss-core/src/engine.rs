@@ -301,10 +301,17 @@ impl SearchEngine {
         Line::scaling(&feat)
     }
 
-    /// Fetches a raw window for verification, charging data pages.
-    pub(crate) fn fetch_raw(&self, id: SubseqId, len: usize) -> Result<Vec<f64>, EngineError> {
+    /// Fetches a raw window for verification into a reused buffer (cleared
+    /// first), charging data pages; the verifier pays one allocation per
+    /// query instead of one per candidate.
+    pub(crate) fn fetch_raw_into(
+        &self,
+        id: SubseqId,
+        len: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), EngineError> {
         self.store
-            .fetch_window(id.series_idx(), id.offset_idx(), len)
+            .fetch_window_into(id.series_idx(), id.offset_idx(), len, out)
     }
 
     /// The length of the series with index `s`.

@@ -36,7 +36,7 @@
 
 use std::collections::BTreeSet;
 
-use tsss_geometry::scale_shift::{is_numerically_constant, optimal_scale_shift};
+use tsss_geometry::scale_shift::{is_numerically_constant, QueryFit};
 use tsss_index::LineQueryStats;
 
 use crate::config::{Deadline, SearchOptions};
@@ -729,48 +729,65 @@ impl Verifier {
         };
         let len = plan.verify_len();
         let mut matches = Vec::new();
+        // The query-side moments are fixed for the whole batch: hoist them
+        // once so each candidate pays only the window-side passes.
+        let qfit = QueryFit::new(plan.query());
+        let wrong_len = |id: SubseqId, got: usize| EngineError::Corrupt {
+            detail: format!(
+                "window {id} has length {got} where the query needs {}",
+                plan.query().len()
+            ),
+            page: None,
+        };
+        // One fetch buffer reused across candidates on the paged path, and
+        // lazily-built per-series prefix arrays for the snapshot screen.
+        let mut fetch_buf = Vec::new();
+        let mut prefixes = PrefixCache::default();
         for id in cands.ids {
             meter.charge_step()?;
-            let owned;
             let window: &[f64] = match &cands.raw {
                 RawAccess::Paged => {
-                    owned = engine.fetch_raw(id, len)?;
-                    &owned
+                    engine.fetch_raw_into(id, len, &mut fetch_buf)?;
+                    &fetch_buf
                 }
                 RawAccess::Snapshot(all) => snapshot_window(all, id, len)?,
             };
-            let fit =
-                optimal_scale_shift(plan.query(), window).map_err(|_| EngineError::Corrupt {
-                    detail: format!(
-                        "window {id} has length {} where the query needs {}",
-                        window.len(),
-                        plan.query().len()
-                    ),
-                    page: None,
-                })?;
-            let distance = match plan.model() {
+            let (fit, distance) = match plan.model() {
                 VerifyModel::ScaleShift => {
+                    // The screened fit rejects clear misses algebraically
+                    // from fused (snapshot: prefix-differenced) moment
+                    // passes; every accepted fit is bit-identical to
+                    // `optimal_scale_shift`, so the ε test below is the same
+                    // test as before the screen existed, and every
+                    // screened-out candidate would have failed it.
+                    let screened = match &cands.raw {
+                        RawAccess::Snapshot(all) => {
+                            let (p1, p2) =
+                                prefixes.moments(all, id.series_idx(), id.offset_idx(), len);
+                            qfit.fit_within_sliding(window, plan.epsilon(), p1, p2)
+                        }
+                        RawAccess::Paged => qfit.fit_within(window, plan.epsilon()),
+                    };
+                    let Some(fit) = screened.map_err(|_| wrong_len(id, window.len()))? else {
+                        stats.false_alarms += 1;
+                        continue;
+                    };
                     if fit.distance > plan.epsilon() {
                         stats.false_alarms += 1;
                         continue;
                     }
-                    fit.distance
+                    let d = fit.distance;
+                    (fit, d)
                 }
                 VerifyModel::ZNormalized { z_eps } => {
-                    let zd =
-                        z_distance(plan.query(), window).map_err(|_| EngineError::Corrupt {
-                            detail: format!(
-                                "window {id} has length {} where the query needs {}",
-                                window.len(),
-                                plan.query().len()
-                            ),
-                            page: None,
-                        })?;
+                    let fit = qfit.fit(window).map_err(|_| wrong_len(id, window.len()))?;
+                    let zd = z_distance(plan.query(), window)
+                        .map_err(|_| wrong_len(id, window.len()))?;
                     if zd > z_eps {
                         stats.false_alarms += 1;
                         continue;
                     }
-                    zd
+                    (fit, zd)
                 }
             };
             if !plan
@@ -796,6 +813,52 @@ impl Verifier {
              be counted in exactly one of verified/false_alarms/cost_rejected"
         );
         Ok(SearchResult { matches, stats })
+    }
+}
+
+/// Lazily-built per-series prefix arrays of `Σv` and `Σv²`, so the
+/// snapshot-verification screen gets each stride-1 window's sum and
+/// sum-of-squares in O(1) instead of re-summing the ~fully-overlapping
+/// window every time. Built at most once per series per query.
+#[derive(Debug, Default)]
+struct PrefixCache {
+    per_series: Vec<Option<(Vec<f64>, Vec<f64>)>>,
+}
+
+impl PrefixCache {
+    /// Prefix-endpoint pairs `((Σ before, Σ through), (Σ² before, Σ² through))`
+    /// for `series[offset .. offset + len]`. The caller has already validated
+    /// the coordinates via [`snapshot_window`].
+    fn moments(
+        &mut self,
+        all: &[Vec<f64>],
+        series: usize,
+        offset: usize,
+        len: usize,
+    ) -> ((f64, f64), (f64, f64)) {
+        if self.per_series.len() < all.len() {
+            self.per_series.resize(all.len(), None);
+        }
+        // analyze::allow(index): `series` was validated against `all.len()` by snapshot_window, and `per_series` was just resized to at least that.
+        let (p1, p2) = self.per_series[series].get_or_insert_with(|| {
+            // analyze::allow(index): same bound — `series < all.len()` was checked by snapshot_window.
+            let values = &all[series];
+            let mut p1 = Vec::with_capacity(values.len() + 1);
+            let mut p2 = Vec::with_capacity(values.len() + 1);
+            let (mut s1, mut s2) = (0.0f64, 0.0f64);
+            p1.push(s1);
+            p2.push(s2);
+            for &y in values {
+                s1 += y;
+                s2 += y * y;
+                p1.push(s1);
+                p2.push(s2);
+            }
+            (p1, p2)
+        });
+        let end = offset + len;
+        // analyze::allow(index): snapshot_window checked `offset + len ≤ series.len()`, and the prefix arrays hold `series.len() + 1` entries.
+        ((p1[offset], p1[end]), (p2[offset], p2[end]))
     }
 }
 

@@ -130,17 +130,24 @@ fn build_report() -> String {
         ("indexed/q1/eps1e-6", &q1, 1e-6, SearchOptions::default()),
         ("indexed/q2/eps0.5", &q2, 0.5, SearchOptions::default()),
         ("indexed/q3/eps8/cost", &q3, 8.0, with_cost),
+        ("indexed/q0/eps30", &q0, 30.0, SearchOptions::default()),
     ] {
         let res = e.search(q, eps, opts).unwrap();
         assert_stage_invariant(name, &res);
         case(&mut out, name, &res, true);
     }
 
-    // Sequential-scan oracle.
+    // Sequential-scan oracle — including a near-exact-match query (the
+    // catastrophic-cancellation regime of the fit), a huge ε (the
+    // accept-everything regime), and the degenerate constant query. The
+    // locked `data_pages` also pin the scan's one-read-per-page contract,
+    // which the read-ahead scanner must preserve exactly.
     for (name, q, eps, cost) in [
         ("seqscan/q0/eps2", &q0, 2.0, CostLimit::UNLIMITED),
         ("seqscan/q3/eps8/cost", &q3, 8.0, cost_tight),
         ("seqscan/q2/eps0.5", &q2, 0.5, CostLimit::UNLIMITED),
+        ("seqscan/q1/eps1e-6", &q1, 1e-6, CostLimit::UNLIMITED),
+        ("seqscan/q0/eps30", &q0, 30.0, CostLimit::UNLIMITED),
     ] {
         let res = e.sequential_search(q, eps, cost).unwrap();
         assert_stage_invariant(name, &res);
@@ -296,6 +303,60 @@ fn retried_transient_faults_leave_answers_bit_identical() {
         total_retries > 0,
         "no retry ever fired — the fault profile has no teeth"
     );
+}
+
+/// Parallel sequential scans: the seqscan oracle run from many threads at
+/// once must be bit-identical to the serial runs — matches, transforms,
+/// distances, and the per-query page accounting (each scan charges the
+/// whole file exactly once, regardless of interleaving). This pins the
+/// read-ahead scan path under concurrency the same way the batch cases in
+/// the fixture pin the indexed path.
+#[test]
+fn parallel_seqscans_are_bit_identical_to_serial() {
+    let data = workload();
+    let e = engine();
+    let queries: Vec<(Vec<f64>, f64)> = [
+        (2usize, 10usize, 2.0f64),
+        (4, 30, 0.5),
+        (0, 5, 8.0),
+        (1, 44, 1.0),
+        (5, 60, 4.0),
+        (3, 12, 30.0),
+    ]
+    .iter()
+    .map(|&(s, off, eps)| (data[s].window(off, 16).unwrap().to_vec(), eps))
+    .collect();
+
+    let serial: Vec<SearchResult> = queries
+        .iter()
+        .map(|(q, eps)| e.sequential_search(q, *eps, CostLimit::UNLIMITED).unwrap())
+        .collect();
+
+    let parallel: Vec<SearchResult> = std::thread::scope(|sc| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|(q, eps)| {
+                let e = &e;
+                sc.spawn(move || e.sequential_search(q, *eps, CostLimit::UNLIMITED).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let total_pages = e.data_page_count() as u64;
+    for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+        assert_eq!(p.matches.len(), s.matches.len(), "query {i}");
+        for (a, b) in p.matches.iter().zip(&s.matches) {
+            assert_eq!(a.id, b.id, "query {i}");
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "query {i}");
+            assert_eq!(a.transform.a.to_bits(), b.transform.a.to_bits());
+            assert_eq!(a.transform.b.to_bits(), b.transform.b.to_bits());
+        }
+        assert_eq!(p.stats.candidates, s.stats.candidates, "query {i}");
+        assert_eq!(p.stats.data_pages, total_pages, "query {i}");
+        assert_eq!(p.stats.index_pages, 0, "query {i}");
+        assert_stage_invariant("parallel seqscan", p);
+    }
 }
 
 /// Write-path equivalence: growing an engine by appends, round-tripping it

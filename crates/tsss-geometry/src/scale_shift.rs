@@ -16,7 +16,7 @@
 //! the distance — it equals `LLD(Line_sa(u), Line_sh(v))` by Theorem 1, a
 //! fact the property tests exercise.
 
-use crate::vector::{dot, mean, norm_sq};
+use crate::vector::{mean, norm_sq, sum_and_dot, sum_dot_normsq_lanes};
 use crate::DimensionMismatch;
 
 /// A concrete scale-shift transformation `F_{a,b}(x) = a·x + b·N`.
@@ -109,6 +109,266 @@ pub fn is_numerically_constant(u: &[f64]) -> bool {
     ucuc <= CONSTANT_REL_TOL * uu.max(1e-300)
 }
 
+/// Relative slack applied to the algebraic distance bound inside
+/// [`QueryFit::fit_within`], scaled by the *uncentered* moment magnitudes so
+/// it stays sound even when the centred quantities suffer catastrophic
+/// cancellation. The true floating-point error of the bound — evaluation
+/// error of the algebraic identity plus the reassociation error of the
+/// lane-chunked screening kernel — is on the order of
+/// `n·ε_mach ≈ 1e-13` of those magnitudes, so `1e-9` leaves four orders of
+/// magnitude of safety; candidates inside the slack fall through to the
+/// exact sequential fit.
+const SCREEN_REL_TOL: f64 = 1e-9;
+
+/// Query-side state of the closed-form scale-shift fit, hoisted out of the
+/// per-candidate loop.
+///
+/// [`optimal_scale_shift`] recomputes `mean(u)` and `‖u‖²` for every call
+/// even though the verify stage fits *one* query against thousands of
+/// candidate windows. `QueryFit` computes the query moments once; each
+/// [`fit`](Self::fit) then needs a single fused pass over the candidate
+/// (plus the exact residual pass), and [`fit_within`](Self::fit_within)
+/// screens certain false alarms with *only* the fused pass.
+///
+/// Bit-exactness contract: for any `u`/`v`, `QueryFit::new(u).fit(v)` equals
+/// `optimal_scale_shift(u, v)` bit for bit — every accumulator adds the same
+/// terms in the same order (see `tests/kernel_oracle.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryFit<'a> {
+    u: &'a [f64],
+    n: f64,
+    mu: f64,
+    uu: f64,
+    ucuc: f64,
+    degenerate: bool,
+}
+
+impl<'a> QueryFit<'a> {
+    /// Precomputes the query moments `n`, `ū`, `‖uc‖²` and the degeneracy
+    /// flag (the same relative-variance test as [`is_numerically_constant`]).
+    pub fn new(u: &'a [f64]) -> Self {
+        let n = u.len() as f64;
+        let mu = mean(u);
+        let uu = norm_sq(u);
+        let ucuc = (uu - n * mu * mu).max(0.0);
+        let degenerate = ucuc <= CONSTANT_REL_TOL * uu.max(1e-300);
+        Self {
+            u,
+            n,
+            mu,
+            uu,
+            ucuc,
+            degenerate,
+        }
+    }
+
+    /// The query this fit was built over.
+    #[must_use]
+    pub fn query(&self) -> &'a [f64] {
+        self.u
+    }
+
+    /// True when the query is numerically constant, i.e. every fit takes the
+    /// shift-only degenerate arm (`a = 0`, `b = mean(v)`).
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// The optimal fit of the query onto `v` — bit-identical to
+    /// [`optimal_scale_shift`]`(self.query(), v)`, in two passes over `v`
+    /// instead of three.
+    ///
+    /// # Errors
+    /// Returns [`DimensionMismatch`] when `v` differs in length.
+    pub fn fit(&self, v: &[f64]) -> Result<ScaleShiftFit, DimensionMismatch> {
+        if self.u.len() != v.len() {
+            return Err(DimensionMismatch {
+                left: self.u.len(),
+                right: v.len(),
+            });
+        }
+        if self.u.is_empty() {
+            return Ok(ScaleShiftFit {
+                transform: ScaleShift::IDENTITY,
+                distance: 0.0,
+            });
+        }
+        // One fused pass: Σv and u·v share the read of v. Each accumulator
+        // matches its standalone kernel bit for bit.
+        let (sv, suv) = sum_and_dot(self.u, v);
+        let mv = sv / self.n;
+        if self.degenerate {
+            return Ok(self.degenerate_fit(v, mv));
+        }
+        let ucvc = suv - self.n * self.mu * mv;
+        let a = ucvc / self.ucuc;
+        let b = mv - a * self.mu;
+        Ok(self.residual_fit(v, a, b))
+    }
+
+    /// Like [`fit`](Self::fit), but screens candidates whose distance
+    /// *certainly* exceeds `epsilon` using one fused, lane-chunked
+    /// (vectorisable) moment pass: returns `Ok(None)` for those, skipping
+    /// the exact fit entirely.
+    ///
+    /// The screen is conservative. The algebraic identity
+    /// `distance² = ‖vc‖² − a·(uc·vc)` is exact in real arithmetic but loses
+    /// precision to cancellation, and the screening pass additionally
+    /// reassociates its sums for speed; a candidate is rejected only when
+    /// the algebraic value beats `epsilon²` by more than [`SCREEN_REL_TOL`]
+    /// of the participating moment magnitudes, which dwarfs both error
+    /// sources. Borderline candidates (and any NaN poisoning of the bound)
+    /// fall through to the exact sequential fit, so every `Some(fit)` is
+    /// bit-identical to [`fit`](Self::fit) and every `None` is a candidate
+    /// [`fit`](Self::fit) would have reported with `distance > epsilon`.
+    ///
+    /// # Errors
+    /// Returns [`DimensionMismatch`] when `v` differs in length.
+    pub fn fit_within(
+        &self,
+        v: &[f64],
+        epsilon: f64,
+    ) -> Result<Option<ScaleShiftFit>, DimensionMismatch> {
+        if self.u.len() != v.len() {
+            return Err(DimensionMismatch {
+                left: self.u.len(),
+                right: v.len(),
+            });
+        }
+        if self.u.is_empty() {
+            return Ok(Some(ScaleShiftFit {
+                transform: ScaleShift::IDENTITY,
+                distance: 0.0,
+            }));
+        }
+        let (sv, suv, svv) = sum_dot_normsq_lanes(self.u, v);
+        let mv = sv / self.n;
+        // ‖vc‖² = ‖v‖² − n·v̄²; scale_vc bounds the magnitudes whose
+        // cancellation (and lane reassociation) the slack must absorb.
+        let nmv2 = self.n * mv * mv;
+        let vcvc = svv - nmv2;
+        let scale_vc = svv.abs() + nmv2.abs();
+        let screened_out = if self.degenerate {
+            // a = 0 ⇒ distance² = ‖vc‖² exactly.
+            vcvc - SCREEN_REL_TOL * scale_vc > epsilon * epsilon
+        } else {
+            let ucvc = suv - self.n * self.mu * mv;
+            let a = ucvc / self.ucuc;
+            let fitted = a * ucvc;
+            let d2_alg = vcvc - fitted;
+            let margin = SCREEN_REL_TOL * (scale_vc + fitted.abs());
+            // NaN anywhere makes the comparison false — fall through to exact.
+            d2_alg - margin > epsilon * epsilon
+        };
+        if screened_out {
+            return Ok(None);
+        }
+        // Survivors take the exact sequential path, so accepted fits carry
+        // the same bits as a plain `fit` call.
+        self.fit(v).map(Some)
+    }
+
+    /// Sliding-window screen: like [`fit_within`](Self::fit_within), but the
+    /// window's sum and sum-of-squares arrive as *prefix-array endpoint
+    /// pairs* maintained by the caller (`p1 = (Σ before, Σ through)` over the
+    /// raw values, `p2` the same over their squares), so the only O(n) work
+    /// per candidate is a single lane-chunked dot product. This is the
+    /// sequential-scan fast path, where stride-1 windows overlap almost
+    /// entirely and per-window moment passes would recompute the same sums
+    /// thousands of times.
+    ///
+    /// Soundness under the extra error sources is bought with a wider
+    /// (still `O(1)`) margin: prefix differencing loses up to `ε_mach` of the
+    /// *endpoint* magnitudes (which can dwarf the window's own moments), and
+    /// the dot reassociates, with `Σ|uᵢvᵢ| ≤ √(‖u‖²·‖v‖²)` bounding its term
+    /// magnitude by Cauchy–Schwarz. The margin scales with all of those, so
+    /// the same guarantee holds: every `Some(fit)` is bit-identical to
+    /// [`fit`](Self::fit), every `None` has true `distance > epsilon`.
+    ///
+    /// # Errors
+    /// Returns [`DimensionMismatch`] when `v` differs in length.
+    pub fn fit_within_sliding(
+        &self,
+        v: &[f64],
+        epsilon: f64,
+        p1: (f64, f64),
+        p2: (f64, f64),
+    ) -> Result<Option<ScaleShiftFit>, DimensionMismatch> {
+        if self.u.len() != v.len() {
+            return Err(DimensionMismatch {
+                left: self.u.len(),
+                right: v.len(),
+            });
+        }
+        if self.u.is_empty() {
+            return Ok(Some(ScaleShiftFit {
+                transform: ScaleShift::IDENTITY,
+                distance: 0.0,
+            }));
+        }
+        let (lo1, hi1) = p1;
+        let (lo2, hi2) = p2;
+        let sv = hi1 - lo1;
+        let svv = hi2 - lo2;
+        let mv = sv / self.n;
+        // Magnitude bounds for the error terms: `m1 ≥ |mv|` up to the same
+        // relative error, `scale_p2` bounds what prefix differencing can
+        // lose from `svv`.
+        let m1 = (hi1.abs() + lo1.abs()) / self.n;
+        let scale_p2 = hi2.abs() + lo2.abs();
+        let nmv2 = self.n * mv * mv;
+        let vcvc = svv - nmv2;
+        let scale_vc = scale_p2 + self.n * m1 * m1;
+        let screened_out = if self.degenerate {
+            vcvc - SCREEN_REL_TOL * scale_vc > epsilon * epsilon
+        } else {
+            let suv = crate::vector::dot_lanes(self.u, v);
+            let ucvc = suv - self.n * self.mu * mv;
+            let a = ucvc / self.ucuc;
+            let fitted = a * ucvc;
+            let d2_alg = vcvc - fitted;
+            // Cauchy–Schwarz bound on the dot's term magnitude; NaN anywhere
+            // makes the final comparison false — fall through to exact.
+            let ucvc_mag = (self.uu * scale_p2).sqrt() + self.n * self.mu.abs() * m1;
+            let margin = SCREEN_REL_TOL * (scale_vc + a.abs() * ucvc_mag + fitted.abs());
+            d2_alg - margin > epsilon * epsilon
+        };
+        if screened_out {
+            return Ok(None);
+        }
+        self.fit(v).map(Some)
+    }
+
+    /// Shift-only arm: `a = 0`, `b = mean(v)`, distance `‖vc‖` via the exact
+    /// residual sum (bit-identical to [`optimal_scale_shift`]).
+    fn degenerate_fit(&self, v: &[f64], mv: f64) -> ScaleShiftFit {
+        let resid: f64 = v.iter().map(|y| (y - mv) * (y - mv)).sum();
+        ScaleShiftFit {
+            transform: ScaleShift { a: 0.0, b: mv },
+            distance: resid.sqrt(),
+        }
+    }
+
+    /// Exact residual pass for a fixed `(a, b)` — the cancellation-free
+    /// distance evaluation (bit-identical to [`optimal_scale_shift`]).
+    fn residual_fit(&self, v: &[f64], a: f64, b: f64) -> ScaleShiftFit {
+        let dist_sq: f64 = self
+            .u
+            .iter()
+            .zip(v)
+            .map(|(x, y)| {
+                let r = a * x + b - y;
+                r * r
+            })
+            .sum();
+        ScaleShiftFit {
+            transform: ScaleShift { a, b },
+            distance: dist_sq.sqrt(),
+        }
+    }
+}
+
 /// Computes the optimal `(a, b)` minimising `‖a·u + b·N − v‖₂` together with
 /// the attained distance, in a single O(n) pass (paper §5.2).
 ///
@@ -139,56 +399,14 @@ pub fn is_numerically_constant(u: &[f64]) -> bool {
 /// # Errors
 /// Returns [`DimensionMismatch`] when the sequences differ in length.
 pub fn optimal_scale_shift(u: &[f64], v: &[f64]) -> Result<ScaleShiftFit, DimensionMismatch> {
-    if u.len() != v.len() {
-        return Err(DimensionMismatch {
-            left: u.len(),
-            right: v.len(),
-        });
-    }
-    let n = u.len() as f64;
-    if u.is_empty() {
-        return Ok(ScaleShiftFit {
-            transform: ScaleShift::IDENTITY,
-            distance: 0.0,
-        });
-    }
-    let mu = mean(u);
-    let mv = mean(v);
-    // Centred second moments, computed without materialising uc/vc.
-    // uc·vc = u·v − n·ū·v̄ ; ‖uc‖² = ‖u‖² − n·ū².
-    let uv = dot(u, v);
-    let uu = norm_sq(u);
-    let ucvc = uv - n * mu * mv;
-    let ucuc = (uu - n * mu * mu).max(0.0);
-
-    // Relative degeneracy test: a sequence whose variance is ~0 compared to
-    // its magnitude is "constant" for fitting purposes (the same test
-    // `is_numerically_constant` applies).
-    if ucuc <= CONSTANT_REL_TOL * uu.max(1e-300) {
-        let resid: f64 = v.iter().map(|y| (y - mv) * (y - mv)).sum();
-        return Ok(ScaleShiftFit {
-            transform: ScaleShift { a: 0.0, b: mv },
-            distance: resid.sqrt(),
-        });
-    }
-    let a = ucvc / ucuc;
-    let b = mv - a * mu;
-    // The algebraic identity distance² = ‖vc‖² − a²·‖uc‖² suffers
-    // catastrophic cancellation for near-exact matches (error ~ √(ε_mach) of
-    // the signal energy), so evaluate the residual explicitly instead — one
-    // extra O(n) pass, accurate to machine precision.
-    let dist_sq: f64 = u
-        .iter()
-        .zip(v)
-        .map(|(x, y)| {
-            let r = a * x + b - y;
-            r * r
-        })
-        .sum();
-    Ok(ScaleShiftFit {
-        transform: ScaleShift { a, b },
-        distance: dist_sq.sqrt(),
-    })
+    // Centred second moments computed without materialising uc/vc
+    // (uc·vc = u·v − n·ū·v̄ ; ‖uc‖² = ‖u‖² − n·ū²), then the exact residual
+    // pass for the distance — the algebraic identity
+    // distance² = ‖vc‖² − a²·‖uc‖² suffers catastrophic cancellation for
+    // near-exact matches. All of that lives in `QueryFit`, which hoists the
+    // query-side moments for callers fitting one query against many windows;
+    // this one-shot entry point is the same computation, bit for bit.
+    QueryFit::new(u).fit(v)
 }
 
 /// The minimum dissimilarity `min_{a,b} ‖a·u + b·N − v‖₂`.
@@ -359,6 +577,227 @@ mod tests {
         let d = min_scale_shift_distance(&A, &far).unwrap();
         assert!(!similar(&A, &far, d - 1e-6).unwrap());
         assert!(similar(&A, &far, d + 1e-6).unwrap());
+    }
+
+    #[test]
+    fn query_fit_is_bit_identical_to_one_shot() {
+        let mut rng = tsss_rand::Rng::seed_from_u64(0xF17_B175);
+        for n in [1usize, 2, 3, 7, 8, 64, 129] {
+            let u = rng.f64_vec(n, -1e3, 1e3);
+            let qf = QueryFit::new(&u);
+            for _ in 0..8 {
+                let v = rng.f64_vec(n, -1e3, 1e3);
+                let one_shot = optimal_scale_shift(&u, &v).unwrap();
+                let hoisted = qf.fit(&v).unwrap();
+                assert_eq!(
+                    hoisted.transform.a.to_bits(),
+                    one_shot.transform.a.to_bits()
+                );
+                assert_eq!(
+                    hoisted.transform.b.to_bits(),
+                    one_shot.transform.b.to_bits()
+                );
+                assert_eq!(hoisted.distance.to_bits(), one_shot.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_within_is_sound_and_exact_on_accept() {
+        // Soundness: every Some is bit-identical to the full fit; every None
+        // really is a candidate whose exact distance exceeds epsilon.
+        let mut rng = tsss_rand::Rng::seed_from_u64(0x05C1_2EE4);
+        let mut screened = 0usize;
+        let mut accepted = 0usize;
+        for n in [3usize, 16, 128] {
+            let u = rng.f64_vec(n, -50.0, 50.0);
+            let qf = QueryFit::new(&u);
+            for round in 0..32 {
+                // Mix of near-fits and far candidates around each epsilon.
+                let v = if round % 3 == 0 {
+                    let mut v: Vec<f64> = u.iter().map(|x| 1.7 * x - 4.0).collect();
+                    for y in &mut v {
+                        *y += rng.f64_range(-0.5, 0.5);
+                    }
+                    v
+                } else {
+                    rng.f64_vec(n, -50.0, 50.0)
+                };
+                for eps in [0.0, 0.1, 2.0, 40.0, 1e6] {
+                    let exact = qf.fit(&v).unwrap();
+                    match qf.fit_within(&v, eps).unwrap() {
+                        Some(fit) => {
+                            accepted += 1;
+                            assert_eq!(fit.distance.to_bits(), exact.distance.to_bits());
+                            assert_eq!(fit.transform.a.to_bits(), exact.transform.a.to_bits());
+                            assert_eq!(fit.transform.b.to_bits(), exact.transform.b.to_bits());
+                        }
+                        None => {
+                            screened += 1;
+                            assert!(
+                                exact.distance > eps,
+                                "screened a true match: d={} eps={eps}",
+                                exact.distance
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The screen must actually fire on far candidates and actually pass
+        // generous epsilons, or it is vacuous.
+        assert!(screened > 50, "screen never fires ({screened})");
+        assert!(accepted > 50, "screen rejects everything ({accepted})");
+    }
+
+    #[test]
+    fn fit_within_sliding_is_sound_and_exact_on_accept() {
+        // The sliding screen consumes prefix-array endpoints the way the
+        // sequential-scan verifier maintains them: build a long series, run
+        // every stride-1 window through the screen, and hold it to the same
+        // contract as `fit_within` — accepted fits bit-identical to `fit`,
+        // screened windows truly farther than epsilon.
+        let mut rng = tsss_rand::Rng::seed_from_u64(0x511D_1234 ^ 0xA5A5);
+        let mut screened = 0usize;
+        let mut accepted = 0usize;
+        for n in [3usize, 16, 128] {
+            let u = rng.f64_vec(n, -50.0, 50.0);
+            let qf = QueryFit::new(&u);
+            // A series with matching stretches planted among noise, plus a
+            // large offset so the prefix sums dwarf per-window moments (the
+            // error regime the wider margin must absorb).
+            let mut series = rng.f64_vec(6 * n, -50.0, 50.0);
+            for (i, y) in series.iter_mut().enumerate() {
+                *y += 1e4;
+                if (i / n) % 2 == 1 {
+                    *y = 1.7 * u[i % n] - 4.0 + 1e4;
+                }
+            }
+            let mut p1 = vec![0.0f64];
+            let mut p2 = vec![0.0f64];
+            for &y in &series {
+                p1.push(p1.last().copied().unwrap() + y);
+                p2.push(p2.last().copied().unwrap() + y * y);
+            }
+            for off in 0..=series.len() - n {
+                let v = &series[off..off + n];
+                for eps in [0.1, 40.0, 1e6] {
+                    let exact = qf.fit(v).unwrap();
+                    let got = qf
+                        .fit_within_sliding(v, eps, (p1[off], p1[off + n]), (p2[off], p2[off + n]))
+                        .unwrap();
+                    match got {
+                        Some(fit) => {
+                            accepted += 1;
+                            assert_eq!(fit.distance.to_bits(), exact.distance.to_bits());
+                            assert_eq!(fit.transform.a.to_bits(), exact.transform.a.to_bits());
+                            assert_eq!(fit.transform.b.to_bits(), exact.transform.b.to_bits());
+                        }
+                        None => {
+                            screened += 1;
+                            assert!(
+                                exact.distance > eps,
+                                "sliding screen dropped a true match: d={} eps={eps} off={off}",
+                                exact.distance
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(screened > 100, "sliding screen never fires ({screened})");
+        assert!(
+            accepted > 100,
+            "sliding screen rejects everything ({accepted})"
+        );
+    }
+
+    #[test]
+    fn fit_within_sliding_on_degenerate_and_mismatched_input() {
+        let u = vec![5.0; 16];
+        let qf = QueryFit::new(&u);
+        assert!(qf.is_degenerate());
+        let v: Vec<f64> = (0..16).map(f64::from).collect();
+        let p1: Vec<f64> = std::iter::once(0.0)
+            .chain(v.iter().scan(0.0, |s, y| {
+                *s += y;
+                Some(*s)
+            }))
+            .collect();
+        let p2: Vec<f64> = std::iter::once(0.0)
+            .chain(v.iter().scan(0.0, |s, y| {
+                *s += y * y;
+                Some(*s)
+            }))
+            .collect();
+        let exact = qf.fit(&v).unwrap();
+        // Generous epsilon: accepted, bit-identical, shift-only.
+        let fit = qf
+            .fit_within_sliding(&v, 1e9, (p1[0], p1[16]), (p2[0], p2[16]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(fit.transform.a, 0.0);
+        assert_eq!(fit.distance.to_bits(), exact.distance.to_bits());
+        // Tiny epsilon: screened (the window is far from constant).
+        assert!(qf
+            .fit_within_sliding(&v, 1e-6, (p1[0], p1[16]), (p2[0], p2[16]))
+            .unwrap()
+            .is_none());
+        // Length mismatch is the typed error.
+        assert!(qf
+            .fit_within_sliding(&v[..8], 1.0, (0.0, 0.0), (0.0, 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn fit_within_on_degenerate_query() {
+        let u = [4.0; 6];
+        let qf = QueryFit::new(&u);
+        assert!(qf.is_degenerate());
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let exact = optimal_scale_shift(&u, &v).unwrap();
+        // Tight epsilon: certainly screened.
+        assert!(qf.fit_within(&v, 1e-3).unwrap().is_none());
+        // Generous epsilon: bit-identical degenerate fit.
+        let fit = qf.fit_within(&v, 100.0).unwrap().unwrap();
+        assert_eq!(fit.distance.to_bits(), exact.distance.to_bits());
+        assert_eq!(fit.transform.a, 0.0);
+        assert_eq!(fit.transform.b.to_bits(), exact.transform.b.to_bits());
+    }
+
+    #[test]
+    fn fit_within_mean_dominated_cancellation_stays_sound() {
+        // ‖v‖² ≈ n·v̄² here, so the centred moment ‖vc‖² loses most of its
+        // bits to cancellation — the screen slack must scale with the
+        // *uncentered* magnitudes or it would mis-certify these.
+        let mut rng = tsss_rand::Rng::seed_from_u64(0xCAFE_D00D);
+        let u = rng.f64_vec(64, -1.0, 1.0);
+        let qf = QueryFit::new(&u);
+        for _ in 0..64 {
+            let mut v = vec![1.0e6; 64];
+            for y in &mut v {
+                *y += rng.f64_range(-1e-3, 1e-3);
+            }
+            let exact = qf.fit(&v).unwrap();
+            for eps in [exact.distance * 0.99, exact.distance * 1.01] {
+                match qf.fit_within(&v, eps).unwrap() {
+                    Some(fit) => assert_eq!(fit.distance.to_bits(), exact.distance.to_bits()),
+                    None => assert!(exact.distance > eps),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_fit_empty_and_mismatch() {
+        let qf = QueryFit::new(&[]);
+        let fit = qf.fit(&[]).unwrap();
+        assert_eq!(fit.distance, 0.0);
+        assert!(qf.fit_within(&[], 0.0).unwrap().is_some());
+        let qf = QueryFit::new(&[1.0, 2.0]);
+        assert!(qf.fit(&[1.0]).is_err());
+        assert!(qf.fit_within(&[1.0], 1.0).is_err());
+        assert_eq!(qf.query(), &[1.0, 2.0]);
     }
 
     #[test]

@@ -78,6 +78,109 @@ pub fn lp_dist(u: &[f64], v: &[f64], p: f64) -> f64 {
         .powf(1.0 / p)
 }
 
+/// Fused single-pass `(Σ vᵢ, Σ uᵢ·vᵢ)`.
+///
+/// The two accumulators are independent and each adds its terms in index
+/// order, so the results are bit-identical to a separate `sum` over `v` and
+/// [`dot`]`(u, v)` (`std`'s `Sum<f64>` is an in-order fold) — but the fused
+/// loop reads `v` once instead of twice. This is the verify-stage kernel for
+/// the z-normalized model, where every candidate needs the full fit.
+#[inline]
+pub fn sum_and_dot(u: &[f64], v: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(u.len(), v.len());
+    let mut s = 0.0;
+    let mut d = 0.0;
+    for (x, y) in u.iter().zip(v) {
+        s += y;
+        d += x * y;
+    }
+    (s, d)
+}
+
+/// Fused single-pass `(Σ vᵢ, Σ uᵢ·vᵢ, Σ vᵢ²)`.
+///
+/// Like [`sum_and_dot`] with a third independent accumulator for `‖v‖²`;
+/// each is bit-identical to its standalone kernel. This is the screening
+/// kernel of the verify stage: one read of `v` yields every moment the
+/// closed-form scale-shift fit needs, so a candidate that the algebraic
+/// distance bound certifies as a false alarm costs exactly one pass.
+#[inline]
+pub fn sum_dot_normsq(u: &[f64], v: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(u.len(), v.len());
+    let mut s = 0.0;
+    let mut d = 0.0;
+    let mut q = 0.0;
+    for (x, y) in u.iter().zip(v) {
+        s += y;
+        d += x * y;
+        q += y * y;
+    }
+    (s, d, q)
+}
+
+/// Lane-chunked dot product for *screening* passes: eight independent
+/// accumulator lanes, deterministic but **not** bit-identical to [`dot`]
+/// (reassociation error `≈ n·ε_mach` of `Σ|uᵢ·vᵢ|`). Exact consumers use
+/// [`dot`]; screening bounds carry an explicit margin for this error.
+pub fn dot_lanes(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    const LANES: usize = 8;
+    let split = u.len() - u.len() % LANES;
+    let (u_body, u_tail) = u.split_at(split);
+    let (v_body, v_tail) = v.split_at(split);
+    let mut d = [0.0f64; LANES];
+    for (a, b) in u_body.chunks_exact(LANES).zip(v_body.chunks_exact(LANES)) {
+        for ((x, y), dl) in a.iter().zip(b).zip(&mut d) {
+            *dl += x * y;
+        }
+    }
+    let mut dt: f64 = d.iter().sum();
+    for (x, y) in u_tail.iter().zip(v_tail) {
+        dt += x * y;
+    }
+    dt
+}
+
+/// Lane-chunked variant of [`sum_dot_normsq`] for *screening* passes: eight
+/// independent accumulator lanes break the sequential-addition latency chain
+/// and leave the loop free for the compiler to vectorise.
+///
+/// Deterministic (the association is fixed) but **not** bit-identical to the
+/// sequential kernel — the results differ by ordinary reassociation error,
+/// bounded by `≈ n·ε_mach` of the accumulated term magnitudes. Callers that
+/// need exact bits (the verification fit itself) use the sequential kernels;
+/// this one exists for bounds that carry an explicit error margin, like
+/// [`QueryFit::fit_within`](crate::scale_shift::QueryFit::fit_within).
+pub fn sum_dot_normsq_lanes(u: &[f64], v: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(u.len(), v.len());
+    const LANES: usize = 8;
+    let split = u.len() - u.len() % LANES;
+    let (u_body, u_tail) = u.split_at(split);
+    let (v_body, v_tail) = v.split_at(split);
+    let mut s = [0.0f64; LANES];
+    let mut d = [0.0f64; LANES];
+    let mut q = [0.0f64; LANES];
+    for (a, b) in u_body.chunks_exact(LANES).zip(v_body.chunks_exact(LANES)) {
+        for (((x, y), sl), (dl, ql)) in a.iter().zip(b).zip(&mut s).zip(d.iter_mut().zip(&mut q)) {
+            *sl += *y;
+            *dl += x * y;
+            *ql += y * y;
+        }
+    }
+    let (mut st, mut dt, mut qt) = (0.0, 0.0, 0.0);
+    for (sl, (dl, ql)) in s.iter().zip(d.iter().zip(&q)) {
+        st += sl;
+        dt += dl;
+        qt += ql;
+    }
+    for (x, y) in u_tail.iter().zip(v_tail) {
+        st += y;
+        dt += x * y;
+        qt += y * y;
+    }
+    (st, dt, qt)
+}
+
 /// Arithmetic mean of the components, `(Σ uᵢ)/n`; `0.0` for the empty slice.
 ///
 /// The mean is exactly the coordinate of `u` along the shifting vector `N`
@@ -249,6 +352,63 @@ mod tests {
             .map(|(x, y)| (a * x - y) * (a * x - y))
             .sum();
         assert!((scaled_dist_sq(a, &u, &v) - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_kernels_are_bit_identical_to_separate_passes() {
+        // Awkward magnitudes on purpose: bit-identity must hold exactly, not
+        // merely to within rounding.
+        let u: Vec<f64> = (0..129)
+            .map(|i| (f64::from(i) * 0.7).sin() * 1e3 + 1.0 / (f64::from(i) + 3.0))
+            .collect();
+        let v: Vec<f64> = (0..129)
+            .map(|i| (f64::from(i) * 1.3).cos() * 1e-3 + f64::from(i))
+            .collect();
+        let (s2, d2) = sum_and_dot(&u, &v);
+        let (s3, d3, q3) = sum_dot_normsq(&u, &v);
+        let s_ref: f64 = v.iter().sum();
+        assert_eq!(s2.to_bits(), s_ref.to_bits());
+        assert_eq!(s3.to_bits(), s_ref.to_bits());
+        assert_eq!(d2.to_bits(), dot(&u, &v).to_bits());
+        assert_eq!(d3.to_bits(), dot(&u, &v).to_bits());
+        assert_eq!(q3.to_bits(), norm_sq(&v).to_bits());
+    }
+
+    #[test]
+    fn fused_kernels_on_empty_slices() {
+        assert_eq!(sum_and_dot(&[], &[]), (0.0, 0.0));
+        assert_eq!(sum_dot_normsq(&[], &[]), (0.0, 0.0, 0.0));
+        assert_eq!(sum_dot_normsq_lanes(&[], &[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn lane_kernel_is_deterministic_and_close_to_sequential() {
+        // Every length class: below one lane block, exact multiples, and
+        // ragged tails.
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 40, 129] {
+            let u: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 0.7).sin() * 1e4 + 0.25)
+                .collect();
+            let v: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 1.3).cos() * 3.0 - 1e2)
+                .collect();
+            let seq = sum_dot_normsq(&u, &v);
+            let lanes = sum_dot_normsq_lanes(&u, &v);
+            assert_eq!(
+                lanes,
+                sum_dot_normsq_lanes(&u, &v),
+                "lane kernel must be deterministic (len {len})"
+            );
+            // Reassociation error only: far inside n·ε_mach of the term
+            // magnitudes (the screening margin is 1e-9 of those).
+            let mag: f64 = v.iter().map(|y| y.abs()).sum::<f64>() + 1.0;
+            for (a, b) in [(seq.0, lanes.0), (seq.1, lanes.1), (seq.2, lanes.2)] {
+                assert!(
+                    (a - b).abs() <= 1e-11 * mag * mag,
+                    "len {len}: sequential {a} vs lanes {b}"
+                );
+            }
+        }
     }
 
     #[test]

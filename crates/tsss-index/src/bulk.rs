@@ -15,7 +15,7 @@ use tsss_geometry::Mbr;
 use tsss_storage::{BufferPool, PageFile, PageId};
 
 use crate::error::IndexError;
-use crate::node::{ChildEntry, DataEntry, Node};
+use crate::node::{ChildEntry, DataEntry, LeafSlab, Node};
 use crate::tree::{RTree, TreeConfig};
 
 /// Bulk loads `entries` into a fresh tree with configuration `cfg`, using
@@ -94,7 +94,7 @@ fn bulk_load_keyed(
     if entries.is_empty() {
         let root = pool.allocate()?;
         let mut page = tsss_storage::Page::zeroed(cfg.page_size);
-        Node::Leaf(Vec::new()).encode(&mut page, cfg.dim);
+        Node::empty_leaf(cfg.dim).encode(&mut page, cfg.dim);
         pool.write(root, page)?;
         return Ok(RTree::from_parts(cfg, pool, root, 1, 0));
     }
@@ -120,7 +120,7 @@ fn bulk_load_keyed(
     let mut rest = entries;
     for size in chunks {
         let tail = rest.split_off(size);
-        let node = Node::Leaf(rest);
+        let node = Node::Leaf(LeafSlab::from_entries(cfg.dim, rest));
         // analyze::allow(panic): chunk_sizes never emits a zero-sized chunk, so the node has at least one entry.
         let mbr = node.mbr().expect("non-empty leaf");
         let page = write_node(&mut pool, &node)?;

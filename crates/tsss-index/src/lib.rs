@@ -39,6 +39,6 @@ pub mod split;
 pub mod tree;
 
 pub use error::IndexError;
-pub use node::{ChildEntry, DataEntry, Node};
+pub use node::{ChildEntry, DataEntry, LeafSlab, Node};
 pub use query::{LineQueryStats, QueryOutcome};
 pub use tree::{RTree, SplitPolicy, TreeConfig};

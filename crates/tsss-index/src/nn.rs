@@ -182,13 +182,13 @@ impl RTree {
                     }
                 }
                 HeapItem::Node { page, .. } => match self.read_node(page)? {
-                    Node::Leaf(entries) => {
-                        for e in entries {
-                            let d = pld_sq(&e.point, line).sqrt();
+                    Node::Leaf(slab) => {
+                        for (id, point) in slab.rows() {
+                            let d = pld_sq(point, line).sqrt();
                             heap.push(HeapItem::Point {
                                 entry: Match {
-                                    id: e.id,
-                                    point: e.point.into_vec(),
+                                    id,
+                                    point: point.to_vec(),
                                     distance: d,
                                 },
                             });

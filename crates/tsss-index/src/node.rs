@@ -52,16 +52,225 @@ impl DataEntry {
     }
 }
 
+/// Columnar storage for a leaf's entries: every id in one `Vec<u64>`, every
+/// point packed row-major into one contiguous `f64` slab.
+///
+/// This is the in-memory layout the hot query loops scan — one bounds check
+/// per row via [`rows`](Self::rows) instead of one heap pointer chase per
+/// entry, and the point data of a whole leaf sits in a single cache-friendly
+/// allocation. The on-disk wire format (interleaved `id, point` records; see
+/// the module docs) is unchanged: [`Node::encode`]/[`Node::decode`] translate
+/// between the two.
+///
+/// Mutating operations ([`reorder`](Self::reorder),
+/// [`drain_front`](Self::drain_front), [`select`](Self::select),
+/// [`remove`](Self::remove)) mirror the semantics the former
+/// `Vec<DataEntry>` representation had (stable order, `Vec::remove`-style
+/// shifts), so tree shapes — and therefore the blessed equivalence fixtures —
+/// are preserved exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafSlab {
+    dim: usize,
+    ids: Vec<u64>,
+    points: Vec<f64>,
+}
+
+impl LeafSlab {
+    /// An empty slab for `dim`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` (the tree never indexes zero-dimensional
+    /// points; row chunking requires a positive stride).
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// An empty slab with room for `entries` rows.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0`.
+    pub fn with_capacity(dim: usize, entries: usize) -> Self {
+        assert!(dim > 0, "leaf slab dimension must be positive");
+        Self {
+            dim,
+            ids: Vec::with_capacity(entries),
+            points: Vec::with_capacity(entries * dim),
+        }
+    }
+
+    /// Builds a slab from row-structured entries (preserving order).
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` or an entry's dimension differs from `dim`.
+    pub fn from_entries(dim: usize, entries: impl IntoIterator<Item = DataEntry>) -> Self {
+        let it = entries.into_iter();
+        let mut slab = Self::with_capacity(dim, it.size_hint().0);
+        for e in it {
+            slab.push(e.id, &e.point);
+        }
+        slab
+    }
+
+    /// Point dimensionality (row stride).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the slab holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The record ids, in row order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The raw point slab: row `i` occupies `points()[i·dim .. (i+1)·dim]`.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Iterates `(id, point)` rows in order — the hot-loop accessor; the
+    /// point slices are consecutive chunks of one contiguous slab.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, &[f64])> {
+        self.ids
+            .iter()
+            .copied()
+            .zip(self.points.chunks_exact(self.dim))
+    }
+
+    /// The row at `i`, or `None` past the end.
+    pub fn row(&self, i: usize) -> Option<(u64, &[f64])> {
+        let start = i.checked_mul(self.dim)?;
+        let point = self.points.get(start..start.checked_add(self.dim)?)?;
+        self.ids.get(i).map(|&id| (id, point))
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when `point.len() != dim`.
+    pub fn push(&mut self, id: u64, point: &[f64]) {
+        assert_eq!(point.len(), self.dim, "leaf entry dimension mismatch");
+        self.ids.push(id);
+        self.points.extend_from_slice(point);
+    }
+
+    /// Appends a row from a [`DataEntry`].
+    ///
+    /// # Panics
+    /// Panics when the entry's dimension differs from the slab's.
+    pub fn push_entry(&mut self, e: DataEntry) {
+        self.push(e.id, &e.point);
+    }
+
+    /// The first row holding exactly this `(point, id)` pair.
+    pub fn position(&self, point: &[f64], id: u64) -> Option<usize> {
+        self.rows().position(|(rid, p)| rid == id && p == point)
+    }
+
+    /// Removes row `i`, shifting later rows down (`Vec::remove` semantics).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn remove(&mut self, i: usize) {
+        self.ids.remove(i);
+        let start = i * self.dim;
+        self.points.drain(start..start + self.dim);
+    }
+
+    /// Rebuilds the slab with rows picked in `order` — the slab analogue of
+    /// permuting a `Vec` of entries. Rows not mentioned are dropped; an
+    /// out-of-range index is skipped (debug builds assert against both).
+    pub fn reorder(&mut self, order: &[usize]) {
+        debug_assert!(
+            order.len() == self.len() && {
+                let mut seen = vec![false; self.len()];
+                order.iter().all(|&i| {
+                    let fresh = seen.get(i).is_some_and(|s| !*s);
+                    if let Some(s) = seen.get_mut(i) {
+                        *s = true;
+                    }
+                    fresh
+                })
+            },
+            "reorder requires a permutation of 0..len"
+        );
+        *self = self.select(order);
+    }
+
+    /// A new slab holding the rows at `idxs`, in that order (out-of-range
+    /// indices are skipped).
+    pub fn select(&self, idxs: &[usize]) -> Self {
+        let mut out = Self::with_capacity(self.dim, idxs.len());
+        for &i in idxs {
+            if let Some((id, point)) = self.row(i) {
+                out.ids.push(id);
+                out.points.extend_from_slice(point);
+            } else {
+                debug_assert!(false, "select index {i} out of bounds");
+            }
+        }
+        out
+    }
+
+    /// Removes the first `n` rows (later rows shift down) and returns them
+    /// as row-structured entries — the slab analogue of `drain(..n)`.
+    ///
+    /// # Panics
+    /// Panics when `n > len()`.
+    pub fn drain_front(&mut self, n: usize) -> Vec<DataEntry> {
+        let ids: Vec<u64> = self.ids.drain(..n).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut drained = self.points.drain(..n * self.dim);
+        for id in ids {
+            let point: Vec<f64> = drained.by_ref().take(self.dim).collect();
+            out.push(DataEntry::new(point, id));
+        }
+        drop(drained);
+        out
+    }
+
+    /// Consumes the slab into row-structured entries, in order.
+    pub fn into_entries(self) -> impl Iterator<Item = DataEntry> {
+        let dim = self.dim;
+        let mut points = self.points.into_iter();
+        self.ids.into_iter().map(move |id| {
+            let point: Vec<f64> = points.by_ref().take(dim).collect();
+            DataEntry::new(point, id)
+        })
+    }
+
+    /// The MBR covering every row, or `None` when empty.
+    pub fn mbr(&self) -> Option<Mbr> {
+        Mbr::covering(self.points.chunks_exact(self.dim))
+    }
+}
+
 /// A node of the R-tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Node {
     /// An internal (directory) node.
     Internal(Vec<ChildEntry>),
-    /// A leaf node holding data entries.
-    Leaf(Vec<DataEntry>),
+    /// A leaf node holding data entries in columnar slab form.
+    Leaf(LeafSlab),
 }
 
 impl Node {
+    /// An empty leaf for `dim`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0`.
+    pub fn empty_leaf(dim: usize) -> Self {
+        Node::Leaf(LeafSlab::new(dim))
+    }
+
     /// Number of entries in the node.
     pub fn len(&self) -> usize {
         match self {
@@ -91,7 +300,7 @@ impl Node {
                 }
                 Some(acc)
             }
-            Node::Leaf(v) => Mbr::covering(v.iter().map(|e| &*e.point)),
+            Node::Leaf(v) => v.mbr(),
         }
     }
 
@@ -129,18 +338,18 @@ impl Node {
     /// guarantees it does) or when an entry's dimension differs from `dim`.
     pub fn encode(&self, page: &mut Page, dim: usize) {
         match self {
-            Node::Leaf(entries) => {
+            Node::Leaf(slab) => {
+                assert_eq!(slab.dim(), dim, "leaf entry dimension mismatch");
                 page.put_u8(0, 0);
                 page.put_u16(
                     1,
                     // analyze::allow(panic): fanout is capped far below u16::MAX by TreeConfig::validate; encode's documented `# Panics` contract covers hand-built oversized nodes.
-                    u16::try_from(entries.len()).expect("node entry count overflows u16"),
+                    u16::try_from(slab.len()).expect("node entry count overflows u16"),
                 );
                 let mut off = NODE_HEADER_BYTES;
-                for e in entries {
-                    assert_eq!(e.point.len(), dim, "leaf entry dimension mismatch");
-                    page.put_u64(off, e.id);
-                    off = page.put_f64_slice(off + 8, &e.point);
+                for (id, point) in slab.rows() {
+                    page.put_u64(off, id);
+                    off = page.put_f64_slice(off + 8, point);
                 }
             }
             Node::Internal(entries) => {
@@ -189,20 +398,21 @@ impl Node {
                         "leaf entry count {count} exceeds page fanout {max}"
                     ));
                 }
-                let mut entries = Vec::with_capacity(count);
+                if dim == 0 {
+                    return Err("leaf nodes require a positive dimension".to_string());
+                }
+                let mut slab = LeafSlab::with_capacity(dim, count);
                 for i in 0..count {
                     let id = page.get_u64(off);
-                    let mut point = vec![0.0; dim];
-                    off = page.get_f64_slice(off + 8, &mut point);
-                    if point.iter().any(|v| !v.is_finite()) {
+                    let start = slab.points.len();
+                    // Bulk-decode the whole point run straight into the slab.
+                    off = page.extend_f64_slice(off + 8, dim, &mut slab.points);
+                    if slab.points.iter().skip(start).any(|v| !v.is_finite()) {
                         return Err(format!("leaf entry {i} has a non-finite coordinate"));
                     }
-                    entries.push(DataEntry {
-                        point: point.into_boxed_slice(),
-                        id,
-                    });
+                    slab.ids.push(id);
                 }
-                Ok(Node::Leaf(entries))
+                Ok(Node::Leaf(slab))
             }
             1 => {
                 let max = Self::max_internal_fanout(page.size(), dim);
@@ -245,16 +455,15 @@ mod tests {
     use tsss_storage::DEFAULT_PAGE_SIZE;
 
     fn leaf_fixture(dim: usize, n: usize) -> Node {
-        Node::Leaf(
-            (0..n)
-                .map(|i| {
-                    DataEntry::new(
-                        (0..dim).map(|j| (i * dim + j) as f64 * 0.5).collect(),
-                        i as u64 + 1000,
-                    )
-                })
-                .collect(),
-        )
+        Node::Leaf(LeafSlab::from_entries(
+            dim,
+            (0..n).map(|i| {
+                DataEntry::new(
+                    (0..dim).map(|j| (i * dim + j) as f64 * 0.5).collect(),
+                    i as u64 + 1000,
+                )
+            }),
+        ))
     }
 
     fn internal_fixture(dim: usize, n: usize) -> Node {
@@ -291,8 +500,8 @@ mod tests {
     #[test]
     fn empty_nodes_roundtrip() {
         let mut page = Page::zeroed(64);
-        Node::Leaf(vec![]).encode(&mut page, 3);
-        assert_eq!(Node::decode(&page, 3).unwrap(), Node::Leaf(vec![]));
+        Node::empty_leaf(3).encode(&mut page, 3);
+        assert_eq!(Node::decode(&page, 3).unwrap(), Node::empty_leaf(3));
         Node::Internal(vec![]).encode(&mut page, 3);
         assert_eq!(Node::decode(&page, 3).unwrap(), Node::Internal(vec![]));
     }
@@ -311,9 +520,9 @@ mod tests {
     fn mbr_of_leaf_covers_all_points() {
         let node = leaf_fixture(3, 5);
         let mbr = node.mbr().unwrap();
-        if let Node::Leaf(entries) = &node {
-            for e in entries {
-                assert!(mbr.contains_point(&e.point));
+        if let Node::Leaf(slab) = &node {
+            for (_, point) in slab.rows() {
+                assert!(mbr.contains_point(point));
             }
         }
     }
@@ -331,7 +540,7 @@ mod tests {
 
     #[test]
     fn mbr_of_empty_node_is_none() {
-        assert!(Node::Leaf(vec![]).mbr().is_none());
+        assert!(Node::empty_leaf(2).mbr().is_none());
         assert!(Node::Internal(vec![]).mbr().is_none());
     }
 
@@ -357,7 +566,7 @@ mod tests {
     #[test]
     fn oversized_entry_count_is_a_typed_error() {
         let mut page = Page::zeroed(64);
-        Node::Leaf(vec![]).encode(&mut page, 2);
+        Node::empty_leaf(2).encode(&mut page, 2);
         page.put_u16(1, u16::MAX);
         let err = Node::decode(&page, 2).unwrap_err();
         assert!(err.contains("exceeds page fanout"), "{err}");
@@ -365,7 +574,10 @@ mod tests {
 
     #[test]
     fn non_finite_coordinates_are_a_typed_error() {
-        let node = Node::Leaf(vec![DataEntry::new(vec![1.0, 2.0], 5)]);
+        let node = Node::Leaf(LeafSlab::from_entries(
+            2,
+            [DataEntry::new(vec![1.0, 2.0], 5)],
+        ));
         let mut page = Page::zeroed(64);
         node.encode(&mut page, 2);
         page.put_f64(NODE_HEADER_BYTES + 8, f64::NAN);
@@ -396,12 +608,73 @@ mod tests {
 
     #[test]
     fn negative_and_extreme_coordinates_roundtrip() {
-        let node = Node::Leaf(vec![
-            DataEntry::new(vec![-1e300, 1e-300, -0.0], 0),
-            DataEntry::new(vec![f64::MAX, f64::MIN, 0.0], u64::MAX),
-        ]);
+        let node = Node::Leaf(LeafSlab::from_entries(
+            3,
+            [
+                DataEntry::new(vec![-1e300, 1e-300, -0.0], 0),
+                DataEntry::new(vec![f64::MAX, f64::MIN, 0.0], u64::MAX),
+            ],
+        ));
         let mut page = Page::zeroed(256);
         node.encode(&mut page, 3);
         assert_eq!(Node::decode(&page, 3).unwrap(), node);
+    }
+
+    fn slab_and_entries(n: usize) -> (LeafSlab, Vec<DataEntry>) {
+        let entries: Vec<DataEntry> = (0..n)
+            .map(|i| DataEntry::new(vec![i as f64, (i * 7 % 5) as f64], i as u64))
+            .collect();
+        (LeafSlab::from_entries(2, entries.clone()), entries)
+    }
+
+    /// Every slab mutation must mirror what the same operation did on the
+    /// former `Vec<DataEntry>` representation — tree shape (and thus the
+    /// blessed equivalence fixtures) depends on it.
+    #[test]
+    fn slab_mutations_mirror_vec_semantics() {
+        // remove == Vec::remove
+        let (mut slab, mut vec) = slab_and_entries(6);
+        slab.remove(2);
+        vec.remove(2);
+        assert_eq!(slab, LeafSlab::from_entries(2, vec.clone()));
+
+        // position finds the first exact (point, id) row
+        assert_eq!(slab.position(&[4.0, 3.0], 4), Some(3));
+        assert_eq!(slab.position(&[4.0, 3.0], 99), None);
+
+        // reorder + drain_front == sort permutation + drain(..p)
+        let (mut slab, mut vec) = slab_and_entries(6);
+        let order = [5usize, 3, 1, 0, 2, 4];
+        slab.reorder(&order);
+        let picked: Vec<DataEntry> = order.iter().map(|&i| vec[i].clone()).collect();
+        vec = picked;
+        let out = slab.drain_front(2);
+        let expect: Vec<DataEntry> = vec.drain(..2).collect();
+        assert_eq!(out, expect);
+        assert_eq!(slab, LeafSlab::from_entries(2, vec.clone()));
+
+        // select picks rows by index list
+        let sel = slab.select(&[1, 3]);
+        assert_eq!(
+            sel,
+            LeafSlab::from_entries(2, [vec[1].clone(), vec[3].clone()])
+        );
+
+        // into_entries round-trips
+        let back: Vec<DataEntry> = slab.into_entries().collect();
+        assert_eq!(back, vec);
+    }
+
+    #[test]
+    fn slab_rows_and_row_agree() {
+        let (slab, entries) = slab_and_entries(4);
+        for (i, (id, point)) in slab.rows().enumerate() {
+            assert_eq!(id, entries[i].id);
+            assert_eq!(point, &*entries[i].point);
+            assert_eq!(slab.row(i), Some((id, point)));
+        }
+        assert_eq!(slab.row(4), None);
+        assert_eq!(slab.ids().len(), 4);
+        assert_eq!(slab.points().len(), 8);
     }
 }

@@ -138,15 +138,15 @@ impl RTree {
     ) -> Result<(), IndexError> {
         Self::charge(budget, &out.stats)?;
         match self.read_node(page)? {
-            Node::Leaf(entries) => {
+            Node::Leaf(slab) => {
                 out.stats.leaves_visited += 1;
-                for e in entries {
+                for (id, point) in slab.rows() {
                     out.stats.candidates_checked += 1;
-                    let d_sq = pld_sq(&e.point, line);
+                    let d_sq = pld_sq(point, line);
                     if d_sq <= eps_sq {
                         out.matches.push(Match {
-                            id: e.id,
-                            point: e.point.into_vec(),
+                            id,
+                            point: point.to_vec(),
                             distance: d_sq.sqrt(),
                         });
                     }
@@ -185,14 +185,14 @@ impl RTree {
         out: &mut QueryOutcome,
     ) -> Result<(), IndexError> {
         match self.read_node(page)? {
-            Node::Leaf(entries) => {
+            Node::Leaf(slab) => {
                 out.stats.leaves_visited += 1;
-                for e in entries {
+                for (id, point) in slab.rows() {
                     out.stats.candidates_checked += 1;
-                    if query_box.contains_point(&e.point) {
+                    if query_box.contains_point(point) {
                         out.matches.push(Match {
-                            id: e.id,
-                            point: e.point.into_vec(),
+                            id,
+                            point: point.to_vec(),
                             distance: 0.0,
                         });
                     }
@@ -249,15 +249,15 @@ impl RTree {
     ) -> Result<(), IndexError> {
         Self::charge(budget, &out.stats)?;
         match self.read_node(page)? {
-            Node::Leaf(entries) => {
+            Node::Leaf(slab) => {
                 out.stats.leaves_visited += 1;
-                for e in entries {
+                for (id, point) in slab.rows() {
                     out.stats.candidates_checked += 1;
-                    let d_sq = tsss_geometry::vector::dist_sq(&e.point, center);
+                    let d_sq = tsss_geometry::vector::dist_sq(point, center);
                     if d_sq <= radius_sq {
                         out.matches.push(Match {
-                            id: e.id,
-                            point: e.point.into_vec(),
+                            id,
+                            point: point.to_vec(),
                             distance: d_sq.sqrt(),
                         });
                     }

@@ -264,7 +264,7 @@ impl RTree {
             height: 1,
             len: 0,
         };
-        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.write_node(root, &Node::empty_leaf(tree.cfg.dim))?;
         Ok(tree)
     }
 
@@ -427,7 +427,7 @@ impl RTree {
         let mut node = self.read_node(page)?;
         if level == target_level {
             match (&mut node, item) {
-                (Node::Leaf(entries), InsertItem::Data(e)) => entries.push(e),
+                (Node::Leaf(slab), InsertItem::Data(e)) => slab.push_entry(e),
                 (Node::Internal(entries), InsertItem::Child(e)) => entries.push(e),
                 _ => unreachable!("level/kind mismatch during insertion"),
             }
@@ -562,16 +562,25 @@ impl RTree {
                 .sum()
         };
         let node = match node {
-            Node::Leaf(mut entries) => {
-                entries.sort_by(|a, b| {
-                    dist_to(&Mbr::point(&b.point))
-                        .partial_cmp(&dist_to(&Mbr::point(&a.point)))
+            Node::Leaf(mut slab) => {
+                // Stable index sort by descending centre distance — the same
+                // permutation a stable `sort_by` over row-structured entries
+                // produced before the slab layout.
+                let keys: Vec<f64> = slab
+                    .rows()
+                    .map(|(_, pt)| dist_to(&Mbr::point(pt)))
+                    .collect();
+                let mut order: Vec<usize> = (0..slab.len()).collect();
+                order.sort_by(|&a, &b| {
+                    keys[b]
+                        .partial_cmp(&keys[a])
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                for e in entries.drain(..p) {
+                slab.reorder(&order);
+                for e in slab.drain_front(p) {
                     pending.push((InsertItem::Data(e), level));
                 }
-                Node::Leaf(entries)
+                Node::Leaf(slab)
             }
             Node::Internal(mut entries) => {
                 entries.sort_by(|a, b| {
@@ -611,7 +620,7 @@ impl RTree {
 
     fn run_split_policy(&self, node: &Node) -> SplitGroups {
         let mbrs: Vec<Mbr> = match node {
-            Node::Leaf(v) => v.iter().map(|e| Mbr::point(&e.point)).collect(),
+            Node::Leaf(v) => v.rows().map(|(_, pt)| Mbr::point(pt)).collect(),
             Node::Internal(v) => v.iter().map(|e| e.mbr.clone()).collect(),
         };
         let (_, min, _) = self.cfg.caps(node.is_leaf());
@@ -624,15 +633,10 @@ impl RTree {
 
     fn partition(node: Node, groups: &SplitGroups) -> (Node, Node) {
         match node {
-            Node::Leaf(entries) => {
-                let pick = |idxs: &[usize]| -> Vec<DataEntry> {
-                    idxs.iter().map(|&i| entries[i].clone()).collect()
-                };
-                (
-                    Node::Leaf(pick(&groups.first)),
-                    Node::Leaf(pick(&groups.second)),
-                )
-            }
+            Node::Leaf(slab) => (
+                Node::Leaf(slab.select(&groups.first)),
+                Node::Leaf(slab.select(&groups.second)),
+            ),
             Node::Internal(entries) => {
                 let pick = |idxs: &[usize]| -> Vec<ChildEntry> {
                     idxs.iter().map(|&i| entries[i].clone()).collect()
@@ -720,8 +724,8 @@ impl RTree {
                 let node = self.read_node(c.page)?;
                 self.pool.deallocate(c.page)?;
                 match node {
-                    Node::Leaf(entries) => {
-                        for e in entries {
+                    Node::Leaf(slab) => {
+                        for e in slab.into_entries() {
                             self.reinsert_subtree(InsertItem::Data(e))?;
                         }
                     }
@@ -746,14 +750,11 @@ impl RTree {
     ) -> Result<DeleteOutcome, IndexError> {
         let mut node = self.read_node(page)?;
         match &mut node {
-            Node::Leaf(entries) => {
-                let Some(pos) = entries
-                    .iter()
-                    .position(|e| e.id == id && *e.point == *point)
-                else {
+            Node::Leaf(slab) => {
+                let Some(pos) = slab.position(point, id) else {
                     return Ok(DeleteOutcome::NotFound);
                 };
-                entries.remove(pos);
+                slab.remove(pos);
                 self.write_node(page, &node)?;
                 Ok(DeleteOutcome::Removed)
             }
@@ -788,8 +789,8 @@ impl RTree {
                     // Dissolve the child; orphan its entries at child level.
                     let child_level = level - 1;
                     match child {
-                        Node::Leaf(es) => {
-                            for e in es {
+                        Node::Leaf(slab) => {
+                            for e in slab.into_entries() {
                                 orphans.push((InsertItem::Data(e), child_level));
                             }
                         }
@@ -932,9 +933,9 @@ impl RTree {
 
     fn dump_node(&self, page: PageId, out: &mut Vec<(Vec<f64>, u64)>) -> Result<(), IndexError> {
         match self.read_node(page)? {
-            Node::Leaf(entries) => {
-                for e in entries {
-                    out.push((e.point.into_vec(), e.id));
+            Node::Leaf(slab) => {
+                for (id, p) in slab.rows() {
+                    out.push((p.to_vec(), id));
                 }
             }
             Node::Internal(entries) => {

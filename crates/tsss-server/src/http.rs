@@ -1,11 +1,16 @@
 //! A bounded HTTP/1.1 request reader and response writer.
 //!
-//! The server speaks exactly as much HTTP as its JSON API needs: one
-//! request per connection (`Connection: close` on every response), a
-//! method, a path, and an optional `Content-Length` body. The reader is
-//! hardened the same way the JSON parser is — the head is capped at
-//! [`MAX_HEAD_BYTES`], the body at [`MAX_BODY_BYTES`], and a slowloris
-//! client is cut off by the socket read timeout the caller installs.
+//! The server speaks exactly as much HTTP as its JSON API needs: a
+//! method, a path, an optional `Content-Length` body, and persistent
+//! connections — HTTP/1.1 defaults to keep-alive, `Connection: close`
+//! (or HTTP/1.0 without `Connection: keep-alive`) opts out, and the
+//! serve loop in the crate root caps requests per connection. Bytes a
+//! pipelining client sends past the current body are preserved in the
+//! caller's carry buffer and become the start of the next request. The
+//! reader is hardened the same way the JSON parser is — the head is
+//! capped at [`MAX_HEAD_BYTES`], the body at [`MAX_BODY_BYTES`], and a
+//! slowloris client is cut off by the socket read timeout the caller
+//! installs.
 
 use std::io::{self, Read, Write};
 
@@ -25,11 +30,19 @@ pub struct Request {
     pub path: String,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
+    /// The peer closed the connection cleanly before sending any byte of
+    /// a request — the normal end of a kept-alive connection, not a
+    /// protocol error.
+    Closed,
     /// Socket-level failure (including read timeout).
     Io(io::Error),
     /// The bytes on the wire were not an acceptable request. The string
@@ -45,12 +58,15 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one request from `stream`.
+/// Reads one request from `stream`, consuming `carry` (bytes a previous
+/// read pulled past its own request) first and leaving any bytes past
+/// this request's body back in `carry` for the next call.
 ///
 /// # Errors
-/// [`HttpError`] on socket failure, malformed framing, or oversized input.
-pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
-    let (head, mut leftover) = read_head(stream)?;
+/// [`HttpError`] on socket failure, malformed framing, oversized input,
+/// or a clean close before the next request ([`HttpError::Closed`]).
+pub fn read_request<S: Read>(stream: &mut S, carry: &mut Vec<u8>) -> Result<Request, HttpError> {
+    let (head, leftover) = read_head(stream, carry)?;
     let head_text = std::str::from_utf8(&head)
         .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_string()))?;
 
@@ -79,6 +95,8 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
 
     let path = target.split('?').next().unwrap_or(target).to_string();
 
+    // HTTP/1.1 persists by default; HTTP/1.0 only on explicit request.
+    let mut keep_alive = version == "HTTP/1.1";
     let mut content_length: usize = 0;
     for line in lines {
         if line.is_empty() {
@@ -97,6 +115,17 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
             return Err(HttpError::Malformed(
                 "chunked transfer encoding is not supported".to_string(),
             ));
+        } else if name == "connection" {
+            // Token list, case-insensitive: `close` wins over everything,
+            // `keep-alive` opts an HTTP/1.0 client in.
+            for token in value.split(',') {
+                let token = token.trim().to_ascii_lowercase();
+                if token == "close" {
+                    keep_alive = false;
+                } else if token == "keep-alive" && version != "HTTP/1.1" {
+                    keep_alive = true;
+                }
+            }
         }
     }
 
@@ -104,34 +133,45 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
         return Err(HttpError::TooLarge("request body"));
     }
 
-    // `leftover` is whatever body bytes arrived in the same reads as the
-    // head; pull the remainder off the socket.
-    if leftover.len() > content_length {
-        return Err(HttpError::Malformed(
-            "more body bytes than Content-Length".to_string(),
-        ));
-    }
-    let mut body = leftover.split_off(0);
-    body.reserve(content_length - body.len());
-    while body.len() < content_length {
-        let mut chunk = [0u8; 4096];
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want])?;
-        if n == 0 {
-            return Err(HttpError::Malformed(
-                "connection closed mid-body".to_string(),
-            ));
+    // `leftover` is whatever bytes arrived in the same reads as the head.
+    // Up to `content_length` of them are this request's body; anything
+    // past that is the next pipelined request and goes back into `carry`.
+    let mut body;
+    if leftover.len() >= content_length {
+        body = leftover;
+        *carry = body.split_off(content_length);
+    } else {
+        body = leftover;
+        body.reserve(content_length - body.len());
+        while body.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            let want = (content_length - body.len()).min(chunk.len());
+            let n = stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(HttpError::Malformed(
+                    "connection closed mid-body".to_string(),
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
         }
-        body.extend_from_slice(&chunk[..n]);
     }
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// Reads until the `\r\n\r\n` head terminator, returning the head bytes
-/// (terminator excluded) and any extra bytes read past it.
-fn read_head<S: Read>(stream: &mut S) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+/// (terminator excluded) and any extra bytes read past it. `carry` is
+/// consumed before the socket is touched.
+fn read_head<S: Read>(
+    stream: &mut S,
+    carry: &mut Vec<u8>,
+) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
     loop {
         if let Some(end) = find_head_end(&buf) {
             let rest = buf.split_off(end + 4);
@@ -144,6 +184,11 @@ fn read_head<S: Read>(stream: &mut S) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
         let mut chunk = [0u8; 1024];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
+            if buf.is_empty() {
+                // No request in flight: the peer simply hung up between
+                // requests, the clean end of a kept-alive connection.
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::Malformed(
                 "connection closed before request head completed".to_string(),
             ));
@@ -156,13 +201,29 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes a complete response: status line, minimal headers, JSON body.
+/// Writes a complete response that closes the connection.
 ///
 /// # Errors
 /// Propagates socket write failures.
 pub fn write_response<S: Write>(stream: &mut S, status: u16, body: &str) -> io::Result<()> {
+    write_response_conn(stream, status, body, false)
+}
+
+/// Writes a complete response: status line, minimal headers, JSON body.
+/// The `Connection` header announces whether the server will keep the
+/// socket open for another request.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response_conn<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_text(status),
         body.len()
     );
@@ -192,22 +253,64 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn read_one(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw), &mut Vec::new())
+    }
+
     #[test]
     fn parses_get_without_body() {
         let raw = b"GET /health?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n";
-        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        let req = read_one(&raw[..]).unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/health");
         assert!(req.body.is_empty());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn parses_post_with_content_length_body() {
         let raw = b"POST /search HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"a\":[1,2]}";
-        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        let req = read_one(&raw[..]).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/search");
         assert_eq!(req.body, b"{\"a\":[1,2]}");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close11 = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!read_one(&close11[..]).unwrap().keep_alive);
+        let plain10 = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!read_one(&plain10[..]).unwrap().keep_alive);
+        let ka10 = b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(read_one(&ka10[..]).unwrap().keep_alive);
+        let mixed = b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n";
+        assert!(!read_one(&mixed[..]).unwrap().keep_alive, "close wins");
+    }
+
+    #[test]
+    fn pipelined_bytes_carry_over_to_the_next_request() {
+        let raw =
+            b"POST /append HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /health HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(&raw[..]);
+        let mut carry = Vec::new();
+        let first = read_request(&mut cursor, &mut carry).unwrap();
+        assert_eq!(first.body, b"abc");
+        assert!(carry.starts_with(b"GET /health"));
+        let second = read_request(&mut cursor, &mut carry).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/health");
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn clean_close_between_requests_is_closed_not_malformed() {
+        assert!(matches!(read_one(b""), Err(HttpError::Closed)));
+        // Half a request is still a framing error.
+        assert!(matches!(
+            read_one(b"GET / HT"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -217,7 +320,7 @@ mod tests {
             "a".repeat(MAX_HEAD_BYTES)
         );
         assert!(matches!(
-            read_request(&mut Cursor::new(huge_head.as_bytes())),
+            read_one(huge_head.as_bytes()),
             Err(HttpError::TooLarge("request head"))
         ));
         let huge_body = format!(
@@ -225,7 +328,7 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         assert!(matches!(
-            read_request(&mut Cursor::new(huge_body.as_bytes())),
+            read_one(huge_body.as_bytes()),
             Err(HttpError::TooLarge("request body"))
         ));
     }
@@ -241,10 +344,7 @@ mod tests {
             &b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
         ] {
             assert!(
-                matches!(
-                    read_request(&mut Cursor::new(raw)),
-                    Err(HttpError::Malformed(_))
-                ),
+                matches!(read_one(raw), Err(HttpError::Malformed(_))),
                 "{:?}",
                 String::from_utf8_lossy(raw)
             );
@@ -260,5 +360,13 @@ mod tests {
         assert!(text.contains("Content-Length: 16\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"shed\"}"));
+    }
+
+    #[test]
+    fn keep_alive_response_announces_it() {
+        let mut out = Vec::new();
+        write_response_conn(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

@@ -49,8 +49,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Connections allowed to wait for a worker before shedding with 429.
     pub queue_capacity: usize,
-    /// Per-socket read timeout — a stalled client is cut off, not waited on.
+    /// Per-socket read timeout — a stalled client is cut off, not waited
+    /// on. On a kept-alive connection this doubles as the idle timeout
+    /// between requests: a client that sends nothing for this long is
+    /// disconnected.
     pub read_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the last response). Bounds how long one
+    /// client can pin a worker; clamped to at least 1.
+    pub keep_alive_requests: usize,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
+            keep_alive_requests: 32,
         }
     }
 }
@@ -106,7 +114,8 @@ impl Server {
                 let state = Arc::clone(&state);
                 let queue = Arc::clone(&queue);
                 let read_timeout = cfg.read_timeout;
-                std::thread::spawn(move || worker_loop(&state, &queue, read_timeout))
+                let max_requests = cfg.keep_alive_requests.max(1);
+                std::thread::spawn(move || worker_loop(&state, &queue, read_timeout, max_requests))
             })
             .collect();
 
@@ -196,7 +205,7 @@ fn accept_loop(
                 // short timeout.
                 state.metrics.record_status(429);
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                let _ = http::read_request(&mut stream);
+                let _ = http::read_request(&mut stream, &mut Vec::new());
                 let _ = http::write_response(
                     &mut stream,
                     429,
@@ -208,38 +217,74 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(state: &AppState, queue: &AdmissionQueue<TcpStream>, read_timeout: Duration) {
+fn worker_loop(
+    state: &AppState,
+    queue: &AdmissionQueue<TcpStream>,
+    read_timeout: Duration,
+    max_requests: usize,
+) {
     while let Some(mut stream) = queue.pop() {
         let _ = stream.set_read_timeout(Some(read_timeout));
         let _ = stream.set_nodelay(true);
-        serve_connection(state, &mut stream);
+        serve_connection(state, &mut stream, max_requests);
     }
 }
 
-fn serve_connection(state: &AppState, stream: &mut TcpStream) {
-    match http::read_request(stream) {
-        Ok(req) => {
-            let (status, body) = routes::handle(state, &req.method, &req.path, &req.body);
-            let _ = http::write_response(stream, status, &body);
-        }
-        Err(http::HttpError::TooLarge(what)) => {
-            state.metrics.record_status(413);
-            let _ =
-                http::write_response(stream, 413, &api::error_body(&format!("{what} too large")));
-        }
-        Err(http::HttpError::Malformed(msg)) => {
-            state.metrics.record_status(400);
-            let _ = http::write_response(stream, 400, &api::error_body(&msg));
-        }
-        Err(http::HttpError::Io(e))
-            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-        {
-            // Read timeout: answer 408 if the client is still there.
-            state.metrics.record_status(408);
-            let _ = http::write_response(stream, 408, &api::error_body("request timed out"));
-        }
-        Err(http::HttpError::Io(_)) => {
-            // Connection died; nothing to answer.
+/// Serves up to `max_requests` requests on one kept-alive connection.
+/// The connection closes when the client asks (`Connection: close`,
+/// HTTP/1.0), when the cap is reached (the last response announces
+/// `Connection: close`), on any protocol error, or when the socket idles
+/// past the read timeout.
+fn serve_connection(state: &AppState, stream: &mut TcpStream, max_requests: usize) {
+    let mut carry = Vec::new();
+    for served in 0..max_requests {
+        match http::read_request(stream, &mut carry) {
+            Ok(req) => {
+                let keep_alive = req.keep_alive && served + 1 < max_requests;
+                let (status, body) = routes::handle(state, &req.method, &req.path, &req.body);
+                if http::write_response_conn(stream, status, &body, keep_alive).is_err() {
+                    break;
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            Err(http::HttpError::Closed) => {
+                // The client hung up between requests — normal end of a
+                // kept-alive connection.
+                break;
+            }
+            Err(http::HttpError::TooLarge(what)) => {
+                state.metrics.record_status(413);
+                let _ = http::write_response(
+                    stream,
+                    413,
+                    &api::error_body(&format!("{what} too large")),
+                );
+                break;
+            }
+            Err(http::HttpError::Malformed(msg)) => {
+                state.metrics.record_status(400);
+                let _ = http::write_response(stream, 400, &api::error_body(&msg));
+                break;
+            }
+            Err(http::HttpError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Mid-request stall on the first request gets an explicit
+                // 408; a kept-alive connection idling out afterwards is
+                // routine and closes silently.
+                if served == 0 {
+                    state.metrics.record_status(408);
+                    let _ =
+                        http::write_response(stream, 408, &api::error_body("request timed out"));
+                }
+                break;
+            }
+            Err(http::HttpError::Io(_)) => {
+                // Connection died; nothing to answer.
+                break;
+            }
         }
     }
     let _ = stream.flush();

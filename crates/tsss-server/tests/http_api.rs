@@ -26,7 +26,7 @@ fn request(server: &Server, method: &str, path: &str, body: &str) -> (u16, Strin
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
@@ -273,6 +273,104 @@ fn batch_and_knn_over_the_wire() {
         .map(|m| m.get("distance").and_then(Json::as_f64).unwrap())
         .collect();
     assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    server.shutdown();
+}
+
+/// Reads exactly one response (head + `Content-Length` body) off a
+/// kept-alive stream, leaving the connection usable for the next one.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, bool) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head: read byte-wise until the terminator (test-sized traffic).
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "head cut short");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw.clone()).unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .unwrap();
+    let keep_alive = head.contains("Connection: keep-alive\r\n");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    raw.extend_from_slice(&body);
+    let (status, payload) = parse_response(&raw);
+    (status, payload, keep_alive)
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (server, data) = fixture();
+    let q = query_json(&data, 0, 7, WINDOW);
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Several requests over the same socket: each response must arrive,
+    // announce keep-alive, and leave the connection usable.
+    for _ in 0..3 {
+        let body = format!("{{\"query\":{q},\"epsilon\":0.25}}");
+        let head = format!(
+            "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body.as_bytes()).unwrap();
+        let (status, payload, keep_alive) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "{payload}");
+        assert!(keep_alive, "mid-connection responses stay keep-alive");
+        assert!(Json::parse(&payload).unwrap().get("matches").is_some());
+    }
+
+    // An explicit `Connection: close` ends the conversation.
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, _, keep_alive) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(!keep_alive, "the final response must announce close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after Connection: close");
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let data = MarketSimulator::new(MarketConfig::small(4, 80, 99)).generate();
+    let engine = SearchEngine::build(&data, EngineConfig::small(WINDOW)).unwrap();
+    let server = Server::start(
+        engine,
+        &ServerConfig {
+            keep_alive_requests: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let get = b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
+
+    stream.write_all(get).unwrap();
+    let (status, _, keep_alive) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(keep_alive, "first of two allowed requests keeps the socket");
+
+    stream.write_all(get).unwrap();
+    let (status, _, keep_alive) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(!keep_alive, "the cap's last response must announce close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close at the request cap");
     server.shutdown();
 }
 

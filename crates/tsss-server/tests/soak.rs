@@ -36,7 +36,7 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();

@@ -48,6 +48,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod page;
+pub mod readahead;
 pub mod stats;
 pub mod store;
 pub mod wal;
@@ -58,6 +59,7 @@ pub use disk::{PageFile, PageId};
 pub use error::StorageError;
 pub use fault::{CrashPoint, FaultConfig, FaultCounters, FaultyStore};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use readahead::{ReadAhead, DEFAULT_READ_AHEAD};
 pub use stats::{AccessCounts, AccessStats, StatsScope};
 pub use store::PageStore;
 pub use wal::{Wal, WalScan, MAX_WAL_RECORD_BYTES};

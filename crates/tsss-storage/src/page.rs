@@ -8,7 +8,13 @@
 
 // analyze::allow-file(index): the typed accessors deliberately bounds-check through slice indexing — an out-of-range offset is a caller logic error with a documented `# Panics` contract, and every caller derives offsets from layout constants validated against the page size.
 
-/// The paper's page size: 4 KBytes (§7).
+/// The paper's page size: 4 KBytes (§7), kept as the default.
+///
+/// The A5 ablation (`results/ablation_page.txt`, reproduced with
+/// `cargo run --release -p tsss-bench --bin ablation_page`) sweeps 1–16 KB:
+/// larger pages buy fewer page accesses roughly linearly but cost
+/// proportionally more CPU per touched page, and 4 KB sits at the knee —
+/// matching both the paper's setting and the common filesystem block size.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
 /// A fixed-size byte page.
@@ -125,24 +131,51 @@ impl Page {
 
     /// Writes a contiguous run of `f64`s starting at byte offset `off`;
     /// returns the offset just past the run.
+    ///
+    /// One bounds check up front, then a chunked byte loop the compiler can
+    /// keep in registers — the bulk encoder for slab-format leaf pages and
+    /// data-file runs. Pure byte reinterpretation, so trivially bit-exact.
     pub fn put_f64_slice(&mut self, off: usize, vs: &[f64]) -> usize {
-        let mut o = off;
-        for &v in vs {
-            self.put_f64(o, v);
-            o += 8;
+        let end = off + vs.len() * 8;
+        let dst = &mut self.bytes[off..end];
+        for (chunk, &v) in dst.chunks_exact_mut(8).zip(vs) {
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
-        o
+        end
     }
 
     /// Reads `out.len()` consecutive `f64`s starting at byte offset `off`;
     /// returns the offset just past the run.
+    ///
+    /// The bulk decoder twin of [`put_f64_slice`](Self::put_f64_slice):
+    /// one bounds check, then a chunked loop over the byte range.
     pub fn get_f64_slice(&self, off: usize, out: &mut [f64]) -> usize {
-        let mut o = off;
-        for v in out {
-            *v = self.get_f64(o);
-            o += 8;
+        let end = off + out.len() * 8;
+        let src = &self.bytes[off..end];
+        for (chunk, v) in src.chunks_exact(8).zip(out) {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            *v = f64::from_le_bytes(buf);
         }
-        o
+        end
+    }
+
+    /// Appends `out.len()`-agnostic: decodes `count` consecutive `f64`s
+    /// starting at byte offset `off` onto the end of `out`; returns the
+    /// offset just past the run.
+    ///
+    /// This is the append-flavoured bulk decoder the columnar read path
+    /// uses to fill window/series slabs without zero-initialising first.
+    pub fn extend_f64_slice(&self, off: usize, count: usize, out: &mut Vec<f64>) -> usize {
+        let end = off + count * 8;
+        let src = &self.bytes[off..end];
+        out.reserve(count);
+        for chunk in src.chunks_exact(8) {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            out.push(f64::from_le_bytes(buf));
+        }
+        end
     }
 }
 
@@ -214,6 +247,34 @@ mod tests {
         let end2 = p.get_f64_slice(16, &mut out);
         assert_eq!(end2, end);
         assert_eq!(out, vs);
+    }
+
+    #[test]
+    fn extend_f64_slice_appends_bit_exact() {
+        let mut p = Page::zeroed(128);
+        let vs = [0.0, -0.0, f64::MAX, 1.0 / 3.0, -12345.6789];
+        let end = p.put_f64_slice(8, &vs);
+        let mut out = vec![7.0];
+        let end2 = p.extend_f64_slice(8, 5, &mut out);
+        assert_eq!(end2, end);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], 7.0);
+        for (got, want) in out[1..].iter().zip(&vs) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_codecs_roundtrip_bits_at_odd_offsets() {
+        let mut p = Page::zeroed(256);
+        let vs: Vec<f64> = (0..17).map(|i| f64::from(i) * 0.1 - 0.5).collect();
+        let end = p.put_f64_slice(3, &vs);
+        assert_eq!(end, 3 + 17 * 8);
+        let mut out = vec![0.0; 17];
+        p.get_f64_slice(3, &mut out);
+        for (got, want) in out.iter().zip(&vs) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 
     #[test]
