@@ -161,6 +161,9 @@ mod tests {
     #[test]
     fn hot_path_scope_is_the_four_query_path_crates() {
         assert!(is_hot_path("crates/tsss-core/src/engine.rs"));
+        // Scatter-gather fan-out and merge run on every sharded query:
+        // the sharded module is hot-path like the engine it multiplexes.
+        assert!(is_hot_path("crates/tsss-core/src/sharded.rs"));
         assert!(is_hot_path("crates/tsss-storage/src/buffer.rs"));
         // The WAL sits on the acknowledged-append path: its scan/replay
         // code must stay panic-free like the rest of the storage crate.

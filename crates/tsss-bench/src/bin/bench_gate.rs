@@ -8,8 +8,8 @@
 //! ```
 //!
 //! The gated keys per bench live in [`tsss_bench::gate`]; derived ratios
-//! are never gated. Run `bench_search` / `bench_append` with
-//! `TSSS_BENCH_OUT` pointing at a scratch path first, then hand both
+//! are never gated. Run `bench_search` / `bench_append` / `bench_shard`
+//! with `TSSS_BENCH_OUT` pointing at a scratch path first, then hand both
 //! files to this binary.
 
 #![forbid(unsafe_code)]
@@ -39,7 +39,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_gate --bench search|append --baseline <file> \
+                    "usage: bench_gate --bench search|append|shard --baseline <file> \
                      --current <file> [--tolerance 0.15]"
                 );
                 return ExitCode::SUCCESS;
@@ -56,7 +56,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let Some(gated) = gate::gated_keys(&bench) else {
-        eprintln!("bench_gate: unknown bench `{bench}` (expected `search` or `append`)");
+        eprintln!("bench_gate: unknown bench `{bench}` (expected `search`, `append` or `shard`)");
         return ExitCode::from(2);
     };
 

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `bench_gate` binary: spawn the real executable
+//! against small baseline/current JSON files in a temp dir and check exit
+//! codes — in particular that `--tolerance` actually moves the threshold.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsss-gate-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn gate(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args(args)
+        .output()
+        .expect("spawn bench_gate binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_search_json(path: &PathBuf, indexed: f64, seqscan: f64) {
+    std::fs::write(
+        path,
+        format!(
+            "{{\n  \"bench\": \"search\",\n  \"indexed_ms_per_iter\": {indexed:.3},\n  \"seqscan_ms_per_iter\": {seqscan:.3}\n}}\n"
+        ),
+    )
+    .expect("write bench json");
+}
+
+#[test]
+fn tolerance_flag_moves_the_threshold() {
+    let dir = workdir("tolerance");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    write_search_json(&base, 20.0, 100.0);
+    // +5% on both metrics: inside the 15% default, outside a 1% tolerance.
+    write_search_json(&cur, 21.0, 105.0);
+    let common = [
+        "--bench",
+        "search",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ];
+
+    let (code, out, _) = gate(&common);
+    assert_eq!(code, Some(0), "default tolerance should pass: {out}");
+    assert!(out.contains("within 15%"), "unexpected: {out}");
+
+    let mut tight = common.to_vec();
+    tight.extend(["--tolerance", "0.01"]);
+    let (code, out, err) = gate(&tight);
+    assert_eq!(code, Some(1), "1% tolerance should fail: {out}");
+    assert!(err.contains("regressed more than 1%"), "unexpected: {err}");
+
+    let mut loose = common.to_vec();
+    loose.extend(["--tolerance", "0.5"]);
+    write_search_json(&cur, 26.0, 130.0); // +30%
+    let (code, out, _) = gate(&loose);
+    assert_eq!(code, Some(0), "50% tolerance should absorb +30%: {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    // A non-numeric tolerance is a usage error, not a gate verdict.
+    let (code, _, err) = gate(&["--tolerance", "lots"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("--tolerance needs a number"), "{err}");
+
+    // So is an unknown bench name; the message lists the known ones.
+    let dir = workdir("usage");
+    let f = dir.join("x.json");
+    write_search_json(&f, 1.0, 1.0);
+    let (code, _, err) = gate(&[
+        "--bench",
+        "figure4",
+        "--baseline",
+        f.to_str().unwrap(),
+        "--current",
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(
+        err.contains("`search`, `append` or `shard`"),
+        "stale bench list: {err}"
+    );
+
+    // And missing required flags.
+    let (code, _, err) = gate(&[]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("required"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_bench_keys_are_gated() {
+    let dir = workdir("shard");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    let shard_json = |s1: f64| {
+        format!(
+            "{{\n  \"bench\": \"shard\",\n  \"shard1_ms_per_iter\": {s1:.3},\n  \"shard2_ms_per_iter\": 10.0,\n  \"shard4_ms_per_iter\": 10.0,\n  \"shard8_ms_per_iter\": 10.0,\n  \"merge_overhead\": 99.0\n}}\n"
+        )
+    };
+    std::fs::write(&base, shard_json(10.0)).unwrap();
+    // merge_overhead is wildly different but ungated; shard1 +100% fails.
+    std::fs::write(&cur, shard_json(20.0)).unwrap();
+    let (code, out, _) = gate(&[
+        "--bench",
+        "shard",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("FAIL shard1_ms_per_iter"), "{out}");
+    assert!(
+        !out.contains("merge_overhead"),
+        "ratio must not be gated: {out}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

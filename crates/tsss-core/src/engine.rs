@@ -322,6 +322,14 @@ impl SearchEngine {
         self.store.series_len(s)
     }
 
+    /// The name of the series with index `s`, as stored in the data file.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSeries`] for a bad index.
+    pub fn series_name(&self, s: usize) -> Result<&str, EngineError> {
+        self.store.series_name(s)
+    }
+
     // ------------------------------------------------------------------
     // Dynamic maintenance (paper §3, requirement 2)
     // ------------------------------------------------------------------

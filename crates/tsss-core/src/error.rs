@@ -70,6 +70,19 @@ pub enum EngineError {
         /// Human-readable diagnosis of the log failure.
         detail: String,
     },
+    /// A scatter-gather shard failed and the whole query had to be
+    /// refused — either every shard failed, or the caller asked for
+    /// [`crate::DegradationPolicy::Error`], which forbids dropping the
+    /// failed shard's slice. The typed fan-out failure: distinguishable
+    /// from a plain [`EngineError::Corrupt`] so callers can tell "this
+    /// engine's data is damaged" from "shard `i` of a sharded deployment
+    /// is down" (see [`crate::ShardedEngine`]).
+    ShardUnavailable {
+        /// Index of the first shard that failed.
+        shard: usize,
+        /// The failed shard's own error, rendered.
+        detail: String,
+    },
     /// The query's [`crate::Deadline`] ran out mid-execution. Checked
     /// cooperatively at every pipeline stage (and each k-NN frontier
     /// round), so the query stops at a stage boundary with its partial
@@ -162,6 +175,9 @@ impl fmt::Display for EngineError {
             EngineError::PageBudgetExceeded { budget } => {
                 write!(f, "page budget of {budget} accesses exhausted mid-query")
             }
+            EngineError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
             EngineError::DeadlineExceeded { pages, steps } => {
                 write!(
                     f,
@@ -226,6 +242,13 @@ mod tests {
                 },
                 "deadline exceeded after 12 page accesses and 3",
             ),
+            (
+                EngineError::ShardUnavailable {
+                    shard: 2,
+                    detail: "corrupt stored data: page 7 checksum mismatch".into(),
+                },
+                "shard 2 unavailable: corrupt stored data",
+            ),
         ];
         for (err, frag) in cases {
             assert!(
@@ -262,6 +285,18 @@ mod tests {
         assert!(
             !e.is_corruption(),
             "deadlines must never trigger degradation"
+        );
+    }
+
+    #[test]
+    fn shard_unavailable_is_not_corruption() {
+        let e = EngineError::ShardUnavailable {
+            shard: 1,
+            detail: "corrupt stored data: page 3".into(),
+        };
+        assert!(
+            !e.is_corruption(),
+            "a down shard is a fan-out failure, not damage in this engine's own files"
         );
     }
 

@@ -27,7 +27,9 @@
 //! * [`longquery`] — queries longer than the indexed window, via the
 //!   sub-query decomposition of \[2\] (§7, first remark),
 //! * [`normalized`] — a z-normalisation comparator relating the paper's
-//!   model to the later-standard normalised Euclidean distance.
+//!   model to the later-standard normalised Euclidean distance,
+//! * [`sharded`] — scatter-gather over N independent engine shards with
+//!   per-shard fault isolation and partial-result degradation.
 
 #![forbid(unsafe_code)]
 // Tests assert bit-exact determinism and build small fixtures, where exact
@@ -52,6 +54,7 @@ pub mod pipeline;
 pub mod recovery;
 pub mod result;
 pub mod seqscan;
+pub mod sharded;
 pub mod window;
 
 pub use config::{
@@ -67,3 +70,4 @@ pub use pipeline::{
 };
 pub use recovery::{BreakerState, HealthReport, RepairReport};
 pub use result::{SearchResult, SearchStats, SubsequenceMatch};
+pub use sharded::ShardedEngine;

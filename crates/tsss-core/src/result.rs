@@ -59,8 +59,12 @@ impl SubsequenceMatch {
 /// fallback produced the answer), `breaker` (circuit-breaker state at
 /// query end), `epoch` and `wal_tail_records` (serving-layer stamps:
 /// which snapshot generation answered and how deep the write-ahead log
-/// tail was — no candidate accounting at all), and `elapsed` (wall-clock
-/// time).
+/// tail was — no candidate accounting at all),
+/// `degraded_shards`/`shards_ok` (scatter-gather accounting stamped by
+/// [`crate::ShardedEngine`]: how many shards failed and had their slice
+/// dropped vs. how many answered — summed per-shard stats still satisfy
+/// the identity because each contributing shard does), and `elapsed`
+/// (wall-clock time).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Index traversal statistics (nodes visited, penetration tests, …).
@@ -106,6 +110,16 @@ pub struct SearchStats {
     /// into a full save) when the query was answered; `0` for engines
     /// without a log. Stamped by the serving layer, like `epoch`.
     pub wal_tail_records: u64,
+    /// Shards whose slice was dropped from a scatter-gather answer because
+    /// the shard failed (corruption, exhausted deadline slice, spent page
+    /// budget). Stamped by [`crate::ShardedEngine`]; `0` for direct
+    /// single-engine calls, which have no shards.
+    pub degraded_shards: u64,
+    /// Shards that answered and whose exact results are merged into this
+    /// one. A fully healthy scatter-gather query has
+    /// `shards_ok == num_shards` and `degraded_shards == 0`; `0` for
+    /// direct single-engine calls, like `degraded_shards`.
+    pub shards_ok: u64,
     /// Wall-clock search time.
     pub elapsed: std::time::Duration,
 }

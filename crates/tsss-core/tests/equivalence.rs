@@ -428,3 +428,94 @@ fn append_save_load_answers_bit_identical_to_build_from_scratch() {
         );
     }
 }
+
+/// Shard-count invariance: the scatter-gather engine must answer every
+/// query mode bit-identically (ids, transforms, distances) whether the
+/// series live in 1 shard or 4 — and identically to the plain unsharded
+/// engine. The partition is an implementation detail; the answer is not
+/// allowed to depend on it.
+#[test]
+fn sharded_answers_are_shard_count_invariant() {
+    use tsss_core::ShardedEngine;
+    let data = workload();
+    let single = engine();
+    let n1 = ShardedEngine::build(&data, EngineConfig::small(16), 1).unwrap();
+    let n4 = ShardedEngine::build(&data, EngineConfig::small(16), 4).unwrap();
+    assert_eq!(n1.num_windows(), single.num_windows());
+    assert_eq!(n4.num_windows(), single.num_windows());
+
+    let assert_same = |name: &str, want: &SearchResult, got: &SearchResult| {
+        assert_eq!(got.matches.len(), want.matches.len(), "{name}: count");
+        for (a, b) in got.matches.iter().zip(&want.matches) {
+            assert_eq!(a.id, b.id, "{name}");
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{name}");
+            assert_eq!(a.transform.a.to_bits(), b.transform.a.to_bits(), "{name}");
+            assert_eq!(a.transform.b.to_bits(), b.transform.b.to_bits(), "{name}");
+        }
+        // Only the accounting identity — not `matches == verified`, which
+        // k-NN's truncation to k legitimately breaks.
+        assert_eq!(
+            got.stats.candidates,
+            got.stats.verified + got.stats.false_alarms + got.stats.cost_rejected,
+            "stage accounting broken on {name}: {:?}",
+            got.stats
+        );
+    };
+
+    let q = data[0].window(5, 16).unwrap().to_vec();
+    let ql = data[1].window(10, 40).unwrap().to_vec();
+    for (name, base, r1, r4) in [
+        (
+            "range/eps2",
+            single.search(&q, 2.0, SearchOptions::default()).unwrap(),
+            n1.search(&q, 2.0, SearchOptions::default()).unwrap(),
+            n4.search(&q, 2.0, SearchOptions::default()).unwrap(),
+        ),
+        (
+            "knn/k7",
+            single
+                .nearest_search_opts(&q, 7, SearchOptions::default())
+                .unwrap(),
+            n1.nearest_search_opts(&q, 7, SearchOptions::default())
+                .unwrap(),
+            n4.nearest_search_opts(&q, 7, SearchOptions::default())
+                .unwrap(),
+        ),
+        (
+            "znorm/eps1",
+            single.search_znormalized(&q, 1.0).unwrap(),
+            n1.search_znormalized(&q, 1.0).unwrap(),
+            n4.search_znormalized(&q, 1.0).unwrap(),
+        ),
+        (
+            "long/len40",
+            single
+                .search_long(&ql, 2.0, SearchOptions::default())
+                .unwrap(),
+            n1.search_long(&ql, 2.0, SearchOptions::default()).unwrap(),
+            n4.search_long(&ql, 2.0, SearchOptions::default()).unwrap(),
+        ),
+    ] {
+        assert_same(&format!("{name}/n1"), &base, &r1);
+        assert_same(&format!("{name}/n4"), &base, &r4);
+        assert_eq!(r1.stats.shards_ok, 1, "{name}");
+        assert_eq!(r4.stats.shards_ok, 4, "{name}");
+        assert_eq!(r4.stats.degraded_shards, 0, "{name}");
+    }
+
+    // Batches too, across worker counts.
+    let batch: Vec<Vec<f64>> = (0..5)
+        .map(|i| data[i % data.len()].window(3 + 7 * i, 16).unwrap().to_vec())
+        .collect();
+    let base = single
+        .search_batch(&batch, 1.5, SearchOptions::default(), 1)
+        .unwrap();
+    for workers in [1, 4] {
+        let got = n4
+            .search_batch(&batch, 1.5, SearchOptions::default(), workers)
+            .unwrap();
+        for (i, (want, have)) in base.iter().zip(&got).enumerate() {
+            assert_same(&format!("batch[{i}]/w{workers}"), want, have);
+        }
+    }
+}

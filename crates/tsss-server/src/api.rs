@@ -77,19 +77,28 @@ pub fn status_of(e: &EngineError) -> u16 {
         | EngineError::DatasetTooSmall { .. } => 400,
         EngineError::UnknownSeries(_) => 404,
         EngineError::TooLarge { .. } => 413,
-        EngineError::PageBudgetExceeded { .. } | EngineError::DeadlineExceeded { .. } => 503,
+        // A failed shard is explicit service degradation like a spent
+        // budget: the data is intact, a retry after repair succeeds.
+        EngineError::PageBudgetExceeded { .. }
+        | EngineError::DeadlineExceeded { .. }
+        | EngineError::ShardUnavailable { .. } => 503,
         // A WAL failure means the append was not acknowledged — a server-side
         // durability fault the client should retry, like corruption a 500.
         EngineError::Corrupt { .. } | EngineError::Wal { .. } => 500,
     }
 }
 
-/// True when the error is a spent deadline or page budget (the `/metrics`
-/// `deadline_exceeded_total` counter).
+/// True when the error is explicit service degradation — a spent deadline
+/// or page budget, or a shard that failed with one (a sharded snapshot
+/// reports per-shard exhaustion as [`EngineError::ShardUnavailable`]).
+/// These are the 503s the `/metrics` `deadline_exceeded_total` counter
+/// tracks, matching the grouping in [`status_of`].
 pub fn is_budget_exhaustion(e: &EngineError) -> bool {
     matches!(
         e,
-        EngineError::DeadlineExceeded { .. } | EngineError::PageBudgetExceeded { .. }
+        EngineError::DeadlineExceeded { .. }
+            | EngineError::PageBudgetExceeded { .. }
+            | EngineError::ShardUnavailable { .. }
     )
 }
 
@@ -247,6 +256,8 @@ pub fn encode_result(res: &SearchResult, limit: Option<usize>) -> Json {
             },
         ),
         ("breaker", Json::from(breaker_str(s.breaker))),
+        ("degraded_shards", Json::from(s.degraded_shards)),
+        ("shards_ok", Json::from(s.shards_ok)),
         ("epoch", Json::from(s.epoch)),
         ("wal_tail_records", Json::from(s.wal_tail_records)),
         (
@@ -384,6 +395,13 @@ mod tests {
         );
         assert_eq!(
             status_of(&EngineError::PageBudgetExceeded { budget: 8 }),
+            503
+        );
+        assert_eq!(
+            status_of(&EngineError::ShardUnavailable {
+                shard: 2,
+                detail: "index page 4 corrupt".to_string()
+            }),
             503
         );
         assert_eq!(

@@ -58,6 +58,13 @@ pub struct ServerConfig {
     /// (`Connection: close` on the last response). Bounds how long one
     /// client can pin a worker; clamped to at least 1.
     pub keep_alive_requests: usize,
+    /// Fault domains serving queries. `1` (the default) serves the engine
+    /// directly; `N > 1` partitions every published snapshot across N
+    /// independent shards — scatter-gather merge with per-shard circuit
+    /// breakers, so a corrupt or budget-exhausted shard degrades only its
+    /// slice of each answer (`stats.degraded_shards`). Clamped to the
+    /// number of series. Ingest stays single-master either way.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +75,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
             keep_alive_requests: 32,
+            shards: 1,
         }
     }
 }
@@ -90,7 +98,7 @@ impl Server {
     /// # Errors
     /// Propagates the bind failure.
     pub fn start(engine: SearchEngine, cfg: &ServerConfig) -> io::Result<Server> {
-        Self::start_with_state(Arc::new(AppState::new(engine)), cfg)
+        Self::start_with_state(Arc::new(AppState::new_sharded(engine, cfg.shards)), cfg)
     }
 
     /// As [`Server::start`], but over a durable master engine: every
@@ -100,7 +108,10 @@ impl Server {
     /// # Errors
     /// Propagates the bind failure.
     pub fn start_durable(master: DurableEngine, cfg: &ServerConfig) -> io::Result<Server> {
-        Self::start_with_state(Arc::new(AppState::new_durable(master)), cfg)
+        Self::start_with_state(
+            Arc::new(AppState::new_durable_sharded(master, cfg.shards)),
+            cfg,
+        )
     }
 
     fn start_with_state(state: Arc<AppState>, cfg: &ServerConfig) -> io::Result<Server> {

@@ -15,7 +15,10 @@ use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
-use tsss_core::{DurableEngine, SearchEngine};
+use tsss_core::{
+    BreakerState, DurableEngine, EngineError, HealthReport, SearchEngine, SearchOptions,
+    SearchResult, ShardedEngine,
+};
 use tsss_data::Series;
 
 use crate::api::{
@@ -43,11 +46,191 @@ struct IngestGauges {
     durable: AtomicBool,
 }
 
+/// What query endpoints run against: the published immutable snapshot,
+/// served either by one engine or by a scatter-gather sharded view with
+/// per-shard fault isolation. Chosen at startup ([`AppState::new_sharded`]
+/// / `ServerConfig::shards`) and rebuilt on every snapshot publication.
+pub enum ServingSnapshot {
+    /// A single engine — one fault domain, the default. Boxed so the
+    /// variants stay comparably sized; the snapshot lives behind an `Arc`.
+    Single(Box<SearchEngine>),
+    /// N independent shards: a corrupt or budget-exhausted shard degrades
+    /// only its slice of each answer (`stats.degraded_shards`).
+    Sharded(ShardedEngine),
+}
+
+impl ServingSnapshot {
+    /// How many fault domains serve queries (`1` for a single engine).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            ServingSnapshot::Single(_) => 1,
+            ServingSnapshot::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    /// Total series across all fault domains.
+    pub fn num_series(&self) -> usize {
+        match self {
+            ServingSnapshot::Single(e) => e.num_series(),
+            ServingSnapshot::Sharded(s) => s.num_series(),
+        }
+    }
+
+    /// Total indexed windows across all fault domains.
+    pub fn num_windows(&self) -> usize {
+        match self {
+            ServingSnapshot::Single(e) => e.num_windows(),
+            ServingSnapshot::Sharded(s) => s.num_windows(),
+        }
+    }
+
+    fn stride(&self) -> usize {
+        match self {
+            ServingSnapshot::Single(e) => e.config().stride,
+            ServingSnapshot::Sharded(s) => s.config().stride,
+        }
+    }
+
+    /// Per-shard circuit-breaker positions, in shard order (one entry for
+    /// a single engine).
+    pub fn shard_breakers(&self) -> Vec<BreakerState> {
+        match self {
+            ServingSnapshot::Single(e) => vec![e.breaker_state()],
+            ServingSnapshot::Sharded(s) => s.breaker_states(),
+        }
+    }
+
+    /// Query-path health. A sharded snapshot folds its per-shard reports
+    /// into one: worst breaker, summed lifetime counters, OR'd repair
+    /// flags, and the concatenation of quarantined pages (page ids are
+    /// shard-local, so the list says *whether* repair is due, not where —
+    /// `shard_breakers` locates the sick domain).
+    pub fn health(&self) -> HealthReport {
+        match self {
+            ServingSnapshot::Single(e) => e.health(),
+            ServingSnapshot::Sharded(s) => {
+                let mut agg = HealthReport {
+                    breaker: BreakerState::Closed,
+                    strikes: 0,
+                    seqscan_served: 0,
+                    breaker_trips: 0,
+                    quarantined_pages: Vec::new(),
+                    index_retries: 0,
+                    data_retries: 0,
+                    append_tail_unindexed: false,
+                    max_norm_loose: false,
+                    wal_tail_records: 0,
+                    wal_replayed: 0,
+                };
+                for r in s.health() {
+                    if breaker_rank(r.breaker) > breaker_rank(agg.breaker) {
+                        agg.breaker = r.breaker;
+                    }
+                    // Strikes count *consecutive* corrupt probes within one
+                    // domain; across domains the worst one is the signal.
+                    agg.strikes = agg.strikes.max(r.strikes);
+                    agg.seqscan_served += r.seqscan_served;
+                    agg.breaker_trips += r.breaker_trips;
+                    agg.quarantined_pages.extend(r.quarantined_pages);
+                    agg.index_retries += r.index_retries;
+                    agg.data_retries += r.data_retries;
+                    agg.append_tail_unindexed |= r.append_tail_unindexed;
+                    agg.max_norm_loose |= r.max_norm_loose;
+                    agg.wal_tail_records += r.wal_tail_records;
+                    agg.wal_replayed += r.wal_replayed;
+                }
+                agg
+            }
+        }
+    }
+
+    /// Range search — [`SearchEngine::search`] or the scatter-gather
+    /// [`ShardedEngine::search`].
+    pub fn search(
+        &self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        match self {
+            ServingSnapshot::Single(e) => e.search(query, epsilon, opts),
+            ServingSnapshot::Sharded(s) => s.search(query, epsilon, opts),
+        }
+    }
+
+    /// k-nearest search (the sharded path re-tightens the global k-th
+    /// bound across shards).
+    pub fn nearest_search_opts(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        match self {
+            ServingSnapshot::Single(e) => e.nearest_search_opts(query, k, opts),
+            ServingSnapshot::Sharded(s) => s.nearest_search_opts(query, k, opts),
+        }
+    }
+
+    /// z-normalized search.
+    pub fn search_znormalized_opts(
+        &self,
+        query: &[f64],
+        z_eps: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        match self {
+            ServingSnapshot::Single(e) => e.search_znormalized_opts(query, z_eps, opts),
+            ServingSnapshot::Sharded(s) => s.search_znormalized_opts(query, z_eps, opts),
+        }
+    }
+
+    /// Long-query search (piece decomposition).
+    pub fn search_long(
+        &self,
+        query: &[f64],
+        epsilon: f64,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, EngineError> {
+        match self {
+            ServingSnapshot::Single(e) => e.search_long(query, epsilon, opts),
+            ServingSnapshot::Sharded(s) => s.search_long(query, epsilon, opts),
+        }
+    }
+
+    /// Batch search: per-query isolation either way.
+    pub fn search_batch_results(
+        &self,
+        queries: &[Vec<f64>],
+        epsilon: f64,
+        opts: SearchOptions,
+        workers: usize,
+    ) -> Vec<Result<SearchResult, EngineError>> {
+        match self {
+            ServingSnapshot::Single(e) => e.search_batch_results(queries, epsilon, opts, workers),
+            ServingSnapshot::Sharded(s) => s.search_batch_results(queries, epsilon, opts, workers),
+        }
+    }
+}
+
+/// Severity order for folding breakers across shards: an open breaker
+/// anywhere outranks half-open, which outranks closed.
+fn breaker_rank(b: BreakerState) -> u8 {
+    match b {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
+}
+
 /// State shared by every worker thread.
 pub struct AppState {
-    /// The published immutable engine all query endpoints read. The lock
+    /// The published immutable snapshot all query endpoints read. The lock
     /// is held only to clone or swap the `Arc` — never across a search.
-    snapshot: RwLock<Arc<SearchEngine>>,
+    snapshot: RwLock<Arc<ServingSnapshot>>,
+    /// Fault domains every publication partitions the snapshot into
+    /// (`1` = serve the engine directly); fixed at startup.
+    shards: usize,
     /// The durable master engine; appends, repairs and saves serialize here.
     ingest: Mutex<DurableEngine>,
     /// Snapshot generation: bumped once per publication, `0` until the
@@ -64,18 +247,34 @@ impl AppState {
     /// `/append` acknowledgements do not survive a crash and `/save` is
     /// rejected.
     pub fn new(engine: SearchEngine) -> AppState {
-        Self::new_durable(DurableEngine::new_volatile(engine))
+        Self::new_sharded(engine, 1)
+    }
+
+    /// As [`AppState::new`], but queries are served by a scatter-gather
+    /// [`ShardedEngine`] over `shards` independent fault domains (clamped
+    /// to the number of series; `<= 1` serves the engine directly).
+    /// Ingest stays single-master: every publication re-partitions the
+    /// fresh snapshot.
+    pub fn new_sharded(engine: SearchEngine, shards: usize) -> AppState {
+        Self::new_durable_sharded(DurableEngine::new_volatile(engine), shards)
     }
 
     /// Wraps a durable master engine for serving.
     pub fn new_durable(master: DurableEngine) -> AppState {
+        Self::new_durable_sharded(master, 1)
+    }
+
+    /// As [`AppState::new_durable`], with queries served across `shards`
+    /// fault domains (see [`AppState::new_sharded`]).
+    pub fn new_durable_sharded(master: DurableEngine, shards: usize) -> AppState {
         // The first snapshot is cloned out of the master by the same
         // save/load roundtrip `publish` uses, so an engine that cannot
         // snapshot fails at startup rather than on the first mutation.
-        let snapshot = clone_engine(master.engine())
+        let snapshot = make_snapshot(master.engine(), shards)
             .expect("a loaded engine must roundtrip through its own persistence format");
         let state = AppState {
             snapshot: RwLock::new(Arc::new(snapshot)),
+            shards,
             ingest: Mutex::new(master),
             epoch: AtomicU64::new(0),
             gauges: IngestGauges::default(),
@@ -121,7 +320,7 @@ impl AppState {
 }
 
 /// Clones the current snapshot `Arc` — queries then run with no lock held.
-pub fn snapshot(state: &AppState) -> Arc<SearchEngine> {
+pub fn snapshot(state: &AppState) -> Arc<ServingSnapshot> {
     // Poison recovery: this lock is held only to clone or swap the Arc,
     // never across engine work, so a poisoned lock still guards a fully
     // consistent pointer.
@@ -157,7 +356,7 @@ fn lock_ingest(state: &AppState) -> MutexGuard<'_, DurableEngine> {
 /// bumps the epoch. Runs under the ingest lock; readers only ever block
 /// for the pointer swap.
 fn publish(state: &AppState, master: &DurableEngine) -> Result<u64, ApiError> {
-    let fresh = clone_engine(master.engine()).map_err(|e| ApiError {
+    let fresh = make_snapshot(master.engine(), state.shards).map_err(|e| ApiError {
         status: 500,
         message: format!("snapshot publish failed: {e}"),
         hint: Some(
@@ -188,6 +387,19 @@ fn clone_engine(engine: &SearchEngine) -> io::Result<SearchEngine> {
     let mut buf = Vec::new();
     engine.save_to(&mut buf)?;
     SearchEngine::load_from(&mut io::Cursor::new(buf))
+}
+
+/// Builds the serving snapshot for a publication: a roundtripped clone of
+/// the master, re-partitioned into a sharded view when the server was
+/// configured with more than one fault domain.
+fn make_snapshot(engine: &SearchEngine, shards: usize) -> io::Result<ServingSnapshot> {
+    let fresh = clone_engine(engine)?;
+    if shards <= 1 {
+        return Ok(ServingSnapshot::Single(Box::new(fresh)));
+    }
+    ShardedEngine::from_engine(&fresh, shards)
+        .map(ServingSnapshot::Sharded)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// Handles one parsed request; returns `(status, body)`. Also folds the
@@ -260,6 +472,8 @@ fn health(state: &AppState) -> Result<Json, ApiError> {
     if let Json::Obj(map) = &mut j {
         map.insert("num_series".to_string(), Json::from(engine.num_series()));
         map.insert("num_windows".to_string(), Json::from(engine.num_windows()));
+        map.insert("shards".to_string(), Json::from(engine.num_shards()));
+        map.insert("shard_breakers".to_string(), encode_shard_breakers(&engine));
         map.insert("epoch".to_string(), Json::from(state.epoch()));
         map.insert(
             "durable".to_string(),
@@ -270,9 +484,24 @@ fn health(state: &AppState) -> Result<Json, ApiError> {
     Ok(j)
 }
 
+/// Per-shard breaker positions as a JSON array of `"closed"` /
+/// `"half-open"` / `"open"`, in shard order.
+fn encode_shard_breakers(snapshot: &ServingSnapshot) -> Json {
+    Json::Arr(
+        snapshot
+            .shard_breakers()
+            .iter()
+            .map(|b| Json::from(b.to_string().as_str()))
+            .collect(),
+    )
+}
+
 fn metrics_json(state: &AppState) -> Json {
     let mut j = state.metrics.to_json();
     if let Json::Obj(map) = &mut j {
+        let engine = snapshot(state);
+        map.insert("shards".to_string(), Json::from(engine.num_shards()));
+        map.insert("shard_breakers".to_string(), encode_shard_breakers(&engine));
         map.insert("epoch".to_string(), Json::from(state.epoch()));
         map.insert(
             "wal_tail_records".to_string(),
@@ -424,11 +653,7 @@ fn stamp_stats(state: &AppState, stats: &mut tsss_core::SearchStats) {
 fn run_search(
     state: &AppState,
     body: &Json,
-    f: impl FnOnce(
-        &SearchEngine,
-        &[f64],
-        tsss_core::SearchOptions,
-    ) -> Result<tsss_core::SearchResult, tsss_core::EngineError>,
+    f: impl FnOnce(&ServingSnapshot, &[f64], SearchOptions) -> Result<SearchResult, EngineError>,
 ) -> Result<Json, ApiError> {
     let query = require_f64_array(body, "query")?;
     let opts = parse_options(body)?;
@@ -475,7 +700,7 @@ fn long(state: &AppState, body: &Json) -> Result<Json, ApiError> {
     let epsilon = require_f64(body, "epsilon")?;
     // `search_long` panics on stride ≠ 1 (the piece decomposition needs
     // every offset indexed) — turn that contract into a client error.
-    if snapshot(state).config().stride != 1 {
+    if snapshot(state).stride() != 1 {
         return Err(ApiError::bad_request(
             "long queries require an engine built with stride 1",
         ));
@@ -852,6 +1077,176 @@ mod tests {
             assert_eq!(status, want, "{method} {path}: {payload}");
             assert!(Json::parse(&payload).unwrap().get("error").is_some());
         }
+    }
+
+    fn sharded_state(shards: usize) -> (AppState, Vec<tsss_data::Series>) {
+        let data = MarketSimulator::new(MarketConfig::small(4, 80, 42)).generate();
+        let st = AppState::new_sharded(
+            SearchEngine::build(&data, EngineConfig::small(WINDOW)).unwrap(),
+            shards,
+        );
+        (st, data)
+    }
+
+    #[test]
+    fn sharded_state_answers_bit_identically_to_single() {
+        let (single, data) = state();
+        let (sharded, _) = sharded_state(4);
+        let body = query_body(&data, 0.5);
+        let (s1, p1) = handle(&single, "POST", "/search", body.as_bytes());
+        let (s2, p2) = handle(&sharded, "POST", "/search", body.as_bytes());
+        assert_eq!((s1, s2), (200, 200), "{p1}\n{p2}");
+        let j1 = Json::parse(&p1).unwrap();
+        let j2 = Json::parse(&p2).unwrap();
+        // The merged scatter-gather answer is the single engine's answer,
+        // match for match and bit for bit (same JSON rendering).
+        assert_eq!(
+            j1.get("total_matches").and_then(Json::as_u64),
+            j2.get("total_matches").and_then(Json::as_u64)
+        );
+        assert_eq!(
+            j1.get("matches").unwrap().encode(),
+            j2.get("matches").unwrap().encode()
+        );
+        // Shard accounting: 4 healthy domains answered, none degraded, and
+        // the stage identity survived the merge and the encoding.
+        let stats = j2.get("stats").unwrap();
+        assert_eq!(stats.get("shards_ok").and_then(Json::as_u64), Some(4));
+        assert_eq!(stats.get("degraded_shards").and_then(Json::as_u64), Some(0));
+        let c = stats.get("candidates").and_then(Json::as_u64).unwrap();
+        let v = stats.get("verified").and_then(Json::as_u64).unwrap();
+        let fa = stats.get("false_alarms").and_then(Json::as_u64).unwrap();
+        let cr = stats.get("cost_rejected").and_then(Json::as_u64).unwrap();
+        assert_eq!(c, v + fa + cr);
+        // A direct single-engine answer has no shards and says so.
+        let s1stats = j1.get("stats").unwrap();
+        assert_eq!(s1stats.get("shards_ok").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            s1stats.get("degraded_shards").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn sharded_knn_and_batch_routes_answer() {
+        let (st, data) = sharded_state(4);
+        let q_json = encode_vals(&window_of(&data, 1, 5, WINDOW));
+        // kNN: exactly k matches even though 4 shards each found up to k.
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/knn",
+            format!("{{\"query\":{q_json},\"k\":3}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert_eq!(j.get("matches").and_then(Json::as_array).unwrap().len(), 3);
+        assert_eq!(
+            j.get("stats")
+                .unwrap()
+                .get("shards_ok")
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        // Batch keeps per-query isolation on the sharded path too.
+        let (status, payload) = handle(
+            &st,
+            "POST",
+            "/batch",
+            format!("{{\"queries\":[{q_json},[1,2]],\"epsilon\":0.5}}").as_bytes(),
+        );
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        let results = j.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(results[1].get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn sharded_deadline_503_still_bumps_the_degradation_counter() {
+        // On a sharded snapshot a spent budget surfaces as
+        // `ShardUnavailable` (every shard exhausted its slice), which must
+        // land in the same `/metrics` counter as the single-engine 503.
+        let (st, data) = sharded_state(4);
+        let mut body = query_body(&data, 0.5);
+        body.insert_str(
+            body.len() - 1,
+            ",\"opts\":{\"deadline\":{\"max_pages\":0,\"max_steps\":0}}",
+        );
+        let (status, _) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 503);
+        let m = Json::parse(&handle(&st, "GET", "/metrics", b"").1).unwrap();
+        assert_eq!(
+            m.get("deadline_exceeded_total").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn health_and_metrics_expose_per_shard_breakers() {
+        let (st, _) = sharded_state(3);
+        let h = Json::parse(&handle(&st, "GET", "/health", b"").1).unwrap();
+        assert_eq!(h.get("shards").and_then(Json::as_u64), Some(3));
+        let breakers = h.get("shard_breakers").and_then(Json::as_array).unwrap();
+        assert_eq!(breakers.len(), 3);
+        assert!(breakers.iter().all(|b| b.as_str() == Some("closed")));
+        assert_eq!(
+            h.get("repair_recommended").and_then(Json::as_bool),
+            Some(false)
+        );
+        let m = Json::parse(&handle(&st, "GET", "/metrics", b"").1).unwrap();
+        assert_eq!(m.get("shards").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            m.get("shard_breakers")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            3
+        );
+        // A single-engine state reports one fault domain, same schema.
+        let (st1, _) = state();
+        let h = Json::parse(&handle(&st1, "GET", "/health", b"").1).unwrap();
+        assert_eq!(h.get("shards").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            h.get("shard_breakers")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn append_republishes_the_sharded_snapshot() {
+        let (st, data) = sharded_state(2);
+        let before = snapshot(&st).num_windows();
+        let vals: Vec<Json> = (0..40).map(|i| Json::from(f64::from(i) * 0.25)).collect();
+        let body = format!(
+            "{{\"name\":\"fresh\",\"values\":{}}}",
+            Json::Arr(vals).encode()
+        );
+        let (status, payload) = handle(&st, "POST", "/append", body.as_bytes());
+        assert_eq!(status, 200, "{payload}");
+        // The republished snapshot is sharded again and holds the new
+        // series' windows.
+        let snap = snapshot(&st);
+        assert_eq!(snap.num_shards(), 2);
+        assert!(snap.num_windows() > before);
+        assert_eq!(snap.num_series(), data.len() + 1);
+        // And the new windows are searchable through the sharded view.
+        let probe: Vec<f64> = (0u32..16).map(|i| f64::from(i) * 0.25).collect();
+        let body = format!("{{\"query\":{},\"epsilon\":0.01}}", encode_vals(&probe));
+        let (status, payload) = handle(&st, "POST", "/search", body.as_bytes());
+        assert_eq!(status, 200, "{payload}");
+        let j = Json::parse(&payload).unwrap();
+        assert!(j.get("total_matches").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(
+            j.get("stats")
+                .unwrap()
+                .get("shards_ok")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! tsss scrub    --engine engine.tsss
 //! tsss repair   --engine engine.tsss
 //! tsss health   --engine engine.tsss
-//! tsss serve    --engine engine.tsss [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//! tsss serve    --engine engine.tsss [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--keep-alive-requests N] [--shards N]
 //! tsss demo
 //! ```
 //!
@@ -179,7 +179,8 @@ fn usage() {
          scrub    --engine ENGINE.tsss\n  \
          repair   --engine ENGINE.tsss\n  \
          health   --engine ENGINE.tsss\n  \
-         serve    --engine ENGINE.tsss [--addr HOST:PORT] [--workers N] [--queue N]\n  \
+         serve    --engine ENGINE.tsss [--addr HOST:PORT] [--workers N] [--queue N]\n           \
+         [--keep-alive-requests N] [--shards N]\n  \
          demo"
     );
 }
@@ -461,6 +462,16 @@ fn cmd_health(a: &Args) -> Result<(), String> {
 
 fn cmd_serve(a: &Args) -> Result<(), String> {
     let path = a.require("engine")?;
+    // Parse the whole config up front so a malformed flag fails before the
+    // server takes ownership of the engine file.
+    let cfg = tsss::server::ServerConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: a.get_parsed("workers", 4)?,
+        queue_capacity: a.get_parsed("queue", 64)?,
+        keep_alive_requests: a.get_parsed("keep-alive-requests", 32)?,
+        shards: a.get_parsed("shards", 1)?,
+        ..Default::default()
+    };
     // The server owns the engine file from here on: appends are write-ahead
     // logged to `<engine>.wal` and fsynced before they are acknowledged, so
     // an HTTP 200 from /append survives a crash; POST /save folds the log
@@ -486,18 +497,19 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
             },
         );
     }
-    let cfg = tsss::server::ServerConfig {
-        addr: a.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
-        workers: a.get_parsed("workers", 4)?,
-        queue_capacity: a.get_parsed("queue", 64)?,
-        ..Default::default()
-    };
     println!(
         "serving {path}: {} series, {} windows (durable appends: WAL at {})",
         master.engine().num_series(),
         master.engine().num_windows(),
         DurableEngine::wal_path_for(Path::new(path)).display()
     );
+    if cfg.shards > 1 {
+        println!(
+            "sharded serving: {} fault domains (scatter-gather; a failed shard \
+             degrades only its slice, see /health shard_breakers)",
+            cfg.shards.min(master.engine().num_series().max(1))
+        );
+    }
     let server = tsss::server::Server::start_durable(master, &cfg)
         .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
     println!("listening on http://{}", server.addr());

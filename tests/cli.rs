@@ -294,6 +294,43 @@ fn repair_recovers_a_corrupted_index_and_scrub_then_passes() {
 }
 
 #[test]
+fn serve_flags_are_validated_before_the_engine_is_opened() {
+    // A malformed flag value fails fast with a parse error naming the
+    // flag — before `serve` tries to take ownership of the engine file
+    // (the path here does not even exist).
+    for flag in ["keep-alive-requests", "shards", "workers", "queue"] {
+        let (ok, _, err) = run(&[
+            "serve",
+            "--engine",
+            "/nonexistent/e.tsss",
+            &format!("--{flag}"),
+            "notanumber",
+        ]);
+        assert!(!ok, "--{flag} notanumber should fail");
+        assert!(
+            err.contains(&format!("--{flag}")) && err.contains("cannot parse"),
+            "--{flag} error does not name the flag: {err}"
+        );
+    }
+    // With well-formed flags the config parses and the failure moves on to
+    // the (missing) engine file — proving the flags were accepted.
+    let (ok, _, err) = run(&[
+        "serve",
+        "--engine",
+        "/nonexistent/e.tsss",
+        "--keep-alive-requests",
+        "8",
+        "--shards",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        err.contains("loading /nonexistent/e.tsss"),
+        "flags rejected before the engine open: {err}"
+    );
+}
+
+#[test]
 fn malformed_invocations_fail_cleanly() {
     for args in [
         vec!["unknown-subcommand"],
