@@ -1,0 +1,244 @@
+//! Baseline diff mode: `--baseline results/analyze-baseline.json`.
+//!
+//! The baseline is a checked-in snapshot of the findings the team has
+//! accepted (today: the legacy `warn`-severity `R8` discards in
+//! `tsss-server`, burning down over time). In baseline mode the
+//! analyzer still *reports* everything, but CI fails only on findings
+//! that are **not** in the baseline — so a new lock-discipline slip
+//! blocks the PR while the known backlog doesn't.
+//!
+//! A finding is identified by `(rule id, path, line)`. Line numbers make
+//! the key brittle against unrelated edits above a baselined finding —
+//! that is deliberate: a shifted finding re-surfaces and the author
+//! either fixes it or refreshes the baseline with `--write-baseline`,
+//! keeping the file honest. The file is written by the analyzer itself
+//! (same JSON emitter), so regeneration is always byte-stable.
+//!
+//! Parsing is a purpose-built scanner for the analyzer's own output
+//! shape, not a general JSON parser — the workspace is dependency-free
+//! by charter. It tolerates whitespace/field-order changes but not
+//! structural ones; a file that doesn't look like analyzer output is an
+//! IO-class error (exit 2), never a silent empty baseline.
+
+use std::collections::BTreeSet;
+
+use crate::report::{Analysis, Finding};
+
+/// A baseline identity: `(rule id, workspace-relative path, 1-based line)`.
+pub type Key = (String, String, usize);
+
+/// The key under which a finding is matched against the baseline.
+pub fn key_of(f: &Finding) -> Key {
+    (f.rule.id().to_string(), f.path.clone(), f.line)
+}
+
+/// Parses the `findings` array of a JSON report produced by
+/// `render_json` (or `--write-baseline`) into a set of keys.
+pub fn parse(text: &str) -> Result<BTreeSet<Key>, String> {
+    let mut keys = BTreeSet::new();
+    let arr = match extract_findings_array(text) {
+        Some(a) => a,
+        None => return Err("baseline has no \"findings\" array".to_string()),
+    };
+    for (i, obj) in split_objects(arr).into_iter().enumerate() {
+        let rule = string_field(obj, "rule")
+            .ok_or_else(|| format!("baseline finding {i} has no \"rule\" field"))?;
+        let path = string_field(obj, "path")
+            .ok_or_else(|| format!("baseline finding {i} has no \"path\" field"))?;
+        let line = number_field(obj, "line")
+            .ok_or_else(|| format!("baseline finding {i} has no \"line\" field"))?;
+        keys.insert((rule, path, line));
+    }
+    Ok(keys)
+}
+
+/// Findings in `analysis` that are not covered by the baseline, in
+/// report order.
+pub fn diff<'a>(analysis: &'a Analysis, baseline: &BTreeSet<Key>) -> Vec<&'a Finding> {
+    analysis
+        .findings
+        .iter()
+        .filter(|f| !baseline.contains(&key_of(f)))
+        .collect()
+}
+
+/// The text between the brackets of the top-level `"findings": [...]`
+/// array.
+fn extract_findings_array(text: &str) -> Option<&str> {
+    let tag = "\"findings\"";
+    let at = text.find(tag)?;
+    let rest = &text[at + tag.len()..];
+    let open = rest.find('[')?;
+    let body = &rest[open + 1..];
+    // Find the matching `]`, skipping strings (paths may contain any
+    // character except the `"` the emitter escapes).
+    let mut depth = 1usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in body.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits an array body into its top-level `{...}` object slices.
+fn split_objects(arr: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in arr.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        out.push(&arr[s..=i]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The string value of `"name": "..."` in an object slice, unescaping
+/// the `\"` and `\\` sequences the emitter produces.
+fn string_field(obj: &str, name: &str) -> Option<String> {
+    let rest = after_field(obj, name)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut esc = false;
+    for c in rest.chars() {
+        if esc {
+            value.push(c);
+            esc = false;
+        } else if c == '\\' {
+            esc = true;
+        } else if c == '"' {
+            return Some(value);
+        } else {
+            value.push(c);
+        }
+    }
+    None
+}
+
+/// The numeric value of `"name": 123` in an object slice.
+fn number_field(obj: &str, name: &str) -> Option<usize> {
+    let rest = after_field(obj, name)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// The text immediately after `"name":` (whitespace skipped).
+fn after_field<'a>(obj: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\"");
+    let at = obj.find(&tag)?;
+    let rest = obj[at + tag.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?;
+    Some(rest.trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Analysis, Finding, Rule};
+
+    fn finding(rule: Rule, path: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+            excerpt: "x".to_string(),
+        }
+    }
+
+    fn analysis(findings: Vec<Finding>) -> Analysis {
+        Analysis {
+            findings,
+            files_scanned: 1,
+            allows_used: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_the_json_emitter() {
+        let a = analysis(vec![
+            finding(Rule::ResultDiscipline, "crates/tsss-server/src/lib.rs", 168),
+            finding(Rule::LockDiscipline, "crates/tsss-core/src/x.rs", 7),
+        ]);
+        let json = a.render_json();
+        let keys = parse(&json).expect("parse own output");
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&(
+            "R8".to_string(),
+            "crates/tsss-server/src/lib.rs".to_string(),
+            168
+        )));
+        assert!(keys.contains(&("R7".to_string(), "crates/tsss-core/src/x.rs".to_string(), 7)));
+    }
+
+    #[test]
+    fn diff_reports_only_new_findings() {
+        let old = analysis(vec![finding(Rule::ResultDiscipline, "a.rs", 1)]);
+        let baseline = parse(&old.render_json()).unwrap();
+        let new = analysis(vec![
+            finding(Rule::ResultDiscipline, "a.rs", 1),
+            finding(Rule::FsyncOrdering, "b.rs", 2),
+        ]);
+        let fresh = diff(&new, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].path, "b.rs");
+    }
+
+    #[test]
+    fn empty_findings_array_is_a_valid_empty_baseline() {
+        let keys = parse("{\n  \"findings\": []\n}\n").unwrap();
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn structurally_alien_input_is_an_error_not_an_empty_baseline() {
+        assert!(parse("not json at all").is_err());
+        assert!(parse("{\"results\": []}").is_err());
+    }
+
+    #[test]
+    fn escaped_quotes_in_messages_do_not_derail_the_scanner() {
+        let text = "{\"findings\": [{\"rule\": \"R8\", \"path\": \"a.rs\", \
+                    \"line\": 3, \"message\": \"drops \\\"Result\\\"\"}]}";
+        let keys = parse(text).unwrap();
+        assert!(keys.contains(&("R8".to_string(), "a.rs".to_string(), 3)));
+    }
+}

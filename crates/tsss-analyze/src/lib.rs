@@ -12,6 +12,13 @@
 //! | R4   | `float-eq`       | all crates            | no `==`/`!=` against float literals/constants outside tests |
 //! | R5   | `crate-hygiene`  | all crates            | `#![forbid(unsafe_code)]` at each crate root; `[lints] workspace = true`; a root `[workspace.lints.*]` table |
 //! | R6   | `stats-identity` | `SearchStats`         | every stats field is covered by the accounting-identity doc comment |
+//! | R7   | `lock-discipline` | hot-path + server    | no blocking I/O and no undeclared second lock acquisition while a lock guard is live; only the ingest guard may be held across `publish`/`respond` |
+//! | R8   | `result-discipline` | hot-path + server  | no `let _ =` / statement-terminated `.ok()` discard of a `Result`-returning call (`warn` severity — burns down via the baseline) |
+//! | R9   | `fsync-ordering` | `wal.rs`, `durable.rs` | in a function that syncs the WAL, no state-mutating apply may lexically precede the first sync (the log-then-apply contract, DESIGN.md §15) |
+//!
+//! R1–R7 and R9 are `deny` severity (a finding fails the build); R8 is
+//! `warn` (reported, and gated only through `--baseline` diff mode so the
+//! legacy backlog burns down without blocking unrelated PRs).
 //!
 //! Violations are suppressed — never silently — with justification
 //! markers (see [`rules`]): `analyze::allow(<rule>): <why>` on the line
@@ -25,12 +32,17 @@
 //! `EngineError`/`StorageError`.
 //!
 //! Run locally with `cargo run -p tsss-analyze`, or as part of the test
-//! suite (`cargo test -p tsss-analyze`); CI runs it in release mode and
-//! uploads `results/analyze.json`.
+//! suite (`cargo test -p tsss-analyze`); CI runs it in `--baseline` mode
+//! (fails only on findings not in `results/analyze-baseline.json`) and
+//! uploads both `results/analyze.json` and a SARIF 2.1.0 report for
+//! GitHub code scanning. Exit codes are part of the contract: 0 clean,
+//! 1 findings, 2 usage/IO error.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
+pub mod baseline;
+pub mod flow;
 pub mod hygiene;
 pub mod lexer;
 pub mod report;

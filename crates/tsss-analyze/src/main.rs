@@ -1,25 +1,56 @@
 //! The `tsss-analyze` binary: run the workspace invariant analyzer.
 //!
 //! ```text
-//! tsss-analyze [--root <dir>] [--format text|json] [--out <file>]
+//! tsss-analyze [--root <dir>] [--format text|json|sarif] [--out <file>]
+//!              [--baseline <file>] [--write-baseline]
 //! ```
 //!
-//! * Prints the human report (`--format text`, the default) or the JSON
-//!   report (`--format json`) to stdout.
-//! * Always writes the machine-readable report to `<root>/results/analyze.json`
-//!   (override with `--out`).
-//! * Exits nonzero when there are findings, so CI and pre-push hooks can
-//!   gate on it.
+//! * Prints the human report (`--format text`, the default), the JSON
+//!   report (`--format json`), or a SARIF 2.1.0 report (`--format sarif`,
+//!   the shape GitHub code scanning ingests) to stdout.
+//! * Always writes the machine-readable report to
+//!   `<root>/results/analyze.json` (override with `--out`); with
+//!   `--format sarif` it additionally writes
+//!   `<root>/results/analyze.sarif`.
+//! * `--baseline <file>` switches the gate to diff mode: the run fails
+//!   only on findings absent from the checked-in baseline (plus any
+//!   `deny` finding, baselined or not — deny findings are never
+//!   grandfathered). `--write-baseline` regenerates the baseline file
+//!   from the current findings.
+//!
+//! # Exit codes (part of the CLI contract — CI gates on them)
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean: no `deny` finding, and (in baseline mode) no finding outside the baseline |
+//! | 1    | findings: a `deny` finding, or a new finding in baseline mode |
+//! | 2    | usage or I/O error: bad flag, unreadable tree, malformed baseline |
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: tsss-analyze [--root <dir>] [--format text|json|sarif] \
+[--out <file>] [--baseline <file>] [--write-baseline]
+
+  --root <dir>       workspace root (default: nearest [workspace] above cwd)
+  --format <fmt>     stdout report: text (default), json, or sarif (2.1.0)
+  --out <file>       where the JSON report is written
+                     (default: <root>/results/analyze.json)
+  --baseline <file>  diff mode: fail only on findings not in <file>
+                     (deny findings always fail, baselined or not)
+  --write-baseline   regenerate <root>/results/analyze-baseline.json
+                     (or the --baseline path) from the current findings
+
+exit codes: 0 clean, 1 findings, 2 usage/IO error";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = String::from("text");
     let mut out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,8 +62,10 @@ fn main() -> ExitCode {
                 }
             }
             "--out" => out = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = true,
             "--help" | "-h" => {
-                println!("usage: tsss-analyze [--root <dir>] [--format text|json] [--out <file>]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,8 +74,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !matches!(format.as_str(), "text" | "json") {
-        eprintln!("tsss-analyze: --format must be `text` or `json`, got `{format}`");
+    if !matches!(format.as_str(), "text" | "json" | "sarif") {
+        eprintln!("tsss-analyze: --format must be `text`, `json` or `sarif`, got `{format}`");
         return ExitCode::from(2);
     }
 
@@ -79,25 +112,88 @@ fn main() -> ExitCode {
 
     let json = analysis.render_json();
     let out_path = out.unwrap_or_else(|| root.join("results").join("analyze.json"));
-    if let Some(dir) = out_path.parent() {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("tsss-analyze: cannot create {}: {e}", dir.display());
+    if let Err(e) = write_report(&out_path, &json) {
+        eprintln!("tsss-analyze: {e}");
+        return ExitCode::from(2);
+    }
+    if format == "sarif" {
+        let sarif_path = root.join("results").join("analyze.sarif");
+        if let Err(e) = write_report(&sarif_path, &analysis.render_sarif()) {
+            eprintln!("tsss-analyze: {e}");
             return ExitCode::from(2);
         }
     }
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("tsss-analyze: cannot write {}: {e}", out_path.display());
-        return ExitCode::from(2);
+
+    if write_baseline {
+        let path = baseline_path
+            .clone()
+            .unwrap_or_else(|| root.join("results").join("analyze-baseline.json"));
+        if let Err(e) = write_report(&path, &json) {
+            eprintln!("tsss-analyze: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "tsss-analyze: wrote baseline with {} finding(s) to {}",
+            analysis.findings.len(),
+            path.display()
+        );
     }
 
     match format.as_str() {
         "json" => print!("{json}"),
+        "sarif" => print!("{}", analysis.render_sarif()),
         _ => print!("{}", analysis.render_text()),
     }
 
-    if analysis.findings.is_empty() {
-        ExitCode::SUCCESS
+    // The gate. A regenerated baseline is by construction clean against
+    // itself, so --write-baseline only fails on deny findings.
+    let failed = if let Some(path) = &baseline_path {
+        if write_baseline {
+            analysis.deny_count() > 0
+        } else {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tsss-analyze: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let keys = match tsss_analyze::baseline::parse(&text) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("tsss-analyze: malformed baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let fresh = tsss_analyze::baseline::diff(&analysis, &keys);
+            for f in &fresh {
+                eprintln!(
+                    "tsss-analyze: NEW finding (not in baseline): {}:{}: [{}/{}] {}",
+                    f.path,
+                    f.line,
+                    f.rule.id(),
+                    f.rule.key(),
+                    f.message
+                );
+            }
+            !fresh.is_empty() || analysis.deny_count() > 0
+        }
     } else {
+        analysis.deny_count() > 0
+    };
+
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
+}
+
+/// Writes `text` to `path`, creating parent directories.
+fn write_report(path: &std::path::Path, text: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }

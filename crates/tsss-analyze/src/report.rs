@@ -25,13 +25,50 @@ pub enum Rule {
     /// R6: a `SearchStats` field not covered by the accounting-identity
     /// doc comment.
     StatsIdentity,
+    /// R7: lock discipline — blocking I/O or an undeclared second lock
+    /// acquisition while a guard is live, or a non-ingest guard held
+    /// across `publish`/`respond`.
+    LockDiscipline,
+    /// R8: a `Result`-returning call discarded with `let _ =` or a
+    /// statement-terminated `.ok()`.
+    ResultDiscipline,
+    /// R9: a state-mutating apply site that lexically precedes its WAL
+    /// sync in `wal.rs`/`durable.rs` (the log-then-apply contract).
+    FsyncOrdering,
     /// A malformed `analyze::allow` marker (unknown rule, missing or
     /// empty justification).
     Marker,
 }
 
+/// How a finding gates CI: `Deny` findings fail the run outright;
+/// `Warn` findings are reported, land in the baseline, and only fail a
+/// `--baseline` run when they are *new*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Deny,
+    Warn,
+}
+
+impl Severity {
+    /// The name used in reports (`deny` / `warn`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// The SARIF `level` GitHub code scanning expects.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        }
+    }
+}
+
 impl Rule {
-    /// Stable short id (`R1`–`R6`, `M0` for marker errors).
+    /// Stable short id (`R1`–`R9`, `M0` for marker errors).
     pub fn id(self) -> &'static str {
         match self {
             Rule::Panic | Rule::Index => "R1",
@@ -40,6 +77,9 @@ impl Rule {
             Rule::FloatEq => "R4",
             Rule::CrateHygiene => "R5",
             Rule::StatsIdentity => "R6",
+            Rule::LockDiscipline => "R7",
+            Rule::ResultDiscipline => "R8",
+            Rule::FsyncOrdering => "R9",
             Rule::Marker => "M0",
         }
     }
@@ -55,6 +95,9 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::CrateHygiene => "crate-hygiene",
             Rule::StatsIdentity => "stats-identity",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::ResultDiscipline => "result-discipline",
+            Rule::FsyncOrdering => "fsync-ordering",
             Rule::Marker => "marker",
         }
     }
@@ -70,8 +113,58 @@ impl Rule {
             "float-eq" => Rule::FloatEq,
             "crate-hygiene" => Rule::CrateHygiene,
             "stats-identity" => Rule::StatsIdentity,
+            "lock-discipline" => Rule::LockDiscipline,
+            "result-discipline" => Rule::ResultDiscipline,
+            "fsync-ordering" => Rule::FsyncOrdering,
             _ => return None,
         })
+    }
+
+    /// The rule's severity. R8 (`result-discipline`) is the one `warn`
+    /// rule: its legacy findings live in `results/analyze-baseline.json`
+    /// and burn down over time; everything else is `deny` and fails the
+    /// run the moment it appears.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::ResultDiscipline => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// Every rule variant, for catalogs (SARIF `rules`, docs).
+    pub const ALL: [Rule; 12] = [
+        Rule::Panic,
+        Rule::Index,
+        Rule::Cast,
+        Rule::Atomics,
+        Rule::AtomicsMixed,
+        Rule::FloatEq,
+        Rule::CrateHygiene,
+        Rule::StatsIdentity,
+        Rule::LockDiscipline,
+        Rule::ResultDiscipline,
+        Rule::FsyncOrdering,
+        Rule::Marker,
+    ];
+
+    /// One-line description for the SARIF rule catalog.
+    fn describe(self) -> &'static str {
+        match self {
+            Rule::Panic => "no panicking constructs in hot-path code",
+            Rule::Index => "no bracket indexing in hot-path code",
+            Rule::Cast => "no bare `as` casts on id/offset/length-like expressions",
+            Rule::Atomics => "every atomic Ordering carries a justification comment",
+            Rule::AtomicsMixed => "one atomic field must not mix orderings unexplained",
+            Rule::FloatEq => "no float ==/!= outside tests",
+            Rule::CrateHygiene => "crate roots forbid unsafe code and inherit workspace lints",
+            Rule::StatsIdentity => "every SearchStats field is covered by the identity doc",
+            Rule::LockDiscipline => {
+                "no blocking I/O or undeclared second lock acquisition while a guard is live"
+            }
+            Rule::ResultDiscipline => "no silently discarded Result-returning calls",
+            Rule::FsyncOrdering => "WAL apply sites must lexically follow their sync call",
+            Rule::Marker => "analyze::allow markers must be well-formed and justified",
+        }
     }
 }
 
@@ -106,25 +199,37 @@ impl Analysis {
             .sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
     }
 
+    /// Number of `deny`-severity findings — the count a plain run gates on.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule.severity() == Severity::Deny)
+            .count()
+    }
+
     /// The human report.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(
                 out,
-                "{}:{}: [{}/{}] {}\n    {}",
+                "{}:{}: [{}/{}][{}] {}\n    {}",
                 f.path,
                 f.line,
                 f.rule.id(),
                 f.rule.key(),
+                f.rule.severity().as_str(),
                 f.message,
                 f.excerpt
             );
         }
         let _ = writeln!(
             out,
-            "tsss-analyze: {} finding(s) in {} file(s) scanned ({} allow marker(s) in effect)",
+            "tsss-analyze: {} finding(s) ({} deny, {} warn) in {} file(s) scanned \
+             ({} allow marker(s) in effect)",
             self.findings.len(),
+            self.deny_count(),
+            self.findings.len() - self.deny_count(),
             self.files_scanned,
             self.allows_used
         );
@@ -143,6 +248,12 @@ impl Analysis {
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"allows_used\": {},", self.allows_used);
         let _ = writeln!(out, "  \"total_findings\": {},", self.findings.len());
+        let _ = writeln!(out, "  \"deny_findings\": {},", self.deny_count());
+        let _ = writeln!(
+            out,
+            "  \"warn_findings\": {},",
+            self.findings.len() - self.deny_count()
+        );
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -151,9 +262,10 @@ impl Analysis {
             out.push_str("\n    {");
             let _ = write!(
                 out,
-                "\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}",
+                "\"rule\": {}, \"name\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}",
                 json_str(f.rule.id()),
                 json_str(f.rule.key()),
+                json_str(f.rule.severity().as_str()),
                 json_str(&f.path),
                 f.line,
                 json_str(&f.message),
@@ -167,6 +279,76 @@ impl Analysis {
         out.push_str("]\n}\n");
         out
     }
+
+    /// The SARIF 2.1.0 report (`results/analyze.sarif`) in the shape
+    /// GitHub code scanning ingests via `codeql-action/upload-sarif`:
+    /// one run, a full rule catalog on the driver, one result per
+    /// finding with a `physicalLocation` region. Severities map
+    /// `deny` → `error` and `warn` → `warning`.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","
+        );
+        let _ = writeln!(out, "  \"version\": \"2.1.0\",");
+        out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+        let _ = writeln!(out, "          \"name\": \"tsss-analyze\",");
+        let _ = writeln!(
+            out,
+            "          \"version\": {},",
+            json_str(env!("CARGO_PKG_VERSION"))
+        );
+        out.push_str("          \"rules\": [");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n            {{\"id\": {}, \"name\": {}, \
+                 \"shortDescription\": {{\"text\": {}}}, \
+                 \"defaultConfiguration\": {{\"level\": {}}}}}",
+                json_str(&sarif_rule_id(*rule)),
+                json_str(rule.key()),
+                json_str(rule.describe()),
+                json_str(rule.severity().sarif_level())
+            );
+        }
+        out.push_str("\n          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rule_index = Rule::ALL.iter().position(|r| *r == f.rule).unwrap_or(0);
+            let _ = write!(
+                out,
+                "\n        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": {}, \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"%SRCROOT%\"}}, \
+                 \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": {}}}}}}}}}]}}",
+                json_str(&sarif_rule_id(f.rule)),
+                json_str(f.rule.severity().sarif_level()),
+                json_str(&f.message),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.excerpt)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+}
+
+/// SARIF rule ids must be unique; `R1` covers two detectors, so the
+/// hierarchical `<id>/<key>` form (the convention GitHub's own analyzers
+/// use, e.g. `js/sql-injection`) disambiguates.
+fn sarif_rule_id(rule: Rule) -> String {
+    format!("{}/{}", rule.id(), rule.key())
 }
 
 /// Escapes `s` as a JSON string literal (with quotes).
@@ -228,29 +410,67 @@ mod tests {
 
     #[test]
     fn rule_keys_roundtrip() {
-        for rule in [
-            Rule::Panic,
-            Rule::Index,
-            Rule::Cast,
-            Rule::Atomics,
-            Rule::AtomicsMixed,
-            Rule::FloatEq,
-            Rule::CrateHygiene,
-            Rule::StatsIdentity,
-        ] {
+        for rule in Rule::ALL {
+            if rule == Rule::Marker {
+                continue; // M0 is never a marker target
+            }
             assert_eq!(Rule::from_key(rule.key()), Some(rule));
         }
         assert_eq!(Rule::from_key("bogus"), None);
     }
 
     #[test]
-    fn text_report_names_rule_and_location() {
+    fn text_report_names_rule_location_and_severity() {
         let a = Analysis {
             findings: vec![finding()],
             files_scanned: 1,
             allows_used: 0,
         };
         let t = a.render_text();
-        assert!(t.contains("crates/x/src/lib.rs:7: [R1/panic]"));
+        assert!(t.contains("crates/x/src/lib.rs:7: [R1/panic][deny]"), "{t}");
+        assert!(t.contains("(1 deny, 0 warn)"), "{t}");
+    }
+
+    #[test]
+    fn severities_map_r8_to_warn_and_the_rest_to_deny() {
+        assert_eq!(Rule::ResultDiscipline.severity(), Severity::Warn);
+        for rule in Rule::ALL {
+            if rule != Rule::ResultDiscipline {
+                assert_eq!(rule.severity(), Severity::Deny, "{rule:?}");
+            }
+        }
+        assert_eq!(Severity::Deny.sarif_level(), "error");
+        assert_eq!(Severity::Warn.sarif_level(), "warning");
+    }
+
+    #[test]
+    fn sarif_has_the_2_1_0_shape_github_ingests() {
+        let mut warn = finding();
+        warn.rule = Rule::ResultDiscipline;
+        let a = Analysis {
+            findings: vec![finding(), warn],
+            files_scanned: 2,
+            allows_used: 0,
+        };
+        let s = a.render_sarif();
+        assert!(s.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"tsss-analyze\""));
+        // Full rule catalog with unique hierarchical ids.
+        assert!(s.contains("\"id\": \"R7/lock-discipline\""));
+        assert!(s.contains("\"id\": \"R9/fsync-ordering\""));
+        // One result per finding, severity-mapped levels, physical locations.
+        assert!(s.contains("\"ruleId\": \"R1/panic\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(s.contains("\"uriBaseId\": \"%SRCROOT%\""));
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn empty_sarif_renders_an_empty_results_array() {
+        let s = Analysis::default().render_sarif();
+        assert!(s.contains("\"results\": []"), "{s}");
     }
 }

@@ -1,5 +1,6 @@
 //! The rule detectors (R1–R4, R6) and the `analyze::allow` marker
-//! grammar.
+//! grammar. The flow-aware detectors (R7–R9) live in [`crate::flow`]
+//! and are filtered through the same markers here.
 //!
 //! # Marker grammar
 //!
@@ -255,6 +256,12 @@ pub fn analyze_source(rel_path: &str, source: &str, hot: bool) -> (Vec<Finding>,
     }
 
     check_stats_identity(&lines, &mut findings, &mut push);
+
+    // The flow-aware pass (R7/R8/R9) runs its own statement machine and
+    // returns candidates; markers apply to them like any other detector.
+    for ff in crate::flow::check_flow(rel_path, &lines, &mask) {
+        push(ff.rule, ff.line, ff.message, &mut findings);
+    }
 
     for (li, msg) in &allows.errors {
         findings.push(Finding {

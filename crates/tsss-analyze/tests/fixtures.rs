@@ -115,6 +115,89 @@ fn m0_malformed_markers_do_not_suppress() {
 }
 
 #[test]
+fn r7_lock_discipline() {
+    // Flagged: the seeded guard-across-fsync, the undeclared
+    // snapshot → ingest nesting, the same-lock reacquisition, and
+    // `publish` under a snapshot guard. Clean: the declared
+    // ingest → snapshot order, publication under `lock_ingest`, I/O
+    // after the guard's scope closes, and the #[cfg(test)] module.
+    // Suppressed: one justified fsync-under-guard.
+    check(
+        "crates/tsss-server/src/flow_locks.rs",
+        include_str!("fixtures/flow_locks.rs"),
+        false,
+        &[
+            ("R7", 5, "lock-discipline"),
+            ("R7", 11, "lock-discipline"),
+            ("R7", 16, "lock-discipline"),
+            ("R7", 28, "lock-discipline"),
+        ],
+        1,
+    );
+}
+
+#[test]
+fn r7_r8_are_scoped_to_concurrency_crates() {
+    // The same source outside the hot-path + server scope produces
+    // nothing: flow rules are scoped like R1/R2.
+    let (findings, _) = analyze_source(
+        "crates/tsss-bench/src/flow_locks.rs",
+        include_str!("fixtures/flow_locks.rs"),
+        false,
+    );
+    assert!(
+        findings.is_empty(),
+        "flow rules must not fire outside their scope: {findings:?}"
+    );
+}
+
+#[test]
+fn r8_result_discipline() {
+    // Flagged: `let _ = call();` and a statement-terminated `.ok();`.
+    // Clean: a named `.ok()` binding and a non-call `let _ = 5`.
+    // Suppressed: one justified best-effort discard.
+    check(
+        "crates/tsss-core/src/result_discipline.rs",
+        include_str!("fixtures/result_discipline.rs"),
+        false,
+        &[
+            ("R8", 4, "result-discipline"),
+            ("R8", 5, "result-discipline"),
+        ],
+        1,
+    );
+}
+
+#[test]
+fn r9_fsync_ordering() {
+    // Flagged: the seeded apply-before-sync. Clean: log-then-apply in
+    // order, and a replay path that never logs (out of R9's scope).
+    // Suppressed: one justified out-of-order apply.
+    check(
+        "crates/tsss-storage/src/wal.rs",
+        include_str!("fixtures/fsync_order.rs"),
+        false,
+        &[("R9", 5, "fsync-ordering")],
+        1,
+    );
+}
+
+#[test]
+fn r9_is_scoped_to_wal_owning_files() {
+    // The same source in a file that is not `wal.rs`/`durable.rs` is
+    // outside the log-then-apply contract.
+    let (findings, _) = analyze_source(
+        "crates/tsss-storage/src/buffer.rs",
+        include_str!("fixtures/fsync_order.rs"),
+        false,
+    );
+    assert!(
+        findings.is_empty(),
+        "R9 must only fire in WAL-owning files: {findings:?}"
+    );
+}
+
+#[test]
 fn r6_stats_identity_doc_coverage() {
     // `mystery_field` is the only public field the doc block never names.
     check(

@@ -1,0 +1,56 @@
+//! R7 fixture: guard tracking, the lock-order table, publish discipline.
+
+fn guard_across_fsync(s: &S, file: &std::fs::File) {
+    let master = s.ingest.lock().unwrap();
+    file.sync_all().unwrap();
+    drop(master);
+}
+
+fn undeclared_nesting(s: &S) {
+    let slot = s.snapshot.write().unwrap();
+    let master = s.ingest.lock().unwrap();
+}
+
+fn same_lock_twice(s: &S) {
+    let a = s.ingest.lock().unwrap();
+    let b = s.ingest.lock().unwrap();
+}
+
+fn declared_order_is_clean(s: &S) {
+    let master = s.ingest.lock().unwrap();
+    let slot = s.snapshot.write().unwrap();
+    drop(slot);
+    drop(master);
+}
+
+fn publish_under_snapshot_guard(s: &S) {
+    let slot = s.snapshot.read().unwrap();
+    publish(s, 1);
+}
+
+fn publish_under_ingest_is_blessed(s: &S) {
+    let master = lock_ingest(s);
+    publish(s, &master);
+}
+
+fn scoped_guard_then_io(s: &S, file: &std::fs::File) {
+    {
+        let master = s.ingest.lock().unwrap();
+    }
+    file.sync_all().unwrap();
+}
+
+fn suppressed_fsync(s: &S, file: &std::fs::File) {
+    let master = s.ingest.lock().unwrap();
+    // analyze::allow(lock-discipline): fixture — deliberate fsync under the guard to pin the suppression path.
+    file.sync_all().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let g = state.ingest.lock().unwrap();
+        std::fs::File::open("x").unwrap().sync_all().unwrap();
+    }
+}

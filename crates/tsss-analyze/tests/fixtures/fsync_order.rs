@@ -1,0 +1,24 @@
+//! R9 fixture: the log-then-apply contract in WAL-owning files.
+
+impl D {
+    fn apply_before_sync(&mut self, p: &[u8]) -> io::Result<()> {
+        self.engine.append_values(0, &[1.0])?;
+        self.wal.append(p)
+    }
+
+    fn log_then_apply(&mut self, p: &[u8]) -> io::Result<()> {
+        self.wal.append(p)?;
+        apply(&mut self.engine);
+        Ok(())
+    }
+
+    fn replay_never_logs(&mut self) {
+        self.engine.append_values(0, &[1.0]);
+    }
+
+    fn suppressed(&mut self, p: &[u8]) -> io::Result<()> {
+        // analyze::allow(fsync-ordering): fixture — deliberate apply-before-sync to pin the suppression path.
+        self.engine.append_values(0, &[1.0])?;
+        self.wal.append(p)
+    }
+}

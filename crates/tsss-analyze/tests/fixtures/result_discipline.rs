@@ -1,0 +1,16 @@
+//! R8 fixture: silently discarded `Result`s.
+
+fn discards(file: &std::fs::File, p: &str) {
+    let _ = file.sync_all();
+    std::fs::remove_file(p).ok();
+}
+
+fn bindings_are_clean(p: &str) {
+    let kept = std::fs::remove_file(p).ok();
+    let _ = 5;
+}
+
+fn suppressed(p: &str) {
+    // analyze::allow(result-discipline): fixture — deliberate best-effort discard to pin the suppression path.
+    let _ = std::fs::remove_file(p);
+}

@@ -265,6 +265,7 @@ impl DurableEngine {
             // The in-memory mutation fully lands, then the process dies
             // before replying — on disk this is identical to
             // PostWalPreIndex, which is exactly what recovery must prove.
+            // analyze::allow(result-discipline): the simulated crash discards the apply result on purpose — the caller only ever sees the injected crash error, exactly like a real kill.
             let _ = apply(&mut self.engine);
             return Err(crash_error(CrashPoint::MidIndexInsert));
         }

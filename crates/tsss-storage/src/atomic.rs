@@ -40,7 +40,7 @@ pub fn atomic_write(
         fs::rename(&tmp_path, path)
     })();
     if result.is_err() {
-        // Best effort: don't leave the torn temp file behind.
+        // analyze::allow(result-discipline): best-effort cleanup of the torn temp file — the write error below is the one that matters, and a leaked `.tmp` is re-created (same name) on the next save.
         let _ = fs::remove_file(&tmp_path);
     }
     result
